@@ -1,0 +1,437 @@
+// Package-level benchmarks: one benchmark per evaluation table/figure of the
+// paper plus the ablation benchmarks called out in DESIGN.md.  The benchmarks
+// measure the real Go implementations (ns/op on the machine running them);
+// the deterministic cycle-model numbers behind the figures are produced by
+// cmd/eswitch-experiments and recorded in EXPERIMENTS.md.
+package eswitch
+
+import (
+	"fmt"
+	"testing"
+
+	"eswitch/internal/core"
+	"eswitch/internal/cpumodel"
+	"eswitch/internal/dpdk"
+	"eswitch/internal/openflow"
+	"eswitch/internal/ovs"
+	"eswitch/internal/pkt"
+	"eswitch/internal/pktgen"
+	"eswitch/internal/workload"
+)
+
+// benchES compiles the use case with ESWITCH and measures packets/op.
+func benchES(b *testing.B, uc *workload.UseCase, flows int) {
+	b.Helper()
+	opts := core.DefaultOptions()
+	opts.Decompose = uc.WantsDecomposition
+	dp, err := core.Compile(uc.Pipeline, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchTrace(b, uc.Trace(flows), dp.ProcessUnlocked, flows)
+}
+
+// benchOVS runs the same trace over the flow-caching baseline.
+func benchOVS(b *testing.B, uc *workload.UseCase, flows int) {
+	b.Helper()
+	sw, err := ovs.New(uc.Pipeline, ovs.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchTrace(b, uc.Trace(flows), sw.ProcessUnlocked, flows)
+}
+
+func benchTrace(b *testing.B, trace *pktgen.Trace, process func(*pkt.Packet, *openflow.Verdict), warmup int) {
+	b.Helper()
+	var p pkt.Packet
+	var v openflow.Verdict
+	if warmup > 200_000 {
+		warmup = 200_000
+	}
+	for i := 0; i < warmup; i++ {
+		trace.Next(&p)
+		process(&p, &v)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trace.Next(&p)
+		process(&p, &v)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Mpps")
+}
+
+// --- Fig. 3: megaflow generation ------------------------------------------------
+
+func BenchmarkFig03_MegaflowArrivalOrder(b *testing.B) {
+	opts := ovs.DefaultOptions()
+	opts.ConservativeTransportMask = false
+	bld := pkt.NewBuilder(128)
+	frames := make([][]byte, len(workload.Fig3Seq1))
+	for i, port := range workload.Fig3Seq1 {
+		frames[i] = pkt.Clone(bld.TCPPacket(pkt.EthernetOpts{}, pkt.IPv4Opts{Src: 1, Dst: 2}, pkt.L4Opts{Src: 9999, Dst: port}))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw, err := ovs.New(workload.Fig3Pipeline(), opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var v openflow.Verdict
+		for _, frame := range frames {
+			sw.ProcessUnlocked(&pkt.Packet{Data: frame, InPort: 1}, &v)
+		}
+	}
+}
+
+// --- Fig. 9: template lookup cost ----------------------------------------------
+
+func BenchmarkFig09_TemplateLookup(b *testing.B) {
+	build := func(n int) *openflow.Pipeline {
+		pl := openflow.NewPipeline(2)
+		for i := 1; i <= n; i++ {
+			pl.Table(0).AddFlow(10, openflow.NewMatch().
+				Set(openflow.FieldVLANID, 3).
+				Set(openflow.FieldIPSrc, uint64(pkt.IPv4FromOctets(10, 0, 0, 3))).
+				Set(openflow.FieldUDPDst, uint64(i)), openflow.Apply(openflow.Output(1)))
+		}
+		pl.Table(0).AddFlow(0, openflow.NewMatch(), openflow.Apply(openflow.Drop()))
+		return pl
+	}
+	for _, n := range []int{1, 2, 4, 8} {
+		for _, tmpl := range []struct {
+			name string
+			max  int
+		}{{"direct", 1 << 20}, {"hash", -1}} {
+			b.Run(fmt.Sprintf("%s/entries=%d", tmpl.name, n), func(b *testing.B) {
+				opts := core.DefaultOptions()
+				opts.DirectCodeMaxEntries = tmpl.max
+				dp, err := core.Compile(build(n), opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				bld := pkt.NewBuilder(128)
+				frame := pkt.Clone(bld.UDPPacket(pkt.EthernetOpts{VLAN: 3},
+					pkt.IPv4Opts{Src: pkt.IPv4FromOctets(10, 0, 0, 3), Dst: 9}, pkt.L4Opts{Src: 1, Dst: uint16(n)}))
+				var v openflow.Verdict
+				p := pkt.Packet{}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					p = pkt.Packet{Data: frame, InPort: 1}
+					dp.ProcessUnlocked(&p, &v)
+				}
+			})
+		}
+	}
+}
+
+// --- Figs. 10–13: packet-rate sweeps --------------------------------------------
+
+func BenchmarkFig10_L2(b *testing.B) {
+	for _, size := range []int{10, 1000} {
+		for _, flows := range []int{100, 100_000} {
+			uc := workload.L2UseCase(size, 4)
+			b.Run(fmt.Sprintf("eswitch/table=%d/flows=%d", size, flows), func(b *testing.B) { benchES(b, uc, flows) })
+			b.Run(fmt.Sprintf("ovs/table=%d/flows=%d", size, flows), func(b *testing.B) { benchOVS(b, uc, flows) })
+		}
+	}
+}
+
+func BenchmarkFig11_L3(b *testing.B) {
+	for _, prefixes := range []int{1000} {
+		for _, flows := range []int{100, 100_000} {
+			uc := workload.L3UseCase(prefixes, 8, 2016)
+			b.Run(fmt.Sprintf("eswitch/prefixes=%d/flows=%d", prefixes, flows), func(b *testing.B) { benchES(b, uc, flows) })
+			b.Run(fmt.Sprintf("ovs/prefixes=%d/flows=%d", prefixes, flows), func(b *testing.B) { benchOVS(b, uc, flows) })
+		}
+	}
+}
+
+func BenchmarkFig12_LoadBalancer(b *testing.B) {
+	for _, services := range []int{100} {
+		for _, flows := range []int{100, 100_000} {
+			uc := workload.LoadBalancerUseCase(services)
+			b.Run(fmt.Sprintf("eswitch/services=%d/flows=%d", services, flows), func(b *testing.B) { benchES(b, uc, flows) })
+			b.Run(fmt.Sprintf("ovs/services=%d/flows=%d", services, flows), func(b *testing.B) { benchOVS(b, uc, flows) })
+		}
+	}
+}
+
+func benchGatewayConfig() workload.GatewayConfig {
+	cfg := workload.DefaultGatewayConfig()
+	cfg.Prefixes = 2000 // keep the benchmark setup time reasonable
+	return cfg
+}
+
+func BenchmarkFig13_Gateway(b *testing.B) {
+	uc := workload.GatewayUseCase(benchGatewayConfig())
+	for _, flows := range []int{1000, 100_000} {
+		b.Run(fmt.Sprintf("eswitch/flows=%d", flows), func(b *testing.B) { benchES(b, uc, flows) })
+		b.Run(fmt.Sprintf("ovs/flows=%d", flows), func(b *testing.B) { benchOVS(b, uc, flows) })
+	}
+}
+
+// --- Figs. 15–16: cache misses and latency via the simulated hierarchy ----------
+
+func BenchmarkFig15_LLC(b *testing.B) {
+	uc := workload.GatewayUseCase(benchGatewayConfig())
+	for _, flows := range []int{1000, 100_000} {
+		b.Run(fmt.Sprintf("eswitch/flows=%d", flows), func(b *testing.B) {
+			opts := core.DefaultOptions()
+			opts.Meter = cpumodel.NewMeter(cpumodel.DefaultPlatform())
+			dp, err := core.Compile(uc.Pipeline, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchTrace(b, uc.Trace(flows), dp.ProcessUnlocked, flows)
+			b.ReportMetric(opts.Meter.LLCMissesPerPacket(), "LLCmiss/pkt")
+		})
+		b.Run(fmt.Sprintf("ovs/flows=%d", flows), func(b *testing.B) {
+			opts := ovs.DefaultOptions()
+			opts.Meter = cpumodel.NewMeter(cpumodel.DefaultPlatform())
+			sw, err := ovs.New(uc.Pipeline, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchTrace(b, uc.Trace(flows), sw.ProcessUnlocked, flows)
+			b.ReportMetric(opts.Meter.LLCMissesPerPacket(), "LLCmiss/pkt")
+		})
+	}
+}
+
+func BenchmarkFig16_Latency(b *testing.B) {
+	uc := workload.GatewayUseCase(benchGatewayConfig())
+	for _, flows := range []int{1000, 100_000} {
+		b.Run(fmt.Sprintf("eswitch/flows=%d", flows), func(b *testing.B) {
+			opts := core.DefaultOptions()
+			opts.Meter = cpumodel.NewMeter(cpumodel.DefaultPlatform())
+			dp, err := core.Compile(uc.Pipeline, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchTrace(b, uc.Trace(flows), dp.ProcessUnlocked, flows)
+			b.ReportMetric(opts.Meter.CyclesPerPacket(), "modelcycles/pkt")
+		})
+		b.Run(fmt.Sprintf("ovs/flows=%d", flows), func(b *testing.B) {
+			opts := ovs.DefaultOptions()
+			opts.Meter = cpumodel.NewMeter(cpumodel.DefaultPlatform())
+			sw, err := ovs.New(uc.Pipeline, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchTrace(b, uc.Trace(flows), sw.ProcessUnlocked, flows)
+			b.ReportMetric(opts.Meter.CyclesPerPacket(), "modelcycles/pkt")
+		})
+	}
+}
+
+// --- Fig. 17/18: update processing ----------------------------------------------
+
+func BenchmarkFig17_Updates(b *testing.B) {
+	pl := workload.LoadBalancerUseCase(1000).Pipeline
+	entries := make([]*openflow.FlowEntry, 0, pl.NumEntries())
+	for _, t := range pl.Tables() {
+		for _, e := range t.Entries() {
+			entries = append(entries, e)
+		}
+	}
+	b.Run("eswitch-direct-install", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dp, err := core.Compile(openflow.NewPipeline(4), core.DefaultOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, e := range entries {
+				if err := dp.AddFlow(0, e.Clone()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(len(entries)), "flows/install")
+	})
+	b.Run("ovs-direct-install", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sw, err := ovs.New(openflow.NewPipeline(4), ovs.DefaultOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, e := range entries {
+				if err := sw.AddFlow(0, e.Clone()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(len(entries)), "flows/install")
+	})
+}
+
+func BenchmarkFig18_UpdateLoad(b *testing.B) {
+	uc := workload.GatewayUseCase(benchGatewayConfig())
+	makeRoute := func(i int) (*openflow.Match, int) {
+		m := openflow.NewMatch().SetPrefix(openflow.FieldIPDst, uint64(pkt.IPv4FromOctets(203, byte(i>>8), byte(i), 0)), 24)
+		return m, 24
+	}
+	b.Run("eswitch-forward-with-updates", func(b *testing.B) {
+		dp, err := core.Compile(uc.Pipeline, core.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		trace := uc.Trace(1000)
+		var p pkt.Packet
+		var v openflow.Verdict
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			trace.Next(&p)
+			dp.ProcessUnlocked(&p, &v)
+			if i%100 == 0 {
+				m, plen := makeRoute(i / 100)
+				dp.AddFlow(workload.GatewayTableRouting, openflow.NewEntry(plen, m, openflow.Apply(openflow.Output(2))))
+			}
+		}
+	})
+	b.Run("ovs-forward-with-updates", func(b *testing.B) {
+		sw, err := ovs.New(uc.Pipeline, ovs.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		trace := uc.Trace(1000)
+		var p pkt.Packet
+		var v openflow.Verdict
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			trace.Next(&p)
+			sw.ProcessUnlocked(&p, &v)
+			if i%100 == 0 {
+				m, plen := makeRoute(i / 100)
+				sw.AddFlow(workload.GatewayTableRouting, openflow.NewEntry(plen, m, openflow.Apply(openflow.Output(2))))
+			}
+		}
+	})
+}
+
+// --- Fig. 19: multi-core scaling -------------------------------------------------
+
+func BenchmarkFig19_MultiCore(b *testing.B) {
+	uc := workload.L3UseCase(2000, 8, 2016)
+	for _, cores := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("eswitch/cores=%d", cores), func(b *testing.B) {
+			dp, err := core.Compile(uc.Pipeline, core.DefaultOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			trace := uc.Trace(10_000)
+			frames := make([][]byte, 4096)
+			for i := range frames {
+				frames[i], _ = trace.Frame(i)
+			}
+			sw := dpdk.NewSwitch(dpdk.DatapathFunc(dp.Process), uc.Pipeline.NumPorts, 8192)
+			stop := sw.RunWorkers(cores)
+			defer stop()
+			b.SetParallelism(1)
+			b.ResetTimer()
+			injected := 0
+			for injected < b.N {
+				for pi := 0; pi < len(frames) && injected < b.N; pi++ {
+					port, _ := sw.Port(1 + uint32(injected%uc.Pipeline.NumPorts))
+					if port.Inject(frames[pi]) {
+						injected++
+					}
+				}
+				for _, port := range sw.Ports() {
+					port.DrainTx()
+				}
+			}
+			// Wait for the workers to finish the backlog.
+			for sw.Stats().Processed < uint64(b.N) {
+				for _, port := range sw.Ports() {
+					port.DrainTx()
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Mpps")
+		})
+	}
+}
+
+// --- Ablations (DESIGN.md §6) ----------------------------------------------------
+
+func BenchmarkAblationDirectCodeThreshold(b *testing.B) {
+	uc := workload.L2UseCase(4, 4)
+	for _, threshold := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("threshold=%d", threshold), func(b *testing.B) {
+			opts := core.DefaultOptions()
+			opts.DirectCodeMaxEntries = threshold
+			dp, err := core.Compile(uc.Pipeline, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchTrace(b, uc.Trace(100), dp.ProcessUnlocked, 100)
+		})
+	}
+}
+
+func BenchmarkAblationKeyInlining(b *testing.B) {
+	uc := workload.L2UseCase(4, 4)
+	for _, inline := range []bool{true, false} {
+		b.Run(fmt.Sprintf("inline=%v", inline), func(b *testing.B) {
+			opts := core.DefaultOptions()
+			opts.DirectCodeMaxEntries = 16
+			opts.InlineKeys = inline
+			opts.Meter = cpumodel.NewMeter(cpumodel.DefaultPlatform())
+			dp, err := core.Compile(uc.Pipeline, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchTrace(b, uc.Trace(100), dp.ProcessUnlocked, 100)
+			b.ReportMetric(opts.Meter.CyclesPerPacket(), "modelcycles/pkt")
+		})
+	}
+}
+
+func BenchmarkAblationDecomposition(b *testing.B) {
+	uc := workload.LoadBalancerUseCase(100)
+	for _, decompose := range []bool{false, true} {
+		b.Run(fmt.Sprintf("decompose=%v", decompose), func(b *testing.B) {
+			opts := core.DefaultOptions()
+			opts.Decompose = decompose
+			dp, err := core.Compile(uc.Pipeline, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchTrace(b, uc.Trace(10_000), dp.ProcessUnlocked, 10_000)
+		})
+	}
+}
+
+func BenchmarkAblationParserSpecialization(b *testing.B) {
+	uc := workload.L2UseCase(1000, 4)
+	for _, specialize := range []bool{true, false} {
+		b.Run(fmt.Sprintf("specialize=%v", specialize), func(b *testing.B) {
+			opts := core.DefaultOptions()
+			opts.SpecializeParser = specialize
+			dp, err := core.Compile(uc.Pipeline, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchTrace(b, uc.Trace(1000), dp.ProcessUnlocked, 1000)
+		})
+	}
+}
+
+func BenchmarkAblationMicroflow(b *testing.B) {
+	uc := workload.GatewayUseCase(benchGatewayConfig())
+	for _, enabled := range []bool{true, false} {
+		b.Run(fmt.Sprintf("microflow=%v", enabled), func(b *testing.B) {
+			opts := ovs.DefaultOptions()
+			opts.EnableMicroflow = enabled
+			sw, err := ovs.New(uc.Pipeline, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchTrace(b, uc.Trace(1000), sw.ProcessUnlocked, 1000)
+		})
+	}
+}

@@ -1,0 +1,146 @@
+// Command eswitchd runs an ESWITCH (or flow-caching baseline) switch over the
+// in-memory dataplane substrate for one of the paper's use cases and prints
+// live forwarding statistics — a miniature stand-in for running the prototype
+// on a DPDK testbed.
+//
+// Usage:
+//
+//	eswitchd [-usecase l2|l3|loadbalancer|gateway] [-datapath eswitch|ovs]
+//	         [-flows 10000] [-duration 5s] [-cores 1] [-listen :6653]
+//
+// When -listen is given, an OpenFlow agent accepts one controller connection
+// and applies FlowMods to the running switch.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"eswitch/internal/controller"
+	"eswitch/internal/core"
+	"eswitch/internal/cpumodel"
+	"eswitch/internal/dpdk"
+	"eswitch/internal/openflow"
+	"eswitch/internal/ovs"
+	"eswitch/internal/pkt"
+	"eswitch/internal/workload"
+)
+
+func buildUseCase(name string, flows int) *workload.UseCase {
+	switch name {
+	case "l2":
+		return workload.L2UseCase(1000, 4)
+	case "l3":
+		return workload.L3UseCase(10000, 8, 2016)
+	case "loadbalancer":
+		return workload.LoadBalancerUseCase(100)
+	case "gateway":
+		return workload.GatewayUseCase(workload.DefaultGatewayConfig())
+	default:
+		return nil
+	}
+}
+
+func main() {
+	useCase := flag.String("usecase", "gateway", "use case: l2, l3, loadbalancer, gateway")
+	datapath := flag.String("datapath", "eswitch", "datapath: eswitch or ovs")
+	flows := flag.Int("flows", 10000, "number of active flows in the generated traffic")
+	duration := flag.Duration("duration", 5*time.Second, "how long to forward traffic")
+	cores := flag.Int("cores", 1, "number of forwarding worker goroutines")
+	listen := flag.String("listen", "", "optional OpenFlow agent listen address (e.g. :6653)")
+	flag.Parse()
+
+	uc := buildUseCase(*useCase, *flows)
+	if uc == nil {
+		fmt.Fprintf(os.Stderr, "unknown use case %q\n", *useCase)
+		os.Exit(2)
+	}
+
+	meter := cpumodel.NewMeter(cpumodel.DefaultPlatform())
+	var process func(*pkt.Packet, *openflow.Verdict)
+	var programmer controller.FlowProgrammer
+	switch *datapath {
+	case "eswitch":
+		opts := core.DefaultOptions()
+		opts.Decompose = uc.WantsDecomposition
+		opts.Meter = meter
+		dp, err := core.Compile(uc.Pipeline, opts)
+		if err != nil {
+			log.Fatalf("compile: %v", err)
+		}
+		process = dp.Process
+		programmer = dp
+		fmt.Printf("eswitchd: compiled %q into %d stages:\n", *useCase, len(dp.Stages()))
+		for _, st := range dp.Stages() {
+			fmt.Printf("  table %-4d %-14s %6d entries  %s\n", st.ID, st.Template, st.Entries, st.Name)
+		}
+	case "ovs":
+		opts := ovs.DefaultOptions()
+		opts.Meter = meter
+		sw, err := ovs.New(uc.Pipeline, opts)
+		if err != nil {
+			log.Fatalf("baseline: %v", err)
+		}
+		process = sw.Process
+		programmer = sw
+		fmt.Printf("eswitchd: running the flow-caching baseline for %q\n", *useCase)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown datapath %q\n", *datapath)
+		os.Exit(2)
+	}
+
+	if *listen != "" {
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			log.Fatalf("listen: %v", err)
+		}
+		agent := controller.NewAgent(programmer)
+		go func() {
+			for {
+				conn, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				go agent.Serve(conn)
+			}
+		}()
+		fmt.Printf("eswitchd: OpenFlow agent listening on %s\n", ln.Addr())
+	}
+
+	// Drive the switch through the dataplane substrate.
+	sw := dpdk.NewSwitch(dpdk.DatapathFunc(process), uc.Pipeline.NumPorts, 4096)
+	trace := uc.Trace(*flows)
+	stop := sw.RunWorkers(*cores)
+
+	fmt.Printf("eswitchd: forwarding %d active flows for %s on %d core(s)\n", *flows, *duration, *cores)
+	deadline := time.Now().Add(*duration)
+	var p pkt.Packet
+	injected := uint64(0)
+	for time.Now().Before(deadline) {
+		for burst := 0; burst < 4096; burst++ {
+			trace.Next(&p)
+			port, err := sw.Port(p.InPort)
+			if err != nil {
+				continue
+			}
+			if port.Inject(p.Data) {
+				injected++
+			}
+		}
+		for _, port := range sw.Ports() {
+			port.DrainTx()
+		}
+	}
+	stop()
+
+	st := sw.Stats()
+	fmt.Printf("\ninjected:  %d packets\n", injected)
+	fmt.Printf("processed: %d packets (%d forwarded, %d dropped, %d to controller)\n",
+		st.Processed, st.Forwarded, st.Dropped, st.ToCtrl)
+	fmt.Printf("model:     %.1f cycles/packet, %.2f Mpps single-core at %.1f GHz, %.3f LLC misses/packet\n",
+		meter.CyclesPerPacket(), meter.PacketRate()/1e6, meter.Platform.FreqGHz, meter.LLCMissesPerPacket())
+}

@@ -1,0 +1,321 @@
+// Package eswitch is a Go reproduction of "Dataplane Specialization for
+// High-performance OpenFlow Software Switching" (Molnár et al., SIGCOMM
+// 2016): an OpenFlow software switch that compiles the configured pipeline
+// into a specialized fast path built from flow-table templates (direct code,
+// compound hash, LPM, tuple space search) instead of relying on a
+// general-purpose flow cache.
+//
+// The package is a thin facade over the implementation packages under
+// internal/: it re-exports the pipeline-construction API (matches, actions,
+// flow tables), the ESWITCH compiler and runtime (Switch), the flow-caching
+// baseline it is evaluated against (Baseline), the workload/use-case library
+// of the paper's evaluation, and the deterministic CPU cost model used to
+// regenerate the paper's figures.
+//
+// A minimal program:
+//
+//	pl := eswitch.NewPipeline(2)
+//	pl.Table(0).AddFlow(100,
+//	    eswitch.NewMatch().Set(eswitch.FieldTCPDst, 80),
+//	    eswitch.Apply(eswitch.Output(2)))
+//	pl.Table(0).AddFlow(0, eswitch.NewMatch(), eswitch.Apply(eswitch.Drop()))
+//
+//	sw, _ := eswitch.New(pl, eswitch.DefaultOptions())
+//	var v eswitch.Verdict
+//	sw.Process(pkt, &v)
+package eswitch
+
+import (
+	"eswitch/internal/core"
+	"eswitch/internal/cpumodel"
+	"eswitch/internal/openflow"
+	"eswitch/internal/ovs"
+	"eswitch/internal/perfmodel"
+	"eswitch/internal/pkt"
+	"eswitch/internal/pktgen"
+	"eswitch/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// Pipeline model (re-exported from the OpenFlow substrate)
+// ---------------------------------------------------------------------------
+
+// Core pipeline types.
+type (
+	// Pipeline is a multi-table OpenFlow pipeline.
+	Pipeline = openflow.Pipeline
+	// FlowTable is one pipeline stage.
+	FlowTable = openflow.FlowTable
+	// FlowEntry is one prioritized rule.
+	FlowEntry = openflow.FlowEntry
+	// Match is a wildcard match over header fields.
+	Match = openflow.Match
+	// Field identifies an OpenFlow match field.
+	Field = openflow.Field
+	// Action is a single OpenFlow action.
+	Action = openflow.Action
+	// ActionList is an ordered action list.
+	ActionList = openflow.ActionList
+	// Instructions attach actions and goto_table behaviour to an entry.
+	Instructions = openflow.Instructions
+	// TableID identifies a flow table.
+	TableID = openflow.TableID
+	// Verdict is the outcome of processing one packet.
+	Verdict = openflow.Verdict
+	// Packet is a raw packet plus parsed header view.
+	Packet = pkt.Packet
+	// MAC is an Ethernet address.
+	MAC = pkt.MAC
+	// IPv4 is an IPv4 address.
+	IPv4 = pkt.IPv4
+)
+
+// Match fields (a subset of OXM).
+const (
+	FieldInPort   = openflow.FieldInPort
+	FieldMetadata = openflow.FieldMetadata
+	FieldEthDst   = openflow.FieldEthDst
+	FieldEthSrc   = openflow.FieldEthSrc
+	FieldEthType  = openflow.FieldEthType
+	FieldVLANID   = openflow.FieldVLANID
+	FieldVLANPCP  = openflow.FieldVLANPCP
+	FieldIPSrc    = openflow.FieldIPSrc
+	FieldIPDst    = openflow.FieldIPDst
+	FieldIPProto  = openflow.FieldIPProto
+	FieldIPDSCP   = openflow.FieldIPDSCP
+	FieldTCPSrc   = openflow.FieldTCPSrc
+	FieldTCPDst   = openflow.FieldTCPDst
+	FieldUDPSrc   = openflow.FieldUDPSrc
+	FieldUDPDst   = openflow.FieldUDPDst
+	FieldICMPType = openflow.FieldICMPType
+	FieldARPOp    = openflow.FieldARPOp
+	FieldARPSPA   = openflow.FieldARPSPA
+	FieldARPTPA   = openflow.FieldARPTPA
+	FieldTCPFlags = openflow.FieldTCPFlags
+)
+
+// NewPipeline returns an empty pipeline with the given number of ports.
+func NewPipeline(numPorts int) *Pipeline { return openflow.NewPipeline(numPorts) }
+
+// NewMatch returns an empty (match-everything) match.
+func NewMatch() *Match { return openflow.NewMatch() }
+
+// NewEntry builds a flow entry.
+func NewEntry(priority int, match *Match, ins Instructions) *FlowEntry {
+	return openflow.NewEntry(priority, match, ins)
+}
+
+// Apply returns instructions that apply the given actions and terminate.
+func Apply(actions ...Action) Instructions { return openflow.Apply(actions...) }
+
+// Goto returns instructions that jump to the given table.
+func Goto(t TableID) Instructions { return openflow.Goto(t) }
+
+// ApplyThenGoto applies actions and continues at the given table.
+func ApplyThenGoto(t TableID, actions ...Action) Instructions {
+	return openflow.ApplyThenGoto(t, actions...)
+}
+
+// Output returns an output action.
+func Output(port uint32) Action { return openflow.Output(port) }
+
+// Drop returns an explicit drop action.
+func Drop() Action { return openflow.Drop() }
+
+// Flood returns a flood action.
+func Flood() Action { return openflow.Flood() }
+
+// ToController returns a punt-to-controller action.
+func ToController() Action { return openflow.ToController() }
+
+// SetField returns a header-rewrite action.
+func SetField(f Field, value uint64) Action { return openflow.SetField(f, value) }
+
+// PushVLAN returns a push-VLAN action.
+func PushVLAN(vid uint16) Action { return openflow.PushVLAN(vid) }
+
+// PopVLAN returns a pop-VLAN action.
+func PopVLAN() Action { return openflow.PopVLAN() }
+
+// DecTTL returns a decrement-TTL action.
+func DecTTL() Action { return openflow.DecTTL() }
+
+// IPv4FromOctets builds an IPv4 address from dotted-quad octets.
+func IPv4FromOctets(a, b, c, d byte) IPv4 { return pkt.IPv4FromOctets(a, b, c, d) }
+
+// MACFromUint64 builds a MAC address from the low 48 bits of v.
+func MACFromUint64(v uint64) MAC { return pkt.MACFromUint64(v) }
+
+// NewInterpreter returns the reference "direct datapath" interpreter over the
+// pipeline — the semantic ground truth the compiled fast paths are tested
+// against.
+func NewInterpreter(pl *Pipeline) *openflow.Interpreter { return openflow.NewInterpreter(pl) }
+
+// ---------------------------------------------------------------------------
+// ESWITCH: the compiled switch
+// ---------------------------------------------------------------------------
+
+// Options configure ESWITCH compilation; see DefaultOptions.
+type Options = core.Options
+
+// TemplateKind identifies one of the four flow-table templates.
+type TemplateKind = core.TemplateKind
+
+// Flow-table templates.
+const (
+	TemplateDirectCode = core.TemplateDirectCode
+	TemplateHash       = core.TemplateHash
+	TemplateLPM        = core.TemplateLPM
+	TemplateLinkedList = core.TemplateLinkedList
+)
+
+// TableStage describes one compiled table (template and size).
+type TableStage = core.TableStage
+
+// DefaultOptions returns the paper's compilation defaults (direct-code
+// threshold of 4, key inlining, parser specialization, no decomposition).
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Switch is a compiled ESWITCH datapath: the pipeline is specialized into
+// per-table templates at creation time and kept specialized across updates.
+type Switch struct {
+	dp *core.Datapath
+}
+
+// New compiles the pipeline into an ESWITCH fast path.
+func New(pl *Pipeline, opts Options) (*Switch, error) {
+	dp, err := core.Compile(pl, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Switch{dp: dp}, nil
+}
+
+// Process sends one packet through the compiled fast path.
+func (s *Switch) Process(p *Packet, v *Verdict) { s.dp.Process(p, v) }
+
+// AddFlow installs a flow entry in the running datapath (transactional,
+// per-table granularity).
+func (s *Switch) AddFlow(table TableID, e *FlowEntry) error { return s.dp.AddFlow(table, e) }
+
+// DeleteFlow removes matching flow entries from the running datapath.
+func (s *Switch) DeleteFlow(table TableID, match *Match, priority int) (int, error) {
+	return s.dp.DeleteFlow(table, match, priority)
+}
+
+// Stages describes the compiled tables (which template each uses).
+func (s *Switch) Stages() []TableStage { return s.dp.Stages() }
+
+// TableTemplate reports the template a table compiled into.
+func (s *Switch) TableTemplate(id TableID) (TemplateKind, bool) { return s.dp.TableTemplate(id) }
+
+// Pipeline returns the (possibly decomposed) pipeline the switch executes.
+func (s *Switch) Pipeline() *Pipeline { return s.dp.Pipeline() }
+
+// Meter returns the cycle meter attached via Options.Meter (nil when absent).
+func (s *Switch) Meter() *Meter { return s.dp.Meter() }
+
+// Rebuilds returns how many per-table template (re)builds have happened.
+func (s *Switch) Rebuilds() uint64 { return s.dp.Rebuilds() }
+
+// IncrementalUpdates returns how many updates avoided a rebuild.
+func (s *Switch) IncrementalUpdates() uint64 { return s.dp.IncrementalUpdates() }
+
+// PerformanceModel derives the analytic §4.4 performance model of the
+// compiled datapath.
+func (s *Switch) PerformanceModel(name string) perfmodel.Model {
+	return perfmodel.FromStages(name, s.dp.Stages())
+}
+
+// Datapath exposes the underlying compiled datapath for advanced callers
+// (the experiment harness).
+func (s *Switch) Datapath() *core.Datapath { return s.dp }
+
+// ---------------------------------------------------------------------------
+// The flow-caching baseline (OVS-style)
+// ---------------------------------------------------------------------------
+
+// BaselineOptions configure the flow-caching baseline switch.
+type BaselineOptions = ovs.Options
+
+// BaselineStats are the per-cache-level counters of the baseline.
+type BaselineStats = ovs.LevelStats
+
+// DefaultBaselineOptions returns OVS-like defaults.
+func DefaultBaselineOptions() BaselineOptions { return ovs.DefaultOptions() }
+
+// Baseline is the flow-caching (microflow/megaflow/slow-path) baseline
+// switch the paper compares against.
+type Baseline = ovs.Switch
+
+// NewBaseline builds the baseline switch over the pipeline.
+func NewBaseline(pl *Pipeline, opts BaselineOptions) (*Baseline, error) { return ovs.New(pl, opts) }
+
+// ---------------------------------------------------------------------------
+// Cost model & analytic performance model
+// ---------------------------------------------------------------------------
+
+// Platform describes the modelled CPU (Table 1 of the paper by default).
+type Platform = cpumodel.Platform
+
+// Meter accumulates per-packet cycle and cache-level accounting.
+type Meter = cpumodel.Meter
+
+// PerfModel is the analytic per-packet cost model of §4.4.
+type PerfModel = perfmodel.Model
+
+// DefaultPlatform returns the paper's system-under-test (Table 1).
+func DefaultPlatform() Platform { return cpumodel.DefaultPlatform() }
+
+// NewMeter returns a cycle meter with a simulated cache hierarchy.
+func NewMeter(p Platform) *Meter { return cpumodel.NewMeter(p) }
+
+// GatewayPerfModel returns the hand-derived gateway model of Fig. 20.
+func GatewayPerfModel() PerfModel { return perfmodel.GatewayModel() }
+
+// ---------------------------------------------------------------------------
+// Workloads & traffic
+// ---------------------------------------------------------------------------
+
+// UseCase bundles a pipeline with a traffic generator.
+type UseCase = workload.UseCase
+
+// GatewayConfig parameterizes the access-gateway use case.
+type GatewayConfig = workload.GatewayConfig
+
+// TrafficFlow describes one synthetic flow for the traffic generator.
+type TrafficFlow = pktgen.Flow
+
+// Trace is a replayable traffic trace.
+type Trace = pktgen.Trace
+
+// NewTrace pre-builds frames for the given flows.
+func NewTrace(flows []TrafficFlow, shuffleSeed int64) *Trace { return pktgen.NewTrace(flows, shuffleSeed) }
+
+// L2UseCase builds the MAC-switching use case of §4.1.
+func L2UseCase(tableSize, numPorts int) *UseCase { return workload.L2UseCase(tableSize, numPorts) }
+
+// L3UseCase builds the IP-routing use case of §4.1.
+func L3UseCase(numPrefixes, numPorts int, seed int64) *UseCase {
+	return workload.L3UseCase(numPrefixes, numPorts, seed)
+}
+
+// LoadBalancerUseCase builds the web load-balancer use case of Fig. 7.
+func LoadBalancerUseCase(numServices int) *UseCase { return workload.LoadBalancerUseCase(numServices) }
+
+// GatewayUseCase builds the telco access-gateway use case of Fig. 8.
+func GatewayUseCase(cfg GatewayConfig) *UseCase { return workload.GatewayUseCase(cfg) }
+
+// DefaultGatewayConfig returns the paper's gateway configuration (10 CEs, 20
+// users per CE, 10K prefixes).
+func DefaultGatewayConfig() GatewayConfig { return workload.DefaultGatewayConfig() }
+
+// FirewallSingleStage builds the Fig. 1a firewall pipeline.
+func FirewallSingleStage() *Pipeline { return workload.FirewallSingleStage() }
+
+// FirewallMultiStage builds the Fig. 1b firewall pipeline.
+func FirewallMultiStage() *Pipeline { return workload.FirewallMultiStage() }
+
+// ParsePacket parses p's headers up to the transport layer; examples use it
+// to inspect rewritten packets.
+func ParsePacket(p *Packet) { pkt.ParseL4(p) }

@@ -1,0 +1,251 @@
+// Package controller provides the control-plane pieces of the evaluation: a
+// switch-side OpenFlow agent that applies FlowMods arriving over a framed
+// control channel to any flow programmer (the ESWITCH datapath or the OVS
+// baseline), and a controller client that installs pipelines over that
+// channel and reacts to packet-in events — the two installation paths ("CLI"
+// = direct programmer calls, "ctrl" = through the channel) compared in
+// Fig. 17, and the reactive admission control of the gateway use case (§4.1).
+package controller
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"eswitch/internal/ofp"
+	"eswitch/internal/openflow"
+)
+
+// FlowProgrammer is the switch-side flow update interface; both the ESWITCH
+// datapath and the OVS baseline satisfy it.
+type FlowProgrammer interface {
+	AddFlow(table openflow.TableID, e *openflow.FlowEntry) error
+	DeleteFlow(table openflow.TableID, match *openflow.Match, priority int) (int, error)
+}
+
+// Agent is the switch-side endpoint of the OpenFlow channel.
+type Agent struct {
+	programmer FlowProgrammer
+
+	flowMods atomic.Uint64
+	packets  atomic.Uint64
+}
+
+// NewAgent returns an agent applying flow mods to the programmer.
+func NewAgent(p FlowProgrammer) *Agent { return &Agent{programmer: p} }
+
+// FlowMods returns the number of flow modifications applied.
+func (a *Agent) FlowMods() uint64 { return a.flowMods.Load() }
+
+// PacketOuts returns the number of packet-out messages received.
+func (a *Agent) PacketOuts() uint64 { return a.packets.Load() }
+
+// Serve processes messages from the connection until it is closed or an error
+// occurs.  io.EOF (orderly shutdown) is reported as nil.
+func (a *Agent) Serve(conn io.ReadWriter) error {
+	// The switch opens with a Hello.
+	if err := ofp.WriteMessage(conn, ofp.Message{Type: ofp.TypeHello, Xid: 1}); err != nil {
+		return err
+	}
+	for {
+		msg, err := ofp.ReadMessage(conn)
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		switch msg.Type {
+		case ofp.TypeHello:
+			// Nothing to do.
+		case ofp.TypeEchoRequest:
+			if err := ofp.WriteMessage(conn, ofp.Message{Type: ofp.TypeEchoReply, Xid: msg.Xid, Body: msg.Body}); err != nil {
+				return err
+			}
+		case ofp.TypeBarrierRequest:
+			if err := ofp.WriteMessage(conn, ofp.Message{Type: ofp.TypeBarrierReply, Xid: msg.Xid}); err != nil {
+				return err
+			}
+		case ofp.TypeFlowMod:
+			fm, err := ofp.DecodeFlowMod(msg.Body)
+			if err != nil {
+				return err
+			}
+			if err := a.applyFlowMod(fm); err != nil {
+				return err
+			}
+		case ofp.TypePacketOut:
+			if _, err := ofp.DecodePacketOut(msg.Body); err != nil {
+				return err
+			}
+			a.packets.Add(1)
+		default:
+			// Ignore unknown message types, as real agents do.
+		}
+	}
+}
+
+func (a *Agent) applyFlowMod(fm ofp.FlowMod) error {
+	a.flowMods.Add(1)
+	switch fm.Command {
+	case ofp.FlowModAdd:
+		entry := openflow.NewEntry(int(fm.Priority), fm.Match, fm.Instructions)
+		return a.programmer.AddFlow(fm.TableID, entry)
+	case ofp.FlowModDelete:
+		_, err := a.programmer.DeleteFlow(fm.TableID, fm.Match, int(fm.Priority))
+		return err
+	default:
+		return fmt.Errorf("controller: unsupported flow-mod command %d", fm.Command)
+	}
+}
+
+// SendPacketIn punts a packet to the controller over the connection (the
+// switch-to-controller direction of the reactive path).
+func (a *Agent) SendPacketIn(conn io.Writer, pi ofp.PacketIn) error {
+	return ofp.WriteMessage(conn, ofp.Message{Type: ofp.TypePacketIn, Xid: 0, Body: ofp.EncodePacketIn(pi)})
+}
+
+// Controller is the controller-side endpoint.
+type Controller struct {
+	conn io.ReadWriter
+	mu   sync.Mutex
+	xid  uint32
+
+	// PacketInHandler, when set, is invoked for every PacketIn read by
+	// HandleOne/Run.
+	PacketInHandler func(ofp.PacketIn)
+}
+
+// NewController wraps an established control channel.
+func NewController(conn io.ReadWriter) *Controller { return &Controller{conn: conn, xid: 100} }
+
+// Dial connects to a switch agent listening at addr.
+func Dial(addr string) (*Controller, net.Conn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return NewController(conn), conn, nil
+}
+
+func (c *Controller) nextXid() uint32 {
+	c.xid++
+	return c.xid
+}
+
+// Hello performs the version handshake (sends Hello; the agent's Hello is
+// consumed by the read loop or Barrier).
+func (c *Controller) Hello() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ofp.WriteMessage(c.conn, ofp.Message{Type: ofp.TypeHello, Xid: c.nextXid()})
+}
+
+// InstallFlow sends a FlowMod ADD for the entry.
+func (c *Controller) InstallFlow(table openflow.TableID, priority int, match *openflow.Match, ins openflow.Instructions) error {
+	fm := ofp.FlowMod{
+		Command:      ofp.FlowModAdd,
+		TableID:      table,
+		Priority:     int32(priority),
+		Match:        match,
+		Instructions: ins,
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ofp.WriteMessage(c.conn, ofp.Message{Type: ofp.TypeFlowMod, Xid: c.nextXid(), Body: ofp.EncodeFlowMod(fm)})
+}
+
+// DeleteFlow sends a FlowMod DELETE for the match.
+func (c *Controller) DeleteFlow(table openflow.TableID, priority int, match *openflow.Match) error {
+	fm := ofp.FlowMod{Command: ofp.FlowModDelete, TableID: table, Priority: int32(priority), Match: match}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ofp.WriteMessage(c.conn, ofp.Message{Type: ofp.TypeFlowMod, Xid: c.nextXid(), Body: ofp.EncodeFlowMod(fm)})
+}
+
+// InstallPipeline pushes every entry of the pipeline through the channel, the
+// way the Ryu/OpenDaylight installation path of Fig. 17 does, and ends with a
+// barrier so the caller knows the switch has applied everything.
+func (c *Controller) InstallPipeline(pl *openflow.Pipeline) error {
+	for _, t := range pl.Tables() {
+		for _, e := range t.Entries() {
+			if err := c.InstallFlow(t.ID, e.Priority, e.Match, e.Instructions); err != nil {
+				return err
+			}
+		}
+	}
+	return c.Barrier()
+}
+
+// Barrier sends a BarrierRequest and waits for the matching reply (any
+// PacketIn messages read while waiting are dispatched to PacketInHandler).
+func (c *Controller) Barrier() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	xid := c.nextXid()
+	if err := ofp.WriteMessage(c.conn, ofp.Message{Type: ofp.TypeBarrierRequest, Xid: xid}); err != nil {
+		return err
+	}
+	for {
+		msg, err := ofp.ReadMessage(c.conn)
+		if err != nil {
+			return err
+		}
+		switch msg.Type {
+		case ofp.TypeBarrierReply:
+			if msg.Xid == xid {
+				return nil
+			}
+		case ofp.TypePacketIn:
+			if c.PacketInHandler != nil {
+				if pi, err := ofp.DecodePacketIn(msg.Body); err == nil {
+					c.PacketInHandler(pi)
+				}
+			}
+		case ofp.TypeHello, ofp.TypeEchoReply:
+			// Fine, keep waiting.
+		}
+	}
+}
+
+// Run reads messages until the channel closes, dispatching PacketIn events to
+// PacketInHandler.  Use either Run (reactive controllers) or Barrier
+// (synchronous installation) on a given channel, not both concurrently.
+func (c *Controller) Run() error {
+	for {
+		msg, err := ofp.ReadMessage(c.conn)
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		if msg.Type == ofp.TypePacketIn && c.PacketInHandler != nil {
+			if pi, err := ofp.DecodePacketIn(msg.Body); err == nil {
+				c.PacketInHandler(pi)
+			}
+		}
+	}
+}
+
+// SendPacketOut injects a packet through the switch.
+func (c *Controller) SendPacketOut(po ofp.PacketOut) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ofp.WriteMessage(c.conn, ofp.Message{Type: ofp.TypePacketOut, Xid: c.nextXid(), Body: ofp.EncodePacketOut(po)})
+}
+
+// InstallDirect is the "CLI" installation path of Fig. 17: it programs the
+// switch through direct API calls, bypassing the control channel.
+func InstallDirect(p FlowProgrammer, pl *openflow.Pipeline) error {
+	for _, t := range pl.Tables() {
+		for _, e := range t.Entries() {
+			if err := p.AddFlow(t.ID, e.Clone()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,215 @@
+package controller
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"eswitch/internal/core"
+	"eswitch/internal/ofp"
+	"eswitch/internal/openflow"
+	"eswitch/internal/ovs"
+	"eswitch/internal/pkt"
+	"eswitch/internal/workload"
+)
+
+// startChannel wires a controller to an agent over a loopback TCP connection.
+func startChannel(t *testing.T, programmer FlowProgrammer) (*Controller, *Agent, func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent := NewAgent(programmer)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var serveErr error
+	go func() {
+		defer wg.Done()
+		conn, err := ln.Accept()
+		if err != nil {
+			serveErr = err
+			return
+		}
+		serveErr = agent.Serve(conn)
+	}()
+	ctrl, conn, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanup := func() {
+		conn.Close()
+		ln.Close()
+		wg.Wait()
+		if serveErr != nil {
+			t.Fatalf("agent error: %v", serveErr)
+		}
+	}
+	return ctrl, agent, cleanup
+}
+
+func emptyDatapath(t *testing.T) *core.Datapath {
+	t.Helper()
+	pl := openflow.NewPipeline(4)
+	dp, err := core.Compile(pl, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dp
+}
+
+func TestInstallPipelineOverChannel(t *testing.T) {
+	dp := emptyDatapath(t)
+	ctrl, agent, cleanup := startChannel(t, dp)
+	defer cleanup()
+
+	if err := ctrl.Hello(); err != nil {
+		t.Fatal(err)
+	}
+	target := workload.FirewallMultiStage()
+	if err := ctrl.InstallPipeline(target); err != nil {
+		t.Fatal(err)
+	}
+	if agent.FlowMods() != uint64(target.NumEntries()) {
+		t.Fatalf("agent applied %d flow mods, want %d", agent.FlowMods(), target.NumEntries())
+	}
+	// The installed datapath must now forward like the firewall.
+	b := pkt.NewBuilder(128)
+	frame := pkt.Clone(b.TCPPacket(pkt.EthernetOpts{},
+		pkt.IPv4Opts{Src: pkt.IPv4FromOctets(198, 51, 100, 1), Dst: workload.WebServerIP},
+		pkt.L4Opts{Src: 40000, Dst: 80}))
+	p := &pkt.Packet{Data: frame, InPort: 1}
+	var v openflow.Verdict
+	dp.Process(p, &v)
+	if !v.Forwarded() || v.OutPorts[0] != 2 {
+		t.Fatalf("installed firewall misbehaves: %v", v.String())
+	}
+}
+
+func TestInstallDirectMatchesChannelInstall(t *testing.T) {
+	target := workload.LoadBalancerUseCase(5).Pipeline
+
+	viaDirect := emptyDatapath(t)
+	if err := InstallDirect(viaDirect, target); err != nil {
+		t.Fatal(err)
+	}
+	viaChannel := emptyDatapath(t)
+	ctrl, _, cleanup := startChannel(t, viaChannel)
+	if err := ctrl.InstallPipeline(target); err != nil {
+		t.Fatal(err)
+	}
+	cleanup()
+
+	// Both installation paths must yield equivalent forwarding.
+	b := pkt.NewBuilder(128)
+	for i := 0; i < 50; i++ {
+		dst := pkt.IPv4FromOctets(198, 51, 0, byte(i%5))
+		frame := pkt.Clone(b.TCPPacket(pkt.EthernetOpts{},
+			pkt.IPv4Opts{Src: pkt.IPv4(uint32(i) * 0x01000193), Dst: dst},
+			pkt.L4Opts{Src: uint16(1000 + i), Dst: 80}))
+		p1 := &pkt.Packet{Data: frame, InPort: 1}
+		p2 := &pkt.Packet{Data: append([]byte(nil), frame...), InPort: 1}
+		var v1, v2 openflow.Verdict
+		viaDirect.Process(p1, &v1)
+		viaChannel.Process(p2, &v2)
+		if !v1.Equivalent(&v2) {
+			t.Fatalf("packet %d: direct=%v channel=%v", i, v1.String(), v2.String())
+		}
+	}
+}
+
+func TestDeleteFlowOverChannel(t *testing.T) {
+	dp := emptyDatapath(t)
+	ctrl, _, cleanup := startChannel(t, dp)
+	defer cleanup()
+
+	m := openflow.NewMatch().Set(openflow.FieldTCPDst, 80)
+	if err := ctrl.InstallFlow(0, 10, m, openflow.Apply(openflow.Output(2))); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.DeleteFlow(0, 10, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	if got := dp.Pipeline().Table(0).Len(); got != 0 {
+		t.Fatalf("flow not deleted: %d entries", got)
+	}
+}
+
+func TestAgentWorksWithOVSBaseline(t *testing.T) {
+	sw, err := ovs.New(openflow.NewPipeline(4), ovs.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, _, cleanup := startChannel(t, sw)
+	defer cleanup()
+	if err := ctrl.InstallPipeline(workload.FirewallSingleStage()); err != nil {
+		t.Fatal(err)
+	}
+	b := pkt.NewBuilder(128)
+	frame := pkt.Clone(b.TCPPacket(pkt.EthernetOpts{},
+		pkt.IPv4Opts{Src: 9, Dst: workload.WebServerIP}, pkt.L4Opts{Src: 1, Dst: 80}))
+	p := &pkt.Packet{Data: frame, InPort: 1}
+	var v openflow.Verdict
+	sw.Process(p, &v)
+	if !v.Forwarded() {
+		t.Fatalf("ovs baseline after channel install: %v", v.String())
+	}
+}
+
+func TestReactivePacketInPath(t *testing.T) {
+	dp := emptyDatapath(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	agent := NewAgent(dp)
+	serverConn := make(chan net.Conn, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err == nil {
+			serverConn <- conn
+			agent.Serve(conn)
+		}
+	}()
+	ctrl, clientConn, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clientConn.Close()
+
+	got := make(chan ofp.PacketIn, 1)
+	ctrl.PacketInHandler = func(pi ofp.PacketIn) { got <- pi }
+	go ctrl.Run()
+
+	sc := <-serverConn
+	if err := agent.SendPacketIn(sc, ofp.PacketIn{InPort: 7, TableID: 3, Data: []byte{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	pi := <-got
+	if pi.InPort != 7 || pi.TableID != 3 || len(pi.Data) != 3 {
+		t.Fatalf("packet-in: %+v", pi)
+	}
+	// The controller reacts by installing a flow and sending the packet out.
+	if err := ctrl.InstallFlow(0, 5, openflow.NewMatch().Set(openflow.FieldInPort, 7), openflow.Apply(openflow.Output(1))); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.SendPacketOut(ofp.PacketOut{InPort: 7, Actions: openflow.ActionList{openflow.Output(1)}, Data: pi.Data}); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the agent has applied both messages.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && (agent.FlowMods() < 1 || agent.PacketOuts() < 1) {
+		time.Sleep(time.Millisecond)
+	}
+	if agent.FlowMods() != 1 || agent.PacketOuts() != 1 {
+		t.Fatalf("agent state: flowmods=%d packetouts=%d", agent.FlowMods(), agent.PacketOuts())
+	}
+}

@@ -1,0 +1,355 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"eswitch/internal/cpumodel"
+	"eswitch/internal/openflow"
+	"eswitch/internal/pkt"
+)
+
+// trampoline is the indirection every goto_table jump goes through (§3.3):
+// the compiled table it points to can be replaced atomically, which is what
+// makes per-table rebuilds transactional and non-disruptive (§3.4).
+type trampoline struct {
+	ptr atomic.Pointer[tableSlot]
+}
+
+type tableSlot struct {
+	dp tableDatapath
+}
+
+func (tr *trampoline) load() tableDatapath {
+	if s := tr.ptr.Load(); s != nil {
+		return s.dp
+	}
+	return nil
+}
+
+func (tr *trampoline) store(dp tableDatapath) { tr.ptr.Store(&tableSlot{dp: dp}) }
+
+// Datapath is a compiled ESWITCH fast path: the specialized representation of
+// one OpenFlow pipeline plus the machinery to keep it up to date.
+type Datapath struct {
+	opts  Options
+	meter *cpumodel.Meter
+
+	// pipeline is the declarative source of truth; updates are applied to
+	// it first and then reflected into the compiled representation.
+	pipeline *openflow.Pipeline
+	// original is the pre-decomposition pipeline (equal to pipeline when
+	// decomposition is disabled or was a no-op).
+	original *openflow.Pipeline
+
+	parserLayer pkt.Layer
+	numPorts    int
+
+	mu          sync.RWMutex
+	trampolines map[openflow.TableID]*trampoline
+	start       *trampoline
+	actionCache map[string]*sharedActions
+
+	// stats
+	rebuilds     atomic.Uint64
+	incremental  atomic.Uint64
+	decomposedBy int // extra tables produced by decomposition
+}
+
+// Compile specializes the pipeline into an ESWITCH datapath.
+func Compile(pl *openflow.Pipeline, opts Options) (*Datapath, error) {
+	if opts.DirectCodeMaxEntries == 0 {
+		opts.DirectCodeMaxEntries = DefaultOptions().DirectCodeMaxEntries
+	}
+	if err := pl.Validate(); err != nil {
+		return nil, fmt.Errorf("eswitch: invalid pipeline: %w", err)
+	}
+	d := &Datapath{
+		opts:        opts,
+		meter:       opts.Meter,
+		original:    pl,
+		numPorts:    pl.NumPorts,
+		actionCache: make(map[string]*sharedActions),
+	}
+	working := pl.Clone()
+	if opts.Decompose {
+		decomposed, extra := DecomposePipeline(working, opts)
+		working = decomposed
+		d.decomposedBy = extra
+	}
+	d.pipeline = working
+	if opts.SpecializeParser {
+		d.parserLayer = working.RequiredLayer()
+	} else {
+		d.parserLayer = pkt.LayerL4
+	}
+	d.trampolines = make(map[openflow.TableID]*trampoline, working.NumTables())
+	for _, t := range working.Tables() {
+		d.trampolines[t.ID] = &trampoline{}
+	}
+	for _, t := range working.Tables() {
+		dp, err := d.buildTable(t)
+		if err != nil {
+			return nil, err
+		}
+		d.trampolines[t.ID].store(dp)
+	}
+	d.start = d.trampolines[0]
+	return d, nil
+}
+
+// buildTable compiles one flow table into its selected template.
+func (d *Datapath) buildTable(t *openflow.FlowTable) (tableDatapath, error) {
+	a := analyzeTable(t, d.opts)
+	var dp tableDatapath
+	switch a.kind {
+	case TemplateDirectCode:
+		dc := newDirectCode(d.opts, d.meter)
+		dc.maxEntries = maxInt(dc.maxEntries, t.Len()) // capacity for rebuild-free inserts is still bounded by analysis
+		dp = dc
+	case TemplateHash:
+		dp = newHashTable(a.fields, a.masks, t.Len(), d.meter)
+	case TemplateLPM:
+		dp = newLPMTable(a.lpmField, d.meter)
+	case TemplateLinkedList:
+		dp = newListTable(d.meter)
+	}
+	for _, e := range t.Entries() {
+		ce, err := d.compileEntry(e)
+		if err != nil {
+			return nil, err
+		}
+		dp.Insert(e, ce)
+	}
+	d.rebuilds.Add(1)
+	return dp, nil
+}
+
+// compileEntry specializes one flow entry: its action list is interned in the
+// shared action-set cache and its goto target resolved to a trampoline.
+func (d *Datapath) compileEntry(e *openflow.FlowEntry) (*compiledEntry, error) {
+	ins := e.Instructions
+	ce := &compiledEntry{
+		apply:         d.internActions(ins.ApplyActions),
+		write:         ins.WriteActions.Clone(),
+		clearActions:  ins.ClearActions,
+		writeMetadata: ins.WriteMetadata,
+		metadataMask:  ins.MetadataMask,
+		counters:      &e.Counters,
+		priority:      e.Priority,
+		match:         e.Match.Clone(),
+	}
+	if ins.HasGoto {
+		tr, ok := d.trampolines[ins.GotoTable]
+		if !ok {
+			return nil, fmt.Errorf("eswitch: goto_table %d has no compiled table", ins.GotoTable)
+		}
+		ce.next = tr
+		ce.nextID = ins.GotoTable
+		ce.hasNext = true
+	}
+	return ce, nil
+}
+
+// internActions returns the shared action set for an action list, creating it
+// on first use (identical action sets are shared across flows, §3.1).
+func (d *Datapath) internActions(list openflow.ActionList) *sharedActions {
+	key := list.Key()
+	if sa, ok := d.actionCache[key]; ok {
+		return sa
+	}
+	sa := &sharedActions{list: list.Clone()}
+	d.actionCache[key] = sa
+	return sa
+}
+
+// NumSharedActionSets returns the number of distinct interned action sets.
+func (d *Datapath) NumSharedActionSets() int { return len(d.actionCache) }
+
+// ParserLayer returns the parsing depth the compiled parser template uses.
+func (d *Datapath) ParserLayer() pkt.Layer { return d.parserLayer }
+
+// Pipeline returns the (possibly decomposed) pipeline the datapath executes.
+func (d *Datapath) Pipeline() *openflow.Pipeline { return d.pipeline }
+
+// DecomposedTables returns how many extra tables decomposition introduced.
+func (d *Datapath) DecomposedTables() int { return d.decomposedBy }
+
+// Rebuilds returns how many per-table template (re)builds have happened.
+func (d *Datapath) Rebuilds() uint64 { return d.rebuilds.Load() }
+
+// IncrementalUpdates returns how many updates were applied without a rebuild.
+func (d *Datapath) IncrementalUpdates() uint64 { return d.incremental.Load() }
+
+// Meter returns the datapath's cycle meter (nil when not metering).
+func (d *Datapath) Meter() *cpumodel.Meter { return d.meter }
+
+// TableTemplate reports which template a table was compiled into.
+func (d *Datapath) TableTemplate(id openflow.TableID) (TemplateKind, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	tr, ok := d.trampolines[id]
+	if !ok {
+		return 0, false
+	}
+	dp := tr.load()
+	if dp == nil {
+		return 0, false
+	}
+	return dp.Kind(), true
+}
+
+// TableStage describes one compiled table; the analytic performance model and
+// the documentation tooling consume it.
+type TableStage struct {
+	ID       openflow.TableID
+	Name     string
+	Template TemplateKind
+	Entries  int
+}
+
+// Stages returns a description of every compiled table in table-ID order.
+func (d *Datapath) Stages() []TableStage {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]TableStage, 0, len(d.trampolines))
+	for _, t := range d.pipeline.Tables() {
+		tr := d.trampolines[t.ID]
+		if tr == nil {
+			continue
+		}
+		dp := tr.load()
+		if dp == nil {
+			continue
+		}
+		out = append(out, TableStage{ID: t.ID, Name: t.Name, Template: dp.Kind(), Entries: dp.Len()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Process sends one packet through the compiled fast path, filling in the
+// verdict.  It parses the packet only as deep as the pipeline requires.
+func (d *Datapath) Process(p *pkt.Packet, v *openflow.Verdict) {
+	d.mu.RLock()
+	d.process(p, v)
+	d.mu.RUnlock()
+}
+
+// ProcessUnlocked is Process without the read lock; single-threaded harnesses
+// (and the per-core workers of the dataplane substrate, which shard packets
+// so that updates are quiesced externally) use it to avoid lock overhead.
+func (d *Datapath) ProcessUnlocked(p *pkt.Packet, v *openflow.Verdict) {
+	d.process(p, v)
+}
+
+func (d *Datapath) process(p *pkt.Packet, v *openflow.Verdict) {
+	m := d.meter
+	v.Reset()
+	m.StartPacket()
+	m.AddCycles(cpumodel.CostPktIO)
+
+	// Parser template: parse only as deep as the pipeline needs.
+	pkt.ParseTo(p, d.parserLayer)
+	m.AddCycles(parserCost(d.parserLayer))
+
+	var actionSet openflow.ActionList
+	tr := d.start
+	for depth := 0; depth < openflow.MaxPipelineDepth; depth++ {
+		dp := tr.load()
+		if dp == nil {
+			break
+		}
+		v.Tables++
+		out := dp.Lookup(p, m)
+		if out.entry == nil {
+			v.TableMiss = true
+			switch d.pipeline.Miss {
+			case openflow.MissController:
+				v.ToController = true
+			default:
+				v.Dropped = true
+			}
+			m.AddCycles(cpumodel.CostPktIO)
+			return
+		}
+		ce := out.entry
+		if d.opts.UpdateCounters {
+			ce.counters.Add(len(p.Data))
+		}
+		if len(ce.apply.list) > 0 {
+			openflow.ApplyActions(ce.apply.list, p, v, d.numPorts)
+			if v.Dropped && !v.Forwarded() && !v.ToController {
+				if hasDrop(ce.apply.list) {
+					m.AddCycles(cpumodel.CostActions)
+					return
+				}
+				v.Dropped = false
+			}
+		}
+		if ce.clearActions {
+			actionSet = actionSet[:0]
+		}
+		if len(ce.write) > 0 {
+			actionSet = mergeActionSet(actionSet, ce.write)
+		}
+		if ce.metadataMask != 0 {
+			p.Metadata = (p.Metadata &^ ce.metadataMask) | (ce.writeMetadata & ce.metadataMask)
+		}
+		if !ce.hasNext {
+			if len(actionSet) > 0 {
+				openflow.ApplyActions(actionSet, p, v, d.numPorts)
+			}
+			if !v.Forwarded() && !v.ToController {
+				v.Dropped = true
+			}
+			m.AddCycles(cpumodel.CostActions)
+			m.AddCycles(cpumodel.CostPktIO)
+			return
+		}
+		tr = ce.next
+	}
+	v.Dropped = true
+}
+
+func parserCost(layer pkt.Layer) int {
+	switch layer {
+	case pkt.LayerNone:
+		return 4
+	case pkt.LayerL2:
+		return 10
+	case pkt.LayerL3:
+		return 20
+	default:
+		return cpumodel.CostParser
+	}
+}
+
+func hasDrop(actions openflow.ActionList) bool {
+	for _, a := range actions {
+		if a.Type == openflow.ActionDrop {
+			return true
+		}
+	}
+	return false
+}
+
+// mergeActionSet mirrors the interpreter's OpenFlow action-set merge.
+func mergeActionSet(set, writes openflow.ActionList) openflow.ActionList {
+	for _, w := range writes {
+		replaced := false
+		for i, a := range set {
+			if a.Type == w.Type && (a.Type != openflow.ActionSetField || a.Field == w.Field) {
+				set[i] = w
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			set = append(set, w)
+		}
+	}
+	return set
+}

@@ -1,0 +1,155 @@
+// Package core implements ESWITCH, the paper's primary contribution: a
+// compiler and runtime that specializes an OpenFlow dataplane to the
+// configured pipeline (§3).
+//
+// The compiler performs
+//
+//   - flow-table analysis: each flow table is mapped to the most efficient
+//     of four flow-table templates — direct code, compound hash, LPM, and
+//     linked list (tuple space search) — falling back along the chain of
+//     Fig. 4 when a template's prerequisite is not met;
+//   - optional flow-table decomposition (§3.2, Fig. 6): tables that would
+//     otherwise end up in the slow linked-list template are rewritten into an
+//     equivalent multi-table pipeline whose stages fit the fast templates;
+//   - template specialization: per-field matcher templates are instantiated
+//     as closures with the flow keys folded in as constants (the Go analogue
+//     of patching keys into pre-compiled machine code, §3.3);
+//   - linking: goto_table edges are resolved through trampolines —
+//     atomically swappable per-table pointers — so a table can be rebuilt
+//     side by side with the running datapath and swapped in transactionally
+//     (§3.4).
+//
+// The runtime (Datapath) executes the compiled representation, optionally
+// reporting its work to a cpumodel.Meter so the paper's cycle- and
+// cache-level figures can be regenerated deterministically.
+package core
+
+import (
+	"fmt"
+
+	"eswitch/internal/cpumodel"
+	"eswitch/internal/openflow"
+	"eswitch/internal/pkt"
+)
+
+// TemplateKind identifies one of the paper's four flow-table templates
+// (Fig. 4).
+type TemplateKind uint8
+
+// Flow-table templates in fallback order (most to least preferred for large
+// tables; the direct-code template is preferred only for tiny tables).
+const (
+	// TemplateDirectCode compiles the rules of a small table straight into
+	// a sequence of specialized matcher closures.
+	TemplateDirectCode TemplateKind = iota
+	// TemplateHash is the compound (exact-match, collision-free) hash over
+	// the concatenation of globally-masked fields.
+	TemplateHash
+	// TemplateLPM is the DIR-24-8 longest-prefix-match template.
+	TemplateLPM
+	// TemplateLinkedList is tuple space search, the last-resort fallback.
+	TemplateLinkedList
+)
+
+// String names the template as in the paper.
+func (k TemplateKind) String() string {
+	switch k {
+	case TemplateDirectCode:
+		return "direct code"
+	case TemplateHash:
+		return "compound hash"
+	case TemplateLPM:
+		return "LPM"
+	case TemplateLinkedList:
+		return "linked list"
+	default:
+		return fmt.Sprintf("template(%d)", uint8(k))
+	}
+}
+
+// Options configure compilation.
+type Options struct {
+	// DirectCodeMaxEntries is the largest table compiled with the direct
+	// code template; the paper calibrates it to 4 (Fig. 9).
+	DirectCodeMaxEntries int
+	// Decompose enables flow-table decomposition (§3.2).  Real-world
+	// pipelines are usually already optimally decomposed, so it is off by
+	// default and enabled per use case.
+	Decompose bool
+	// InlineKeys folds flow keys into the specialized matchers (§3.3).
+	// Disabling it models the pointer-indirection alternative the paper
+	// rejects: every key comparison costs an extra data-cache access.
+	InlineKeys bool
+	// SpecializeParser restricts header parsing to the layers the pipeline
+	// actually matches on (§3.1).  Disabling it models the prototype's
+	// combined L2–L4 parser.
+	SpecializeParser bool
+	// UpdateCounters maintains per-flow-entry counters on the fast path.
+	UpdateCounters bool
+	// Meter, when non-nil, receives cycle and memory-access accounting.
+	Meter *cpumodel.Meter
+}
+
+// DefaultOptions returns the paper's defaults.
+func DefaultOptions() Options {
+	return Options{
+		DirectCodeMaxEntries: 4,
+		Decompose:            false,
+		InlineKeys:           true,
+		SpecializeParser:     true,
+		UpdateCounters:       false,
+	}
+}
+
+// sharedActions is a composite action set shared across flows that specify
+// identical actions (§3.1, action templates).
+type sharedActions struct {
+	list openflow.ActionList
+}
+
+// compiledEntry is the specialized form of one flow entry: the action set it
+// triggers, the trampoline of its goto target (nil when terminal) and the
+// metadata/write-action bookkeeping needed for full OpenFlow semantics.
+type compiledEntry struct {
+	apply         *sharedActions
+	write         openflow.ActionList
+	clearActions  bool
+	writeMetadata uint64
+	metadataMask  uint64
+	next          *trampoline
+	nextID        openflow.TableID
+	hasNext       bool
+	counters      *openflow.Counters
+	// priority and match are retained for incremental updates and
+	// debugging; the hot path never consults them.
+	priority int
+	match    *openflow.Match
+}
+
+// matcherFunc is a specialized per-field matcher: the flow key is folded into
+// the closure, mirroring the paper's matcher templates patched with constants.
+type matcherFunc func(p *pkt.Packet) bool
+
+// lookupOutcome is what a compiled table lookup produces.
+type lookupOutcome struct {
+	entry *compiledEntry // nil on table miss
+}
+
+// tableDatapath is the common interface of the four compiled table templates.
+type tableDatapath interface {
+	// Kind returns the template implementing the table.
+	Kind() TemplateKind
+	// Len returns the number of compiled entries.
+	Len() int
+	// Lookup classifies the packet, charging its cost to the meter.
+	Lookup(p *pkt.Packet, m *cpumodel.Meter) lookupOutcome
+	// CanInsert reports whether the entry can be added incrementally
+	// without violating the template's prerequisite.
+	CanInsert(e *openflow.FlowEntry) bool
+	// Insert adds a compiled entry incrementally; the caller must have
+	// checked CanInsert.
+	Insert(e *openflow.FlowEntry, ce *compiledEntry)
+	// Remove deletes entries matching the given match (and priority when
+	// non-negative), returning how many were removed.
+	Remove(match *openflow.Match, priority int) int
+}

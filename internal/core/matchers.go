@@ -1,0 +1,146 @@
+package core
+
+import (
+	"eswitch/internal/openflow"
+	"eswitch/internal/pkt"
+)
+
+// buildMatchers specializes the per-field matcher templates for one flow
+// entry: each constrained field becomes a closure with the key and mask
+// folded in as constants (the Go analogue of the paper's
+// IP_DST_ADDR_MATCHER(ADDR,MASK) machine-code template with ADDR and MASK
+// patched in).  The protocol-prerequisite check of the entry is returned
+// separately so the direct-code template can emit it once per entry, exactly
+// like the "check protocol bitmask" prologue in the paper's generated code.
+func buildMatchers(m *openflow.Match) (proto pkt.Proto, matchers []matcherFunc) {
+	proto = m.RequiredProto()
+	for _, f := range m.Fields().Fields() {
+		value, mask, _ := m.Get(f)
+		matchers = append(matchers, buildFieldMatcher(f, value, mask))
+	}
+	return proto, matchers
+}
+
+// buildFieldMatcher specializes a single matcher template.  Common fields get
+// dedicated closures that read the header field directly (mirroring the
+// field-specific templates of §3.1); the remaining fields share a generic
+// extract-xor-and matcher.
+func buildFieldMatcher(f openflow.Field, value, mask uint64) matcherFunc {
+	full := mask == f.FullMask()
+	switch f {
+	case openflow.FieldInPort:
+		want := uint32(value)
+		if full {
+			return func(p *pkt.Packet) bool { return p.InPort == want }
+		}
+	case openflow.FieldEthDst:
+		if full {
+			want := pkt.MACFromUint64(value)
+			return func(p *pkt.Packet) bool { return p.Headers.EthDst == want }
+		}
+	case openflow.FieldEthSrc:
+		if full {
+			want := pkt.MACFromUint64(value)
+			return func(p *pkt.Packet) bool { return p.Headers.EthSrc == want }
+		}
+	case openflow.FieldEthType:
+		want := uint16(value)
+		if full {
+			return func(p *pkt.Packet) bool { return p.Headers.EthType == want }
+		}
+	case openflow.FieldVLANID:
+		want := uint16(value)
+		if full {
+			return func(p *pkt.Packet) bool { return p.Headers.VLANID == want }
+		}
+	case openflow.FieldIPSrc:
+		want, m32 := uint32(value), uint32(mask)
+		return func(p *pkt.Packet) bool { return (uint32(p.Headers.IPSrc)^want)&m32 == 0 }
+	case openflow.FieldIPDst:
+		want, m32 := uint32(value), uint32(mask)
+		return func(p *pkt.Packet) bool { return (uint32(p.Headers.IPDst)^want)&m32 == 0 }
+	case openflow.FieldIPProto:
+		want := uint8(value)
+		if full {
+			return func(p *pkt.Packet) bool { return p.Headers.IPProto == want }
+		}
+	case openflow.FieldTCPDst, openflow.FieldUDPDst, openflow.FieldSCTPDst:
+		want, m16 := uint16(value), uint16(mask)
+		return func(p *pkt.Packet) bool { return (p.Headers.L4Dst^want)&m16 == 0 }
+	case openflow.FieldTCPSrc, openflow.FieldUDPSrc, openflow.FieldSCTPSrc:
+		want, m16 := uint16(value), uint16(mask)
+		return func(p *pkt.Packet) bool { return (p.Headers.L4Src^want)&m16 == 0 }
+	case openflow.FieldMetadata:
+		return func(p *pkt.Packet) bool { return (p.Metadata^value)&mask == 0 }
+	}
+	// Generic matcher template for the remaining (or masked) fields.
+	field := f
+	return func(p *pkt.Packet) bool { return (openflow.Extract(p, field)^value)&mask == 0 }
+}
+
+// maxKeyBits is the widest key the compound-hash template can pack losslessly
+// (four 64-bit words); wider field combinations fall back to the linked-list
+// template during analysis.
+const maxKeyBits = 256
+
+// keyPacker packs field values into a hash key by bit concatenation, so the
+// packing is injective for a fixed field list (a prerequisite of the
+// exact-match semantics of the compound hash).
+type keyPacker struct {
+	w   [4]uint64
+	bit int
+}
+
+func (kp *keyPacker) add(v uint64, width int) {
+	for width > 0 {
+		word := kp.bit >> 6
+		off := kp.bit & 63
+		room := 64 - off
+		take := width
+		if take > room {
+			take = room
+		}
+		chunk := v & (1<<uint(take) - 1)
+		kp.w[word] |= chunk << uint(off)
+		v >>= uint(take)
+		width -= take
+		kp.bit += take
+	}
+}
+
+func (kp *keyPacker) key() hashKey {
+	return hashKey{W0: kp.w[0], W1: kp.w[1], W2: kp.w[2], W3: kp.w[3]}
+}
+
+// packKey packs the masked values of the given fields from a packet into an
+// exact-match hash key.  It is the runtime half of the compound-hash
+// template: the compile-time half (the field list and global masks) is baked
+// into the hashTable structure.
+func packKey(p *pkt.Packet, fields []openflow.Field, masks []uint64) hashKey {
+	var kp keyPacker
+	for i, f := range fields {
+		kp.add(openflow.Extract(p, f)&masks[i], int(f.Width()))
+	}
+	return kp.key()
+}
+
+// packMatchKey packs the masked key of a flow entry's match for the same
+// field list; an entry and a packet that agree on every masked field value
+// produce identical keys.
+func packMatchKey(m *openflow.Match, fields []openflow.Field, masks []uint64) hashKey {
+	var kp keyPacker
+	for i, f := range fields {
+		v, _, _ := m.Get(f)
+		kp.add(v&masks[i], int(f.Width()))
+	}
+	return kp.key()
+}
+
+// keyWidth returns the total packed width in bits of the given fields.
+func keyWidth(fields []openflow.Field) int {
+	total := 0
+	for _, f := range fields {
+		total += int(f.Width())
+	}
+	return total
+}

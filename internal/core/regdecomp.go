@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+
+	"eswitch/internal/openflow"
+)
+
+// This file implements the Appendix construction: the reduction from 3SAT to
+// REGDECOMP(T, 1) that shows deciding whether a flow table can be decomposed
+// into k regular (single-field, mask-free) tables is coNP-hard.  The
+// reduction is exercised by tests as executable documentation of the
+// hardness result; the production decomposer (decompose.go) therefore uses
+// the greedy minimal-diversity heuristic of Fig. 6 rather than searching for
+// an optimal decomposition.
+
+// Literal is one literal of a 3SAT clause: a 1-based variable index, negated
+// or not.
+type Literal struct {
+	Var     int
+	Negated bool
+}
+
+// Clause is a disjunction of three literals.
+type Clause [3]Literal
+
+// Formula is a 3SAT formula in conjunctive normal form.
+type Formula struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// Evaluate returns the truth value of the formula under the assignment
+// (assignment[i] is the value of variable i+1).
+func (f Formula) Evaluate(assignment []bool) bool {
+	for _, c := range f.Clauses {
+		sat := false
+		for _, l := range c {
+			v := assignment[l.Var-1]
+			if l.Negated {
+				v = !v
+			}
+			if v {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}
+
+// Satisfiable exhaustively checks satisfiability (exponential; test sizes
+// only).
+func (f Formula) Satisfiable() bool {
+	assignment := make([]bool, f.NumVars)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == f.NumVars {
+			return f.Evaluate(assignment)
+		}
+		assignment[i] = false
+		if rec(i + 1) {
+			return true
+		}
+		assignment[i] = true
+		return rec(i + 1)
+	}
+	return rec(0)
+}
+
+// RegDecompVariableFields returns the match fields standing in for the 3SAT
+// variables; the construction needs NumVars+1 distinct exact-match fields.
+func regDecompFields(numVars int) ([]openflow.Field, openflow.Field, error) {
+	// Use the L4 port and address fields as generic 0/1 columns.
+	candidates := []openflow.Field{
+		openflow.FieldTCPSrc, openflow.FieldTCPDst, openflow.FieldIPSrc,
+		openflow.FieldIPDst, openflow.FieldVLANID, openflow.FieldIPDSCP,
+		openflow.FieldEthSrc, openflow.FieldEthDst, openflow.FieldInPort,
+		openflow.FieldVLANPCP, openflow.FieldIPECN, openflow.FieldTCPFlags,
+	}
+	if numVars+1 > len(candidates) {
+		return nil, 0, fmt.Errorf("regdecomp: at most %d variables supported by the field encoding", len(candidates)-1)
+	}
+	return candidates[:numVars], openflow.FieldMetadata, nil
+}
+
+// BuildRegDecompTable builds the flow table T of the Appendix for a 3SAT
+// formula: one column per variable, one row per clause (matching 0 where the
+// variable occurs positively, 1 where negatively, wildcard otherwise), an
+// extra column Y pinned to 1 in every row, action "false" (drop) for clause
+// rows and a final catch-all with action "true" (output 1).
+func BuildRegDecompTable(f Formula) (*openflow.FlowTable, error) {
+	fields, yField, err := regDecompFields(f.NumVars)
+	if err != nil {
+		return nil, err
+	}
+	t := openflow.NewFlowTable(0)
+	prio := len(f.Clauses) + 10
+	for _, c := range f.Clauses {
+		m := openflow.NewMatch()
+		for _, l := range c {
+			val := uint64(0)
+			if l.Negated {
+				val = 1
+			}
+			m.Set(fields[l.Var-1], val)
+		}
+		m.Set(yField, 1)
+		t.AddFlow(prio, m, openflow.Apply(openflow.Drop())) // action "false"
+		prio--
+	}
+	t.AddFlow(0, openflow.NewMatch(), openflow.Apply(openflow.Output(1))) // catch-all "true"
+	return t, nil
+}
+
+// RegDecompSingleTable is the single regular table the reduction asks about:
+// match only on Y; Y=1 → false (drop), otherwise → true (output 1).
+func RegDecompSingleTable() *openflow.FlowTable {
+	t := openflow.NewFlowTable(0)
+	t.AddFlow(10, openflow.NewMatch().Set(openflow.FieldMetadata, 1), openflow.Apply(openflow.Drop()))
+	t.AddFlow(0, openflow.NewMatch(), openflow.Apply(openflow.Output(1)))
+	return t
+}
+
+// RegDecompEquivalent exhaustively checks (over all variable assignments,
+// with Y=1) whether the clause table T evaluates identically to the single
+// regular Y-table — which, per the Appendix, holds exactly when the formula
+// is unsatisfiable.
+func RegDecompEquivalent(f Formula) (bool, error) {
+	table, err := BuildRegDecompTable(f)
+	if err != nil {
+		return false, err
+	}
+	fields, yField, _ := regDecompFields(f.NumVars)
+	single := RegDecompSingleTable()
+
+	assignment := make([]bool, f.NumVars)
+	var values [openflow.NumFields]uint64
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == f.NumVars {
+			for j, a := range assignment {
+				v := uint64(0)
+				if a {
+					v = 1
+				}
+				values[fields[j]] = v
+			}
+			values[yField] = 1
+			return evalTable(table, &values) == evalTable(single, &values)
+		}
+		for _, v := range []bool{false, true} {
+			assignment[i] = v
+			if !rec(i + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	return rec(0), nil
+}
+
+// evalTable returns true when the highest-priority matching entry of the
+// table forwards (action "true") and false when it drops (action "false").
+func evalTable(t *openflow.FlowTable, values *[openflow.NumFields]uint64) bool {
+	for _, e := range t.Entries() {
+		if e.Match.MatchesValues(values) {
+			return len(e.Instructions.ApplyActions) > 0 &&
+				e.Instructions.ApplyActions[0].Type == openflow.ActionOutput
+		}
+	}
+	return false
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+
+	"eswitch/internal/openflow"
+)
+
+// AddFlow installs (or replaces) a flow entry in the given table of the
+// running datapath (§3.4).
+//
+// Templates that support incremental updates (compound hash, LPM, linked
+// list) are updated in place when the new entry preserves the template's
+// prerequisite; otherwise — and always for the direct-code template — the
+// table is recompiled side by side and swapped in atomically through its
+// trampoline, so packet processing continues against the old representation
+// until the new one is complete (transactional, per-table-granularity
+// updates).
+func (d *Datapath) AddFlow(tableID openflow.TableID, e *openflow.FlowEntry) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	t := d.pipeline.Table(tableID)
+	if t == nil {
+		// Controllers routinely add flows to tables that have not been
+		// referenced yet; create the stage on demand.
+		t = d.pipeline.AddTable(tableID)
+		tr := &trampoline{}
+		d.trampolines[tableID] = tr
+		dp, err := d.buildTable(t)
+		if err != nil {
+			return err
+		}
+		tr.store(dp)
+	}
+	if e.Instructions.HasGoto {
+		if _, ok := d.trampolines[e.Instructions.GotoTable]; !ok {
+			// The target table does not exist yet: create it empty so
+			// the goto has somewhere to land (OpenFlow controllers
+			// routinely install parent entries before children).
+			nt := d.pipeline.AddTable(e.Instructions.GotoTable)
+			tr := &trampoline{}
+			d.trampolines[nt.ID] = tr
+			dp, err := d.buildTable(nt)
+			if err != nil {
+				return err
+			}
+			tr.store(dp)
+		}
+	}
+	replaced := !t.Add(e)
+
+	// The parser template must stay deep enough for every match field in
+	// the pipeline, including the one just added.
+	if l := e.Match.RequiredLayer(); d.opts.SpecializeParser && l > d.parserLayer {
+		d.parserLayer = l
+	}
+
+	tr := d.trampolines[tableID]
+	dp := tr.load()
+	// Incremental in-place update when the running template supports it and
+	// the new entry preserves its prerequisite.  The direct-code template is
+	// always rebuilt (as in the paper), which also covers the promotion of a
+	// growing table to a faster template.
+	if !replaced && dp != nil && dp.Kind() != TemplateDirectCode && dp.CanInsert(e) {
+		ce, err := d.compileEntry(e)
+		if err != nil {
+			return err
+		}
+		dp.Insert(e, ce)
+		d.incremental.Add(1)
+		return nil
+	}
+	// Fallback: rebuild the table with (possibly) a new template and swap.
+	ndp, err := d.buildTable(t)
+	if err != nil {
+		return err
+	}
+	tr.store(ndp)
+	return nil
+}
+
+// DeleteFlow removes flow entries matching the given match (and priority when
+// non-negative) from the table, returning how many were removed.
+func (d *Datapath) DeleteFlow(tableID openflow.TableID, match *openflow.Match, priority int) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	t := d.pipeline.Table(tableID)
+	if t == nil {
+		return 0, fmt.Errorf("eswitch: table %d does not exist", tableID)
+	}
+	removed := t.Delete(match, priority)
+	if removed == 0 {
+		return 0, nil
+	}
+	tr := d.trampolines[tableID]
+	dp := tr.load()
+	if dp != nil && dp.Kind() != TemplateDirectCode {
+		if got := dp.Remove(match, priority); got == removed {
+			d.incremental.Add(1)
+			return removed, nil
+		}
+	}
+	ndp, err := d.buildTable(t)
+	if err != nil {
+		return removed, err
+	}
+	tr.store(ndp)
+	return removed, nil
+}
+
+// InstallPipeline replaces the entire running pipeline with a freshly
+// compiled one (used by configuration roll-outs and by the update-intensity
+// experiments as the "full reconfiguration" upper bound).
+func (d *Datapath) InstallPipeline(pl *openflow.Pipeline) error {
+	nd, err := Compile(pl, d.opts)
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.pipeline = nd.pipeline
+	d.original = nd.original
+	d.parserLayer = nd.parserLayer
+	d.numPorts = nd.numPorts
+	d.trampolines = nd.trampolines
+	d.start = nd.start
+	d.actionCache = nd.actionCache
+	d.decomposedBy = nd.decomposedBy
+	d.rebuilds.Add(nd.rebuilds.Load())
+	return nil
+}

@@ -1,0 +1,93 @@
+// Package cpumodel provides the deterministic CPU cost model used to
+// reproduce the paper's cycle- and cache-level measurements (Figs. 9, 15, 16,
+// 20) without the original hardware: a description of the measurement
+// platform (Table 1), a set-associative L1/L2/L3 cache-hierarchy simulator,
+// and a per-packet cycle meter the datapaths report their work to.
+//
+// The model is intentionally coarse — exactly as coarse as the paper's own
+// performance model (§4.4): per-template fixed cycle costs plus per-memory-
+// access variable costs whose latency depends on which simulated cache level
+// the access hits.
+package cpumodel
+
+// Platform describes the modelled machine.  The defaults reproduce Table 1 of
+// the paper (Intel Xeon E5-2620, Sandy Bridge, 2 GHz).
+type Platform struct {
+	Name     string
+	FreqGHz  float64
+	LineSize int
+
+	L1Size, L2Size, L3Size    int
+	L1Assoc, L2Assoc, L3Assoc int
+	// Latencies in CPU cycles for a hit in each level and for DRAM.
+	L1Lat, L2Lat, L3Lat, MemLat int
+}
+
+// DefaultPlatform returns the paper's system-under-test (Table 1).
+func DefaultPlatform() Platform {
+	return Platform{
+		Name:     "Intel Xeon E5-2620 @ 2.00GHz (Sandy Bridge)",
+		FreqGHz:  2.0,
+		LineSize: 64,
+		L1Size:   32 << 10,
+		L2Size:   256 << 10,
+		L3Size:   15 << 20,
+		L1Assoc:  8,
+		L2Assoc:  8,
+		L3Assoc:  20,
+		L1Lat:    4,
+		L2Lat:    12,
+		L3Lat:    29,
+		MemLat:   150,
+	}
+}
+
+// AtomPlatform returns the slower Atom platform used for the multi-core
+// scalability experiment (Fig. 19), where the paper had to move off the Xeon
+// to keep forwarding CPU-bound rather than NIC-bound.
+func AtomPlatform() Platform {
+	p := DefaultPlatform()
+	p.Name = "Intel Atom @ 2.40GHz"
+	p.FreqGHz = 2.4
+	p.L2Size = 1 << 20
+	p.L3Size = 0 // no L3; treat L3 parameters as memory
+	p.L1Lat, p.L2Lat, p.L3Lat, p.MemLat = 3, 15, 60, 180
+	return p
+}
+
+// Cost atoms (CPU cycles) for the fixed part of each pipeline stage, from the
+// paper's Fig. 20 and §4.4 static code analysis.
+const (
+	// CostPktIO is one DPDK packet receive or transmit (≈40–50 cycles).
+	CostPktIO = 40
+	// CostParser is the combined header parser template.
+	CostParser = 28
+	// CostHashFixed is the fixed part of a compound-hash lookup (8 + Lx).
+	CostHashFixed = 8
+	// CostLPMFixed is the fixed part of a DIR-24-8 lookup (13 + 2·Lx).
+	CostLPMFixed = 13
+	// CostActions is action-set processing.
+	CostActions = 25
+	// CostDirectPerEntry is the cost of evaluating one direct-code flow
+	// entry's matchers (measured calibration, Fig. 9: the direct template
+	// grows linearly and crosses the hash template at ≈4 entries).
+	CostDirectPerEntry = 3
+	// CostDirectFixed is the fixed overhead of entering a direct-code
+	// table.
+	CostDirectFixed = 2
+	// CostTSSPerGroup is the cost of probing one tuple (mask group) of the
+	// linked-list template, excluding the memory access (key construction,
+	// masking and hashing per probed tuple).
+	CostTSSPerGroup = 25
+	// CostUpcall is the cost of punting a packet from the cache hierarchy
+	// to the OVS userspace slow path and back (encapsulation, queueing,
+	// flow translation) — the dominant term of a megaflow miss.
+	CostUpcall = 1200
+	// CostMicroflowFixed is the fixed cost of an OVS microflow-cache probe.
+	CostMicroflowFixed = 10
+	// CostMegaflowPerGroup is the fixed cost of probing one megaflow tuple.
+	CostMegaflowPerGroup = 15
+	// CostSlowPathPerEntry is the per-flow-entry cost of the vswitchd
+	// linear/tuple classification on the slow path.
+	CostSlowPathPerEntry = 12
+)

@@ -1,0 +1,311 @@
+// Package dpdk is the in-memory dataplane substrate standing in for the
+// Intel DPDK environment of the paper's prototype (§4.2): ports backed by
+// single-producer/single-consumer rings, burst-oriented receive and transmit,
+// and run-to-completion worker loops that can be sharded over multiple cores
+// (the Fig. 19 scalability experiment).
+//
+// No kernel-bypass I/O happens here — the point of the substrate is to drive
+// the switch datapaths with minimum-size frames at memory speed and to
+// account for the fixed per-packet I/O cost the way the paper's model does.
+package dpdk
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"eswitch/internal/openflow"
+	"eswitch/internal/pkt"
+)
+
+// DefaultBurst is the burst size used by the RX/TX loops (DPDK's customary
+// 32-packet bursts).
+const DefaultBurst = 32
+
+// Ring is a bounded single-producer/single-consumer queue of frames.
+type Ring struct {
+	buf  [][]byte
+	mask uint64
+	head atomic.Uint64 // next slot to read
+	tail atomic.Uint64 // next slot to write
+}
+
+// NewRing creates a ring with capacity rounded up to a power of two.
+func NewRing(capacity int) *Ring {
+	size := 1
+	for size < capacity {
+		size <<= 1
+	}
+	return &Ring{buf: make([][]byte, size), mask: uint64(size - 1)}
+}
+
+// Capacity returns the usable capacity of the ring.
+func (r *Ring) Capacity() int { return len(r.buf) - 1 }
+
+// Len returns the number of frames currently queued.
+func (r *Ring) Len() int { return int(r.tail.Load() - r.head.Load()) }
+
+// Enqueue adds one frame, reporting false when the ring is full.
+func (r *Ring) Enqueue(frame []byte) bool {
+	tail := r.tail.Load()
+	if tail-r.head.Load() >= uint64(len(r.buf)-1) {
+		return false
+	}
+	r.buf[tail&r.mask] = frame
+	r.tail.Store(tail + 1)
+	return true
+}
+
+// Dequeue removes one frame, reporting false when the ring is empty.
+func (r *Ring) Dequeue() ([]byte, bool) {
+	head := r.head.Load()
+	if head == r.tail.Load() {
+		return nil, false
+	}
+	frame := r.buf[head&r.mask]
+	r.head.Store(head + 1)
+	return frame, true
+}
+
+// EnqueueBurst adds up to len(frames) frames, returning how many fit.
+func (r *Ring) EnqueueBurst(frames [][]byte) int {
+	n := 0
+	for _, f := range frames {
+		if !r.Enqueue(f) {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// DequeueBurst fills out with up to len(out) frames, returning the count.
+func (r *Ring) DequeueBurst(out [][]byte) int {
+	n := 0
+	for n < len(out) {
+		f, ok := r.Dequeue()
+		if !ok {
+			break
+		}
+		out[n] = f
+		n++
+	}
+	return n
+}
+
+// PortStats are per-port packet counters.
+type PortStats struct {
+	RxPackets uint64
+	TxPackets uint64
+	RxDrops   uint64
+	TxDrops   uint64
+}
+
+// Port is a switch port: an RX ring the traffic source fills and a TX ring
+// the datapath fills.
+type Port struct {
+	ID uint32
+	rx *Ring
+	tx *Ring
+
+	rxPackets atomic.Uint64
+	txPackets atomic.Uint64
+	rxDrops   atomic.Uint64
+	txDrops   atomic.Uint64
+}
+
+// NewPort creates a port with the given ring sizes.
+func NewPort(id uint32, ringSize int) *Port {
+	return &Port{ID: id, rx: NewRing(ringSize), tx: NewRing(ringSize)}
+}
+
+// Inject places a frame on the port's RX ring (what a NIC or generator does).
+func (p *Port) Inject(frame []byte) bool {
+	if p.rx.Enqueue(frame) {
+		p.rxPackets.Add(1)
+		return true
+	}
+	p.rxDrops.Add(1)
+	return false
+}
+
+// Transmit places a frame on the TX ring (what the datapath does on output).
+func (p *Port) Transmit(frame []byte) bool {
+	if p.tx.Enqueue(frame) {
+		p.txPackets.Add(1)
+		return true
+	}
+	p.txDrops.Add(1)
+	return false
+}
+
+// DrainTx empties the TX ring, returning the number of frames drained (a
+// traffic sink / loopback tester).
+func (p *Port) DrainTx() int {
+	n := 0
+	for {
+		if _, ok := p.tx.Dequeue(); !ok {
+			return n
+		}
+		n++
+	}
+}
+
+// RxBurst receives up to len(out) frames from the RX ring.
+func (p *Port) RxBurst(out [][]byte) int { return p.rx.DequeueBurst(out) }
+
+// Stats returns a snapshot of the port counters.
+func (p *Port) Stats() PortStats {
+	return PortStats{
+		RxPackets: p.rxPackets.Load(),
+		TxPackets: p.txPackets.Load(),
+		RxDrops:   p.rxDrops.Load(),
+		TxDrops:   p.txDrops.Load(),
+	}
+}
+
+// Datapath is the interface the workers drive; both the ESWITCH compiled
+// datapath and the OVS baseline satisfy it (via small adapters in the public
+// API package).
+type Datapath interface {
+	Process(p *pkt.Packet, v *openflow.Verdict)
+}
+
+// DatapathFunc adapts a function to the Datapath interface.
+type DatapathFunc func(p *pkt.Packet, v *openflow.Verdict)
+
+// Process implements Datapath.
+func (f DatapathFunc) Process(p *pkt.Packet, v *openflow.Verdict) { f(p, v) }
+
+// WorkerStats are per-worker forwarding counters.
+type WorkerStats struct {
+	Processed uint64
+	Forwarded uint64
+	Dropped   uint64
+	ToCtrl    uint64
+}
+
+// Switch ties ports and a datapath together and runs run-to-completion
+// forwarding loops over them.
+type Switch struct {
+	ports []*Port
+	dp    Datapath
+	burst int
+
+	processed atomic.Uint64
+	forwarded atomic.Uint64
+	dropped   atomic.Uint64
+	toCtrl    atomic.Uint64
+}
+
+// NewSwitch creates a switch with numPorts ports.
+func NewSwitch(dp Datapath, numPorts, ringSize int) *Switch {
+	s := &Switch{dp: dp, burst: DefaultBurst}
+	for i := 0; i < numPorts; i++ {
+		s.ports = append(s.ports, NewPort(uint32(i+1), ringSize))
+	}
+	return s
+}
+
+// Port returns the port with the given 1-based ID.
+func (s *Switch) Port(id uint32) (*Port, error) {
+	if id == 0 || int(id) > len(s.ports) {
+		return nil, fmt.Errorf("dpdk: no port %d", id)
+	}
+	return s.ports[id-1], nil
+}
+
+// Ports returns all ports.
+func (s *Switch) Ports() []*Port { return s.ports }
+
+// Stats returns aggregate worker statistics.
+func (s *Switch) Stats() WorkerStats {
+	return WorkerStats{
+		Processed: s.processed.Load(),
+		Forwarded: s.forwarded.Load(),
+		Dropped:   s.dropped.Load(),
+		ToCtrl:    s.toCtrl.Load(),
+	}
+}
+
+// PollOnce performs one run-to-completion iteration over the given ports:
+// receive a burst from each, classify, and transmit.  It returns the number
+// of packets processed.  Passing nil polls every port.
+func (s *Switch) PollOnce(ports []*Port) int {
+	if ports == nil {
+		ports = s.ports
+	}
+	frames := make([][]byte, s.burst)
+	var p pkt.Packet
+	var v openflow.Verdict
+	total := 0
+	for _, port := range ports {
+		n := port.RxBurst(frames)
+		for i := 0; i < n; i++ {
+			p = pkt.Packet{Data: frames[i], InPort: port.ID}
+			s.dp.Process(&p, &v)
+			s.account(&v, frames[i])
+			total++
+		}
+	}
+	return total
+}
+
+func (s *Switch) account(v *openflow.Verdict, frame []byte) {
+	s.processed.Add(1)
+	switch {
+	case v.Forwarded():
+		s.forwarded.Add(1)
+		for _, out := range v.OutPorts {
+			if int(out) <= len(s.ports) && out > 0 {
+				s.ports[out-1].Transmit(frame)
+			}
+		}
+	case v.ToController:
+		s.toCtrl.Add(1)
+	default:
+		s.dropped.Add(1)
+	}
+}
+
+// RunWorkers starts one run-to-completion goroutine ("core") per port subset,
+// sharding ports round-robin over numWorkers, and returns a stop function.
+// Each worker busy-polls its ports until stopped.
+func (s *Switch) RunWorkers(numWorkers int) (stop func()) {
+	if numWorkers < 1 {
+		numWorkers = 1
+	}
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for w := 0; w < numWorkers; w++ {
+		var mine []*Port
+		for i := w; i < len(s.ports); i += numWorkers {
+			mine = append(mine, s.ports[i])
+		}
+		if len(mine) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(ports []*Port) {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if s.PollOnce(ports) == 0 {
+					// Nothing received: yield briefly to avoid
+					// starving the producer on small machines.
+					for i := 0; i < 64; i++ {
+						_ = i
+					}
+				}
+			}
+		}(mine)
+	}
+	return func() {
+		close(done)
+		wg.Wait()
+	}
+}

@@ -1,0 +1,198 @@
+package dpdk
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"eswitch/internal/openflow"
+	"eswitch/internal/pkt"
+)
+
+func TestRingBasics(t *testing.T) {
+	r := NewRing(8)
+	if r.Capacity() < 7 {
+		t.Fatalf("capacity %d", r.Capacity())
+	}
+	if _, ok := r.Dequeue(); ok {
+		t.Fatal("empty ring must not dequeue")
+	}
+	for i := 0; i < r.Capacity(); i++ {
+		if !r.Enqueue([]byte{byte(i)}) {
+			t.Fatalf("enqueue %d failed", i)
+		}
+	}
+	if r.Enqueue([]byte{0xff}) {
+		t.Fatal("full ring must reject enqueue")
+	}
+	for i := 0; i < r.Capacity(); i++ {
+		f, ok := r.Dequeue()
+		if !ok || f[0] != byte(i) {
+			t.Fatalf("dequeue %d: %v %v", i, f, ok)
+		}
+	}
+}
+
+func TestRingFIFOProperty(t *testing.T) {
+	f := func(values []byte) bool {
+		r := NewRing(len(values) + 1)
+		for _, v := range values {
+			if !r.Enqueue([]byte{v}) {
+				return false
+			}
+		}
+		for _, v := range values {
+			got, ok := r.Dequeue()
+			if !ok || got[0] != v {
+				return false
+			}
+		}
+		_, ok := r.Dequeue()
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBurstOperations(t *testing.T) {
+	r := NewRing(64)
+	in := make([][]byte, 10)
+	for i := range in {
+		in[i] = []byte{byte(i)}
+	}
+	if n := r.EnqueueBurst(in); n != 10 {
+		t.Fatalf("enqueue burst %d", n)
+	}
+	out := make([][]byte, 32)
+	if n := r.DequeueBurst(out); n != 10 {
+		t.Fatalf("dequeue burst %d", n)
+	}
+	if out[9][0] != 9 {
+		t.Fatalf("burst order broken: %v", out[9])
+	}
+}
+
+func TestPortCounters(t *testing.T) {
+	p := NewPort(1, 4)
+	if !p.Inject([]byte{1}) || !p.Inject([]byte{2}) || !p.Inject([]byte{3}) {
+		t.Fatal("inject failed")
+	}
+	// Ring of size 4 has capacity 3.
+	if p.Inject([]byte{4}) {
+		t.Fatal("inject should fail when the RX ring is full")
+	}
+	st := p.Stats()
+	if st.RxPackets != 3 || st.RxDrops != 1 {
+		t.Fatalf("rx stats %+v", st)
+	}
+	p.Transmit([]byte{9})
+	if p.DrainTx() != 1 {
+		t.Fatal("drain")
+	}
+	if p.Stats().TxPackets != 1 {
+		t.Fatalf("tx stats %+v", p.Stats())
+	}
+}
+
+// echoDatapath forwards every packet to port 2.
+func echoDatapath(p *pkt.Packet, v *openflow.Verdict) {
+	v.Reset()
+	v.OutPorts = append(v.OutPorts, 2)
+}
+
+func dropDatapath(p *pkt.Packet, v *openflow.Verdict) {
+	v.Reset()
+	v.Dropped = true
+}
+
+func TestSwitchPollOnce(t *testing.T) {
+	sw := NewSwitch(DatapathFunc(echoDatapath), 4, 1024)
+	p1, err := sw.Port(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw.Port(0); err == nil {
+		t.Fatal("port 0 must not exist")
+	}
+	if _, err := sw.Port(9); err == nil {
+		t.Fatal("port 9 must not exist")
+	}
+	frame := make([]byte, pkt.MinPacketLen)
+	for i := 0; i < 100; i++ {
+		p1.Inject(frame)
+	}
+	processed := 0
+	for processed < 100 {
+		n := sw.PollOnce(nil)
+		if n == 0 {
+			break
+		}
+		processed += n
+	}
+	if processed != 100 {
+		t.Fatalf("processed %d", processed)
+	}
+	st := sw.Stats()
+	if st.Processed != 100 || st.Forwarded != 100 {
+		t.Fatalf("switch stats %+v", st)
+	}
+	p2, _ := sw.Port(2)
+	if p2.Stats().TxPackets != 100 {
+		t.Fatalf("port 2 tx %+v", p2.Stats())
+	}
+}
+
+func TestSwitchDropAccounting(t *testing.T) {
+	sw := NewSwitch(DatapathFunc(dropDatapath), 2, 64)
+	p1, _ := sw.Port(1)
+	for i := 0; i < 10; i++ {
+		p1.Inject(make([]byte, 60))
+	}
+	sw.PollOnce(nil)
+	if st := sw.Stats(); st.Dropped != 10 || st.Forwarded != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestRunWorkersParallel(t *testing.T) {
+	sw := NewSwitch(DatapathFunc(echoDatapath), 4, 4096)
+	stop := sw.RunWorkers(2)
+	defer stop()
+	frame := make([]byte, 60)
+	const per = 2000
+	drainAll := func() {
+		for portID := uint32(1); portID <= 4; portID++ {
+			port, _ := sw.Port(portID)
+			port.DrainTx()
+		}
+	}
+	for portID := uint32(1); portID <= 4; portID++ {
+		port, _ := sw.Port(portID)
+		for i := 0; i < per; i++ {
+			for !port.Inject(frame) {
+				drainAll()
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}
+	// Wait for the workers to drain everything.
+	deadline := time.Now().Add(30 * time.Second)
+	for sw.Stats().Processed < 4*per && time.Now().Before(deadline) {
+		drainAll()
+		time.Sleep(time.Millisecond)
+	}
+	if got := sw.Stats().Processed; got < 4*per {
+		t.Fatalf("workers processed %d of %d", got, 4*per)
+	}
+}
+
+func BenchmarkRing(b *testing.B) {
+	r := NewRing(1024)
+	frame := make([]byte, 60)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Enqueue(frame)
+		r.Dequeue()
+	}
+}

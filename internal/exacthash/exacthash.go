@@ -1,0 +1,255 @@
+// Package exacthash implements the collision-free exact-match hash table
+// behind the paper's compound-hash flow-table template (§3.1, Fig. 4): keys
+// are fixed-size packed field tuples, lookups touch a bounded number of
+// buckets (two), and the structure is rebuilt with a fresh seed when an
+// insertion cannot be placed — trading build time and memory for constant,
+// predictable lookup time exactly as the paper describes.
+//
+// The implementation is a bucketized cuckoo hash with two hash functions and
+// four slots per bucket, which bounds every lookup to two cache lines.
+package exacthash
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Key is a packed match key: up to four 64-bit words holding the masked field
+// values the compound-hash template concatenates ("runs together relevant
+// header fields into a single key").
+type Key struct {
+	W0, W1, W2, W3 uint64
+}
+
+// hash mixes the key words with a seed using a 64-bit multiply-xor mixer
+// (SplitMix64-style), returning two independent bucket hashes.
+func (k Key) hash(seed uint64) (uint64, uint64) {
+	h := seed
+	for _, w := range [4]uint64{k.W0, k.W1, k.W2, k.W3} {
+		h ^= mix64(w + h)
+	}
+	h1 := mix64(h)
+	h2 := mix64(h ^ 0x9e3779b97f4a7c15)
+	return h1, h2
+}
+
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+const bucketSlots = 4
+
+type slot struct {
+	key   Key
+	value uint32
+	used  bool
+}
+
+type bucket struct {
+	slots [bucketSlots]slot
+}
+
+// Table is an exact-match hash from Key to a 32-bit value.  The zero value is
+// not usable; use New.
+type Table struct {
+	buckets []bucket
+	mask    uint64
+	seed    uint64
+	count   int
+	// rebuilds counts how many times the table was rebuilt with a new
+	// seed or grown; the update-cost experiments report it.
+	rebuilds int
+}
+
+// New returns an empty table pre-sized for the given number of entries.
+func New(sizeHint int) *Table {
+	t := &Table{seed: 0x2545f4914f6cdd1d}
+	t.init(capacityFor(sizeHint))
+	return t
+}
+
+func capacityFor(n int) int {
+	if n < 4 {
+		n = 4
+	}
+	// Aim for ≤50% load factor across buckets of 4 slots.
+	buckets := 1 << bits.Len(uint(n/(bucketSlots/2)))
+	if buckets < 4 {
+		buckets = 4
+	}
+	return buckets
+}
+
+func (t *Table) init(buckets int) {
+	t.buckets = make([]bucket, buckets)
+	t.mask = uint64(buckets - 1)
+	t.count = 0
+}
+
+// Len returns the number of stored entries.
+func (t *Table) Len() int { return t.count }
+
+// NumBuckets returns the number of buckets; the cost model sizes the
+// structure's working set from it.
+func (t *Table) NumBuckets() int { return len(t.buckets) }
+
+// Rebuilds returns how many times the table has been rebuilt (grown or
+// re-seeded); the paper notes the hash template is rebuilt periodically to
+// keep lookups collision free.
+func (t *Table) Rebuilds() int { return t.rebuilds }
+
+// Lookup returns the value stored for the key.
+func (t *Table) Lookup(k Key) (uint32, bool) {
+	h1, h2 := k.hash(t.seed)
+	b1 := &t.buckets[h1&t.mask]
+	for i := range b1.slots {
+		if b1.slots[i].used && b1.slots[i].key == k {
+			return b1.slots[i].value, true
+		}
+	}
+	b2 := &t.buckets[h2&t.mask]
+	for i := range b2.slots {
+		if b2.slots[i].used && b2.slots[i].key == k {
+			return b2.slots[i].value, true
+		}
+	}
+	return 0, false
+}
+
+// Insert adds or replaces the value stored for the key.
+func (t *Table) Insert(k Key, value uint32) {
+	if t.update(k, value) {
+		return
+	}
+	pending := slot{key: k, value: value, used: true}
+	leftover, ok := t.place(pending)
+	if ok {
+		t.count++
+		return
+	}
+	// Cuckoo path exhausted: rebuild into a larger, re-seeded table,
+	// carrying along the entry that could not be placed.
+	t.rebuild([]slot{leftover}, len(t.buckets)*2)
+}
+
+// update replaces the value if the key is already present.
+func (t *Table) update(k Key, value uint32) bool {
+	h1, h2 := k.hash(t.seed)
+	for _, h := range [2]uint64{h1, h2} {
+		b := &t.buckets[h&t.mask]
+		for i := range b.slots {
+			if b.slots[i].used && b.slots[i].key == k {
+				b.slots[i].value = value
+				return true
+			}
+		}
+	}
+	return false
+}
+
+const maxKicks = 64
+
+// place stores the slot using cuckoo displacement.  On success it reports
+// true.  On failure it returns the entry that ended up without a home (which
+// is generally not the entry passed in — displacement may have evicted an
+// older one) so the caller can rebuild without losing it.
+func (t *Table) place(cur slot) (slot, bool) {
+	for kick := 0; kick < maxKicks; kick++ {
+		h1, h2 := cur.key.hash(t.seed)
+		for _, h := range [2]uint64{h1, h2} {
+			b := &t.buckets[h&t.mask]
+			for i := range b.slots {
+				if !b.slots[i].used {
+					b.slots[i] = cur
+					return slot{}, true
+				}
+			}
+		}
+		// Both buckets full: evict a pseudo-random victim from the
+		// first bucket and continue with it.
+		b := &t.buckets[h1&t.mask]
+		victim := int(h2 % bucketSlots)
+		cur, b.slots[victim] = b.slots[victim], cur
+	}
+	return cur, false
+}
+
+// rebuild re-creates the table with at least minBuckets buckets and a fresh
+// seed, re-inserting every stored entry plus the extra (homeless) ones.  It
+// keeps doubling until every entry places, so the table stays collision
+// bounded.
+func (t *Table) rebuild(extra []slot, minBuckets int) {
+	all := append([]slot(nil), extra...)
+	for bi := range t.buckets {
+		for si := range t.buckets[bi].slots {
+			if s := t.buckets[bi].slots[si]; s.used {
+				all = append(all, s)
+			}
+		}
+	}
+	buckets := minBuckets
+	if buckets < 4 {
+		buckets = 4
+	}
+	for {
+		t.rebuilds++
+		t.seed = mix64(t.seed + uint64(t.rebuilds)*0x9e3779b97f4a7c15)
+		t.init(buckets)
+		ok := true
+		for _, s := range all {
+			if _, placed := t.place(s); !placed {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			t.count = len(all)
+			return
+		}
+		buckets *= 2
+	}
+}
+
+// Delete removes the key, reporting whether it was present.
+func (t *Table) Delete(k Key) bool {
+	h1, h2 := k.hash(t.seed)
+	for _, h := range [2]uint64{h1, h2} {
+		b := &t.buckets[h&t.mask]
+		for i := range b.slots {
+			if b.slots[i].used && b.slots[i].key == k {
+				b.slots[i] = slot{}
+				t.count--
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ForEach calls fn for every stored entry; iteration order is unspecified.
+func (t *Table) ForEach(fn func(Key, uint32)) {
+	for bi := range t.buckets {
+		for si := range t.buckets[bi].slots {
+			s := &t.buckets[bi].slots[si]
+			if s.used {
+				fn(s.key, s.value)
+			}
+		}
+	}
+}
+
+// MemoryFootprint returns the approximate size in bytes of the lookup
+// structure; the cache-hierarchy model uses it as the working-set size.
+func (t *Table) MemoryFootprint() int {
+	return len(t.buckets) * bucketSlots * (32 + 8)
+}
+
+// String summarizes the table.
+func (t *Table) String() string {
+	return fmt.Sprintf("exacthash{entries=%d buckets=%d rebuilds=%d}", t.count, len(t.buckets), t.rebuilds)
+}

@@ -1,0 +1,170 @@
+package exacthash
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertLookupDelete(t *testing.T) {
+	tbl := New(16)
+	k1 := Key{W0: 1, W1: 2}
+	k2 := Key{W0: 1, W1: 3}
+	tbl.Insert(k1, 100)
+	tbl.Insert(k2, 200)
+	if v, ok := tbl.Lookup(k1); !ok || v != 100 {
+		t.Fatalf("k1: %d %v", v, ok)
+	}
+	if v, ok := tbl.Lookup(k2); !ok || v != 200 {
+		t.Fatalf("k2: %d %v", v, ok)
+	}
+	if _, ok := tbl.Lookup(Key{W0: 9}); ok {
+		t.Fatal("missing key found")
+	}
+	if tbl.Len() != 2 {
+		t.Fatalf("len %d", tbl.Len())
+	}
+	// Replacement keeps the count.
+	tbl.Insert(k1, 111)
+	if v, _ := tbl.Lookup(k1); v != 111 || tbl.Len() != 2 {
+		t.Fatalf("replace: %d len %d", v, tbl.Len())
+	}
+	if !tbl.Delete(k1) || tbl.Delete(k1) {
+		t.Fatal("delete semantics broken")
+	}
+	if _, ok := tbl.Lookup(k1); ok {
+		t.Fatal("deleted key still found")
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("len after delete %d", tbl.Len())
+	}
+}
+
+func TestManyKeysAgainstMap(t *testing.T) {
+	tbl := New(4)
+	ref := make(map[Key]uint32)
+	rng := rand.New(rand.NewSource(99))
+	const n = 20000
+	for i := 0; i < n; i++ {
+		k := Key{W0: rng.Uint64(), W1: uint64(rng.Intn(5)), W2: uint64(i % 7)}
+		v := uint32(rng.Intn(1 << 20))
+		tbl.Insert(k, v)
+		ref[k] = v
+	}
+	if tbl.Len() != len(ref) {
+		t.Fatalf("len %d ref %d", tbl.Len(), len(ref))
+	}
+	for k, v := range ref {
+		got, ok := tbl.Lookup(k)
+		if !ok || got != v {
+			t.Fatalf("key %v: got %d,%v want %d", k, got, ok, v)
+		}
+	}
+	// Delete half and re-verify.
+	i := 0
+	for k := range ref {
+		if i%2 == 0 {
+			if !tbl.Delete(k) {
+				t.Fatalf("delete %v failed", k)
+			}
+			delete(ref, k)
+		}
+		i++
+	}
+	for k, v := range ref {
+		if got, ok := tbl.Lookup(k); !ok || got != v {
+			t.Fatalf("after delete, key %v: got %d,%v want %d", k, got, ok, v)
+		}
+	}
+	if tbl.Len() != len(ref) {
+		t.Fatalf("len after deletes %d want %d", tbl.Len(), len(ref))
+	}
+}
+
+func TestForEachVisitsAll(t *testing.T) {
+	tbl := New(8)
+	want := map[Key]uint32{}
+	for i := 0; i < 100; i++ {
+		k := Key{W0: uint64(i)}
+		tbl.Insert(k, uint32(i*3))
+		want[k] = uint32(i * 3)
+	}
+	got := map[Key]uint32{}
+	tbl.ForEach(func(k Key, v uint32) { got[k] = v })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %d entries, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("key %v value %d want %d", k, got[k], v)
+		}
+	}
+}
+
+func TestGrowthAndFootprint(t *testing.T) {
+	tbl := New(4)
+	before := tbl.NumBuckets()
+	for i := 0; i < 1000; i++ {
+		tbl.Insert(Key{W0: uint64(i), W3: 7}, uint32(i))
+	}
+	if tbl.NumBuckets() <= before {
+		t.Fatal("table did not grow")
+	}
+	if tbl.Rebuilds() == 0 {
+		t.Fatal("expected at least one rebuild")
+	}
+	if tbl.MemoryFootprint() <= 0 {
+		t.Fatal("footprint must be positive")
+	}
+	if tbl.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestInsertLookupProperty(t *testing.T) {
+	tbl := New(64)
+	f := func(w0, w1, w2, w3 uint64, v uint32) bool {
+		k := Key{w0, w1, w2, w3}
+		tbl.Insert(k, v)
+		got, ok := tbl.Lookup(k)
+		return ok && got == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLookupHit(b *testing.B) {
+	tbl := New(1024)
+	keys := make([]Key, 1024)
+	for i := range keys {
+		keys[i] = Key{W0: uint64(i) * 0x9e3779b9, W1: uint64(i)}
+		tbl.Insert(keys[i], uint32(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.Lookup(keys[i&1023])
+	}
+}
+
+func BenchmarkLookupMiss(b *testing.B) {
+	tbl := New(1024)
+	for i := 0; i < 1024; i++ {
+		tbl.Insert(Key{W0: uint64(i)}, uint32(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.Lookup(Key{W0: uint64(i) | 1 << 40})
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	tbl := New(b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.Insert(Key{W0: uint64(i)}, uint32(i))
+	}
+}

@@ -1,0 +1,273 @@
+package lpm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func ip(a, b, c, d byte) uint32 {
+	return uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d)
+}
+
+func TestBasicLookup(t *testing.T) {
+	tbl := NewWithStride(16)
+	if err := tbl.Insert(ip(10, 0, 0, 0), 8, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(ip(10, 1, 0, 0), 16, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(ip(10, 1, 2, 0), 24, 3); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		addr uint32
+		want uint32
+		ok   bool
+	}{
+		{ip(10, 5, 5, 5), 1, true},
+		{ip(10, 1, 9, 9), 2, true},
+		{ip(10, 1, 2, 200), 3, true},
+		{ip(11, 0, 0, 1), Invalid, false},
+		{ip(9, 255, 255, 255), Invalid, false},
+	}
+	for _, c := range cases {
+		got, ok := tbl.Lookup(c.addr)
+		if got != c.want || ok != c.ok {
+			t.Errorf("Lookup(%#x) = %d,%v want %d,%v", c.addr, got, ok, c.want, c.ok)
+		}
+	}
+	if tbl.Len() != 3 {
+		t.Errorf("Len = %d", tbl.Len())
+	}
+}
+
+func TestDefaultStrideSlash32(t *testing.T) {
+	tbl := New()
+	if tbl.Stride() != 24 || tbl.MaxPrefixLen() != 32 {
+		t.Fatalf("stride %d maxlen %d", tbl.Stride(), tbl.MaxPrefixLen())
+	}
+	if err := tbl.Insert(ip(192, 0, 2, 0), 24, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(ip(192, 0, 2, 7), 32, 200); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := tbl.Lookup(ip(192, 0, 2, 7)); v != 200 {
+		t.Errorf("host route: %d", v)
+	}
+	if v, _ := tbl.Lookup(ip(192, 0, 2, 8)); v != 100 {
+		t.Errorf("covering /24: %d", v)
+	}
+	if tbl.SecondLevelGroups() != 1 {
+		t.Errorf("groups %d", tbl.SecondLevelGroups())
+	}
+	if _, depth, _ := tbl.LookupDepth(ip(192, 0, 2, 7)); depth != 2 {
+		t.Errorf("depth for /32 route should be 2, got %d", depth)
+	}
+	if _, depth, _ := tbl.LookupDepth(ip(10, 0, 0, 1)); depth != 1 {
+		t.Errorf("depth for a miss should be 1, got %d", depth)
+	}
+}
+
+func TestInsertErrors(t *testing.T) {
+	tbl := NewWithStride(16)
+	if err := tbl.Insert(0, 25, 1); err == nil {
+		t.Error("prefix longer than stride+8 must be rejected")
+	}
+	if err := tbl.Insert(0, -1, 1); err == nil {
+		t.Error("negative prefix length must be rejected")
+	}
+	if err := tbl.Insert(0, 8, valueMask+1); err == nil {
+		t.Error("oversized value must be rejected")
+	}
+}
+
+func TestDefaultRoute(t *testing.T) {
+	tbl := NewWithStride(16)
+	if err := tbl.Insert(0, 0, 99); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := tbl.Lookup(ip(1, 2, 3, 4)); !ok || v != 99 {
+		t.Fatalf("default route: %d %v", v, ok)
+	}
+	// A more specific prefix wins over the default route.
+	if err := tbl.Insert(ip(1, 2, 0, 0), 16, 7); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := tbl.Lookup(ip(1, 2, 3, 4)); v != 7 {
+		t.Fatalf("specific over default: %d", v)
+	}
+	if v, _ := tbl.Lookup(ip(9, 9, 9, 9)); v != 99 {
+		t.Fatalf("default still applies elsewhere: %d", v)
+	}
+}
+
+func TestInsertReplaces(t *testing.T) {
+	tbl := NewWithStride(16)
+	tbl.Insert(ip(10, 0, 0, 0), 8, 1)
+	tbl.Insert(ip(10, 0, 0, 0), 8, 5)
+	if v, _ := tbl.Lookup(ip(10, 1, 1, 1)); v != 5 {
+		t.Fatalf("replacement: %d", v)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("Len after replace: %d", tbl.Len())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tbl := NewWithStride(16)
+	tbl.Insert(ip(10, 0, 0, 0), 8, 1)
+	tbl.Insert(ip(10, 1, 0, 0), 16, 2)
+	tbl.Insert(ip(10, 1, 2, 0), 24, 3)
+	if !tbl.Delete(ip(10, 1, 2, 0), 24) {
+		t.Fatal("delete /24 failed")
+	}
+	if v, _ := tbl.Lookup(ip(10, 1, 2, 200)); v != 2 {
+		t.Fatalf("after /24 delete should fall back to /16: %d", v)
+	}
+	if !tbl.Delete(ip(10, 1, 0, 0), 16) {
+		t.Fatal("delete /16 failed")
+	}
+	if v, _ := tbl.Lookup(ip(10, 1, 2, 200)); v != 1 {
+		t.Fatalf("after /16 delete should fall back to /8: %d", v)
+	}
+	if !tbl.Delete(ip(10, 0, 0, 0), 8) {
+		t.Fatal("delete /8 failed")
+	}
+	if _, ok := tbl.Lookup(ip(10, 1, 2, 200)); ok {
+		t.Fatal("after all deletes there should be no match")
+	}
+	if tbl.Delete(ip(10, 0, 0, 0), 8) {
+		t.Fatal("double delete must report false")
+	}
+	if tbl.Len() != 0 {
+		t.Fatalf("Len after deletes: %d", tbl.Len())
+	}
+}
+
+func TestDeleteKeepsLongerPrefixes(t *testing.T) {
+	tbl := NewWithStride(16)
+	tbl.Insert(ip(10, 0, 0, 0), 8, 1)
+	tbl.Insert(ip(10, 1, 0, 0), 16, 2)
+	if !tbl.Delete(ip(10, 0, 0, 0), 8) {
+		t.Fatal("delete failed")
+	}
+	if v, ok := tbl.Lookup(ip(10, 1, 5, 5)); !ok || v != 2 {
+		t.Fatalf("longer prefix lost after covering delete: %d %v", v, ok)
+	}
+	if _, ok := tbl.Lookup(ip(10, 2, 0, 1)); ok {
+		t.Fatal("deleted /8 should no longer match")
+	}
+}
+
+func TestPrefixesListing(t *testing.T) {
+	tbl := NewWithStride(16)
+	tbl.Insert(ip(10, 0, 0, 0), 8, 1)
+	tbl.Insert(ip(10, 1, 0, 0), 16, 2)
+	ps := tbl.Prefixes()
+	if len(ps) != 2 {
+		t.Fatalf("prefixes %v", ps)
+	}
+	if ps[0].String() != "10.0.0.0/8" || ps[1].String() != "10.1.0.0/16" {
+		t.Fatalf("prefix strings %v %v", ps[0], ps[1])
+	}
+}
+
+// TestDifferentialAgainstReference inserts, deletes, and looks up random
+// prefixes, comparing the DIR-24-8 structure against the linear-scan
+// reference on every step.
+func TestDifferentialAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tbl := NewWithStride(16)
+	ref := &Reference{}
+	type pfx struct {
+		addr uint32
+		len  int
+	}
+	var installed []pfx
+	const ops = 400
+	for i := 0; i < ops; i++ {
+		switch {
+		case len(installed) == 0 || rng.Intn(4) != 0:
+			length := rng.Intn(tbl.MaxPrefixLen() + 1)
+			addr := rng.Uint32()
+			value := uint32(rng.Intn(1000))
+			if err := tbl.Insert(addr, length, value); err != nil {
+				t.Fatal(err)
+			}
+			ref.Insert(addr, length, value)
+			installed = append(installed, pfx{maskAddr(addr, length), length})
+		default:
+			k := rng.Intn(len(installed))
+			p := installed[k]
+			got := tbl.Delete(p.addr, p.len)
+			want := ref.Delete(p.addr, p.len)
+			if got != want {
+				t.Fatalf("delete(%#x/%d) = %v, reference %v", p.addr, p.len, got, want)
+			}
+			installed = append(installed[:k], installed[k+1:]...)
+		}
+		// Probe a batch of random addresses plus the bases of installed prefixes.
+		for j := 0; j < 20; j++ {
+			addr := rng.Uint32()
+			if j < len(installed) {
+				addr = installed[j].addr | uint32(rng.Intn(256))
+			}
+			gv, gok := tbl.Lookup(addr)
+			wv, wok := ref.Lookup(addr)
+			if gok != wok || (gok && gv != wv) {
+				t.Fatalf("step %d: Lookup(%#x) = %d,%v reference %d,%v", i, addr, gv, gok, wv, wok)
+			}
+		}
+	}
+}
+
+func TestLookupMatchesReferenceProperty(t *testing.T) {
+	tbl := NewWithStride(16)
+	ref := &Reference{}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		addr := rng.Uint32()
+		length := rng.Intn(25)
+		val := uint32(i)
+		tbl.Insert(addr, length, val)
+		ref.Insert(addr, length, val)
+	}
+	f := func(addr uint32) bool {
+		gv, gok := tbl.Lookup(addr)
+		wv, wok := ref.Lookup(addr)
+		return gok == wok && (!gok || gv == wv)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLookupDIR248(b *testing.B) {
+	tbl := New()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		tbl.Insert(rng.Uint32(), 8+rng.Intn(25), uint32(i))
+	}
+	addrs := make([]uint32, 1024)
+	for i := range addrs {
+		addrs[i] = rng.Uint32()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.Lookup(addrs[i&1023])
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	tbl := NewWithStride(16)
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.Insert(rng.Uint32(), 8+rng.Intn(17), uint32(i%1000))
+	}
+}

@@ -1,0 +1,324 @@
+// Package ofp implements the minimal OpenFlow 1.3-style binary wire protocol
+// this repository needs: Hello, Echo, FlowMod, PacketIn, PacketOut and
+// Barrier messages with a fixed 8-byte header, encoded big-endian.  It is not
+// wire-compatible with the official specification — match fields and actions
+// use a compact TLV encoding over this repository's field model — but it
+// preserves what the Fig. 17/18 experiments need: installing a pipeline
+// through a real framed control channel costs encode + transmit + decode per
+// flow, which is what bottlenecks update rates in practice.
+package ofp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"eswitch/internal/openflow"
+)
+
+// Version is the protocol version byte carried in every header.
+const Version = 0x04
+
+// MsgType enumerates the supported message types.
+type MsgType uint8
+
+// Message types (a subset of OpenFlow 1.3).
+const (
+	TypeHello          MsgType = 0
+	TypeEchoRequest    MsgType = 2
+	TypeEchoReply      MsgType = 3
+	TypePacketIn       MsgType = 10
+	TypePacketOut      MsgType = 13
+	TypeFlowMod        MsgType = 14
+	TypeBarrierRequest MsgType = 20
+	TypeBarrierReply   MsgType = 21
+)
+
+// FlowMod commands.
+const (
+	FlowModAdd    uint8 = 0
+	FlowModDelete uint8 = 3
+)
+
+// headerLen is the fixed message header size.
+const headerLen = 8
+
+// maxMessageLen bounds a single message (headroom for full-size packets in
+// PacketIn/PacketOut plus a large match).
+const maxMessageLen = 1 << 16
+
+// Message is one framed OpenFlow message.
+type Message struct {
+	Type MsgType
+	Xid  uint32
+	Body []byte
+}
+
+// WriteMessage frames and writes a message.
+func WriteMessage(w io.Writer, m Message) error {
+	if len(m.Body)+headerLen > maxMessageLen {
+		return fmt.Errorf("ofp: message body too large (%d bytes)", len(m.Body))
+	}
+	hdr := make([]byte, headerLen, headerLen+len(m.Body))
+	hdr[0] = Version
+	hdr[1] = byte(m.Type)
+	binary.BigEndian.PutUint16(hdr[2:4], uint16(headerLen+len(m.Body)))
+	binary.BigEndian.PutUint32(hdr[4:8], m.Xid)
+	_, err := w.Write(append(hdr, m.Body...))
+	return err
+}
+
+// ReadMessage reads one framed message.
+func ReadMessage(r io.Reader) (Message, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Message{}, err
+	}
+	if hdr[0] != Version {
+		return Message{}, fmt.Errorf("ofp: unsupported version %#x", hdr[0])
+	}
+	length := int(binary.BigEndian.Uint16(hdr[2:4]))
+	if length < headerLen || length > maxMessageLen {
+		return Message{}, fmt.Errorf("ofp: invalid message length %d", length)
+	}
+	m := Message{Type: MsgType(hdr[1]), Xid: binary.BigEndian.Uint32(hdr[4:8])}
+	if length > headerLen {
+		m.Body = make([]byte, length-headerLen)
+		if _, err := io.ReadFull(r, m.Body); err != nil {
+			return Message{}, err
+		}
+	}
+	return m, nil
+}
+
+// FlowMod describes a flow-table modification.
+type FlowMod struct {
+	Command  uint8
+	TableID  openflow.TableID
+	Priority int32
+	Match    *openflow.Match
+	// Instructions are carried for Add commands.
+	Instructions openflow.Instructions
+}
+
+// PacketIn is a packet punted to the controller.
+type PacketIn struct {
+	BufferID uint32
+	InPort   uint32
+	TableID  openflow.TableID
+	Data     []byte
+}
+
+// PacketOut is a packet the controller injects into the datapath.
+type PacketOut struct {
+	BufferID uint32
+	InPort   uint32
+	Actions  openflow.ActionList
+	Data     []byte
+}
+
+// --- encoding helpers ---------------------------------------------------------
+
+type encoder struct{ buf []byte }
+
+func (e *encoder) u8(v uint8)    { e.buf = append(e.buf, v) }
+func (e *encoder) u16(v uint16)  { e.buf = binary.BigEndian.AppendUint16(e.buf, v) }
+func (e *encoder) u32(v uint32)  { e.buf = binary.BigEndian.AppendUint32(e.buf, v) }
+func (e *encoder) u64(v uint64)  { e.buf = binary.BigEndian.AppendUint64(e.buf, v) }
+func (e *encoder) bytes(b []byte) { e.buf = append(e.buf, b...) }
+
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if d.off+n > len(d.buf) {
+		d.err = fmt.Errorf("ofp: truncated message (need %d bytes at offset %d of %d)", n, d.off, len(d.buf))
+		return false
+	}
+	return true
+}
+
+func (d *decoder) u8() uint8 {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) u16() uint16 {
+	if !d.need(2) {
+		return 0
+	}
+	v := binary.BigEndian.Uint16(d.buf[d.off:])
+	d.off += 2
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) rest() []byte {
+	out := d.buf[d.off:]
+	d.off = len(d.buf)
+	return out
+}
+
+func encodeMatch(e *encoder, m *openflow.Match) {
+	fields := m.Fields().Fields()
+	e.u8(uint8(len(fields)))
+	for _, f := range fields {
+		v, mask, _ := m.Get(f)
+		e.u8(uint8(f))
+		e.u64(v)
+		e.u64(mask)
+	}
+}
+
+func decodeMatch(d *decoder) *openflow.Match {
+	n := int(d.u8())
+	m := openflow.NewMatch()
+	for i := 0; i < n && d.err == nil; i++ {
+		f := openflow.Field(d.u8())
+		v := d.u64()
+		mask := d.u64()
+		if f < openflow.NumFields {
+			m.SetMasked(f, v, mask)
+		}
+	}
+	return m
+}
+
+func encodeActions(e *encoder, list openflow.ActionList) {
+	e.u8(uint8(len(list)))
+	for _, a := range list {
+		e.u8(uint8(a.Type))
+		e.u32(a.Port)
+		e.u8(uint8(a.Field))
+		e.u64(a.Value)
+	}
+}
+
+func decodeActions(d *decoder) openflow.ActionList {
+	n := int(d.u8())
+	list := make(openflow.ActionList, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		a := openflow.Action{
+			Type:  openflow.ActionType(d.u8()),
+			Port:  d.u32(),
+			Field: openflow.Field(d.u8()),
+			Value: d.u64(),
+		}
+		list = append(list, a)
+	}
+	return list
+}
+
+// EncodeFlowMod serializes a FlowMod message body.
+func EncodeFlowMod(fm FlowMod) []byte {
+	e := &encoder{}
+	e.u8(fm.Command)
+	e.u16(uint16(fm.TableID))
+	e.u32(uint32(fm.Priority))
+	encodeMatch(e, fm.Match)
+	encodeActions(e, fm.Instructions.ApplyActions)
+	encodeActions(e, fm.Instructions.WriteActions)
+	flags := uint8(0)
+	if fm.Instructions.HasGoto {
+		flags |= 1
+	}
+	if fm.Instructions.ClearActions {
+		flags |= 2
+	}
+	e.u8(flags)
+	e.u16(uint16(fm.Instructions.GotoTable))
+	e.u64(fm.Instructions.WriteMetadata)
+	e.u64(fm.Instructions.MetadataMask)
+	return e.buf
+}
+
+// DecodeFlowMod parses a FlowMod message body.
+func DecodeFlowMod(body []byte) (FlowMod, error) {
+	d := &decoder{buf: body}
+	fm := FlowMod{
+		Command:  d.u8(),
+		TableID:  openflow.TableID(d.u16()),
+		Priority: int32(d.u32()),
+	}
+	fm.Match = decodeMatch(d)
+	fm.Instructions.ApplyActions = decodeActions(d)
+	fm.Instructions.WriteActions = decodeActions(d)
+	flags := d.u8()
+	fm.Instructions.HasGoto = flags&1 != 0
+	fm.Instructions.ClearActions = flags&2 != 0
+	fm.Instructions.GotoTable = openflow.TableID(d.u16())
+	fm.Instructions.WriteMetadata = d.u64()
+	fm.Instructions.MetadataMask = d.u64()
+	if len(fm.Instructions.ApplyActions) == 0 {
+		fm.Instructions.ApplyActions = nil
+	}
+	if len(fm.Instructions.WriteActions) == 0 {
+		fm.Instructions.WriteActions = nil
+	}
+	return fm, d.err
+}
+
+// EncodePacketIn serializes a PacketIn message body.
+func EncodePacketIn(pi PacketIn) []byte {
+	e := &encoder{}
+	e.u32(pi.BufferID)
+	e.u32(pi.InPort)
+	e.u16(uint16(pi.TableID))
+	e.bytes(pi.Data)
+	return e.buf
+}
+
+// DecodePacketIn parses a PacketIn message body.
+func DecodePacketIn(body []byte) (PacketIn, error) {
+	d := &decoder{buf: body}
+	pi := PacketIn{BufferID: d.u32(), InPort: d.u32(), TableID: openflow.TableID(d.u16())}
+	pi.Data = pi.Data[:0]
+	pi.Data = append(pi.Data, d.rest()...)
+	return pi, d.err
+}
+
+// EncodePacketOut serializes a PacketOut message body.
+func EncodePacketOut(po PacketOut) []byte {
+	e := &encoder{}
+	e.u32(po.BufferID)
+	e.u32(po.InPort)
+	encodeActions(e, po.Actions)
+	e.bytes(po.Data)
+	return e.buf
+}
+
+// DecodePacketOut parses a PacketOut message body.
+func DecodePacketOut(body []byte) (PacketOut, error) {
+	d := &decoder{buf: body}
+	po := PacketOut{BufferID: d.u32(), InPort: d.u32()}
+	po.Actions = decodeActions(d)
+	po.Data = append(po.Data, d.rest()...)
+	return po, d.err
+}

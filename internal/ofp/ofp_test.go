@@ -1,0 +1,160 @@
+package ofp
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"eswitch/internal/openflow"
+)
+
+func TestMessageFraming(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []Message{
+		{Type: TypeHello, Xid: 1},
+		{Type: TypeEchoRequest, Xid: 2, Body: []byte("ping")},
+		{Type: TypeFlowMod, Xid: 3, Body: []byte{1, 2, 3, 4, 5}},
+	}
+	for _, m := range msgs {
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range msgs {
+		got, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Type != want.Type || got.Xid != want.Xid || !bytes.Equal(got.Body, want.Body) {
+			t.Fatalf("got %+v want %+v", got, want)
+		}
+	}
+	if _, err := ReadMessage(&buf); err == nil {
+		t.Fatal("reading from an empty buffer must fail")
+	}
+}
+
+func TestMessageFramingErrors(t *testing.T) {
+	// Wrong version byte.
+	raw := []byte{0x01, 0x00, 0x00, 0x08, 0, 0, 0, 0}
+	if _, err := ReadMessage(bytes.NewReader(raw)); err == nil {
+		t.Fatal("wrong version must be rejected")
+	}
+	// Length smaller than the header.
+	raw = []byte{Version, 0x00, 0x00, 0x04, 0, 0, 0, 0}
+	if _, err := ReadMessage(bytes.NewReader(raw)); err == nil {
+		t.Fatal("bogus length must be rejected")
+	}
+	// Truncated body.
+	raw = []byte{Version, 0x00, 0x00, 0x10, 0, 0, 0, 0, 1, 2}
+	if _, err := ReadMessage(bytes.NewReader(raw)); err == nil {
+		t.Fatal("truncated body must be rejected")
+	}
+	if err := WriteMessage(&bytes.Buffer{}, Message{Body: make([]byte, maxMessageLen)}); err == nil {
+		t.Fatal("oversized body must be rejected")
+	}
+}
+
+func TestFlowModRoundTrip(t *testing.T) {
+	match := openflow.NewMatch().
+		Set(openflow.FieldInPort, 3).
+		SetPrefix(openflow.FieldIPDst, 0x0a000000, 8).
+		Set(openflow.FieldTCPDst, 443)
+	fm := FlowMod{
+		Command:  FlowModAdd,
+		TableID:  7,
+		Priority: 1234,
+		Match:    match,
+		Instructions: openflow.Instructions{
+			ApplyActions:  openflow.ActionList{openflow.SetField(openflow.FieldVLANID, 9), openflow.Output(4)},
+			WriteActions:  openflow.ActionList{openflow.Output(5)},
+			HasGoto:       true,
+			GotoTable:     42,
+			WriteMetadata: 0xdeadbeef,
+			MetadataMask:  0xffffffff,
+		},
+	}
+	got, err := DecodeFlowMod(EncodeFlowMod(fm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Command != fm.Command || got.TableID != fm.TableID || got.Priority != fm.Priority {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if !got.Match.Equal(fm.Match) {
+		t.Fatalf("match mismatch: %v vs %v", got.Match, fm.Match)
+	}
+	if !got.Instructions.Equal(fm.Instructions) {
+		t.Fatalf("instruction mismatch: %v vs %v", got.Instructions, fm.Instructions)
+	}
+}
+
+func TestFlowModDeleteRoundTrip(t *testing.T) {
+	fm := FlowMod{Command: FlowModDelete, TableID: 1, Priority: -1, Match: openflow.NewMatch().Set(openflow.FieldTCPDst, 80)}
+	got, err := DecodeFlowMod(EncodeFlowMod(fm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Command != FlowModDelete || got.Priority != -1 || !got.Match.Equal(fm.Match) {
+		t.Fatalf("delete round trip: %+v", got)
+	}
+}
+
+func TestFlowModDecodeTruncated(t *testing.T) {
+	full := EncodeFlowMod(FlowMod{Command: FlowModAdd, Match: openflow.NewMatch().Set(openflow.FieldTCPDst, 80), Instructions: openflow.Apply(openflow.Output(1))})
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := DecodeFlowMod(full[:cut]); err == nil && cut < len(full)-1 {
+			// Some prefixes may decode "successfully" into an empty
+			// trailing section; what matters is no panic.
+			continue
+		}
+	}
+}
+
+func TestPacketInOutRoundTrip(t *testing.T) {
+	pi := PacketIn{BufferID: 9, InPort: 3, TableID: 12, Data: []byte{1, 2, 3, 4}}
+	gotPI, err := DecodePacketIn(EncodePacketIn(pi))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotPI.BufferID != 9 || gotPI.InPort != 3 || gotPI.TableID != 12 || !bytes.Equal(gotPI.Data, pi.Data) {
+		t.Fatalf("packet-in round trip: %+v", gotPI)
+	}
+	po := PacketOut{BufferID: 1, InPort: 2, Actions: openflow.ActionList{openflow.Output(7)}, Data: []byte{9, 9}}
+	gotPO, err := DecodePacketOut(EncodePacketOut(po))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotPO.InPort != 2 || len(gotPO.Actions) != 1 || gotPO.Actions[0].Port != 7 || !bytes.Equal(gotPO.Data, po.Data) {
+		t.Fatalf("packet-out round trip: %+v", gotPO)
+	}
+}
+
+func TestFlowModRoundTripProperty(t *testing.T) {
+	f := func(prio int32, table uint16, port uint32, ipDst uint32, tcpDst uint16) bool {
+		match := openflow.NewMatch().Set(openflow.FieldIPDst, uint64(ipDst)).Set(openflow.FieldTCPDst, uint64(tcpDst))
+		fm := FlowMod{Command: FlowModAdd, TableID: openflow.TableID(table), Priority: prio, Match: match,
+			Instructions: openflow.Apply(openflow.Output(port))}
+		got, err := DecodeFlowMod(EncodeFlowMod(fm))
+		return err == nil && got.Match.Equal(match) && got.Priority == prio &&
+			got.Instructions.ApplyActions[0].Port == port
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFlowModEncodeDecode(b *testing.B) {
+	fm := FlowMod{
+		Command: FlowModAdd, TableID: 1, Priority: 100,
+		Match:        openflow.NewMatch().Set(openflow.FieldIPDst, 1234).Set(openflow.FieldTCPDst, 80),
+		Instructions: openflow.Apply(openflow.Output(1)),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		body := EncodeFlowMod(fm)
+		if _, err := DecodeFlowMod(body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

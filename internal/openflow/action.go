@@ -1,0 +1,305 @@
+package openflow
+
+import (
+	"fmt"
+	"strings"
+
+	"eswitch/internal/pkt"
+)
+
+// Reserved OpenFlow port numbers.
+const (
+	// PortFlood floods the packet on every port except the ingress port.
+	PortFlood uint32 = 0xfffffffb
+	// PortController sends the packet to the controller (packet-in).
+	PortController uint32 = 0xfffffffd
+	// PortDrop is used internally in verdicts to denote a dropped packet.
+	PortDrop uint32 = 0xffffffff
+	// PortMax is the highest valid physical port number.
+	PortMax uint32 = 0xffffff00
+)
+
+// ActionType enumerates the supported OpenFlow actions.
+type ActionType uint8
+
+// Action types.
+const (
+	// ActionOutput forwards the packet to a port (or the controller/flood
+	// reserved ports).
+	ActionOutput ActionType = iota
+	// ActionSetField rewrites a header field.
+	ActionSetField
+	// ActionPushVLAN pushes an 802.1Q tag.
+	ActionPushVLAN
+	// ActionPopVLAN pops the outermost 802.1Q tag.
+	ActionPopVLAN
+	// ActionDecTTL decrements the IPv4 TTL.
+	ActionDecTTL
+	// ActionDrop explicitly drops the packet.
+	ActionDrop
+)
+
+// Action is a single OpenFlow action.
+type Action struct {
+	Type ActionType
+	// Port is the output port for ActionOutput.
+	Port uint32
+	// Field and Value parameterize ActionSetField.
+	Field Field
+	Value uint64
+}
+
+// Output returns an output action to the given port.
+func Output(port uint32) Action { return Action{Type: ActionOutput, Port: port} }
+
+// ToController returns an output action to the controller.
+func ToController() Action { return Action{Type: ActionOutput, Port: PortController} }
+
+// Flood returns an output action flooding all ports but the ingress port.
+func Flood() Action { return Action{Type: ActionOutput, Port: PortFlood} }
+
+// SetField returns a set-field action.
+func SetField(f Field, value uint64) Action {
+	return Action{Type: ActionSetField, Field: f, Value: value & f.FullMask()}
+}
+
+// PushVLAN returns a push-VLAN action setting the given VLAN ID.
+func PushVLAN(vid uint16) Action {
+	return Action{Type: ActionPushVLAN, Field: FieldVLANID, Value: uint64(vid & 0x0fff)}
+}
+
+// PopVLAN returns a pop-VLAN action.
+func PopVLAN() Action { return Action{Type: ActionPopVLAN} }
+
+// DecTTL returns a decrement-TTL action.
+func DecTTL() Action { return Action{Type: ActionDecTTL} }
+
+// Drop returns an explicit drop action.
+func Drop() Action { return Action{Type: ActionDrop} }
+
+// String renders the action in ovs-ofctl-like syntax.
+func (a Action) String() string {
+	switch a.Type {
+	case ActionOutput:
+		switch a.Port {
+		case PortController:
+			return "controller"
+		case PortFlood:
+			return "flood"
+		default:
+			return fmt.Sprintf("output:%d", a.Port)
+		}
+	case ActionSetField:
+		return fmt.Sprintf("set_field:%s=%d", a.Field, a.Value)
+	case ActionPushVLAN:
+		return fmt.Sprintf("push_vlan:%d", a.Value)
+	case ActionPopVLAN:
+		return "pop_vlan"
+	case ActionDecTTL:
+		return "dec_ttl"
+	case ActionDrop:
+		return "drop"
+	default:
+		return fmt.Sprintf("action(%d)", a.Type)
+	}
+}
+
+// Equal reports whether two actions are identical.
+func (a Action) Equal(b Action) bool { return a == b }
+
+// ActionList is an ordered list of actions.
+type ActionList []Action
+
+// String renders the list in ovs-ofctl-like syntax.
+func (l ActionList) String() string {
+	if len(l) == 0 {
+		return "drop"
+	}
+	parts := make([]string, len(l))
+	for i, a := range l {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// Equal reports whether two action lists are element-wise identical.
+func (l ActionList) Equal(o ActionList) bool {
+	if len(l) != len(o) {
+		return false
+	}
+	for i := range l {
+		if l[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a compact identity key for sharing identical action sets
+// across flows (the paper's shared composite action sets, §3.1).
+func (l ActionList) Key() string {
+	var sb strings.Builder
+	for _, a := range l {
+		fmt.Fprintf(&sb, "%d:%d:%d:%d;", a.Type, a.Port, a.Field, a.Value)
+	}
+	return sb.String()
+}
+
+// Clone returns a copy of the action list.
+func (l ActionList) Clone() ActionList {
+	if l == nil {
+		return nil
+	}
+	out := make(ActionList, len(l))
+	copy(out, l)
+	return out
+}
+
+// Verdict is the result of sending one packet through a datapath: where the
+// packet goes and how it was modified.
+type Verdict struct {
+	// OutPorts lists the physical ports the packet is transmitted on.
+	OutPorts []uint32
+	// ToController is set when the packet must be punted to the controller.
+	ToController bool
+	// Dropped is set when the packet matched an explicit or implicit drop.
+	Dropped bool
+	// TableMiss is set when the pipeline ended in a table miss with no
+	// miss entry configured (the packet is dropped or punted depending on
+	// switch configuration).
+	TableMiss bool
+	// Modified is set when any header rewrite action was applied.
+	Modified bool
+	// Tables counts the number of flow-table lookups performed.
+	Tables int
+}
+
+// Reset clears the verdict for reuse, keeping the OutPorts capacity.
+func (v *Verdict) Reset() {
+	v.OutPorts = v.OutPorts[:0]
+	v.ToController = false
+	v.Dropped = false
+	v.TableMiss = false
+	v.Modified = false
+	v.Tables = 0
+}
+
+// Forwarded reports whether the packet was sent out at least one port.
+func (v *Verdict) Forwarded() bool { return len(v.OutPorts) > 0 }
+
+// Equivalent reports whether two verdicts describe the same externally
+// observable outcome (same output ports in the same order, same controller /
+// drop disposition).  Table-walk statistics are ignored.
+func (v *Verdict) Equivalent(o *Verdict) bool {
+	if v.ToController != o.ToController || v.Forwarded() != o.Forwarded() {
+		return false
+	}
+	if len(v.OutPorts) != len(o.OutPorts) {
+		return false
+	}
+	for i := range v.OutPorts {
+		if v.OutPorts[i] != o.OutPorts[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the verdict compactly.
+func (v *Verdict) String() string {
+	switch {
+	case v.ToController && !v.Forwarded():
+		return "controller"
+	case v.Forwarded():
+		parts := make([]string, len(v.OutPorts))
+		for i, p := range v.OutPorts {
+			parts[i] = utoa(uint64(p))
+		}
+		s := "output:" + strings.Join(parts, ",")
+		if v.ToController {
+			s += "+controller"
+		}
+		return s
+	case v.TableMiss:
+		return "miss"
+	default:
+		return "drop"
+	}
+}
+
+// ApplyActions executes an action list against a packet, accumulating the
+// externally visible outcome in the verdict and applying header rewrites to
+// the parsed header view (and, where the offsets are known, the raw bytes).
+// numPorts is the port count used to expand flood actions.
+func ApplyActions(actions ActionList, p *pkt.Packet, v *Verdict, numPorts int) {
+	if len(actions) == 0 {
+		v.Dropped = true
+		return
+	}
+	for _, a := range actions {
+		switch a.Type {
+		case ActionOutput:
+			switch a.Port {
+			case PortController:
+				v.ToController = true
+			case PortFlood:
+				for port := 1; port <= numPorts; port++ {
+					if uint32(port) != p.InPort {
+						v.OutPorts = append(v.OutPorts, uint32(port))
+					}
+				}
+			default:
+				v.OutPorts = append(v.OutPorts, a.Port)
+			}
+		case ActionSetField:
+			applySetField(p, a.Field, a.Value)
+			v.Modified = true
+		case ActionPushVLAN:
+			p.Headers.Proto |= pkt.ProtoVLAN
+			p.Headers.VLANID = uint16(a.Value)
+			v.Modified = true
+		case ActionPopVLAN:
+			p.Headers.Proto &^= pkt.ProtoVLAN
+			p.Headers.VLANID = 0
+			v.Modified = true
+		case ActionDecTTL:
+			if p.Headers.IPTTL > 0 {
+				p.Headers.IPTTL--
+			}
+			v.Modified = true
+		case ActionDrop:
+			v.Dropped = true
+			return
+		}
+	}
+	if !v.Forwarded() && !v.ToController {
+		v.Dropped = true
+	}
+}
+
+// applySetField rewrites a header field in the parsed view.
+func applySetField(p *pkt.Packet, f Field, value uint64) {
+	h := &p.Headers
+	switch f {
+	case FieldMetadata:
+		p.Metadata = value
+	case FieldEthDst:
+		h.EthDst = pkt.MACFromUint64(value)
+	case FieldEthSrc:
+		h.EthSrc = pkt.MACFromUint64(value)
+	case FieldVLANID:
+		h.VLANID = uint16(value)
+	case FieldVLANPCP:
+		h.VLANPCP = uint8(value)
+	case FieldIPSrc:
+		h.IPSrc = pkt.IPv4(value)
+	case FieldIPDst:
+		h.IPDst = pkt.IPv4(value)
+	case FieldIPDSCP:
+		h.IPDSCP = uint8(value)
+	case FieldTCPSrc, FieldUDPSrc, FieldSCTPSrc:
+		h.L4Src = uint16(value)
+	case FieldTCPDst, FieldUDPDst, FieldSCTPDst:
+		h.L4Dst = uint16(value)
+	}
+}

@@ -1,0 +1,327 @@
+package openflow
+
+import (
+	"sort"
+	"strings"
+
+	"eswitch/internal/pkt"
+)
+
+// Match is a wildcard match over packet header fields.  A field that is not
+// set matches any value; a set field matches value/mask in the usual masked
+// sense (an all-ones mask is an exact match, a prefix mask is a longest-
+// prefix-style match, and arbitrary masks are allowed, as in OpenFlow).
+//
+// The zero Match matches every packet.
+type Match struct {
+	fields FieldSet
+	values [NumFields]uint64
+	masks  [NumFields]uint64
+}
+
+// NewMatch returns an empty (match-everything) match.
+func NewMatch() *Match { return &Match{} }
+
+// Set adds an exact match on field f.
+func (m *Match) Set(f Field, value uint64) *Match {
+	return m.SetMasked(f, value, f.FullMask())
+}
+
+// SetMasked adds a masked match on field f.  A zero mask removes the field.
+func (m *Match) SetMasked(f Field, value, mask uint64) *Match {
+	mask &= f.FullMask()
+	if mask == 0 {
+		m.Unset(f)
+		return m
+	}
+	m.fields = m.fields.Add(f)
+	m.values[f] = value & mask
+	m.masks[f] = mask
+	return m
+}
+
+// SetPrefix adds a prefix match of the given length on a 32-bit field (IP
+// addresses); length 0 removes the field.
+func (m *Match) SetPrefix(f Field, value uint64, prefixLen int) *Match {
+	if prefixLen <= 0 {
+		m.Unset(f)
+		return m
+	}
+	width := int(f.Width())
+	if prefixLen > width {
+		prefixLen = width
+	}
+	mask := f.FullMask() &^ ((uint64(1) << (width - prefixLen)) - 1)
+	return m.SetMasked(f, value, mask)
+}
+
+// Unset removes field f from the match.
+func (m *Match) Unset(f Field) *Match {
+	m.fields &^= 1 << f
+	m.values[f] = 0
+	m.masks[f] = 0
+	return m
+}
+
+// Fields returns the set of fields the match constrains.
+func (m *Match) Fields() FieldSet { return m.fields }
+
+// IsEmpty reports whether the match constrains no fields (matches all).
+func (m *Match) IsEmpty() bool { return m.fields == 0 }
+
+// Get returns the value and mask for field f and whether it is set.
+func (m *Match) Get(f Field) (value, mask uint64, ok bool) {
+	if !m.fields.Has(f) {
+		return 0, 0, false
+	}
+	return m.values[f], m.masks[f], true
+}
+
+// IsExact reports whether field f is constrained with a full (exact) mask.
+func (m *Match) IsExact(f Field) bool {
+	return m.fields.Has(f) && m.masks[f] == f.FullMask()
+}
+
+// IsPrefix reports whether field f is constrained with a prefix mask and, if
+// so, returns the prefix length.
+func (m *Match) IsPrefix(f Field) (int, bool) {
+	if !m.fields.Has(f) {
+		return 0, false
+	}
+	mask := m.masks[f]
+	width := int(f.Width())
+	// A prefix mask is a run of ones followed by a run of zeros within the
+	// field width.
+	ones := 0
+	for i := width - 1; i >= 0; i-- {
+		if mask&(1<<uint(i)) != 0 {
+			ones++
+		} else {
+			break
+		}
+	}
+	if mask == f.FullMask()&^((uint64(1)<<(width-ones))-1) {
+		return ones, true
+	}
+	return 0, false
+}
+
+// RequiredLayer returns the deepest parse layer the match needs.
+func (m *Match) RequiredLayer() pkt.Layer { return m.fields.RequiredLayer() }
+
+// RequiredProto returns the protocol-presence bits a packet must have for the
+// match to possibly apply (the union of field prerequisites).
+func (m *Match) RequiredProto() pkt.Proto {
+	var proto pkt.Proto
+	for f := Field(0); f < NumFields; f++ {
+		if m.fields.Has(f) {
+			proto |= f.Prerequisite()
+		}
+	}
+	return proto
+}
+
+// FieldTracker records which fields (and which bits of them) a classification
+// pass examined.  The OVS baseline uses it to compute megaflow masks: every
+// field consulted during slow-path classification — whether it matched or not
+// — must be folded into the megaflow entry's mask (§2.2).
+type FieldTracker interface {
+	// ObserveField records that the classification examined field f under
+	// the given mask.
+	ObserveField(f Field, mask uint64)
+}
+
+// Matches reports whether packet p satisfies the match.  The packet must be
+// parsed at least to m.RequiredLayer().  If tracker is non-nil, every field
+// comparison performed is reported to it (used for megaflow mask
+// computation).
+func (m *Match) Matches(p *pkt.Packet, tracker FieldTracker) bool {
+	if m.fields == 0 {
+		return true
+	}
+	proto := m.RequiredProto()
+	if tracker != nil && proto != 0 {
+		// Examining prerequisites observes the protocol-identifying
+		// fields (EtherType / IP protocol).
+		if proto&(pkt.ProtoIPv4|pkt.ProtoARP) != 0 {
+			tracker.ObserveField(FieldEthType, FieldEthType.FullMask())
+		}
+		if proto&(pkt.ProtoTCP|pkt.ProtoUDP|pkt.ProtoICMP|pkt.ProtoSCTP) != 0 {
+			tracker.ObserveField(FieldIPProto, FieldIPProto.FullMask())
+		}
+	}
+	if !p.Headers.Has(proto) {
+		return false
+	}
+	for f := Field(0); f < NumFields; f++ {
+		if !m.fields.Has(f) {
+			continue
+		}
+		if tracker != nil {
+			tracker.ObserveField(f, m.masks[f])
+		}
+		if (Extract(p, f)^m.values[f])&m.masks[f] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// MatchesValues reports whether a field-value vector (indexed by Field)
+// satisfies the match; used by the decomposition equivalence checker.
+func (m *Match) MatchesValues(values *[NumFields]uint64) bool {
+	for f := Field(0); f < NumFields; f++ {
+		if m.fields.Has(f) && (values[f]^m.values[f])&m.masks[f] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether the two matches constrain exactly the same
+// field/value/mask combinations.
+func (m *Match) Equal(o *Match) bool {
+	if m.fields != o.fields {
+		return false
+	}
+	for f := Field(0); f < NumFields; f++ {
+		if m.fields.Has(f) && (m.values[f] != o.values[f] || m.masks[f] != o.masks[f]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Subsumes reports whether every packet matched by o is also matched by m
+// (m is at least as general as o).
+func (m *Match) Subsumes(o *Match) bool {
+	for f := Field(0); f < NumFields; f++ {
+		if !m.fields.Has(f) {
+			continue
+		}
+		if !o.fields.Has(f) {
+			return false
+		}
+		// Every bit m constrains must be constrained identically by o.
+		if m.masks[f]&^o.masks[f] != 0 {
+			return false
+		}
+		if (m.values[f]^o.values[f])&m.masks[f] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Overlaps reports whether there exists a packet matched by both m and o.
+func (m *Match) Overlaps(o *Match) bool {
+	for f := Field(0); f < NumFields; f++ {
+		if m.fields.Has(f) && o.fields.Has(f) {
+			common := m.masks[f] & o.masks[f]
+			if (m.values[f]^o.values[f])&common != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the match.
+func (m *Match) Clone() *Match {
+	c := *m
+	return &c
+}
+
+// HashKey returns a compact string key identifying the exact
+// field/value/mask combination; used for deduplicating identical matches.
+func (m *Match) HashKey() string {
+	var sb strings.Builder
+	for f := Field(0); f < NumFields; f++ {
+		if m.fields.Has(f) {
+			sb.WriteByte(byte(f))
+			for shift := 0; shift < 64; shift += 8 {
+				sb.WriteByte(byte(m.values[f] >> shift))
+				sb.WriteByte(byte(m.masks[f] >> shift))
+			}
+		}
+	}
+	return sb.String()
+}
+
+// String renders the match in ovs-ofctl-like syntax.
+func (m *Match) String() string {
+	if m.fields == 0 {
+		return "*"
+	}
+	parts := make([]string, 0, m.fields.Count())
+	for f := Field(0); f < NumFields; f++ {
+		if !m.fields.Has(f) {
+			continue
+		}
+		v, mask := m.values[f], m.masks[f]
+		var s string
+		switch f {
+		case FieldIPSrc, FieldIPDst, FieldARPSPA, FieldARPTPA:
+			if plen, ok := m.IsPrefix(f); ok {
+				s = formatKV(f.String(), pkt.IPv4(v).String(), plen, 32)
+			} else {
+				s = f.String() + "=" + pkt.IPv4(v).String() + "/" + pkt.IPv4(mask).String()
+			}
+		case FieldEthDst, FieldEthSrc:
+			s = f.String() + "=" + pkt.MACFromUint64(v).String()
+			if mask != f.FullMask() {
+				s += "/" + pkt.MACFromUint64(mask).String()
+			}
+		default:
+			if mask == f.FullMask() {
+				s = sprintUint(f.String(), v)
+			} else {
+				s = sprintUintMask(f.String(), v, mask)
+			}
+		}
+		parts = append(parts, s)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func formatKV(name, val string, plen, width int) string {
+	if plen == width {
+		return name + "=" + val
+	}
+	return name + "=" + val + "/" + itoa(plen)
+}
+
+func sprintUint(name string, v uint64) string      { return name + "=" + utoa(v) }
+func sprintUintMask(name string, v, m uint64) string { return name + "=" + utoa(v) + "/0x" + hexa(m) }
+
+func itoa(v int) string { return utoa(uint64(v)) }
+
+func utoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+func hexa(v uint64) string {
+	const digits = "0123456789abcdef"
+	if v == 0 {
+		return "0"
+	}
+	var buf [16]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = digits[v&0xf]
+		v >>= 4
+	}
+	return string(buf[i:])
+}

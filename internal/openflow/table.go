@@ -1,0 +1,317 @@
+package openflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"eswitch/internal/pkt"
+)
+
+// TableID identifies a flow table within a pipeline.  OpenFlow limits the
+// wire-visible range to 0–254, but internally decomposed pipelines (§3.2) may
+// use more, so the type is wider than uint8 on purpose.
+type TableID uint16
+
+// Instructions is the instruction set attached to a flow entry.
+type Instructions struct {
+	// ApplyActions are executed immediately, in order, when the entry
+	// matches.
+	ApplyActions ActionList
+	// WriteActions are merged into the packet's action set, executed when
+	// pipeline processing ends.
+	WriteActions ActionList
+	// ClearActions clears the accumulated action set before WriteActions
+	// are merged.
+	ClearActions bool
+	// GotoTable, when HasGoto is set, sends the packet to the given table
+	// for further processing.
+	GotoTable TableID
+	HasGoto   bool
+	// WriteMetadata updates the packet metadata register under
+	// MetadataMask before the next table is consulted.
+	WriteMetadata uint64
+	MetadataMask  uint64
+}
+
+// Goto returns instructions that only jump to the given table.
+func Goto(t TableID) Instructions { return Instructions{GotoTable: t, HasGoto: true} }
+
+// Apply returns instructions that apply the given actions and terminate.
+func Apply(actions ...Action) Instructions { return Instructions{ApplyActions: actions} }
+
+// ApplyThenGoto returns instructions that apply the actions and continue at
+// the given table.
+func ApplyThenGoto(t TableID, actions ...Action) Instructions {
+	return Instructions{ApplyActions: actions, GotoTable: t, HasGoto: true}
+}
+
+// String renders the instructions in ovs-ofctl-like syntax.
+func (ins Instructions) String() string {
+	parts := []string{}
+	if len(ins.ApplyActions) > 0 {
+		parts = append(parts, "apply:"+ins.ApplyActions.String())
+	}
+	if ins.ClearActions {
+		parts = append(parts, "clear_actions")
+	}
+	if len(ins.WriteActions) > 0 {
+		parts = append(parts, "write:"+ins.WriteActions.String())
+	}
+	if ins.MetadataMask != 0 {
+		parts = append(parts, fmt.Sprintf("write_metadata:%#x/%#x", ins.WriteMetadata, ins.MetadataMask))
+	}
+	if ins.HasGoto {
+		parts = append(parts, fmt.Sprintf("goto_table:%d", ins.GotoTable))
+	}
+	if len(parts) == 0 {
+		return "drop"
+	}
+	return strings.Join(parts, " ")
+}
+
+// Equal reports whether two instruction sets are identical.
+func (ins Instructions) Equal(o Instructions) bool {
+	return ins.ApplyActions.Equal(o.ApplyActions) &&
+		ins.WriteActions.Equal(o.WriteActions) &&
+		ins.ClearActions == o.ClearActions &&
+		ins.HasGoto == o.HasGoto &&
+		(!ins.HasGoto || ins.GotoTable == o.GotoTable) &&
+		ins.WriteMetadata == o.WriteMetadata &&
+		ins.MetadataMask == o.MetadataMask
+}
+
+// Clone returns a deep copy of the instructions.
+func (ins Instructions) Clone() Instructions {
+	c := ins
+	c.ApplyActions = ins.ApplyActions.Clone()
+	c.WriteActions = ins.WriteActions.Clone()
+	return c
+}
+
+// Counters hold per-entry statistics; all fields are updated atomically.
+type Counters struct {
+	Packets atomic.Uint64
+	Bytes   atomic.Uint64
+}
+
+// Add records one packet of the given length.
+func (c *Counters) Add(bytes int) {
+	c.Packets.Add(1)
+	c.Bytes.Add(uint64(bytes))
+}
+
+// FlowEntry is a single prioritized rule in a flow table.
+type FlowEntry struct {
+	// Priority orders entries within a table; higher matches first.
+	Priority int
+	// Match selects the packets the entry applies to.
+	Match *Match
+	// Instructions describe what happens on a match.
+	Instructions Instructions
+	// Cookie is an opaque controller-assigned identifier.
+	Cookie uint64
+	// Counters accumulate per-entry statistics.
+	Counters Counters
+
+	// seq is the insertion sequence number, used to keep the relative
+	// order of equal-priority entries stable.
+	seq uint64
+}
+
+// NewEntry builds a flow entry.
+func NewEntry(priority int, match *Match, ins Instructions) *FlowEntry {
+	if match == nil {
+		match = NewMatch()
+	}
+	return &FlowEntry{Priority: priority, Match: match, Instructions: ins}
+}
+
+// String renders the entry in ovs-ofctl-like syntax.
+func (e *FlowEntry) String() string {
+	return fmt.Sprintf("priority=%d,%s actions=%s", e.Priority, e.Match, e.Instructions)
+}
+
+// Clone returns a deep copy of the entry (with zeroed counters).
+func (e *FlowEntry) Clone() *FlowEntry {
+	return &FlowEntry{
+		Priority:     e.Priority,
+		Match:        e.Match.Clone(),
+		Instructions: e.Instructions.Clone(),
+		Cookie:       e.Cookie,
+	}
+}
+
+// FlowTable is one stage of the pipeline: an ordered list of flow entries.
+// The zero value is an empty table with ID 0.
+//
+// FlowTable is not safe for concurrent mutation; the datapaths that need
+// concurrent read access (internal/core, internal/ovs) take snapshots.
+type FlowTable struct {
+	ID TableID
+	// Name is an optional human-readable stage name ("per-CE NAT", ...).
+	Name string
+
+	entries []*FlowEntry
+	nextSeq uint64
+	// index maps (priority, match) to the entry position for O(1)
+	// replace-on-add, keeping large installs (Fig. 17) linear.
+	index map[entryKey]int
+}
+
+type entryKey struct {
+	priority int
+	match    string
+}
+
+// NewFlowTable returns an empty table with the given ID.
+func NewFlowTable(id TableID) *FlowTable { return &FlowTable{ID: id} }
+
+// Len returns the number of entries in the table.
+func (t *FlowTable) Len() int { return len(t.entries) }
+
+// Entries returns the table's entries in match order (decreasing priority,
+// insertion order within a priority).  The returned slice must not be
+// modified.
+func (t *FlowTable) Entries() []*FlowEntry { return t.entries }
+
+// Add inserts a flow entry, keeping entries sorted by decreasing priority
+// (insertion order within a priority).  If an entry with an identical match
+// and priority already exists it is replaced (OpenFlow FlowMod ADD semantics)
+// and the method reports false for "added new entry".
+func (t *FlowTable) Add(e *FlowEntry) bool {
+	key := entryKey{priority: e.Priority, match: e.Match.HashKey()}
+	if t.index == nil {
+		t.index = make(map[entryKey]int)
+		for i, old := range t.entries {
+			t.index[entryKey{priority: old.Priority, match: old.Match.HashKey()}] = i
+		}
+	}
+	if i, ok := t.index[key]; ok && t.entries[i].Priority == e.Priority && t.entries[i].Match.Equal(e.Match) {
+		e.seq = t.entries[i].seq
+		t.entries[i] = e
+		return false
+	}
+	e.seq = t.nextSeq
+	t.nextSeq++
+	// Insert after every entry with priority >= e.Priority (binary search
+	// over the already-sorted slice keeps equal-priority entries in
+	// insertion order).
+	pos := sort.Search(len(t.entries), func(i int) bool { return t.entries[i].Priority < e.Priority })
+	t.entries = append(t.entries, nil)
+	copy(t.entries[pos+1:], t.entries[pos:])
+	t.entries[pos] = e
+	if pos == len(t.entries)-1 {
+		t.index[key] = pos
+	} else {
+		// Positions after pos shifted; rebuild the index lazily only for
+		// the shifted suffix.
+		for i := pos; i < len(t.entries); i++ {
+			t.index[entryKey{priority: t.entries[i].Priority, match: t.entries[i].Match.HashKey()}] = i
+		}
+	}
+	return true
+}
+
+// reindex rebuilds the replace-on-add index after bulk removals.
+func (t *FlowTable) reindex() {
+	t.index = make(map[entryKey]int, len(t.entries))
+	for i, e := range t.entries {
+		t.index[entryKey{priority: e.Priority, match: e.Match.HashKey()}] = i
+	}
+}
+
+// AddFlow is a convenience wrapper building and adding an entry.
+func (t *FlowTable) AddFlow(priority int, match *Match, ins Instructions) *FlowEntry {
+	e := NewEntry(priority, match, ins)
+	t.Add(e)
+	return e
+}
+
+// Delete removes entries whose match equals the given match (and, when
+// priority >= 0, whose priority equals it).  It returns the number removed.
+func (t *FlowTable) Delete(match *Match, priority int) int {
+	kept := t.entries[:0]
+	removed := 0
+	for _, e := range t.entries {
+		if e.Match.Equal(match) && (priority < 0 || e.Priority == priority) {
+			removed++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	t.entries = kept
+	if removed > 0 {
+		t.reindex()
+	}
+	return removed
+}
+
+// DeleteWhere removes all entries for which pred returns true and returns the
+// number removed.
+func (t *FlowTable) DeleteWhere(pred func(*FlowEntry) bool) int {
+	kept := t.entries[:0]
+	removed := 0
+	for _, e := range t.entries {
+		if pred(e) {
+			removed++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	t.entries = kept
+	if removed > 0 {
+		t.reindex()
+	}
+	return removed
+}
+
+// Lookup performs priority-ordered classification of packet p in this table,
+// returning the highest-priority matching entry or nil on a table miss.  If
+// tracker is non-nil every field examined (including fields of higher-
+// priority entries that failed to match) is reported to it.  The packet must
+// already be parsed deep enough for the table's match fields.
+func (t *FlowTable) Lookup(p *pkt.Packet, tracker FieldTracker) *FlowEntry {
+	for _, e := range t.entries {
+		if e.Match.Matches(p, tracker) {
+			return e
+		}
+	}
+	return nil
+}
+
+// MatchFields returns the union of fields matched by any entry of the table.
+func (t *FlowTable) MatchFields() FieldSet {
+	var s FieldSet
+	for _, e := range t.entries {
+		s = s.Union(e.Match.Fields())
+	}
+	return s
+}
+
+// Clone returns a deep copy of the table (entries cloned, counters zeroed).
+func (t *FlowTable) Clone() *FlowTable {
+	c := NewFlowTable(t.ID)
+	c.Name = t.Name
+	for _, e := range t.entries {
+		c.Add(e.Clone())
+	}
+	return c
+}
+
+// String renders the table as one entry per line.
+func (t *FlowTable) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "table=%d", t.ID)
+	if t.Name != "" {
+		fmt.Fprintf(&sb, " (%s)", t.Name)
+	}
+	sb.WriteByte('\n')
+	for _, e := range t.entries {
+		sb.WriteString("  ")
+		sb.WriteString(e.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

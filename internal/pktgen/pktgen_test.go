@@ -1,0 +1,109 @@
+package pktgen
+
+import (
+	"testing"
+
+	"eswitch/internal/pkt"
+)
+
+func TestTraceRoundRobin(t *testing.T) {
+	flows := []Flow{
+		{InPort: 1, DstIP: 10, SrcIP: 1, DstPort: 80},
+		{InPort: 2, DstIP: 20, SrcIP: 2, DstPort: 81},
+		{InPort: 3, DstIP: 30, SrcIP: 3, DstPort: 82},
+	}
+	tr := NewTrace(flows, 0)
+	if tr.NumFlows() != 3 {
+		t.Fatalf("flows %d", tr.NumFlows())
+	}
+	var p pkt.Packet
+	seen := make([]uint32, 0, 6)
+	for i := 0; i < 6; i++ {
+		tr.Next(&p)
+		seen = append(seen, p.InPort)
+		if !pkt.ParseL4(&p) {
+			t.Fatalf("packet %d does not parse", i)
+		}
+	}
+	want := []uint32{1, 2, 3, 1, 2, 3}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("round robin order %v", seen)
+		}
+	}
+	tr.Reset()
+	tr.Next(&p)
+	if p.InPort != 1 {
+		t.Fatal("reset did not rewind")
+	}
+}
+
+func TestTraceShuffleDeterministic(t *testing.T) {
+	flows := make([]Flow, 16)
+	for i := range flows {
+		flows[i] = Flow{InPort: uint32(i + 1), DstIP: pkt.IPv4(i), DstPort: 80}
+	}
+	a := NewTrace(flows, 99)
+	b := NewTrace(flows, 99)
+	c := NewTrace(flows, 100)
+	var pa, pb, pc pkt.Packet
+	different := false
+	for i := 0; i < 16; i++ {
+		a.Next(&pa)
+		b.Next(&pb)
+		c.Next(&pc)
+		if pa.InPort != pb.InPort {
+			t.Fatal("same seed must give the same order")
+		}
+		if pa.InPort != pc.InPort {
+			different = true
+		}
+	}
+	if !different {
+		t.Fatal("different seeds should permute differently")
+	}
+}
+
+func TestFlowKinds(t *testing.T) {
+	tr := NewTrace([]Flow{
+		{L2Only: true, DstMAC: pkt.MACFromUint64(5)},
+		{Proto: pkt.IPProtoUDP, DstPort: 53, DstIP: 1},
+		{VLAN: 7, DstPort: 80, DstIP: 2},
+	}, 0)
+	var p pkt.Packet
+	tr.Next(&p)
+	pkt.ParseL4(&p)
+	if p.Headers.Has(pkt.ProtoIPv4) {
+		t.Fatal("L2-only flow must not carry IP")
+	}
+	if p.InPort != 1 {
+		t.Fatal("default in-port must be 1")
+	}
+	tr.Next(&p)
+	pkt.ParseL4(&p)
+	if !p.Headers.Has(pkt.ProtoUDP) || p.Headers.L4Dst != 53 {
+		t.Fatalf("udp flow: %v %d", p.Headers.Proto, p.Headers.L4Dst)
+	}
+	tr.Next(&p)
+	pkt.ParseL4(&p)
+	if !p.Headers.Has(pkt.ProtoTCP) || !p.Headers.Has(pkt.ProtoVLAN) || p.Headers.VLANID != 7 {
+		t.Fatalf("vlan tcp flow: %v", p.Headers.Proto)
+	}
+	if _, inPort := tr.Frame(1); inPort != 1 {
+		t.Fatal("Frame accessor broken")
+	}
+}
+
+func BenchmarkTraceNext(b *testing.B) {
+	flows := make([]Flow, 1024)
+	for i := range flows {
+		flows[i] = Flow{DstIP: pkt.IPv4(i), DstPort: 80, SrcPort: uint16(i)}
+	}
+	tr := NewTrace(flows, 1)
+	var p pkt.Packet
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Next(&p)
+	}
+}

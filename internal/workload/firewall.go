@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"math/rand"
+
+	"eswitch/internal/openflow"
+	"eswitch/internal/pkt"
+)
+
+// WebServerIP is the protected web server of the Fig. 1 firewall.
+var WebServerIP = pkt.IPv4FromOctets(192, 0, 2, 1)
+
+// FirewallSingleStage builds the single-table firewall of Fig. 1a: traffic
+// from the internal port (2) is forwarded to the external port (1)
+// unconditionally; in the reverse direction only HTTP towards the web server
+// is admitted; everything else is dropped.
+func FirewallSingleStage() *openflow.Pipeline {
+	pl := openflow.NewPipeline(2)
+	t0 := pl.Table(0)
+	t0.Name = "firewall"
+	t0.AddFlow(300, openflow.NewMatch().Set(openflow.FieldInPort, 2), openflow.Apply(openflow.Output(1)))
+	t0.AddFlow(200, openflow.NewMatch().
+		Set(openflow.FieldInPort, 1).
+		Set(openflow.FieldIPDst, uint64(WebServerIP)).
+		Set(openflow.FieldTCPDst, 80), openflow.Apply(openflow.Output(2)))
+	t0.AddFlow(100, openflow.NewMatch(), openflow.Apply(openflow.Drop()))
+	return pl
+}
+
+// FirewallMultiStage builds the equivalent two-table pipeline of Fig. 1b.
+func FirewallMultiStage() *openflow.Pipeline {
+	pl := openflow.NewPipeline(2)
+	t0 := pl.Table(0)
+	t0.Name = "ports"
+	t0.AddFlow(300, openflow.NewMatch().Set(openflow.FieldInPort, 2), openflow.Apply(openflow.Output(1)))
+	t0.AddFlow(200, openflow.NewMatch().Set(openflow.FieldInPort, 1), openflow.Goto(1))
+	t0.AddFlow(100, openflow.NewMatch(), openflow.Apply(openflow.Drop()))
+	t1 := pl.AddTable(1)
+	t1.Name = "web-filter"
+	t1.AddFlow(200, openflow.NewMatch().
+		Set(openflow.FieldIPDst, uint64(WebServerIP)).
+		Set(openflow.FieldTCPDst, 80), openflow.Apply(openflow.Output(2)))
+	t1.AddFlow(100, openflow.NewMatch(), openflow.Apply(openflow.Drop()))
+	return pl
+}
+
+// Fig3Pipeline is the reconstructed single-rule port table of Fig. 3 and the
+// seven TCP destination ports of its two arrival sequences.
+func Fig3Pipeline() *openflow.Pipeline {
+	pl := openflow.NewPipeline(2)
+	pl.Table(0).AddFlow(10, openflow.NewMatch().Set(openflow.FieldTCPDst, 191), openflow.Apply(openflow.Output(1)))
+	pl.Table(0).AddFlow(0, openflow.NewMatch(), openflow.Apply(openflow.Drop()))
+	return pl
+}
+
+// Fig3Seq1 and Fig3Seq2 are the two arrival sequences of Fig. 3b/3c.
+var (
+	Fig3Seq1 = []uint16{190, 189, 187, 183, 175, 159, 191}
+	Fig3Seq2 = []uint16{191, 190, 189, 187, 183, 175, 159}
+)
+
+// ACLRule is one synthetic five-tuple ACL rule (snort-community-style,
+// stripped to OpenFlow-compatible exact-or-wildcard matches as in §3.2).
+type ACLRule struct {
+	Match  *openflow.Match
+	Action openflow.ActionList
+}
+
+// GenerateACLs builds a deterministic synthetic ACL set of n rules with the
+// structural shape of the paper's snort-community-rules experiment: every
+// rule constrains a subset of {ip_src, ip_dst, ip_proto, tcp/udp src, dst}
+// with exact values, leaving the remaining fields wildcarded.
+func GenerateACLs(n int, seed int64) []ACLRule {
+	rng := rand.New(rand.NewSource(seed))
+	// A handful of "interesting" servers and ports, as in real rule sets:
+	// most rules protect one of a few servers on one of a few well-known
+	// ports, a minority constrains the source host or source port.
+	servers := make([]pkt.IPv4, 5)
+	for i := range servers {
+		servers[i] = pkt.IPv4FromOctets(192, 0, 2, byte(10+i))
+	}
+	ports := []uint16{22, 25, 53, 80, 443, 445, 3389}
+	sources := make([]pkt.IPv4, 4)
+	for i := range sources {
+		sources[i] = pkt.IPv4FromOctets(203, 0, 113, byte(1+i))
+	}
+	rules := make([]ACLRule, 0, n)
+	for i := 0; i < n; i++ {
+		m := openflow.NewMatch()
+		useTCP := rng.Intn(4) != 0
+		if rng.Intn(10) < 8 {
+			m.Set(openflow.FieldIPDst, uint64(servers[rng.Intn(len(servers))]))
+		}
+		if rng.Intn(10) < 2 {
+			m.Set(openflow.FieldIPSrc, uint64(sources[rng.Intn(len(sources))]))
+		}
+		if rng.Intn(10) < 9 {
+			if useTCP {
+				m.Set(openflow.FieldTCPDst, uint64(ports[rng.Intn(len(ports))]))
+			} else {
+				m.Set(openflow.FieldUDPDst, uint64(ports[rng.Intn(len(ports))]))
+			}
+		}
+		if m.IsEmpty() {
+			m.Set(openflow.FieldTCPDst, uint64(ports[rng.Intn(len(ports))]))
+		}
+		rules = append(rules, ACLRule{Match: m, Action: openflow.ActionList{openflow.Drop()}})
+	}
+	return rules
+}
+
+// ACLPipeline builds a single-table pipeline from an ACL rule set, with a
+// final catch-all that forwards admitted traffic.
+func ACLPipeline(rules []ACLRule) *openflow.Pipeline {
+	pl := openflow.NewPipeline(2)
+	t0 := pl.Table(0)
+	t0.Name = "acl"
+	prio := len(rules) + 10
+	for _, r := range rules {
+		ins := openflow.Instructions{ApplyActions: r.Action}
+		t0.AddFlow(prio, r.Match, ins)
+		prio--
+	}
+	t0.AddFlow(0, openflow.NewMatch(), openflow.Apply(openflow.Output(1)))
+	return pl
+}

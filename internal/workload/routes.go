@@ -1,0 +1,85 @@
+// Package workload builds the paper's evaluation use cases (§4.1): the
+// OpenFlow pipelines for L2 switching, L3 routing, the web load balancer and
+// the telco access gateway, the firewall of Fig. 1, the Fig. 3 table, and
+// synthetic stand-ins for the external artefacts the paper uses (an
+// Internet-like routing table sample and a snort-like ACL rule set), plus the
+// traffic suites that sweep the "number of active flows" axis.
+package workload
+
+import (
+	"math/rand"
+
+	"eswitch/internal/pkt"
+)
+
+// Route is one synthetic RIB entry.
+type Route struct {
+	Addr    pkt.IPv4
+	Prefix  int
+	NextHop uint32 // egress port
+}
+
+// GenerateRoutes builds a deterministic, Internet-like routing table sample:
+// prefix lengths follow the familiar skew (mostly /24 and /22–/23, some /16s
+// and a handful of short prefixes), addresses spread over the unicast space,
+// next hops cycle over numPorts egress ports.  It stands in for the "routing
+// tables randomly sampled from a real Internet router" of §4.1.
+func GenerateRoutes(n int, numPorts int, seed int64) []Route {
+	if numPorts < 1 {
+		numPorts = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Approximate Internet prefix-length distribution.
+	lengths := []struct {
+		plen   int
+		weight int
+	}{
+		{24, 55}, {23, 10}, {22, 11}, {21, 4}, {20, 4},
+		{19, 3}, {18, 2}, {17, 1}, {16, 6}, {15, 1},
+		{14, 1}, {13, 1}, {12, 1}, {11, 1}, {10, 1}, {8, 1},
+	}
+	totalWeight := 0
+	for _, l := range lengths {
+		totalWeight += l.weight
+	}
+	pick := func() int {
+		r := rng.Intn(totalWeight)
+		for _, l := range lengths {
+			if r < l.weight {
+				return l.plen
+			}
+			r -= l.weight
+		}
+		return 24
+	}
+	seen := make(map[uint64]bool)
+	routes := make([]Route, 0, n)
+	for len(routes) < n {
+		plen := pick()
+		// Stay inside 1.0.0.0 – 223.255.255.255 to look like unicast space.
+		addr := uint32(rng.Int63n(223<<24-1<<24) + 1<<24)
+		mask := uint32(0xffffffff) << (32 - uint(plen))
+		addr &= mask
+		key := uint64(addr)<<8 | uint64(plen)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		routes = append(routes, Route{
+			Addr:    pkt.IPv4(addr),
+			Prefix:  plen,
+			NextHop: uint32(1 + len(routes)%numPorts),
+		})
+	}
+	return routes
+}
+
+// AddressInside returns a deterministic host address covered by the route.
+func AddressInside(r Route, salt int) pkt.IPv4 {
+	hostBits := 32 - r.Prefix
+	if hostBits == 0 {
+		return r.Addr
+	}
+	span := uint32(1) << uint(hostBits)
+	return r.Addr + pkt.IPv4(uint32(salt)%span)
+}

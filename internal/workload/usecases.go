@@ -1,0 +1,334 @@
+package workload
+
+import (
+	"math/rand"
+
+	"eswitch/internal/openflow"
+	"eswitch/internal/pkt"
+	"eswitch/internal/pktgen"
+)
+
+// UseCase bundles a pipeline with a traffic generator sweeping the active
+// flow set — the two ingredients every evaluation figure needs.
+type UseCase struct {
+	// Name identifies the use case ("l2", "l3", "loadbalancer", "gateway").
+	Name string
+	// Pipeline is the OpenFlow pipeline the switch under test is
+	// configured with.
+	Pipeline *openflow.Pipeline
+	// Trace builds a traffic trace with the given number of active flows.
+	Trace func(activeFlows int) *pktgen.Trace
+	// WantsDecomposition marks use cases whose single-table form only
+	// becomes fast after flow-table decomposition (the load balancer).
+	WantsDecomposition bool
+}
+
+// ---------------------------------------------------------------------------
+// L2 switching (§4.1): exact matching on a MAC table.
+// ---------------------------------------------------------------------------
+
+func l2MAC(i int) pkt.MAC { return pkt.MACFromUint64(0x020000000000 + uint64(i)) }
+
+// L2UseCase builds the MAC-forwarding use case with tableSize learned
+// addresses.  The generated traffic only uses destination addresses present
+// in the table (the paper aligns destinations to avoid table misses) and
+// varies the source address and transport tuple to grow the active flow set.
+func L2UseCase(tableSize int, numPorts int) *UseCase {
+	if numPorts < 2 {
+		numPorts = 4
+	}
+	pl := openflow.NewPipeline(numPorts)
+	t0 := pl.Table(0)
+	t0.Name = "mac"
+	for i := 0; i < tableSize; i++ {
+		t0.AddFlow(100, openflow.NewMatch().Set(openflow.FieldEthDst, l2MAC(i).Uint64()),
+			openflow.Apply(openflow.Output(uint32(1+i%numPorts))))
+	}
+	t0.AddFlow(0, openflow.NewMatch(), openflow.Apply(openflow.Flood()))
+
+	return &UseCase{
+		Name:     "l2",
+		Pipeline: pl,
+		Trace: func(activeFlows int) *pktgen.Trace {
+			if activeFlows < 1 {
+				activeFlows = 1
+			}
+			flows := make([]pktgen.Flow, 0, activeFlows)
+			for f := 0; f < activeFlows; f++ {
+				flows = append(flows, pktgen.Flow{
+					InPort: uint32(1 + f%numPorts),
+					DstMAC: l2MAC(f % tableSize),
+					SrcMAC: pkt.MACFromUint64(0x0a0000000000 + uint64(f)),
+					L2Only: true,
+				})
+			}
+			return pktgen.NewTrace(flows, int64(activeFlows)+1)
+		},
+	}
+}
+
+// ---------------------------------------------------------------------------
+// L3 routing (§4.1): longest prefix match over a routing table.
+// ---------------------------------------------------------------------------
+
+// L3UseCase builds the IP-routing use case over a synthetic RIB of the given
+// size.  Traffic destinations are drawn from the installed prefixes so every
+// packet finds a route, and the active flow set varies destinations and
+// transport ports.
+func L3UseCase(numPrefixes int, numPorts int, seed int64) *UseCase {
+	if numPorts < 2 {
+		numPorts = 8
+	}
+	routes := GenerateRoutes(numPrefixes, numPorts, seed)
+	pl := openflow.NewPipeline(numPorts)
+	t0 := pl.Table(0)
+	t0.Name = "rib"
+	for _, r := range routes {
+		m := openflow.NewMatch().SetPrefix(openflow.FieldIPDst, uint64(r.Addr), r.Prefix)
+		t0.AddFlow(r.Prefix, m, openflow.Apply(openflow.DecTTL(), openflow.Output(r.NextHop)))
+	}
+	t0.AddFlow(0, openflow.NewMatch(), openflow.Apply(openflow.Drop()))
+
+	return &UseCase{
+		Name:     "l3",
+		Pipeline: pl,
+		Trace: func(activeFlows int) *pktgen.Trace {
+			if activeFlows < 1 {
+				activeFlows = 1
+			}
+			rng := rand.New(rand.NewSource(seed ^ int64(activeFlows)))
+			flows := make([]pktgen.Flow, 0, activeFlows)
+			for f := 0; f < activeFlows; f++ {
+				r := routes[rng.Intn(len(routes))]
+				flows = append(flows, pktgen.Flow{
+					InPort:  1,
+					SrcMAC:  pkt.MACFromUint64(2),
+					DstMAC:  pkt.MACFromUint64(1),
+					SrcIP:   pkt.IPv4FromOctets(198, 18, byte(f>>8), byte(f)),
+					DstIP:   AddressInside(r, f),
+					SrcPort: uint16(1024 + f%60000),
+					DstPort: 80,
+				})
+			}
+			return pktgen.NewTrace(flows, seed+int64(activeFlows))
+		},
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Load balancer (§4.1, Fig. 7): a web frontend splitting HTTP traffic per
+// service across two backends by the first bit of the source address.
+// ---------------------------------------------------------------------------
+
+func serviceIP(i int) pkt.IPv4 { return pkt.IPv4FromOctets(198, 51, byte(i>>8), byte(i)) }
+
+// LoadBalancerUseCase builds the Fig. 7a single-table pipeline for the given
+// number of web services.  Port 1 faces the Internet, port 2 the backends;
+// backends A and B are reached through ports 3 and 4.
+func LoadBalancerUseCase(numServices int) *UseCase {
+	pl := openflow.NewPipeline(4)
+	t0 := pl.Table(0)
+	t0.Name = "loadbalancer"
+	for s := 0; s < numServices; s++ {
+		ip := uint64(serviceIP(s))
+		mA := openflow.NewMatch().
+			Set(openflow.FieldIPDst, ip).
+			Set(openflow.FieldTCPDst, 80).
+			SetMasked(openflow.FieldIPSrc, 0, 0x80000000)
+		t0.AddFlow(20, mA, openflow.Apply(openflow.Output(3)))
+		mB := openflow.NewMatch().
+			Set(openflow.FieldIPDst, ip).
+			Set(openflow.FieldTCPDst, 80).
+			SetMasked(openflow.FieldIPSrc, 0x80000000, 0x80000000)
+		t0.AddFlow(20, mB, openflow.Apply(openflow.Output(4)))
+	}
+	// Reverse direction: traffic from the backends is forwarded
+	// unconditionally to the Internet-facing port.
+	t0.AddFlow(10, openflow.NewMatch().Set(openflow.FieldInPort, 2), openflow.Apply(openflow.Output(1)))
+	t0.AddFlow(0, openflow.NewMatch(), openflow.Apply(openflow.Drop()))
+
+	return &UseCase{
+		Name:               "loadbalancer",
+		Pipeline:           pl,
+		WantsDecomposition: true,
+		Trace: func(activeFlows int) *pktgen.Trace {
+			if activeFlows < 1 {
+				activeFlows = 1
+			}
+			rng := rand.New(rand.NewSource(int64(numServices)*1000 + int64(activeFlows)))
+			flows := make([]pktgen.Flow, 0, activeFlows)
+			for f := 0; f < activeFlows; f++ {
+				var flow pktgen.Flow
+				if f%2 == 0 {
+					// Web traffic towards a random service.
+					flow = pktgen.Flow{
+						InPort:  1,
+						SrcIP:   pkt.IPv4(rng.Uint32()),
+						DstIP:   serviceIP(rng.Intn(numServices)),
+						SrcPort: uint16(1024 + rng.Intn(60000)),
+						DstPort: 80,
+					}
+				} else {
+					// Non-web traffic that the pipeline drops.
+					flow = pktgen.Flow{
+						InPort:  1,
+						SrcIP:   pkt.IPv4(rng.Uint32()),
+						DstIP:   serviceIP(rng.Intn(numServices)),
+						SrcPort: uint16(1024 + rng.Intn(60000)),
+						DstPort: 22,
+					}
+				}
+				flow.SrcMAC = pkt.MACFromUint64(2)
+				flow.DstMAC = pkt.MACFromUint64(1)
+				flows = append(flows, flow)
+			}
+			return pktgen.NewTrace(flows, int64(activeFlows)+7)
+		},
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Telco access gateway (§4.1, Fig. 8): a virtual provider endpoint with
+// per-CE user tables, NAT-style address swapping and an Internet routing
+// table.
+// ---------------------------------------------------------------------------
+
+// GatewayConfig parameterizes the access-gateway use case.
+type GatewayConfig struct {
+	CEs        int
+	UsersPerCE int
+	Prefixes   int
+	Seed       int64
+}
+
+// DefaultGatewayConfig returns the paper's configuration: 10 CEs, 20 users
+// per CE, 10K routing prefixes.
+func DefaultGatewayConfig() GatewayConfig {
+	return GatewayConfig{CEs: 10, UsersPerCE: 20, Prefixes: 10000, Seed: 2016}
+}
+
+// Table layout of the gateway pipeline.
+const (
+	// GatewayTableClassifier is Table 0: it splits user→network from
+	// network→user traffic by ingress port.
+	GatewayTableClassifier openflow.TableID = 0
+	// GatewayTableVLANDispatch identifies the CE by its VLAN tag.
+	GatewayTableVLANDispatch openflow.TableID = 5
+	gatewayTablePerCEBase    openflow.TableID = 10
+	// GatewayTableRouting is Table 110 of Fig. 8b, the IP routing table.
+	GatewayTableRouting  openflow.TableID = 110
+	GatewayTableDownlink openflow.TableID = 200
+	gatewayUserPort                       = 1
+	gatewayNetworkPort                    = 2
+)
+
+func gatewayVLAN(ce int) uint16 { return uint16(100 + ce) }
+
+func gatewayPrivateIP(ce, user int) pkt.IPv4 {
+	return pkt.IPv4FromOctets(10, byte(ce), byte(user>>8), byte(user))
+}
+
+func gatewayPublicIP(ce, user int) pkt.IPv4 {
+	return pkt.IPv4FromOctets(100, 64+byte(ce), byte(user>>8), byte(user))
+}
+
+// GatewayTableForCE returns the per-CE flow table ID.
+func GatewayTableForCE(ce int) openflow.TableID {
+	return gatewayTablePerCEBase + openflow.TableID(ce)
+}
+
+// GatewayUseCase builds the Fig. 8 access-gateway pipeline.
+func GatewayUseCase(cfg GatewayConfig) *UseCase {
+	pl := openflow.NewPipeline(2)
+	pl.Miss = openflow.MissController
+
+	t0 := pl.Table(GatewayTableClassifier)
+	t0.Name = "classifier"
+	vlanDispatch := pl.AddTable(GatewayTableVLANDispatch)
+	vlanDispatch.Name = "vlan-dispatch"
+	routing := pl.AddTable(GatewayTableRouting)
+	routing.Name = "rib"
+	down := pl.AddTable(GatewayTableDownlink)
+	down.Name = "downlink"
+
+	// Table 0: split user→network from network→user traffic by ingress
+	// port (a tiny table — the direct-code template).
+	t0.AddFlow(100, openflow.NewMatch().Set(openflow.FieldInPort, gatewayUserPort), openflow.Goto(GatewayTableVLANDispatch))
+	t0.AddFlow(50, openflow.NewMatch().Set(openflow.FieldInPort, gatewayNetworkPort), openflow.Goto(GatewayTableDownlink))
+	t0.AddFlow(0, openflow.NewMatch(), openflow.Apply(openflow.ToController()))
+
+	// VLAN dispatch and per-CE user tables.
+	for ce := 0; ce < cfg.CEs; ce++ {
+		perCE := pl.AddTable(GatewayTableForCE(ce))
+		perCE.Name = "ce"
+		vlanDispatch.AddFlow(100, openflow.NewMatch().Set(openflow.FieldVLANID, uint64(gatewayVLAN(ce))),
+			openflow.Goto(perCE.ID))
+		// Per-CE table: identify the user by private source address, swap
+		// it for the public address (simple NAT) and route.
+		for u := 0; u < cfg.UsersPerCE; u++ {
+			perCE.AddFlow(100, openflow.NewMatch().Set(openflow.FieldIPSrc, uint64(gatewayPrivateIP(ce, u))),
+				openflow.ApplyThenGoto(GatewayTableRouting,
+					openflow.SetField(openflow.FieldIPSrc, uint64(gatewayPublicIP(ce, u))),
+					openflow.PopVLAN()))
+		}
+		// Unknown users go to the controller for admission control.
+		perCE.AddFlow(0, openflow.NewMatch(), openflow.Apply(openflow.ToController()))
+	}
+	vlanDispatch.AddFlow(0, openflow.NewMatch(), openflow.Apply(openflow.ToController()))
+
+	// Table 110: the Internet routing table.
+	routes := GenerateRoutes(cfg.Prefixes, 1, cfg.Seed)
+	for _, r := range routes {
+		routing.AddFlow(r.Prefix, openflow.NewMatch().SetPrefix(openflow.FieldIPDst, uint64(r.Addr), r.Prefix),
+			openflow.Apply(openflow.DecTTL(), openflow.Output(gatewayNetworkPort)))
+	}
+	routing.AddFlow(0, openflow.NewMatch(), openflow.Apply(openflow.Output(gatewayNetworkPort)))
+
+	// Table 200: map public addresses back to the user (reverse direction).
+	for ce := 0; ce < cfg.CEs; ce++ {
+		for u := 0; u < cfg.UsersPerCE; u++ {
+			down.AddFlow(100, openflow.NewMatch().Set(openflow.FieldIPDst, uint64(gatewayPublicIP(ce, u))),
+				openflow.Apply(
+					openflow.SetField(openflow.FieldIPDst, uint64(gatewayPrivateIP(ce, u))),
+					openflow.PushVLAN(gatewayVLAN(ce)),
+					openflow.Output(gatewayUserPort)))
+		}
+	}
+	down.AddFlow(0, openflow.NewMatch(), openflow.Apply(openflow.ToController()))
+
+	return &UseCase{
+		Name:     "gateway",
+		Pipeline: pl,
+		Trace: func(activeFlows int) *pktgen.Trace {
+			return GatewayTrace(cfg, routes, activeFlows)
+		},
+	}
+}
+
+// GatewayTrace builds user→network traffic for the gateway: the active flow
+// set varies the per-user transport flows (the paper's Fig. 13 sweep).
+func GatewayTrace(cfg GatewayConfig, routes []Route, activeFlows int) *pktgen.Trace {
+	if activeFlows < 1 {
+		activeFlows = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ int64(activeFlows)))
+	flows := make([]pktgen.Flow, 0, activeFlows)
+	users := cfg.CEs * cfg.UsersPerCE
+	for f := 0; f < activeFlows; f++ {
+		user := f % users
+		ce := user % cfg.CEs
+		u := user / cfg.CEs
+		r := routes[rng.Intn(len(routes))]
+		flows = append(flows, pktgen.Flow{
+			InPort:  gatewayUserPort,
+			SrcMAC:  pkt.MACFromUint64(0x0c0000000000 + uint64(user)),
+			DstMAC:  pkt.MACFromUint64(1),
+			VLAN:    gatewayVLAN(ce),
+			SrcIP:   gatewayPrivateIP(ce, u),
+			DstIP:   AddressInside(r, f),
+			SrcPort: uint16(1024 + (f/users)%60000),
+			DstPort: 80,
+		})
+	}
+	return pktgen.NewTrace(flows, cfg.Seed+int64(activeFlows))
+}
