@@ -31,6 +31,54 @@ func benchES(b *testing.B, uc *workload.UseCase, flows int) {
 	benchTrace(b, uc.Trace(flows), dp.ProcessUnlocked, flows)
 }
 
+// benchESBurst compiles the use case with ESWITCH and measures the burst
+// fast path: the trace is replayed in 32-packet bursts (DPDK's customary
+// burst size) through ProcessBurstUnlocked.
+func benchESBurst(b *testing.B, uc *workload.UseCase, flows int) {
+	b.Helper()
+	opts := core.DefaultOptions()
+	opts.Decompose = uc.WantsDecomposition
+	dp, err := core.Compile(uc.Pipeline, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchTraceBurst(b, uc.Trace(flows), dp, flows)
+}
+
+func benchTraceBurst(b *testing.B, trace *pktgen.Trace, dp *core.Datapath, warmup int) {
+	b.Helper()
+	const burst = dpdk.DefaultBurst
+	packets := make([]pkt.Packet, burst)
+	ps := make([]*pkt.Packet, burst)
+	for i := range packets {
+		ps[i] = &packets[i]
+	}
+	vs := make([]openflow.Verdict, burst)
+	if warmup > 200_000 {
+		warmup = 200_000
+	}
+	for i := 0; i < warmup; i += burst {
+		for j := 0; j < burst; j++ {
+			trace.Next(ps[j])
+		}
+		dp.ProcessBurstUnlocked(ps, vs)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += burst {
+		n := burst
+		if rem := b.N - i; rem < n {
+			n = rem
+		}
+		for j := 0; j < n; j++ {
+			trace.Next(ps[j])
+		}
+		dp.ProcessBurstUnlocked(ps[:n], vs[:n])
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Mpps")
+}
+
 // benchOVS runs the same trace over the flow-caching baseline.
 func benchOVS(b *testing.B, uc *workload.UseCase, flows int) {
 	b.Helper()
@@ -135,6 +183,7 @@ func BenchmarkFig10_L2(b *testing.B) {
 		for _, flows := range []int{100, 100_000} {
 			uc := workload.L2UseCase(size, 4)
 			b.Run(fmt.Sprintf("eswitch/table=%d/flows=%d", size, flows), func(b *testing.B) { benchES(b, uc, flows) })
+			b.Run(fmt.Sprintf("eswitch-burst/table=%d/flows=%d", size, flows), func(b *testing.B) { benchESBurst(b, uc, flows) })
 			b.Run(fmt.Sprintf("ovs/table=%d/flows=%d", size, flows), func(b *testing.B) { benchOVS(b, uc, flows) })
 		}
 	}
@@ -145,6 +194,7 @@ func BenchmarkFig11_L3(b *testing.B) {
 		for _, flows := range []int{100, 100_000} {
 			uc := workload.L3UseCase(prefixes, 8, 2016)
 			b.Run(fmt.Sprintf("eswitch/prefixes=%d/flows=%d", prefixes, flows), func(b *testing.B) { benchES(b, uc, flows) })
+			b.Run(fmt.Sprintf("eswitch-burst/prefixes=%d/flows=%d", prefixes, flows), func(b *testing.B) { benchESBurst(b, uc, flows) })
 			b.Run(fmt.Sprintf("ovs/prefixes=%d/flows=%d", prefixes, flows), func(b *testing.B) { benchOVS(b, uc, flows) })
 		}
 	}
@@ -155,6 +205,7 @@ func BenchmarkFig12_LoadBalancer(b *testing.B) {
 		for _, flows := range []int{100, 100_000} {
 			uc := workload.LoadBalancerUseCase(services)
 			b.Run(fmt.Sprintf("eswitch/services=%d/flows=%d", services, flows), func(b *testing.B) { benchES(b, uc, flows) })
+			b.Run(fmt.Sprintf("eswitch-burst/services=%d/flows=%d", services, flows), func(b *testing.B) { benchESBurst(b, uc, flows) })
 			b.Run(fmt.Sprintf("ovs/services=%d/flows=%d", services, flows), func(b *testing.B) { benchOVS(b, uc, flows) })
 		}
 	}
@@ -170,6 +221,7 @@ func BenchmarkFig13_Gateway(b *testing.B) {
 	uc := workload.GatewayUseCase(benchGatewayConfig())
 	for _, flows := range []int{1000, 100_000} {
 		b.Run(fmt.Sprintf("eswitch/flows=%d", flows), func(b *testing.B) { benchES(b, uc, flows) })
+		b.Run(fmt.Sprintf("eswitch-burst/flows=%d", flows), func(b *testing.B) { benchESBurst(b, uc, flows) })
 		b.Run(fmt.Sprintf("ovs/flows=%d", flows), func(b *testing.B) { benchOVS(b, uc, flows) })
 	}
 }
@@ -327,7 +379,9 @@ func BenchmarkFig19_MultiCore(b *testing.B) {
 			for i := range frames {
 				frames[i], _ = trace.Frame(i)
 			}
-			sw := dpdk.NewSwitch(dpdk.DatapathFunc(dp.Process), uc.Pipeline.NumPorts, 8192)
+			// Passing the compiled datapath itself (not a func adapter)
+			// lets the workers drive RX burst → ProcessBurst → TX burst.
+			sw := dpdk.NewSwitch(dp, uc.Pipeline.NumPorts, 8192)
 			stop := sw.RunWorkers(cores)
 			defer stop()
 			b.SetParallelism(1)

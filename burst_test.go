@@ -1,0 +1,271 @@
+// Differential tests for the burst fast path: every bundled workload is run
+// through the reference Interpreter, the per-packet compiled path (Process)
+// and the burst engine (ProcessBurst), and all three must agree on verdicts
+// and rewritten headers — including bursts that mix drops, goto chains and
+// controller punts, and burst sizes that exercise the MaxBurst chunking.
+package eswitch
+
+import (
+	"fmt"
+	"runtime/debug"
+	"testing"
+
+	"eswitch/internal/core"
+	"eswitch/internal/cpumodel"
+	"eswitch/internal/openflow"
+	"eswitch/internal/pkt"
+	"eswitch/internal/pktgen"
+	"eswitch/internal/workload"
+)
+
+// diffFrame is one input packet of a differential case.
+type diffFrame struct {
+	data   []byte
+	inPort uint32
+}
+
+func framesFromTrace(tr *pktgen.Trace, n int) []diffFrame {
+	out := make([]diffFrame, 0, n)
+	var p pkt.Packet
+	for i := 0; i < n; i++ {
+		tr.Next(&p)
+		out = append(out, diffFrame{data: p.Data, inPort: p.InPort})
+	}
+	return out
+}
+
+// verdictsIdentical is the strict comparison between the two compiled paths:
+// the burst engine must reproduce the per-packet path bit for bit, including
+// statistics.
+func verdictsIdentical(a, b *openflow.Verdict) bool {
+	if a.ToController != b.ToController || a.Dropped != b.Dropped ||
+		a.TableMiss != b.TableMiss || a.Modified != b.Modified || a.Tables != b.Tables {
+		return false
+	}
+	if len(a.OutPorts) != len(b.OutPorts) {
+		return false
+	}
+	for i := range a.OutPorts {
+		if a.OutPorts[i] != b.OutPorts[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// runDifferential runs one workload's frames through all three datapaths,
+// with and without a cycle meter (the two compiled process variants).
+func runDifferential(t *testing.T, name string, pl *openflow.Pipeline, frames []diffFrame, decompose bool) {
+	t.Helper()
+	n := len(frames)
+	for _, metered := range []bool{false, true} {
+		t.Run(fmt.Sprintf("%s/metered=%v", name, metered), func(t *testing.T) {
+			interp := openflow.NewInterpreter(pl.Clone())
+			interp.UpdateCounters = false
+			opts := core.DefaultOptions()
+			opts.Decompose = decompose
+			if metered {
+				opts.Meter = cpumodel.NewMeter(cpumodel.DefaultPlatform())
+			}
+			dp, err := core.Compile(pl, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Reference and per-packet compiled runs.
+			iv := make([]openflow.Verdict, n)
+			ih := make([]pkt.Headers, n)
+			sv := make([]openflow.Verdict, n)
+			sh := make([]pkt.Headers, n)
+			sm := make([]uint64, n)
+			for i, f := range frames {
+				p := pkt.Packet{Data: f.data, InPort: f.inPort}
+				interp.Process(&p, &iv[i], nil)
+				ih[i] = p.Headers
+				p = pkt.Packet{Data: f.data, InPort: f.inPort}
+				dp.Process(&p, &sv[i])
+				sh[i], sm[i] = p.Headers, p.Metadata
+			}
+
+			// Per-packet compiled vs interpreter: same externally visible
+			// outcome and same header rewrites.
+			for i := range frames {
+				if !sv[i].Equivalent(&iv[i]) || sv[i].ToController != iv[i].ToController || sv[i].Dropped != iv[i].Dropped {
+					t.Fatalf("frame %d: compiled %s != interpreter %s", i, sv[i].String(), iv[i].String())
+				}
+				if sh[i] != ih[i] {
+					t.Fatalf("frame %d: compiled headers %+v != interpreter headers %+v", i, sh[i], ih[i])
+				}
+			}
+
+			// Burst runs at several burst sizes; n > core.MaxBurst exercises
+			// the chunking path.
+			for _, burst := range []int{1, 5, 32, n} {
+				packets := make([]pkt.Packet, burst)
+				ps := make([]*pkt.Packet, burst)
+				for j := range packets {
+					ps[j] = &packets[j]
+				}
+				vs := make([]openflow.Verdict, burst)
+				for base := 0; base < n; base += burst {
+					g := burst
+					if n-base < g {
+						g = n - base
+					}
+					for j := 0; j < g; j++ {
+						packets[j] = pkt.Packet{Data: frames[base+j].data, InPort: frames[base+j].inPort}
+					}
+					dp.ProcessBurst(ps[:g], vs[:g])
+					for j := 0; j < g; j++ {
+						i := base + j
+						if !verdictsIdentical(&vs[j], &sv[i]) {
+							t.Fatalf("burst=%d frame %d: burst verdict %s != single %s", burst, i, vs[j].String(), sv[i].String())
+						}
+						if packets[j].Headers != sh[i] {
+							t.Fatalf("burst=%d frame %d: burst headers %+v != single %+v", burst, i, packets[j].Headers, sh[i])
+						}
+						if packets[j].Metadata != sm[i] {
+							t.Fatalf("burst=%d frame %d: burst metadata %#x != single %#x", burst, i, packets[j].Metadata, sm[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestBurstDifferentialL2(t *testing.T) {
+	uc := workload.L2UseCase(64, 4)
+	frames := framesFromTrace(uc.Trace(100), 100)
+	// An unlearned destination address exercises the flood catch-all.
+	b := pkt.NewBuilder(128)
+	frames = append(frames, diffFrame{
+		data:   pkt.Clone(b.EthernetFrame(pkt.EthernetOpts{Dst: pkt.MACFromUint64(0xdead), Src: pkt.MACFromUint64(7), EtherType: 0x0800}, nil)),
+		inPort: 2,
+	})
+	runDifferential(t, "l2", uc.Pipeline, frames, false)
+}
+
+func TestBurstDifferentialL3(t *testing.T) {
+	uc := workload.L3UseCase(400, 8, 7)
+	frames := framesFromTrace(uc.Trace(100), 100)
+	b := pkt.NewBuilder(128)
+	// An ARP frame misses the IPv4 prerequisite of the LPM template and must
+	// fall through to the drop catch-all; a bare L2 frame likewise.
+	frames = append(frames,
+		diffFrame{data: pkt.Clone(b.ARPPacket(pkt.EthernetOpts{Dst: pkt.MACFromUint64(1), Src: pkt.MACFromUint64(2)}, 1, 0x0a000001, 0x0a000002)), inPort: 1},
+		diffFrame{data: pkt.Clone(b.EthernetFrame(pkt.EthernetOpts{Dst: pkt.MACFromUint64(1), Src: pkt.MACFromUint64(2), EtherType: 0x88cc}, nil)), inPort: 3},
+	)
+	runDifferential(t, "l3", uc.Pipeline, frames, false)
+}
+
+func TestBurstDifferentialLoadBalancer(t *testing.T) {
+	uc := workload.LoadBalancerUseCase(50)
+	// The trace already mixes admitted web traffic with dropped non-web
+	// traffic; add reverse-direction packets from the backends.
+	frames := framesFromTrace(uc.Trace(100), 100)
+	b := pkt.NewBuilder(128)
+	frames = append(frames, diffFrame{
+		data: pkt.Clone(b.TCPPacket(pkt.EthernetOpts{Dst: pkt.MACFromUint64(2), Src: pkt.MACFromUint64(1)},
+			pkt.IPv4Opts{Src: pkt.IPv4FromOctets(198, 51, 0, 3), Dst: pkt.IPv4FromOctets(203, 0, 113, 9)},
+			pkt.L4Opts{Src: 80, Dst: 50000})),
+		inPort: 2,
+	})
+	runDifferential(t, "loadbalancer", uc.Pipeline, frames, true)
+	runDifferential(t, "loadbalancer-nodecomp", uc.Pipeline, frames, false)
+}
+
+func TestBurstDifferentialGateway(t *testing.T) {
+	cfg := workload.GatewayConfig{CEs: 3, UsersPerCE: 5, Prefixes: 300, Seed: 5}
+	uc := workload.GatewayUseCase(cfg)
+	frames := framesFromTrace(uc.Trace(100), 100)
+	b := pkt.NewBuilder(128)
+	dstIP := pkt.IPv4FromOctets(203, 0, 113, 50)
+	frames = append(frames,
+		// Unknown user behind a known CE: per-CE table punts to controller.
+		diffFrame{data: pkt.Clone(b.TCPPacket(
+			pkt.EthernetOpts{Dst: pkt.MACFromUint64(1), Src: pkt.MACFromUint64(9), VLAN: 100},
+			pkt.IPv4Opts{Src: pkt.IPv4FromOctets(10, 0, 7, 7), Dst: dstIP},
+			pkt.L4Opts{Src: 1234, Dst: 80})), inPort: 1},
+		// Unknown VLAN: the dispatch table punts.
+		diffFrame{data: pkt.Clone(b.TCPPacket(
+			pkt.EthernetOpts{Dst: pkt.MACFromUint64(1), Src: pkt.MACFromUint64(9), VLAN: 999},
+			pkt.IPv4Opts{Src: pkt.IPv4FromOctets(10, 0, 0, 1), Dst: dstIP},
+			pkt.L4Opts{Src: 1234, Dst: 80})), inPort: 1},
+		// Downlink towards a known public address: rewritten and tagged.
+		diffFrame{data: pkt.Clone(b.TCPPacket(
+			pkt.EthernetOpts{Dst: pkt.MACFromUint64(1), Src: pkt.MACFromUint64(9)},
+			pkt.IPv4Opts{Src: dstIP, Dst: pkt.IPv4FromOctets(100, 64+1, 0, 2)},
+			pkt.L4Opts{Src: 80, Dst: 1234})), inPort: 2},
+		// Downlink towards an unknown public address: punted.
+		diffFrame{data: pkt.Clone(b.TCPPacket(
+			pkt.EthernetOpts{Dst: pkt.MACFromUint64(1), Src: pkt.MACFromUint64(9)},
+			pkt.IPv4Opts{Src: dstIP, Dst: pkt.IPv4FromOctets(100, 99, 0, 1)},
+			pkt.L4Opts{Src: 80, Dst: 1234})), inPort: 2},
+	)
+	runDifferential(t, "gateway", uc.Pipeline, frames, false)
+}
+
+func TestBurstDifferentialFirewalls(t *testing.T) {
+	b := pkt.NewBuilder(128)
+	web := uint64(workload.WebServerIP)
+	frames := []diffFrame{
+		// Internal-to-external: forwarded unconditionally.
+		{data: pkt.Clone(b.TCPPacket(pkt.EthernetOpts{}, pkt.IPv4Opts{Src: 9, Dst: 8}, pkt.L4Opts{Src: 80, Dst: 5000})), inPort: 2},
+		// Admitted HTTP towards the web server.
+		{data: pkt.Clone(b.TCPPacket(pkt.EthernetOpts{}, pkt.IPv4Opts{Src: 7, Dst: pkt.IPv4(web)}, pkt.L4Opts{Src: 4000, Dst: 80})), inPort: 1},
+		// SSH towards the web server: dropped by the filter stage.
+		{data: pkt.Clone(b.TCPPacket(pkt.EthernetOpts{}, pkt.IPv4Opts{Src: 7, Dst: pkt.IPv4(web)}, pkt.L4Opts{Src: 4001, Dst: 22})), inPort: 1},
+		// UDP port 80: fails the TCP prerequisite, dropped.
+		{data: pkt.Clone(b.UDPPacket(pkt.EthernetOpts{}, pkt.IPv4Opts{Src: 7, Dst: pkt.IPv4(web)}, pkt.L4Opts{Src: 4002, Dst: 80})), inPort: 1},
+		// ARP from outside: dropped.
+		{data: pkt.Clone(b.ARPPacket(pkt.EthernetOpts{}, 1, 0x0a000001, 0x0a000002)), inPort: 1},
+	}
+	runDifferential(t, "firewall-single", workload.FirewallSingleStage(), frames, false)
+	runDifferential(t, "firewall-multi", workload.FirewallMultiStage(), frames, false)
+}
+
+// TestProcessBurstNoAllocs asserts the acceptance criterion directly: the
+// steady-state burst path performs no allocations.
+func TestProcessBurstNoAllocs(t *testing.T) {
+	cases := []*workload.UseCase{
+		workload.L2UseCase(1000, 4),
+		workload.L3UseCase(1000, 8, 2016),
+		workload.LoadBalancerUseCase(100),
+		workload.GatewayUseCase(workload.GatewayConfig{CEs: 4, UsersPerCE: 8, Prefixes: 500, Seed: 3}),
+	}
+	for _, uc := range cases {
+		t.Run(uc.Name, func(t *testing.T) {
+			opts := core.DefaultOptions()
+			opts.Decompose = uc.WantsDecomposition
+			dp, err := core.Compile(uc.Pipeline, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := uc.Trace(256)
+			const burst = 32
+			packets := make([]pkt.Packet, burst)
+			ps := make([]*pkt.Packet, burst)
+			for j := range packets {
+				ps[j] = &packets[j]
+			}
+			vs := make([]openflow.Verdict, burst)
+			run := func() {
+				for j := 0; j < burst; j++ {
+					tr.Next(ps[j])
+				}
+				dp.ProcessBurstUnlocked(ps, vs)
+			}
+			// Warm the scratch pool and the verdict/action-set capacities,
+			// then measure with the GC pinned so a pool eviction cannot
+			// masquerade as a steady-state allocation.
+			for i := 0; i < 8; i++ {
+				run()
+			}
+			defer debug.SetGCPercent(debug.SetGCPercent(-1))
+			if allocs := testing.AllocsPerRun(50, run); allocs != 0 {
+				t.Fatalf("ProcessBurst allocates %v per burst in steady state", allocs)
+			}
+		})
+	}
+}

@@ -24,7 +24,6 @@ import (
 	"eswitch/internal/core"
 	"eswitch/internal/cpumodel"
 	"eswitch/internal/dpdk"
-	"eswitch/internal/openflow"
 	"eswitch/internal/ovs"
 	"eswitch/internal/pkt"
 	"eswitch/internal/workload"
@@ -61,7 +60,7 @@ func main() {
 	}
 
 	meter := cpumodel.NewMeter(cpumodel.DefaultPlatform())
-	var process func(*pkt.Packet, *openflow.Verdict)
+	var fastpath dpdk.Datapath
 	var programmer controller.FlowProgrammer
 	switch *datapath {
 	case "eswitch":
@@ -72,7 +71,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("compile: %v", err)
 		}
-		process = dp.Process
+		fastpath = dp // the compiled datapath drives the workers' burst path
 		programmer = dp
 		fmt.Printf("eswitchd: compiled %q into %d stages:\n", *useCase, len(dp.Stages()))
 		for _, st := range dp.Stages() {
@@ -85,7 +84,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("baseline: %v", err)
 		}
-		process = sw.Process
+		fastpath = dpdk.DatapathFunc(sw.Process)
 		programmer = sw
 		fmt.Printf("eswitchd: running the flow-caching baseline for %q\n", *useCase)
 	default:
@@ -112,7 +111,7 @@ func main() {
 	}
 
 	// Drive the switch through the dataplane substrate.
-	sw := dpdk.NewSwitch(dpdk.DatapathFunc(process), uc.Pipeline.NumPorts, 4096)
+	sw := dpdk.NewSwitch(fastpath, uc.Pipeline.NumPorts, 4096)
 	trace := uc.Trace(*flows)
 	stop := sw.RunWorkers(*cores)
 

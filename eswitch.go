@@ -23,6 +23,33 @@
 //	sw, _ := eswitch.New(pl, eswitch.DefaultOptions())
 //	var v eswitch.Verdict
 //	sw.Process(pkt, &v)
+//
+// # Burst processing
+//
+// Process handles one packet per call.  High-rate callers should use
+// ProcessBurst, which takes a whole receive burst (DPDK-style, typically 32
+// packets) and runs it through the compiled fast path as a unit: the burst
+// is parsed to the specialized layer in one pass, packets traversing the
+// same flow table are classified through the table's template in a single
+// batched lookup (the compound-hash template packs and hashes every key of
+// the burst before probing, the LPM template batches its DIR-24-8 probes),
+// and per-packet overheads — trampoline loads, meter dispatch, action-set
+// resets — are paid once per burst instead of once per packet.  The burst
+// path is allocation-free in the steady state.
+//
+//	ps := []*eswitch.Packet{...}          // up to one RX burst
+//	vs := make([]eswitch.Verdict, len(ps))
+//	sw.ProcessBurst(ps, vs)
+//
+// Concurrency contract: Process and ProcessBurst may be called from many
+// goroutines concurrently with flow-table updates (AddFlow, DeleteFlow) —
+// updates are transactional per table and swap in atomically through
+// trampolines (§3.4).  The lock-free variants on the underlying Datapath
+// (ProcessUnlocked, ProcessBurstUnlocked) follow the paper's run-to-
+// completion deployment model instead: each worker core drives its own
+// packets, and flow-table updates must be quiesced externally (single
+// writer, no concurrent update while a burst is in flight).  The dataplane
+// substrate under internal/dpdk shards ports over workers exactly this way.
 package eswitch
 
 import (
@@ -193,6 +220,12 @@ func New(pl *Pipeline, opts Options) (*Switch, error) {
 
 // Process sends one packet through the compiled fast path.
 func (s *Switch) Process(p *Packet, v *Verdict) { s.dp.Process(p, v) }
+
+// ProcessBurst sends a burst of packets through the compiled fast path,
+// filling vs[i] with the verdict for ps[i]; len(vs) must be at least
+// len(ps).  See the package documentation for the burst execution model and
+// concurrency contract.
+func (s *Switch) ProcessBurst(ps []*Packet, vs []Verdict) { s.dp.ProcessBurst(ps, vs) }
 
 // AddFlow installs a flow entry in the running datapath (transactional,
 // per-table granularity).

@@ -1,0 +1,3 @@
+module eswitch
+
+go 1.24

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"sync"
+
+	"eswitch/internal/cpumodel"
+	"eswitch/internal/exacthash"
+	"eswitch/internal/openflow"
+	"eswitch/internal/pkt"
+)
+
+// MaxBurst is the largest number of packets one burst wave handles at a time
+// (comfortably above DPDK's customary 32-packet bursts); ProcessBurst splits
+// longer slices into MaxBurst-sized chunks.
+const MaxBurst = 64
+
+// burstScratch is the reusable working state of one in-flight burst.  It is
+// sized for MaxBurst packets and fully reused across bursts — acquiring one
+// from the pool and the action-set slices retaining their capacity is what
+// makes the steady-state burst path allocation-free.
+type burstScratch struct {
+	// Engine state, indexed by burst slot: the trampoline the packet waits
+	// at and the accumulated OpenFlow action set.
+	tramp [MaxBurst]*trampoline
+	sets  [MaxBurst]openflow.ActionList
+	// frontA and frontB are the ping-pong BFS frontiers: the live slots at
+	// the current pipeline depth and at the next one.
+	frontA [MaxBurst]int32
+	frontB [MaxBurst]int32
+	// Group buffers: the packets of the level's group and their outcomes,
+	// handed to the template's LookupBurst.
+	pkts [MaxBurst]*pkt.Packet
+	outs [MaxBurst]lookupOutcome
+	// Template staging, indexed by position within the gathered group: the
+	// key material computed for the whole burst before any probe (compound
+	// hash keys, LPM addresses) and the batched probe results.
+	gidx   [MaxBurst]int32
+	keys   [MaxBurst]hashKey
+	addrs  [MaxBurst]uint32
+	values [MaxBurst]uint32
+	hash   exacthash.BatchScratch
+}
+
+// burstPool recycles scratch across bursts and workers; the scratch is
+// datapath-independent, so one pool serves every Datapath.
+var burstPool = sync.Pool{New: func() any { return new(burstScratch) }}
+
+// ProcessBurst sends a burst of packets through the compiled fast path,
+// filling vs[i] with the verdict for ps[i].  len(vs) must be at least
+// len(ps).  The burst engine parses all packets to the specialized layer in
+// one pass, then walks the pipeline in waves: packets that are waiting at
+// the same trampoline are classified through the table's template in a
+// single batched lookup, so each template (and the trampoline's atomic
+// pointer) is touched once per burst per table instead of once per packet.
+func (d *Datapath) ProcessBurst(ps []*pkt.Packet, vs []openflow.Verdict) {
+	d.mu.RLock()
+	d.ProcessBurstUnlocked(ps, vs)
+	d.mu.RUnlock()
+}
+
+// ProcessBurstUnlocked is ProcessBurst without the read lock, for
+// single-writer harnesses and the per-core dataplane workers where flow-table
+// updates are quiesced externally.
+func (d *Datapath) ProcessBurstUnlocked(ps []*pkt.Packet, vs []openflow.Verdict) {
+	sc := burstPool.Get().(*burstScratch)
+	for len(ps) > MaxBurst {
+		d.processBurst(sc, ps[:MaxBurst], vs[:MaxBurst])
+		ps, vs = ps[MaxBurst:], vs[MaxBurst:]
+	}
+	if len(ps) > 0 {
+		d.processBurst(sc, ps, vs)
+	}
+	burstPool.Put(sc)
+}
+
+// processBurst runs one burst of at most MaxBurst packets to completion.
+func (d *Datapath) processBurst(sc *burstScratch, ps []*pkt.Packet, vs []openflow.Verdict) {
+	n := len(ps)
+	m := d.meter
+
+	// Stage 1: one parser pass over the whole burst, to the layer the
+	// compiled pipeline requires.
+	pkt.ParseToBurst(ps, d.parserLayer)
+	if m != nil {
+		m.StartPackets(n)
+		m.AddCycles((cpumodel.CostPktIO + parserCost(d.parserLayer)) * n)
+	}
+
+	for i := 0; i < n; i++ {
+		vs[i].Reset()
+	}
+
+	// Stages 2+3: wave execution, breadth first over the goto DAG.
+	//
+	// Level 0 is one group by construction — every packet starts at
+	// d.start — so it is classified straight from ps through the start
+	// table's template in a single batched lookup, and per-slot engine
+	// state (trampoline, frontier entry, action set) is materialized only
+	// for the packets that survive into level 1.  Single-table pipelines
+	// never touch the frontier machinery at all.
+	cur, next := sc.frontA[:], sc.frontB[:]
+	curLen := 0
+	uniform := true
+	var nextTr *trampoline
+	{
+		dp := d.start.load()
+		if dp == nil {
+			// No start table: same disposition as the per-packet path.
+			for i := 0; i < n; i++ {
+				vs[i].Dropped = true
+			}
+			return
+		}
+		dp.LookupBurst(ps, sc.outs[:n], sc, m)
+		var set0 openflow.ActionList
+		for j := 0; j < n; j++ {
+			p, v := ps[j], &vs[j]
+			v.Tables++
+			ce := sc.outs[j].entry
+			if ce == nil {
+				d.miss(v)
+				if m != nil {
+					m.AddCycles(cpumodel.CostPktIO)
+				}
+				continue
+			}
+			set0 = set0[:0]
+			switch d.executeEntry(ce, p, v, &set0) {
+			case stepNext:
+				sc.tramp[j] = ce.next
+				// Persist the accumulated action set for the next level;
+				// the per-slot slice is only touched when there is
+				// something to carry (or stale state to clear).
+				if len(set0) > 0 {
+					sc.sets[j] = append(sc.sets[j][:0], set0...)
+				} else if len(sc.sets[j]) > 0 {
+					sc.sets[j] = sc.sets[j][:0]
+				}
+				if curLen == 0 {
+					nextTr = ce.next
+				} else if ce.next != nextTr {
+					uniform = false
+				}
+				cur[curLen] = int32(j)
+				curLen++
+			case stepDropped:
+				if m != nil {
+					m.AddCycles(cpumodel.CostActions)
+				}
+			case stepTerminal:
+				if m != nil {
+					m.AddCycles(cpumodel.CostActions)
+					m.AddCycles(cpumodel.CostPktIO)
+				}
+			}
+		}
+	}
+
+	// Levels 1+: the current frontier holds every live packet at the
+	// current pipeline depth.  A uniform level — every packet waiting at
+	// the same trampoline, tracked from the previous level's survivors —
+	// is classified through the table's template in one batched lookup, so
+	// the template (and the trampoline's atomic pointer) is touched once
+	// per burst instead of once per packet.  A fragmented level (packets
+	// diverged, say, into per-CE user tables) is stepped per slot in a
+	// single fused pass: tiny groups gain nothing from staging, and the
+	// survivors re-merge into a single batch before a shared downstream
+	// table (the routing LPM) is visited.
+	for level := 1; curLen > 0; level++ {
+		if level >= openflow.MaxPipelineDepth {
+			// Same disposition as the per-packet path's depth guard.
+			for k := 0; k < curLen; k++ {
+				vs[cur[k]].Dropped = true
+			}
+			break
+		}
+		nextLen := 0
+		nextUniform := true
+		nextTr = nil
+		if uniform {
+			tr := sc.tramp[cur[0]]
+			dp := tr.load()
+			if dp == nil {
+				// The table was removed under us: same disposition as
+				// the per-packet path (drop).
+				for k := 0; k < curLen; k++ {
+					vs[cur[k]].Dropped = true
+				}
+				break
+			}
+			for k := 0; k < curLen; k++ {
+				sc.pkts[k] = ps[cur[k]]
+			}
+			dp.LookupBurst(sc.pkts[:curLen], sc.outs[:curLen], sc, m)
+			for j := 0; j < curLen; j++ {
+				i := int(cur[j])
+				p, v := sc.pkts[j], &vs[i]
+				v.Tables++
+				ce := sc.outs[j].entry
+				if ce == nil {
+					d.miss(v)
+					if m != nil {
+						m.AddCycles(cpumodel.CostPktIO)
+					}
+					continue
+				}
+				switch d.executeEntry(ce, p, v, &sc.sets[i]) {
+				case stepNext:
+					sc.tramp[i] = ce.next
+					if nextLen == 0 {
+						nextTr = ce.next
+					} else if ce.next != nextTr {
+						nextUniform = false
+					}
+					next[nextLen] = int32(i)
+					nextLen++
+				case stepDropped:
+					if m != nil {
+						m.AddCycles(cpumodel.CostActions)
+					}
+				case stepTerminal:
+					if m != nil {
+						m.AddCycles(cpumodel.CostActions)
+						m.AddCycles(cpumodel.CostPktIO)
+					}
+				}
+			}
+		} else {
+			for k := 0; k < curLen; k++ {
+				i := int(cur[k])
+				p, v := ps[i], &vs[i]
+				dp := sc.tramp[i].load()
+				if dp == nil {
+					v.Dropped = true
+					continue
+				}
+				v.Tables++
+				var out lookupOutcome
+				if m == nil {
+					out = dp.LookupFast(p)
+				} else {
+					out = dp.Lookup(p, m)
+				}
+				ce := out.entry
+				if ce == nil {
+					d.miss(v)
+					if m != nil {
+						m.AddCycles(cpumodel.CostPktIO)
+					}
+					continue
+				}
+				switch d.executeEntry(ce, p, v, &sc.sets[i]) {
+				case stepNext:
+					sc.tramp[i] = ce.next
+					if nextLen == 0 {
+						nextTr = ce.next
+					} else if ce.next != nextTr {
+						nextUniform = false
+					}
+					next[nextLen] = int32(i)
+					nextLen++
+				case stepDropped:
+					if m != nil {
+						m.AddCycles(cpumodel.CostActions)
+					}
+				case stepTerminal:
+					if m != nil {
+						m.AddCycles(cpumodel.CostActions)
+						m.AddCycles(cpumodel.CostPktIO)
+					}
+				}
+			}
+		}
+		cur, next = next, cur
+		curLen = nextLen
+		uniform = nextUniform
+	}
+}

@@ -234,18 +234,117 @@ func (d *Datapath) Stages() []TableStage {
 // verdict.  It parses the packet only as deep as the pipeline requires.
 func (d *Datapath) Process(p *pkt.Packet, v *openflow.Verdict) {
 	d.mu.RLock()
-	d.process(p, v)
+	d.ProcessUnlocked(p, v)
 	d.mu.RUnlock()
 }
 
 // ProcessUnlocked is Process without the read lock; single-threaded harnesses
 // (and the per-core workers of the dataplane substrate, which shard packets
 // so that updates are quiesced externally) use it to avoid lock overhead.
+//
+// The meter decision is hoisted out of the per-stage path: compilation with
+// no meter selects a process variant that contains no metering calls at all
+// rather than paying a nil-checked method call at every stage.
 func (d *Datapath) ProcessUnlocked(p *pkt.Packet, v *openflow.Verdict) {
-	d.process(p, v)
+	if d.meter == nil {
+		d.processFast(p, v)
+		return
+	}
+	d.processMetered(p, v)
 }
 
-func (d *Datapath) process(p *pkt.Packet, v *openflow.Verdict) {
+// stepResult is how executing one matched entry ended.
+type stepResult uint8
+
+const (
+	// stepNext continues at the entry's goto trampoline.
+	stepNext stepResult = iota
+	// stepDropped ends processing on an explicit drop in apply-actions.
+	stepDropped
+	// stepTerminal ends processing at the end of the pipeline (no goto).
+	stepTerminal
+)
+
+// executeEntry runs one matched entry against the packet: apply-actions,
+// action-set bookkeeping, metadata writes, and — when the entry is terminal —
+// the accumulated action set.  The action set is passed by pointer and only
+// written when an instruction actually touches it, which keeps the common
+// apply-only hot path free of action-set stores.  It returns how processing
+// ended and is shared verbatim by the per-packet and burst engines so their
+// semantics cannot drift.
+func (d *Datapath) executeEntry(ce *compiledEntry, p *pkt.Packet, v *openflow.Verdict, set *openflow.ActionList) stepResult {
+	if d.opts.UpdateCounters {
+		ce.counters.Add(len(p.Data))
+	}
+	if len(ce.apply.list) > 0 {
+		openflow.ApplyActions(ce.apply.list, p, v, d.numPorts)
+		if v.Dropped && !v.Forwarded() && !v.ToController {
+			if hasDrop(ce.apply.list) {
+				return stepDropped
+			}
+			v.Dropped = false
+		}
+	}
+	if ce.clearActions {
+		*set = (*set)[:0]
+	}
+	if len(ce.write) > 0 {
+		*set = mergeActionSet(*set, ce.write)
+	}
+	if ce.metadataMask != 0 {
+		p.Metadata = (p.Metadata &^ ce.metadataMask) | (ce.writeMetadata & ce.metadataMask)
+	}
+	if !ce.hasNext {
+		if len(*set) > 0 {
+			openflow.ApplyActions(*set, p, v, d.numPorts)
+		}
+		if !v.Forwarded() && !v.ToController {
+			v.Dropped = true
+		}
+		return stepTerminal
+	}
+	return stepNext
+}
+
+// miss records a table miss in the verdict per the pipeline's miss behaviour.
+func (d *Datapath) miss(v *openflow.Verdict) {
+	v.TableMiss = true
+	switch d.pipeline.Miss {
+	case openflow.MissController:
+		v.ToController = true
+	default:
+		v.Dropped = true
+	}
+}
+
+// processFast is the meter-free process variant: no metering calls anywhere
+// on the path.
+func (d *Datapath) processFast(p *pkt.Packet, v *openflow.Verdict) {
+	v.Reset()
+	pkt.ParseTo(p, d.parserLayer)
+	var actionSet openflow.ActionList
+	tr := d.start
+	for depth := 0; depth < openflow.MaxPipelineDepth; depth++ {
+		dp := tr.load()
+		if dp == nil {
+			break
+		}
+		v.Tables++
+		out := dp.LookupFast(p)
+		if out.entry == nil {
+			d.miss(v)
+			return
+		}
+		if d.executeEntry(out.entry, p, v, &actionSet) != stepNext {
+			return
+		}
+		tr = out.entry.next
+	}
+	v.Dropped = true
+}
+
+// processMetered is the process variant used when a cycle meter is attached.
+func (d *Datapath) processMetered(p *pkt.Packet, v *openflow.Verdict) {
 	m := d.meter
 	v.Reset()
 	m.StartPacket()
@@ -265,51 +364,20 @@ func (d *Datapath) process(p *pkt.Packet, v *openflow.Verdict) {
 		v.Tables++
 		out := dp.Lookup(p, m)
 		if out.entry == nil {
-			v.TableMiss = true
-			switch d.pipeline.Miss {
-			case openflow.MissController:
-				v.ToController = true
-			default:
-				v.Dropped = true
-			}
+			d.miss(v)
 			m.AddCycles(cpumodel.CostPktIO)
 			return
 		}
-		ce := out.entry
-		if d.opts.UpdateCounters {
-			ce.counters.Add(len(p.Data))
-		}
-		if len(ce.apply.list) > 0 {
-			openflow.ApplyActions(ce.apply.list, p, v, d.numPorts)
-			if v.Dropped && !v.Forwarded() && !v.ToController {
-				if hasDrop(ce.apply.list) {
-					m.AddCycles(cpumodel.CostActions)
-					return
-				}
-				v.Dropped = false
-			}
-		}
-		if ce.clearActions {
-			actionSet = actionSet[:0]
-		}
-		if len(ce.write) > 0 {
-			actionSet = mergeActionSet(actionSet, ce.write)
-		}
-		if ce.metadataMask != 0 {
-			p.Metadata = (p.Metadata &^ ce.metadataMask) | (ce.writeMetadata & ce.metadataMask)
-		}
-		if !ce.hasNext {
-			if len(actionSet) > 0 {
-				openflow.ApplyActions(actionSet, p, v, d.numPorts)
-			}
-			if !v.Forwarded() && !v.ToController {
-				v.Dropped = true
-			}
+		switch d.executeEntry(out.entry, p, v, &actionSet) {
+		case stepDropped:
+			m.AddCycles(cpumodel.CostActions)
+			return
+		case stepTerminal:
 			m.AddCycles(cpumodel.CostActions)
 			m.AddCycles(cpumodel.CostPktIO)
 			return
 		}
-		tr = ce.next
+		tr = out.entry.next
 	}
 	v.Dropped = true
 }

@@ -143,6 +143,17 @@ type tableDatapath interface {
 	Len() int
 	// Lookup classifies the packet, charging its cost to the meter.
 	Lookup(p *pkt.Packet, m *cpumodel.Meter) lookupOutcome
+	// LookupFast is Lookup with metering compiled out: the meter-disabled
+	// process variant calls it so the hot path pays no nil-checked meter
+	// calls per stage.
+	LookupFast(p *pkt.Packet) lookupOutcome
+	// LookupBurst classifies a burst in one pass, writing the outcome for
+	// ps[i] to outs[i] (len(outs) == len(ps) <= MaxBurst).  sc provides
+	// reusable per-worker scratch for staging key material; templates that
+	// can amortize per-lookup overhead (compound hash, LPM) compute all
+	// keys of the burst before probing.  m may be nil and is checked once
+	// per burst, not per packet.
+	LookupBurst(ps []*pkt.Packet, outs []lookupOutcome, sc *burstScratch, m *cpumodel.Meter)
 	// CanInsert reports whether the entry can be added incrementally
 	// without violating the template's prerequisite.
 	CanInsert(e *openflow.FlowEntry) bool

@@ -75,6 +75,42 @@ func (d *directCode) Lookup(p *pkt.Packet, m *cpumodel.Meter) lookupOutcome {
 	return lookupOutcome{}
 }
 
+func (d *directCode) LookupFast(p *pkt.Packet) lookupOutcome {
+	for i := range d.entries {
+		e := &d.entries[i]
+		if !p.Headers.Has(e.proto) {
+			continue
+		}
+		matched := true
+		for _, match := range e.matchers {
+			if !match(p) {
+				matched = false
+				break
+			}
+		}
+		if matched {
+			return lookupOutcome{entry: e.out}
+		}
+	}
+	return lookupOutcome{}
+}
+
+// LookupBurst evaluates the burst through the straight-line matchers.  The
+// direct-code template has no key material to stage (the keys live in the
+// matcher closures), so the batch win is keeping the tiny entry sequence and
+// its branch state hot across the burst; the meter is resolved once.
+func (d *directCode) LookupBurst(ps []*pkt.Packet, outs []lookupOutcome, _ *burstScratch, m *cpumodel.Meter) {
+	if m == nil {
+		for i, p := range ps {
+			outs[i] = d.LookupFast(p)
+		}
+		return
+	}
+	for i, p := range ps {
+		outs[i] = d.Lookup(p, m)
+	}
+}
+
 func (d *directCode) CanInsert(e *openflow.FlowEntry) bool {
 	// The paper rebuilds the direct-code template unconditionally on
 	// updates; inserting in place is still fine as long as the size
@@ -171,6 +207,79 @@ func (h *hashTable) Lookup(p *pkt.Packet, m *cpumodel.Meter) lookupOutcome {
 		return lookupOutcome{entry: h.def}
 	}
 	return lookupOutcome{entry: h.values[idx]}
+}
+
+func (h *hashTable) LookupFast(p *pkt.Packet) lookupOutcome {
+	if !p.Headers.Has(h.proto) {
+		return lookupOutcome{entry: h.def}
+	}
+	idx, ok := h.table.Lookup(packKey(p, h.fields, h.masks))
+	if !ok {
+		return lookupOutcome{entry: h.def}
+	}
+	return lookupOutcome{entry: h.values[idx]}
+}
+
+// burstStageMin is the group size below which the batched templates fall
+// back to the fused per-packet lookup: staging key material for a couple of
+// packets costs more than the overlap it buys.
+const burstStageMin = 8
+
+// LookupBurst classifies the burst in two software-pipelined passes: all
+// packed keys are computed first, while the freshly parsed header material is
+// still hot, and then the exact-match table is probed for the whole burst so
+// the dependent bucket loads issue back to back.
+func (h *hashTable) LookupBurst(ps []*pkt.Packet, outs []lookupOutcome, sc *burstScratch, m *cpumodel.Meter) {
+	if len(ps) < burstStageMin {
+		if m == nil {
+			for i, p := range ps {
+				outs[i] = h.LookupFast(p)
+			}
+			return
+		}
+		for i, p := range ps {
+			outs[i] = h.Lookup(p, m)
+		}
+		return
+	}
+	if m != nil {
+		m.AddCycles(cpumodel.CostHashFixed * len(ps))
+	}
+	// Pass 1: pack and hash the keys of the whole burst while the freshly
+	// parsed header material is hot (the key is hashed straight out of
+	// registers); protocol misses resolve to the catch-all immediately and
+	// stay out of the probe batch.
+	nv := 0
+	for i, p := range ps {
+		if !p.Headers.Has(h.proto) {
+			outs[i] = lookupOutcome{entry: h.def}
+			continue
+		}
+		key := packKey(p, h.fields, h.masks)
+		sc.keys[nv] = key
+		sc.hash.H1[nv], sc.hash.H2[nv] = h.table.Hash(key)
+		sc.gidx[nv] = int32(i)
+		nv++
+	}
+	ident := nv == len(ps) // no protocol misses: group index is the identity
+	// Pass 2: probe the collision-free hash back to back, so the bucket
+	// loads of the burst overlap.
+	for j := 0; j < nv; j++ {
+		i := j
+		if !ident {
+			i = int(sc.gidx[j])
+		}
+		key := sc.keys[j]
+		if m != nil {
+			m.RegionAccess(h.region, key.W0^key.W1<<7^key.W2<<13^key.W3<<23)
+		}
+		idx, ok := h.table.LookupPrehashed(key, sc.hash.H1[j], sc.hash.H2[j])
+		if !ok {
+			outs[i] = lookupOutcome{entry: h.def}
+			continue
+		}
+		outs[i] = lookupOutcome{entry: h.values[idx]}
+	}
 }
 
 // compatible reports whether the entry matches exactly the template's fields
@@ -301,6 +410,73 @@ func (l *lpmTable) Lookup(p *pkt.Packet, m *cpumodel.Meter) lookupOutcome {
 	return lookupOutcome{entry: l.values[value]}
 }
 
+func (l *lpmTable) LookupFast(p *pkt.Packet) lookupOutcome {
+	if !p.Headers.Has(l.proto) {
+		return lookupOutcome{entry: l.def}
+	}
+	value, ok := l.table.Lookup(uint32(openflow.Extract(p, l.field)))
+	if !ok {
+		return lookupOutcome{entry: l.def}
+	}
+	return lookupOutcome{entry: l.values[value]}
+}
+
+// LookupBurst stages the addresses of the whole burst and hands them to the
+// DIR-24-8 structure's batched lookup, which probes the first level for every
+// packet before following any second-level group.
+func (l *lpmTable) LookupBurst(ps []*pkt.Packet, outs []lookupOutcome, sc *burstScratch, m *cpumodel.Meter) {
+	if len(ps) < burstStageMin {
+		if m == nil {
+			for i, p := range ps {
+				outs[i] = l.LookupFast(p)
+			}
+			return
+		}
+		for i, p := range ps {
+			outs[i] = l.Lookup(p, m)
+		}
+		return
+	}
+	if m != nil {
+		m.AddCycles(cpumodel.CostLPMFixed * len(ps))
+	}
+	// Pass 1: extract the addresses and probe the first level for the
+	// whole burst back to back, so the independent tbl24 loads overlap.
+	nv := 0
+	for i, p := range ps {
+		if !p.Headers.Has(l.proto) {
+			outs[i] = lookupOutcome{entry: l.def}
+			continue
+		}
+		addr := uint32(openflow.Extract(p, l.field))
+		sc.addrs[nv] = addr
+		sc.values[nv] = l.table.Probe1(addr)
+		sc.gidx[nv] = int32(i)
+		nv++
+	}
+	ident := nv == len(ps) // no protocol misses: group index is the identity
+	// Pass 2: resolve each first-level entry, following tbl8 groups.
+	for j := 0; j < nv; j++ {
+		i := j
+		if !ident {
+			i = int(sc.gidx[j])
+		}
+		addr := sc.addrs[j]
+		value, depth, ok := l.table.Resolve(addr, sc.values[j])
+		if m != nil {
+			m.RegionAccess(l.region, uint64(addr>>8))
+			if depth > 1 {
+				m.RegionAccess(l.region, uint64(addr)|1<<40)
+			}
+		}
+		if !ok {
+			outs[i] = lookupOutcome{entry: l.def}
+			continue
+		}
+		outs[i] = lookupOutcome{entry: l.values[value]}
+	}
+}
+
 func (l *lpmTable) CanInsert(e *openflow.FlowEntry) bool {
 	if e.Match.IsEmpty() {
 		return true
@@ -388,6 +564,29 @@ func (l *listTable) Lookup(p *pkt.Packet, m *cpumodel.Meter) lookupOutcome {
 		return lookupOutcome{}
 	}
 	return lookupOutcome{entry: res.Entry.Aux.(*compiledEntry)}
+}
+
+func (l *listTable) LookupFast(p *pkt.Packet) lookupOutcome {
+	res := l.classifier.Lookup(p, nil)
+	if res.Entry == nil {
+		return lookupOutcome{}
+	}
+	return lookupOutcome{entry: res.Entry.Aux.(*compiledEntry)}
+}
+
+// LookupBurst runs tuple space search per packet — the last-resort template
+// has no key staging to amortize — but still hoists the meter check out of
+// the loop.
+func (l *listTable) LookupBurst(ps []*pkt.Packet, outs []lookupOutcome, _ *burstScratch, m *cpumodel.Meter) {
+	if m == nil {
+		for i, p := range ps {
+			outs[i] = l.LookupFast(p)
+		}
+		return
+	}
+	for i, p := range ps {
+		outs[i] = l.Lookup(p, m)
+	}
 }
 
 func (l *listTable) CanInsert(e *openflow.FlowEntry) bool { return true }

@@ -171,6 +171,15 @@ type Datapath interface {
 	Process(p *pkt.Packet, v *openflow.Verdict)
 }
 
+// BurstDatapath is the optional burst extension of Datapath: a datapath that
+// can classify a whole RX burst in one call (the ESWITCH compiled datapath's
+// ProcessBurst).  Workers detect it once at switch construction and then
+// drive RX burst → ProcessBurst → TX burst instead of per-packet calls.
+type BurstDatapath interface {
+	Datapath
+	ProcessBurst(ps []*pkt.Packet, vs []openflow.Verdict)
+}
+
 // DatapathFunc adapts a function to the Datapath interface.
 type DatapathFunc func(p *pkt.Packet, v *openflow.Verdict)
 
@@ -190,7 +199,14 @@ type WorkerStats struct {
 type Switch struct {
 	ports []*Port
 	dp    Datapath
+	// bdp is non-nil when the datapath supports native burst processing;
+	// the workers then hand whole RX bursts to it.
+	bdp   BurstDatapath
 	burst int
+
+	// wsPool recycles per-worker burst state for callers that use PollOnce
+	// directly instead of RunWorkers.
+	wsPool sync.Pool
 
 	processed atomic.Uint64
 	forwarded atomic.Uint64
@@ -198,13 +214,42 @@ type Switch struct {
 	toCtrl    atomic.Uint64
 }
 
-// NewSwitch creates a switch with numPorts ports.
+// NewSwitch creates a switch with numPorts ports.  When dp also implements
+// BurstDatapath (the compiled ESWITCH datapath does), the worker loops use
+// the burst fast path automatically.
 func NewSwitch(dp Datapath, numPorts, ringSize int) *Switch {
 	s := &Switch{dp: dp, burst: DefaultBurst}
+	if bdp, ok := dp.(BurstDatapath); ok {
+		s.bdp = bdp
+	}
+	s.wsPool.New = func() any { return s.newWorkerState() }
 	for i := 0; i < numPorts; i++ {
 		s.ports = append(s.ports, NewPort(uint32(i+1), ringSize))
 	}
 	return s
+}
+
+// workerState is the reusable per-worker burst scratch: the RX frame burst,
+// the packet structs wrapping it, and the verdicts.  Everything is allocated
+// once per worker so the polling loop is allocation-free.
+type workerState struct {
+	frames   [][]byte
+	packets  []pkt.Packet
+	pkts     []*pkt.Packet
+	verdicts []openflow.Verdict
+}
+
+func (s *Switch) newWorkerState() *workerState {
+	ws := &workerState{
+		frames:   make([][]byte, s.burst),
+		packets:  make([]pkt.Packet, s.burst),
+		pkts:     make([]*pkt.Packet, s.burst),
+		verdicts: make([]openflow.Verdict, s.burst),
+	}
+	for i := range ws.packets {
+		ws.pkts[i] = &ws.packets[i]
+	}
+	return ws
 }
 
 // Port returns the port with the given 1-based ID.
@@ -229,24 +274,46 @@ func (s *Switch) Stats() WorkerStats {
 }
 
 // PollOnce performs one run-to-completion iteration over the given ports:
-// receive a burst from each, classify, and transmit.  It returns the number
-// of packets processed.  Passing nil polls every port.
+// receive a burst from each, classify (through the burst fast path when the
+// datapath supports it), and transmit.  It returns the number of packets
+// processed.  Passing nil polls every port.
 func (s *Switch) PollOnce(ports []*Port) int {
+	ws := s.wsPool.Get().(*workerState)
+	n := s.pollPorts(ws, ports)
+	s.wsPool.Put(ws)
+	return n
+}
+
+// pollPorts is PollOnce over caller-owned worker state; the run-to-completion
+// workers hold one state each so the loop never allocates.
+func (s *Switch) pollPorts(ws *workerState, ports []*Port) int {
 	if ports == nil {
 		ports = s.ports
 	}
-	frames := make([][]byte, s.burst)
-	var p pkt.Packet
-	var v openflow.Verdict
 	total := 0
 	for _, port := range ports {
-		n := port.RxBurst(frames)
-		for i := 0; i < n; i++ {
-			p = pkt.Packet{Data: frames[i], InPort: port.ID}
-			s.dp.Process(&p, &v)
-			s.account(&v, frames[i])
-			total++
+		n := port.RxBurst(ws.frames)
+		if n == 0 {
+			continue
 		}
+		if s.bdp != nil {
+			// Burst fast path: wrap the RX burst and classify it in one
+			// ProcessBurst call.
+			for i := 0; i < n; i++ {
+				ws.packets[i] = pkt.Packet{Data: ws.frames[i], InPort: port.ID}
+			}
+			s.bdp.ProcessBurst(ws.pkts[:n], ws.verdicts[:n])
+			for i := 0; i < n; i++ {
+				s.account(&ws.verdicts[i], ws.frames[i])
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				ws.packets[0] = pkt.Packet{Data: ws.frames[i], InPort: port.ID}
+				s.dp.Process(&ws.packets[0], &ws.verdicts[0])
+				s.account(&ws.verdicts[0], ws.frames[i])
+			}
+		}
+		total += n
 	}
 	return total
 }
@@ -288,13 +355,14 @@ func (s *Switch) RunWorkers(numWorkers int) (stop func()) {
 		wg.Add(1)
 		go func(ports []*Port) {
 			defer wg.Done()
+			ws := s.newWorkerState()
 			for {
 				select {
 				case <-done:
 					return
 				default:
 				}
-				if s.PollOnce(ports) == 0 {
+				if s.pollPorts(ws, ports) == 0 {
 					// Nothing received: yield briefly to avoid
 					// starving the producer on small machines.
 					for i := 0; i < 64; i++ {

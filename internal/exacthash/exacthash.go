@@ -106,6 +106,11 @@ func (t *Table) Rebuilds() int { return t.rebuilds }
 // Lookup returns the value stored for the key.
 func (t *Table) Lookup(k Key) (uint32, bool) {
 	h1, h2 := k.hash(t.seed)
+	return t.lookupHashed(k, h1, h2)
+}
+
+// lookupHashed probes the two candidate buckets for a pre-hashed key.
+func (t *Table) lookupHashed(k Key, h1, h2 uint64) (uint32, bool) {
 	b1 := &t.buckets[h1&t.mask]
 	for i := range b1.slots {
 		if b1.slots[i].used && b1.slots[i].key == k {
@@ -119,6 +124,49 @@ func (t *Table) Lookup(k Key) (uint32, bool) {
 		}
 	}
 	return 0, false
+}
+
+// BatchChunk bounds the scratch LookupBatch hashes into; larger batches are
+// processed in chunks.
+const BatchChunk = 64
+
+// BatchScratch is the hash staging area of the batched lookup paths.
+// Callers own it (one per worker, reused across bursts) so the batch path
+// never zero-initializes scratch on the hot path.
+type BatchScratch struct {
+	H1, H2 [BatchChunk]uint64
+}
+
+// Hash returns the two bucket hashes of a key under the table's current
+// seed.  Burst-mode callers hash every key of a burst up front — while the
+// freshly packed key is still in registers — and then probe with
+// LookupPrehashed, so the dependent bucket loads issue back to back and
+// their cache misses overlap (the software-pipelining trick of burst-mode
+// dataplanes).
+func (t *Table) Hash(k Key) (h1, h2 uint64) { return k.hash(t.seed) }
+
+// LookupPrehashed is Lookup for a key whose bucket hashes were already
+// computed with Hash under the same seed.
+func (t *Table) LookupPrehashed(k Key, h1, h2 uint64) (uint32, bool) {
+	return t.lookupHashed(k, h1, h2)
+}
+
+// LookupBatch looks up a batch of keys, writing the result for keys[i] to
+// values[i] and hits[i] (all three slices must have equal length): the
+// hashes of a whole chunk are computed before any bucket is probed.
+func (t *Table) LookupBatch(keys []Key, values []uint32, hits []bool, sc *BatchScratch) {
+	for base := 0; base < len(keys); base += BatchChunk {
+		n := len(keys) - base
+		if n > BatchChunk {
+			n = BatchChunk
+		}
+		for i := 0; i < n; i++ {
+			sc.H1[i], sc.H2[i] = keys[base+i].hash(t.seed)
+		}
+		for i := 0; i < n; i++ {
+			values[base+i], hits[base+i] = t.lookupHashed(keys[base+i], sc.H1[i], sc.H2[i])
+		}
+	}
 }
 
 // Insert adds or replaces the value stored for the key.

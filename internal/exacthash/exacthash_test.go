@@ -168,3 +168,35 @@ func BenchmarkInsert(b *testing.B) {
 		tbl.Insert(Key{W0: uint64(i)}, uint32(i))
 	}
 }
+
+func TestLookupBatchMatchesLookup(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tbl := New(256)
+	keys := make([]Key, 0, 400)
+	for i := 0; i < 300; i++ {
+		k := Key{W0: rng.Uint64(), W1: rng.Uint64() & 0xffff}
+		tbl.Insert(k, uint32(i))
+		keys = append(keys, k)
+	}
+	// Mix in keys that are not in the table.
+	for i := 0; i < 100; i++ {
+		keys = append(keys, Key{W0: rng.Uint64(), W2: 1})
+	}
+	rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+
+	values := make([]uint32, len(keys))
+	hits := make([]bool, len(keys))
+	var sc BatchScratch
+	// len(keys) > BatchChunk exercises the chunking path.
+	tbl.LookupBatch(keys, values, hits, &sc)
+	for i, k := range keys {
+		wantV, wantOK := tbl.Lookup(k)
+		if hits[i] != wantOK || (wantOK && values[i] != wantV) {
+			t.Fatalf("key %d: batch (%d,%v) != single (%d,%v)", i, values[i], hits[i], wantV, wantOK)
+		}
+		h1, h2 := tbl.Hash(k)
+		if v, ok := tbl.LookupPrehashed(k, h1, h2); ok != wantOK || (ok && v != wantV) {
+			t.Fatalf("key %d: prehashed (%d,%v) != single (%d,%v)", i, v, ok, wantV, wantOK)
+		}
+	}
+}

@@ -219,6 +219,48 @@ func (t *Table) LookupDepth(addr uint32) (value uint32, depth int, ok bool) {
 	return e2 & valueMask, 2, true
 }
 
+// Probe1 returns the raw first-level (tbl24) entry covering addr.  Burst-mode
+// callers probe the first level for a whole batch back to back — the way
+// DPDK's rte_lpm_lookup_bulk does — so the independent tbl24 loads overlap
+// their cache misses instead of serializing per packet, and then finish each
+// lookup with Resolve.
+func (t *Table) Probe1(addr uint32) uint32 { return t.tbl24[addr>>(32-t.stride)] }
+
+// Resolve finishes a lookup whose first-level entry was already fetched with
+// Probe1, following the second-level tbl8 group when the entry is extended.
+// It returns the value, the number of table levels touched (1 or 2) and
+// whether any prefix matched.
+func (t *Table) Resolve(addr uint32, e uint32) (value uint32, depth int, ok bool) {
+	if e&validBit == 0 {
+		return Invalid, 1, false
+	}
+	if e&extBit == 0 {
+		return e & valueMask, 1, true
+	}
+	e2 := t.groups[e&valueMask].slots[(addr>>(24-t.stride))&0xff]
+	if e2&validBit == 0 {
+		return Invalid, 2, false
+	}
+	return e2 & valueMask, 2, true
+}
+
+// LookupBatch resolves a batch of addresses, writing the result for addrs[i]
+// to values[i], depths[i] (levels touched, 1 or 2) and hits[i]; all four
+// slices must have equal length.  The batch is driven level by level: every
+// first-level slot is probed before any tbl8 group is followed.
+func (t *Table) LookupBatch(addrs []uint32, values []uint32, depths []uint8, hits []bool) {
+	// Level 1: direct-indexed probes for the whole batch; stash the raw
+	// first-level entry so level 2 can resolve extended slots.
+	for i, addr := range addrs {
+		values[i] = t.Probe1(addr)
+	}
+	// Level 2: resolve each entry, following tbl8 groups where needed.
+	for i, addr := range addrs {
+		v, d, ok := t.Resolve(addr, values[i])
+		values[i], depths[i], hits[i] = v, uint8(d), ok
+	}
+}
+
 // Prefix describes one installed route.
 type Prefix struct {
 	Addr  uint32

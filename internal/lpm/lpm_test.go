@@ -271,3 +271,26 @@ func BenchmarkInsert(b *testing.B) {
 		tbl.Insert(rng.Uint32(), 8+rng.Intn(17), uint32(i%1000))
 	}
 }
+
+func TestLookupBatchMatchesLookup(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tbl := NewWithStride(16)
+	for i := 0; i < 5000; i++ {
+		tbl.Insert(rng.Uint32(), 8+rng.Intn(17), uint32(i%1000))
+	}
+	addrs := make([]uint32, 300)
+	for i := range addrs {
+		addrs[i] = rng.Uint32()
+	}
+	values := make([]uint32, len(addrs))
+	depths := make([]uint8, len(addrs))
+	hits := make([]bool, len(addrs))
+	tbl.LookupBatch(addrs, values, depths, hits)
+	for i, addr := range addrs {
+		wantV, wantD, wantOK := tbl.LookupDepth(addr)
+		if hits[i] != wantOK || values[i] != wantV || int(depths[i]) != wantD {
+			t.Fatalf("addr %08x: batch (%d,%d,%v) != single (%d,%d,%v)",
+				addr, values[i], depths[i], hits[i], wantV, wantD, wantOK)
+		}
+	}
+}

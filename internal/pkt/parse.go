@@ -184,3 +184,24 @@ func ParseTo(p *Packet, layer Layer) {
 		ParseL4(p)
 	}
 }
+
+// ParseToBurst parses every packet of a burst up to the requested layer in
+// one pass.  The burst fast path uses it so the layer dispatch is decided
+// once per burst and the parser's code and branch-predictor state stay hot
+// across all packets.
+func ParseToBurst(ps []*Packet, layer Layer) {
+	switch layer {
+	case LayerL2:
+		for _, p := range ps {
+			ParseL2(p)
+		}
+	case LayerL3:
+		for _, p := range ps {
+			ParseL3(p)
+		}
+	case LayerL4:
+		for _, p := range ps {
+			ParseL4(p)
+		}
+	}
+}

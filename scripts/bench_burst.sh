@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# bench_burst.sh records the Fig. 10-13 packet-rate benchmarks — per-packet
+# (eswitch), burst (eswitch-burst) and the flow-caching baseline (ovs) — to
+# BENCH_burst.json so the performance trajectory is tracked from PR to PR.
+#
+# Usage:
+#   scripts/bench_burst.sh          # measured pass (BENCHTIME, default 0.2s)
+#   scripts/bench_burst.sh smoke    # single-iteration smoke pass (CI)
+#
+# Environment:
+#   BENCHTIME   go test -benchtime value for the measured pass
+#   OUT         output file (default BENCH_burst.json)
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-0.2s}"
+if [ "${1:-}" = "smoke" ]; then
+	BENCHTIME=1x
+fi
+OUT="${OUT:-BENCH_burst.json}"
+
+go test -run '^$' -bench 'BenchmarkFig1[0123]' -benchtime "$BENCHTIME" . | tee /dev/stderr | awk '
+	BEGIN { printf "[" }
+	/^BenchmarkFig/ {
+		name = $1; nsop = "null"; mpps = "null"
+		for (i = 2; i < NF; i++) {
+			if ($(i+1) == "ns/op") nsop = $i
+			if ($(i+1) == "Mpps") mpps = $i
+		}
+		printf "%s\n  {\"benchmark\": \"%s\", \"ns_per_op\": %s, \"mpps\": %s}", sep, name, nsop, mpps
+		sep = ","
+	}
+	END { printf "\n]\n" }
+' > "$OUT"
+echo "wrote $OUT"
