@@ -12,6 +12,7 @@ import (
 	"eswitch/internal/core"
 	"eswitch/internal/cpumodel"
 	"eswitch/internal/dpdk"
+	"eswitch/internal/experiments"
 	"eswitch/internal/openflow"
 	"eswitch/internal/ovs"
 	"eswitch/internal/pkt"
@@ -486,6 +487,28 @@ func BenchmarkAblationMicroflow(b *testing.B) {
 				b.Fatal(err)
 			}
 			benchTrace(b, uc.Trace(1000), sw.ProcessUnlocked, 1000)
+		})
+	}
+}
+
+// BenchmarkFig19_ScalingHotPort is the Fig. 19 acceptance benchmark of the
+// multi-queue refactor: ALL traffic arrives on ONE port, RSS-spread over the
+// port's RX queues, and 1..4 workers poll their queue subsets against the
+// shared epoch-swapped compiled datapath with batched TX.  Aggregate Mpps
+// should grow monotonically with workers on machines with that many cores
+// (on fewer cores the workers time-share); scripts/bench_scaling.sh records
+// the sweep to BENCH_scaling.json.
+func BenchmarkFig19_ScalingHotPort(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			h, err := experiments.NewScalingHarness(10_000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			pt := h.Run(workers, b.N)
+			b.StopTimer()
+			b.ReportMetric(pt.Mpps, "Mpps")
 		})
 	}
 }

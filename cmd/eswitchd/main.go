@@ -50,6 +50,7 @@ func main() {
 	flows := flag.Int("flows", 10000, "number of active flows in the generated traffic")
 	duration := flag.Duration("duration", 5*time.Second, "how long to forward traffic")
 	cores := flag.Int("cores", 1, "number of forwarding worker goroutines")
+	queues := flag.Int("queues", dpdk.DefaultQueues, "RX/TX queue pairs per port (RSS width; caps -cores)")
 	listen := flag.String("listen", "", "optional OpenFlow agent listen address (e.g. :6653)")
 	flag.Parse()
 
@@ -110,12 +111,17 @@ func main() {
 		fmt.Printf("eswitchd: OpenFlow agent listening on %s\n", ln.Addr())
 	}
 
-	// Drive the switch through the dataplane substrate.
-	sw := dpdk.NewSwitch(fastpath, uc.Pipeline.NumPorts, 4096)
+	// Drive the switch through the dataplane substrate: RSS-steered
+	// multi-queue ports, one burst worker per core over its own queue
+	// subset (lock-free against the compiled datapath via worker epochs),
+	// batched TX.
+	sw := dpdk.NewSwitchQueues(fastpath, uc.Pipeline.NumPorts, 4096, *queues)
 	trace := uc.Trace(*flows)
-	stop := sw.RunWorkers(*cores)
+	workers := sw.ClampWorkers(*cores) // report what actually runs
+	stop := sw.RunWorkers(workers)
 
-	fmt.Printf("eswitchd: forwarding %d active flows for %s on %d core(s)\n", *flows, *duration, *cores)
+	fmt.Printf("eswitchd: forwarding %d active flows for %s on %d worker(s), %d RX/TX queues per port\n",
+		*flows, *duration, workers, sw.NumQueues())
 	deadline := time.Now().Add(*duration)
 	var p pkt.Packet
 	injected := uint64(0)
@@ -137,7 +143,13 @@ func main() {
 	stop()
 
 	st := sw.Stats()
-	fmt.Printf("\ninjected:  %d packets\n", injected)
+	var ps dpdk.PortStats
+	for _, port := range sw.Ports() {
+		pst := port.Stats()
+		ps.RxDrops += pst.RxDrops
+		ps.TxDrops += pst.TxDrops
+	}
+	fmt.Printf("\ninjected:  %d packets (%d rx drops, %d tx drops)\n", injected, ps.RxDrops, ps.TxDrops)
 	fmt.Printf("processed: %d packets (%d forwarded, %d dropped, %d to controller)\n",
 		st.Processed, st.Forwarded, st.Dropped, st.ToCtrl)
 	fmt.Printf("model:     %.1f cycles/packet, %.2f Mpps single-core at %.1f GHz, %.3f LLC misses/packet\n",

@@ -41,15 +41,21 @@
 //	vs := make([]eswitch.Verdict, len(ps))
 //	sw.ProcessBurst(ps, vs)
 //
-// Concurrency contract: Process and ProcessBurst may be called from many
-// goroutines concurrently with flow-table updates (AddFlow, DeleteFlow) —
-// updates are transactional per table and swap in atomically through
-// trampolines (§3.4).  The lock-free variants on the underlying Datapath
-// (ProcessUnlocked, ProcessBurstUnlocked) follow the paper's run-to-
-// completion deployment model instead: each worker core drives its own
-// packets, and flow-table updates must be quiesced externally (single
-// writer, no concurrent update while a burst is in flight).  The dataplane
-// substrate under internal/dpdk shards ports over workers exactly this way.
+// Concurrency contract: the steady-state forwarding path is lock-free.  The
+// compiled state is published through an atomically-swapped immutable
+// snapshot plus per-table trampolines, and flow-table updates (AddFlow,
+// DeleteFlow) build the new representation off to the side, swap it in with
+// one atomic store, and reclaim superseded copies only after every
+// registered worker epoch has passed a quiescent point (DPDK-style QSBR).
+// Process and ProcessBurst may therefore be called from many goroutines
+// concurrently with updates — each call pins a recycled worker epoch for
+// its duration.  Dedicated forwarding cores do better: they register a
+// worker epoch once (Datapath().RegisterWorker), bracket every burst with
+// Enter/Exit, and call the Unlocked variants, paying zero locks and zero
+// atomic read-modify-writes per burst.  The dataplane substrate under
+// internal/dpdk does exactly this: RSS-steered multi-queue ports, one burst
+// worker per core over its own queue subset, batched TX.  See
+// docs/architecture.md for the full threading model.
 package eswitch
 
 import (

@@ -52,38 +52,47 @@ var burstPool = sync.Pool{New: func() any { return new(burstScratch) }}
 // the same trampoline are classified through the table's template in a
 // single batched lookup, so each template (and the trampoline's atomic
 // pointer) is touched once per burst per table instead of once per packet.
+//
+// Like Process, ProcessBurst is safe to call concurrently with flow-table
+// updates: it pins a recycled worker epoch for the duration of the burst.
+// Dedicated forwarding workers register their own WorkerEpoch and call
+// ProcessBurstUnlocked inside their Enter/Exit bracket instead.
 func (d *Datapath) ProcessBurst(ps []*pkt.Packet, vs []openflow.Verdict) {
-	d.mu.RLock()
+	e := d.pinGet()
+	e.Enter()
 	d.ProcessBurstUnlocked(ps, vs)
-	d.mu.RUnlock()
+	e.Exit()
+	d.pinPut(e)
 }
 
-// ProcessBurstUnlocked is ProcessBurst without the read lock, for
-// single-writer harnesses and the per-core dataplane workers where flow-table
-// updates are quiesced externally.
+// ProcessBurstUnlocked is ProcessBurst without the epoch pin: one atomic
+// snapshot load, then pure computation — no locks, no atomic read-modify-
+// writes.  Callers must either hold a registered WorkerEpoch across the call
+// (the per-core dataplane workers) or quiesce updates externally.
 func (d *Datapath) ProcessBurstUnlocked(ps []*pkt.Packet, vs []openflow.Verdict) {
+	sn := d.snap.Load()
 	sc := burstPool.Get().(*burstScratch)
 	for len(ps) > MaxBurst {
-		d.processBurst(sc, ps[:MaxBurst], vs[:MaxBurst])
+		d.processBurst(sc, sn, ps[:MaxBurst], vs[:MaxBurst])
 		ps, vs = ps[MaxBurst:], vs[MaxBurst:]
 	}
 	if len(ps) > 0 {
-		d.processBurst(sc, ps, vs)
+		d.processBurst(sc, sn, ps, vs)
 	}
 	burstPool.Put(sc)
 }
 
 // processBurst runs one burst of at most MaxBurst packets to completion.
-func (d *Datapath) processBurst(sc *burstScratch, ps []*pkt.Packet, vs []openflow.Verdict) {
+func (d *Datapath) processBurst(sc *burstScratch, sn *snapshot, ps []*pkt.Packet, vs []openflow.Verdict) {
 	n := len(ps)
 	m := d.meter
 
 	// Stage 1: one parser pass over the whole burst, to the layer the
 	// compiled pipeline requires.
-	pkt.ParseToBurst(ps, d.parserLayer)
+	pkt.ParseToBurst(ps, sn.parserLayer)
 	if m != nil {
 		m.StartPackets(n)
-		m.AddCycles((cpumodel.CostPktIO + parserCost(d.parserLayer)) * n)
+		m.AddCycles((cpumodel.CostPktIO + parserCost(sn.parserLayer)) * n)
 	}
 
 	for i := 0; i < n; i++ {
@@ -103,7 +112,10 @@ func (d *Datapath) processBurst(sc *burstScratch, ps []*pkt.Packet, vs []openflo
 	uniform := true
 	var nextTr *trampoline
 	{
-		dp := d.start.load()
+		var dp tableDatapath
+		if sn.start != nil {
+			dp = sn.start.load()
+		}
 		if dp == nil {
 			// No start table: same disposition as the per-packet path.
 			for i := 0; i < n; i++ {
@@ -118,14 +130,14 @@ func (d *Datapath) processBurst(sc *burstScratch, ps []*pkt.Packet, vs []openflo
 			v.Tables++
 			ce := sc.outs[j].entry
 			if ce == nil {
-				d.miss(v)
+				sn.miss(v)
 				if m != nil {
 					m.AddCycles(cpumodel.CostPktIO)
 				}
 				continue
 			}
 			set0 = set0[:0]
-			switch d.executeEntry(ce, p, v, &set0) {
+			switch d.executeEntry(sn, ce, p, v, &set0) {
 			case stepNext:
 				sc.tramp[j] = ce.next
 				// Persist the accumulated action set for the next level;
@@ -198,13 +210,13 @@ func (d *Datapath) processBurst(sc *burstScratch, ps []*pkt.Packet, vs []openflo
 				v.Tables++
 				ce := sc.outs[j].entry
 				if ce == nil {
-					d.miss(v)
+					sn.miss(v)
 					if m != nil {
 						m.AddCycles(cpumodel.CostPktIO)
 					}
 					continue
 				}
-				switch d.executeEntry(ce, p, v, &sc.sets[i]) {
+				switch d.executeEntry(sn, ce, p, v, &sc.sets[i]) {
 				case stepNext:
 					sc.tramp[i] = ce.next
 					if nextLen == 0 {
@@ -243,13 +255,13 @@ func (d *Datapath) processBurst(sc *burstScratch, ps []*pkt.Packet, vs []openflo
 				}
 				ce := out.entry
 				if ce == nil {
-					d.miss(v)
+					sn.miss(v)
 					if m != nil {
 						m.AddCycles(cpumodel.CostPktIO)
 					}
 					continue
 				}
-				switch d.executeEntry(ce, p, v, &sc.sets[i]) {
+				switch d.executeEntry(sn, ce, p, v, &sc.sets[i]) {
 				case stepNext:
 					sc.tramp[i] = ce.next
 					if nextLen == 0 {

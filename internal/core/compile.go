@@ -3,10 +3,10 @@ package core
 import (
 	"fmt"
 	"sort"
-	"sync"
 	"sync/atomic"
 
 	"eswitch/internal/cpumodel"
+	"eswitch/internal/lockcount"
 	"eswitch/internal/openflow"
 	"eswitch/internal/pkt"
 )
@@ -31,8 +31,39 @@ func (tr *trampoline) load() tableDatapath {
 
 func (tr *trampoline) store(dp tableDatapath) { tr.ptr.Store(&tableSlot{dp: dp}) }
 
+// snapshot is the immutable datapath-wide state the hot path roots at: the
+// entry trampoline plus the handful of scalars every packet consults.  It is
+// published through Datapath.snap with one atomic store (the writer mutex
+// serializes publishers) and never mutated afterwards, so the steady-state
+// burst loop reads it with one atomic load and takes no locks.  Per-table contents are one more level of the same
+// scheme: each compiled table is behind an atomically-swapped trampoline.
+type snapshot struct {
+	start       *trampoline
+	parserLayer pkt.Layer
+	numPorts    int
+	missToCtrl  bool
+}
+
+// miss records a table miss in the verdict per the pipeline's miss behaviour.
+func (sn *snapshot) miss(v *openflow.Verdict) {
+	v.TableMiss = true
+	if sn.missToCtrl {
+		v.ToController = true
+	} else {
+		v.Dropped = true
+	}
+}
+
 // Datapath is a compiled ESWITCH fast path: the specialized representation of
 // one OpenFlow pipeline plus the machinery to keep it up to date.
+//
+// Concurrency model: the hot path (Process/ProcessBurst and their Unlocked
+// variants) is lock-free — it roots at the atomically-published snapshot and
+// follows atomically-swapped trampolines.  Updates (AddFlow, DeleteFlow,
+// InstallPipeline) are serialized by mu, build the new representation off to
+// the side, publish it atomically, and reclaim superseded copies only after
+// every registered worker epoch has passed a quiescent point (see epoch.go
+// and update.go).
 type Datapath struct {
 	opts  Options
 	meter *cpumodel.Meter
@@ -47,10 +78,29 @@ type Datapath struct {
 	parserLayer pkt.Layer
 	numPorts    int
 
-	mu          sync.RWMutex
+	// mu serializes writers (flow-mods, pipeline installs) and admin reads
+	// (Stages); the forwarding path never touches it.  The acquisition
+	// counter backs the zero-lock acceptance tests.
+	mu          lockcount.Mutex
 	trampolines map[openflow.TableID]*trampoline
-	start       *trampoline
 	actionCache map[string]*sharedActions
+
+	// snap is the atomically-published immutable snapshot the hot path
+	// roots at.
+	snap atomic.Pointer[snapshot]
+
+	// epochs tracks the registered forwarding workers for grace periods.
+	epochs epochDomain
+	// pins is a bounded free-list of registered worker epochs for
+	// anonymous Process/ProcessBurst callers (the facade's safe-by-default
+	// entry points).  A bounded list — rather than a sync.Pool — keeps the
+	// epoch domain from accumulating registered-but-evicted epochs across
+	// GC cycles.
+	pins chan *WorkerEpoch
+
+	// versions holds the per-table shadow copies the incremental update
+	// path ping-pongs between (writer-owned; see update.go).
+	versions map[openflow.TableID]*tableVersion
 
 	// stats
 	rebuilds     atomic.Uint64
@@ -72,7 +122,9 @@ func Compile(pl *openflow.Pipeline, opts Options) (*Datapath, error) {
 		original:    pl,
 		numPorts:    pl.NumPorts,
 		actionCache: make(map[string]*sharedActions),
+		versions:    make(map[openflow.TableID]*tableVersion),
 	}
+	d.pins = make(chan *WorkerEpoch, maxPinnedEpochs)
 	working := pl.Clone()
 	if opts.Decompose {
 		decomposed, extra := DecomposePipeline(working, opts)
@@ -96,9 +148,26 @@ func Compile(pl *openflow.Pipeline, opts Options) (*Datapath, error) {
 		}
 		d.trampolines[t.ID].store(dp)
 	}
-	d.start = d.trampolines[0]
+	d.publish()
 	return d, nil
 }
+
+// publish rebuilds the datapath-wide snapshot from the writer-owned fields
+// and swaps it in with one atomic store (the writer mutex serializes
+// publishers, so there is no competing writer to compare against); readers
+// pick up the new snapshot on their next burst.
+func (d *Datapath) publish() {
+	d.snap.Store(&snapshot{
+		start:       d.trampolines[0],
+		parserLayer: d.parserLayer,
+		numPorts:    d.numPorts,
+		missToCtrl:  d.pipeline.Miss == openflow.MissController,
+	})
+}
+
+// MutexOps returns how many times the datapath's writer mutex has been
+// acquired; tests assert it stays flat across steady-state forwarding.
+func (d *Datapath) MutexOps() uint64 { return d.mu.Ops() }
 
 // buildTable compiles one flow table into its selected template.
 func (d *Datapath) buildTable(t *openflow.FlowTable) (tableDatapath, error) {
@@ -169,7 +238,7 @@ func (d *Datapath) internActions(list openflow.ActionList) *sharedActions {
 func (d *Datapath) NumSharedActionSets() int { return len(d.actionCache) }
 
 // ParserLayer returns the parsing depth the compiled parser template uses.
-func (d *Datapath) ParserLayer() pkt.Layer { return d.parserLayer }
+func (d *Datapath) ParserLayer() pkt.Layer { return d.snap.Load().parserLayer }
 
 // Pipeline returns the (possibly decomposed) pipeline the datapath executes.
 func (d *Datapath) Pipeline() *openflow.Pipeline { return d.pipeline }
@@ -188,8 +257,8 @@ func (d *Datapath) Meter() *cpumodel.Meter { return d.meter }
 
 // TableTemplate reports which template a table was compiled into.
 func (d *Datapath) TableTemplate(id openflow.TableID) (TemplateKind, bool) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	tr, ok := d.trampolines[id]
 	if !ok {
 		return 0, false
@@ -212,8 +281,8 @@ type TableStage struct {
 
 // Stages returns a description of every compiled table in table-ID order.
 func (d *Datapath) Stages() []TableStage {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	out := make([]TableStage, 0, len(d.trampolines))
 	for _, t := range d.pipeline.Tables() {
 		tr := d.trampolines[t.ID]
@@ -232,25 +301,36 @@ func (d *Datapath) Stages() []TableStage {
 
 // Process sends one packet through the compiled fast path, filling in the
 // verdict.  It parses the packet only as deep as the pipeline requires.
+//
+// Process is safe to call from any number of goroutines concurrently with
+// flow-table updates: the call pins a recycled worker epoch for its duration,
+// so updates cannot reclaim the state it reads.  Dedicated forwarding workers
+// should register a WorkerEpoch once and use ProcessUnlocked inside their own
+// Enter/Exit bracket instead.
 func (d *Datapath) Process(p *pkt.Packet, v *openflow.Verdict) {
-	d.mu.RLock()
+	e := d.pinGet()
+	e.Enter()
 	d.ProcessUnlocked(p, v)
-	d.mu.RUnlock()
+	e.Exit()
+	d.pinPut(e)
 }
 
-// ProcessUnlocked is Process without the read lock; single-threaded harnesses
-// (and the per-core workers of the dataplane substrate, which shard packets
-// so that updates are quiesced externally) use it to avoid lock overhead.
+// ProcessUnlocked is Process without the epoch pin.  It takes no locks and
+// performs no atomic read-modify-writes — one atomic snapshot load, then pure
+// computation.  Callers must either hold their own registered WorkerEpoch
+// (the dataplane substrate's per-core workers) or quiesce updates externally
+// (single-threaded harnesses and benchmarks).
 //
 // The meter decision is hoisted out of the per-stage path: compilation with
 // no meter selects a process variant that contains no metering calls at all
 // rather than paying a nil-checked method call at every stage.
 func (d *Datapath) ProcessUnlocked(p *pkt.Packet, v *openflow.Verdict) {
+	sn := d.snap.Load()
 	if d.meter == nil {
-		d.processFast(p, v)
+		d.processFast(sn, p, v)
 		return
 	}
-	d.processMetered(p, v)
+	d.processMetered(sn, p, v)
 }
 
 // stepResult is how executing one matched entry ended.
@@ -272,12 +352,12 @@ const (
 // apply-only hot path free of action-set stores.  It returns how processing
 // ended and is shared verbatim by the per-packet and burst engines so their
 // semantics cannot drift.
-func (d *Datapath) executeEntry(ce *compiledEntry, p *pkt.Packet, v *openflow.Verdict, set *openflow.ActionList) stepResult {
+func (d *Datapath) executeEntry(sn *snapshot, ce *compiledEntry, p *pkt.Packet, v *openflow.Verdict, set *openflow.ActionList) stepResult {
 	if d.opts.UpdateCounters {
 		ce.counters.Add(len(p.Data))
 	}
 	if len(ce.apply.list) > 0 {
-		openflow.ApplyActions(ce.apply.list, p, v, d.numPorts)
+		openflow.ApplyActions(ce.apply.list, p, v, sn.numPorts)
 		if v.Dropped && !v.Forwarded() && !v.ToController {
 			if hasDrop(ce.apply.list) {
 				return stepDropped
@@ -296,7 +376,7 @@ func (d *Datapath) executeEntry(ce *compiledEntry, p *pkt.Packet, v *openflow.Ve
 	}
 	if !ce.hasNext {
 		if len(*set) > 0 {
-			openflow.ApplyActions(*set, p, v, d.numPorts)
+			openflow.ApplyActions(*set, p, v, sn.numPorts)
 		}
 		if !v.Forwarded() && !v.ToController {
 			v.Dropped = true
@@ -306,25 +386,17 @@ func (d *Datapath) executeEntry(ce *compiledEntry, p *pkt.Packet, v *openflow.Ve
 	return stepNext
 }
 
-// miss records a table miss in the verdict per the pipeline's miss behaviour.
-func (d *Datapath) miss(v *openflow.Verdict) {
-	v.TableMiss = true
-	switch d.pipeline.Miss {
-	case openflow.MissController:
-		v.ToController = true
-	default:
-		v.Dropped = true
-	}
-}
-
 // processFast is the meter-free process variant: no metering calls anywhere
 // on the path.
-func (d *Datapath) processFast(p *pkt.Packet, v *openflow.Verdict) {
+func (d *Datapath) processFast(sn *snapshot, p *pkt.Packet, v *openflow.Verdict) {
 	v.Reset()
-	pkt.ParseTo(p, d.parserLayer)
+	pkt.ParseTo(p, sn.parserLayer)
 	var actionSet openflow.ActionList
-	tr := d.start
+	tr := sn.start
 	for depth := 0; depth < openflow.MaxPipelineDepth; depth++ {
+		if tr == nil {
+			break
+		}
 		dp := tr.load()
 		if dp == nil {
 			break
@@ -332,10 +404,10 @@ func (d *Datapath) processFast(p *pkt.Packet, v *openflow.Verdict) {
 		v.Tables++
 		out := dp.LookupFast(p)
 		if out.entry == nil {
-			d.miss(v)
+			sn.miss(v)
 			return
 		}
-		if d.executeEntry(out.entry, p, v, &actionSet) != stepNext {
+		if d.executeEntry(sn, out.entry, p, v, &actionSet) != stepNext {
 			return
 		}
 		tr = out.entry.next
@@ -344,19 +416,22 @@ func (d *Datapath) processFast(p *pkt.Packet, v *openflow.Verdict) {
 }
 
 // processMetered is the process variant used when a cycle meter is attached.
-func (d *Datapath) processMetered(p *pkt.Packet, v *openflow.Verdict) {
+func (d *Datapath) processMetered(sn *snapshot, p *pkt.Packet, v *openflow.Verdict) {
 	m := d.meter
 	v.Reset()
 	m.StartPacket()
 	m.AddCycles(cpumodel.CostPktIO)
 
 	// Parser template: parse only as deep as the pipeline needs.
-	pkt.ParseTo(p, d.parserLayer)
-	m.AddCycles(parserCost(d.parserLayer))
+	pkt.ParseTo(p, sn.parserLayer)
+	m.AddCycles(parserCost(sn.parserLayer))
 
 	var actionSet openflow.ActionList
-	tr := d.start
+	tr := sn.start
 	for depth := 0; depth < openflow.MaxPipelineDepth; depth++ {
+		if tr == nil {
+			break
+		}
 		dp := tr.load()
 		if dp == nil {
 			break
@@ -364,11 +439,11 @@ func (d *Datapath) processMetered(p *pkt.Packet, v *openflow.Verdict) {
 		v.Tables++
 		out := dp.Lookup(p, m)
 		if out.entry == nil {
-			d.miss(v)
+			sn.miss(v)
 			m.AddCycles(cpumodel.CostPktIO)
 			return
 		}
-		switch d.executeEntry(out.entry, p, v, &actionSet) {
+		switch d.executeEntry(sn, out.entry, p, v, &actionSet) {
 		case stepDropped:
 			m.AddCycles(cpumodel.CostActions)
 			return

@@ -163,4 +163,10 @@ type tableDatapath interface {
 	// Remove deletes entries matching the given match (and priority when
 	// non-negative), returning how many were removed.
 	Remove(match *openflow.Match, priority int) int
+	// Mirror returns a writable deep copy of the table for the epoch-based
+	// update scheme (update.go): flow-mods are applied to the mirror off to
+	// the side and the mirror is swapped in through the trampoline, so
+	// concurrent lock-free readers never observe an in-place mutation.
+	// Templates that are always rebuilt on update (direct code) return nil.
+	Mirror() tableDatapath
 }

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file implements the quiescent-state-based reclamation (QSBR) scheme
+// that lets the steady-state forwarding path run without any locks while
+// flow-table updates stay safe (§3.4 at multi-core scale).
+//
+// The contract mirrors DPDK's rte_rcu: each forwarding worker registers one
+// WorkerEpoch and brackets every burst with Enter/Exit.  Writers never mutate
+// state a reader can see; they build the new representation off to the side,
+// publish it with a single atomic store (the per-table trampoline or the
+// datapath-wide snapshot pointer), and then call synchronize(), which waits
+// until every registered worker has passed a quiescent point (an Exit).  Only
+// after that grace period may the writer touch the superseded representation
+// again — which is exactly what the ping-pong table updates in update.go do
+// to reclaim the previous table copy as the next build target.
+
+// Epoch is the quiescence handle a forwarding worker holds: Enter pins the
+// current datapath state for the duration of one burst, Exit announces a
+// quiescent point.  It is an alias for the anonymous interface so the
+// dataplane substrate (internal/dpdk) can name the same type without
+// importing this package.
+type Epoch = interface {
+	Enter()
+	Exit()
+}
+
+// WorkerEpoch is the per-worker epoch counter.  The counter is odd while the
+// worker is inside a burst (between Enter and Exit) and even while quiescent.
+// The trailing padding keeps each worker's counter on its own cache line so
+// the per-burst Enter/Exit never false-shares with another core.
+type WorkerEpoch struct {
+	ctr atomic.Uint64
+	_   [56]byte
+}
+
+// Enter marks the start of a read-side critical section (one burst).
+func (e *WorkerEpoch) Enter() { e.ctr.Add(1) }
+
+// Exit marks a quiescent point: the worker holds no references to any
+// datapath state published before this call.
+func (e *WorkerEpoch) Exit() { e.ctr.Add(1) }
+
+// epochDomain tracks the registered worker epochs of one Datapath.  The list
+// is copy-on-write so synchronize can snapshot it without taking the
+// registration lock.
+type epochDomain struct {
+	mu   sync.Mutex
+	list atomic.Pointer[[]*WorkerEpoch]
+}
+
+func (d *epochDomain) register() *WorkerEpoch {
+	e := &WorkerEpoch{}
+	d.mu.Lock()
+	old := d.list.Load()
+	var next []*WorkerEpoch
+	if old != nil {
+		next = append(next, *old...)
+	}
+	next = append(next, e)
+	d.list.Store(&next)
+	d.mu.Unlock()
+	return e
+}
+
+func (d *epochDomain) unregister(e *WorkerEpoch) {
+	d.mu.Lock()
+	old := d.list.Load()
+	if old != nil {
+		next := make([]*WorkerEpoch, 0, len(*old))
+		for _, w := range *old {
+			if w != e {
+				next = append(next, w)
+			}
+		}
+		d.list.Store(&next)
+	}
+	d.mu.Unlock()
+}
+
+// synchronize blocks until every registered worker has passed a quiescent
+// point: workers whose counter is even are already quiescent; for the rest we
+// wait until the counter moves (an Exit — or a full Exit/Enter pair, which is
+// just as good because the re-Entered worker can only see state published
+// before we return).  With no registered workers (single-threaded harnesses,
+// the update benchmarks) this returns immediately.
+func (d *epochDomain) synchronize() {
+	lp := d.list.Load()
+	if lp == nil {
+		return
+	}
+	for _, w := range *lp {
+		v := w.ctr.Load()
+		if v&1 == 0 {
+			continue
+		}
+		// A burst is microseconds of work, so a yield loop normally
+		// suffices; escalate to short sleeps when the scheduler is
+		// oversubscribed (more busy workers than cores) so the writer
+		// does not burn its own time slices spinning.
+		for spins := 0; w.ctr.Load() == v; spins++ {
+			if spins < 128 {
+				runtime.Gosched()
+			} else {
+				time.Sleep(5 * time.Microsecond)
+			}
+		}
+	}
+}
+
+// maxPinnedEpochs bounds the free-list of recycled epochs behind the
+// facade's Process/ProcessBurst entry points; callers beyond the bound
+// register a transient epoch and unregister it on release.
+const maxPinnedEpochs = 64
+
+// pinGet returns a registered epoch for one facade call, recycling from the
+// bounded free-list when possible.
+func (d *Datapath) pinGet() *WorkerEpoch {
+	select {
+	case e := <-d.pins:
+		return e
+	default:
+		return d.epochs.register()
+	}
+}
+
+// pinPut returns an epoch to the free-list, unregistering it when the list
+// is full so the epoch domain never accumulates idle epochs.
+func (d *Datapath) pinPut(e *WorkerEpoch) {
+	select {
+	case d.pins <- e:
+	default:
+		d.epochs.unregister(e)
+	}
+}
+
+// RegisterWorker registers one forwarding worker with the datapath's epoch
+// domain and returns its quiescence handle.  The worker must bracket every
+// burst (or per-packet Process call) with Enter/Exit; flow-table updates wait
+// for all registered workers to pass a quiescent point before reclaiming
+// superseded table representations.
+func (d *Datapath) RegisterWorker() Epoch { return d.epochs.register() }
+
+// UnregisterWorker removes a worker's epoch from the domain (on worker
+// shutdown).  The handle must be in the Exit'ed (quiescent) state.
+func (d *Datapath) UnregisterWorker(e Epoch) {
+	if w, ok := e.(*WorkerEpoch); ok {
+		d.epochs.unregister(w)
+	}
+}

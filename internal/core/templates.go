@@ -135,6 +135,10 @@ func (d *directCode) Insert(e *openflow.FlowEntry, ce *compiledEntry) {
 	d.entries[pos] = ne
 }
 
+// Mirror returns nil: the direct-code template is always rebuilt on updates
+// (as in the paper), so there is no shadow copy to maintain.
+func (d *directCode) Mirror() tableDatapath { return nil }
+
 func (d *directCode) Remove(match *openflow.Match, priority int) int {
 	kept := d.entries[:0]
 	removed := 0
@@ -279,6 +283,23 @@ func (h *hashTable) LookupBurst(ps []*pkt.Packet, outs []lookupOutcome, sc *burs
 			continue
 		}
 		outs[i] = lookupOutcome{entry: h.values[idx]}
+	}
+}
+
+// Mirror deep-copies the mutable lookup state (the cuckoo table and the
+// value slice); the immutable compile-time state (fields, masks, protocol
+// prerequisite, meter region) and the compiled entries themselves are shared
+// with the live copy.
+func (h *hashTable) Mirror() tableDatapath {
+	return &hashTable{
+		fields:      h.fields,
+		masks:       h.masks,
+		proto:       h.proto,
+		table:       h.table.Clone(),
+		values:      append([]*compiledEntry(nil), h.values...),
+		def:         h.def,
+		defPriority: h.defPriority,
+		region:      h.region,
 	}
 }
 
@@ -477,6 +498,23 @@ func (l *lpmTable) LookupBurst(ps []*pkt.Packet, outs []lookupOutcome, sc *burst
 	}
 }
 
+// Mirror deep-copies the DIR-24-8 structure and the value slice.  The copy
+// is expensive (the first level alone is 2^24 slots), but it is paid only on
+// the first incremental update of a table: afterwards the update path
+// ping-pongs between the two copies, replaying the handful of pending
+// operations onto the reclaimed one instead of copying again (update.go).
+func (l *lpmTable) Mirror() tableDatapath {
+	return &lpmTable{
+		field:       l.field,
+		proto:       l.proto,
+		table:       l.table.Clone(),
+		values:      append([]*compiledEntry(nil), l.values...),
+		def:         l.def,
+		defPriority: l.defPriority,
+		region:      l.region,
+	}
+}
+
 func (l *lpmTable) CanInsert(e *openflow.FlowEntry) bool {
 	if e.Match.IsEmpty() {
 		return true
@@ -586,6 +624,16 @@ func (l *listTable) LookupBurst(ps []*pkt.Packet, outs []lookupOutcome, _ *burst
 	}
 	for i, p := range ps {
 		outs[i] = l.Lookup(p, m)
+	}
+}
+
+// Mirror deep-copies the tuple-space classifier (groups and entry buckets;
+// the entries themselves are immutable once inserted and are shared).
+func (l *listTable) Mirror() tableDatapath {
+	return &listTable{
+		classifier: l.classifier.Clone(),
+		region:     l.region,
+		count:      l.count,
 	}
 }
 

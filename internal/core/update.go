@@ -6,19 +6,109 @@ import (
 	"eswitch/internal/openflow"
 )
 
+// Flow-table updates against a live, lock-free datapath (§3.4 at multi-core
+// scale).  The forwarding workers never take a lock, so a flow-mod must never
+// mutate state a reader can see.  Updates therefore follow the epoch scheme:
+//
+//   1. The writer obtains a writable copy of the affected table that no
+//      reader references — on the first update of a table a deep Mirror of
+//      the live copy, afterwards the previous live copy, reclaimed once every
+//      registered worker has passed a quiescent point (epochs.synchronize)
+//      and brought up to date by replaying the pending operation log.
+//   2. The flow-mod is applied to that copy off to the side.
+//   3. The copy is swapped in through the table's trampoline — one atomic
+//      store — and the superseded live copy becomes the next shadow, with
+//      the just-applied operation recorded for replay.
+//
+// Updates the template cannot absorb (direct-code tables, prerequisite
+// violations, entry replacement) fall back to a full side-by-side rebuild
+// and swap, exactly as in the paper.  Either way, readers observe each table
+// transition atomically: a burst sees the table either before or after the
+// flow-mod, never a half-applied structure.
+
+// tableOp is one flow-mod recorded for replay onto the shadow copy.
+type tableOp struct {
+	add      bool
+	entry    *openflow.FlowEntry // add: the declarative entry
+	ce       *compiledEntry      // add: its compiled form (shared with live)
+	match    *openflow.Match     // delete: the match to remove
+	priority int                 // delete: priority filter (-1 = any)
+}
+
+// tableVersion is the writer-side bookkeeping of one table's ping-pong
+// copies: the superseded live copy awaiting reclamation and the single
+// flow-mod it has not seen (every swap parks the previous live copy exactly
+// one operation behind).
+type tableVersion struct {
+	shadow     tableDatapath
+	pending    tableOp
+	hasPending bool
+}
+
+// shadowFor returns a writable copy of the live table that no reader can
+// observe, up to date with the live state.  It returns nil when the template
+// does not support mirroring (direct code).
+func (d *Datapath) shadowFor(tid openflow.TableID, live tableDatapath) tableDatapath {
+	sv := d.versions[tid]
+	if sv == nil || sv.shadow == nil {
+		// First incremental update of this table: deep-copy the live
+		// table.  Reading it is safe (the writer is the only mutator and
+		// never mutates reader-visible state), and nothing references the
+		// mirror yet, so it is writable without a grace period.
+		return live.Mirror()
+	}
+	// The shadow was the live copy before the previous swap.  Wait until
+	// every registered worker has passed a quiescent point, so no in-flight
+	// burst still reads it, then replay the operation the current live copy
+	// has seen in the meantime.
+	d.epochs.synchronize()
+	sh := sv.shadow
+	sv.shadow = nil
+	if sv.hasPending {
+		if op := sv.pending; op.add {
+			sh.Insert(op.entry, op.ce)
+		} else {
+			sh.Remove(op.match, op.priority)
+		}
+		sv.hasPending = false
+	}
+	return sh
+}
+
+// swapInShadow publishes the updated copy through the table's trampoline and
+// parks the superseded live copy as the next shadow, recording op for replay.
+func (d *Datapath) swapInShadow(tid openflow.TableID, sh, old tableDatapath, op tableOp) {
+	d.trampolines[tid].store(sh)
+	sv := d.versions[tid]
+	if sv == nil {
+		sv = &tableVersion{}
+		d.versions[tid] = sv
+	}
+	sv.shadow = old
+	sv.pending = op
+	sv.hasPending = true
+}
+
+// dropShadow discards any parked copy of the table (after a full rebuild the
+// shadow no longer matches the live template or contents).
+func (d *Datapath) dropShadow(tid openflow.TableID) { delete(d.versions, tid) }
+
 // AddFlow installs (or replaces) a flow entry in the given table of the
 // running datapath (§3.4).
 //
 // Templates that support incremental updates (compound hash, LPM, linked
-// list) are updated in place when the new entry preserves the template's
-// prerequisite; otherwise — and always for the direct-code template — the
-// table is recompiled side by side and swapped in atomically through its
-// trampoline, so packet processing continues against the old representation
-// until the new one is complete (transactional, per-table-granularity
-// updates).
+// list) are updated on a quiesced shadow copy that is swapped in atomically
+// through the table's trampoline; otherwise — and always for the direct-code
+// template — the table is recompiled side by side and swapped in the same
+// way, so packet processing continues against the old representation until
+// the new one is complete (transactional, per-table-granularity updates that
+// are safe under concurrent lock-free forwarding).
 func (d *Datapath) AddFlow(tableID openflow.TableID, e *openflow.FlowEntry) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	// Re-publish the snapshot on exit: the update may have deepened the
+	// parser template or created the start table.
+	defer d.publish()
 
 	t := d.pipeline.Table(tableID)
 	if t == nil {
@@ -51,25 +141,34 @@ func (d *Datapath) AddFlow(tableID openflow.TableID, e *openflow.FlowEntry) erro
 	replaced := !t.Add(e)
 
 	// The parser template must stay deep enough for every match field in
-	// the pipeline, including the one just added.
+	// the pipeline, including the one just added.  The deeper parse depth
+	// must be published — and a grace period observed — BEFORE the entry's
+	// table can become visible below: an in-flight burst parsed to the old
+	// (shallower) layer must never evaluate the new entry's matchers on
+	// unparsed fields.
 	if l := e.Match.RequiredLayer(); d.opts.SpecializeParser && l > d.parserLayer {
 		d.parserLayer = l
+		d.publish()
+		d.epochs.synchronize()
 	}
 
 	tr := d.trampolines[tableID]
-	dp := tr.load()
-	// Incremental in-place update when the running template supports it and
-	// the new entry preserves its prerequisite.  The direct-code template is
-	// always rebuilt (as in the paper), which also covers the promotion of a
-	// growing table to a faster template.
-	if !replaced && dp != nil && dp.Kind() != TemplateDirectCode && dp.CanInsert(e) {
+	live := tr.load()
+	// Incremental update when the running template supports it and the new
+	// entry preserves its prerequisite: apply to the shadow copy and swap.
+	// The direct-code template is always rebuilt (as in the paper), which
+	// also covers the promotion of a growing table to a faster template.
+	if !replaced && live != nil && live.Kind() != TemplateDirectCode && live.CanInsert(e) {
 		ce, err := d.compileEntry(e)
 		if err != nil {
 			return err
 		}
-		dp.Insert(e, ce)
-		d.incremental.Add(1)
-		return nil
+		if sh := d.shadowFor(tableID, live); sh != nil {
+			sh.Insert(e, ce)
+			d.swapInShadow(tableID, sh, live, tableOp{add: true, entry: e, ce: ce})
+			d.incremental.Add(1)
+			return nil
+		}
 	}
 	// Fallback: rebuild the table with (possibly) a new template and swap.
 	ndp, err := d.buildTable(t)
@@ -77,6 +176,7 @@ func (d *Datapath) AddFlow(tableID openflow.TableID, e *openflow.FlowEntry) erro
 		return err
 	}
 	tr.store(ndp)
+	d.dropShadow(tableID)
 	return nil
 }
 
@@ -95,11 +195,17 @@ func (d *Datapath) DeleteFlow(tableID openflow.TableID, match *openflow.Match, p
 		return 0, nil
 	}
 	tr := d.trampolines[tableID]
-	dp := tr.load()
-	if dp != nil && dp.Kind() != TemplateDirectCode {
-		if got := dp.Remove(match, priority); got == removed {
-			d.incremental.Add(1)
-			return removed, nil
+	live := tr.load()
+	if live != nil && live.Kind() != TemplateDirectCode {
+		if sh := d.shadowFor(tableID, live); sh != nil {
+			if got := sh.Remove(match, priority); got == removed {
+				d.swapInShadow(tableID, sh, live, tableOp{match: match.Clone(), priority: priority})
+				d.incremental.Add(1)
+				return removed, nil
+			}
+			// The template could not express the delete; the mutated
+			// shadow has diverged — discard it and rebuild below.
+			d.dropShadow(tableID)
 		}
 	}
 	ndp, err := d.buildTable(t)
@@ -107,6 +213,7 @@ func (d *Datapath) DeleteFlow(tableID openflow.TableID, match *openflow.Match, p
 		return removed, err
 	}
 	tr.store(ndp)
+	d.dropShadow(tableID)
 	return removed, nil
 }
 
@@ -125,9 +232,13 @@ func (d *Datapath) InstallPipeline(pl *openflow.Pipeline) error {
 	d.parserLayer = nd.parserLayer
 	d.numPorts = nd.numPorts
 	d.trampolines = nd.trampolines
-	d.start = nd.start
 	d.actionCache = nd.actionCache
 	d.decomposedBy = nd.decomposedBy
+	d.versions = make(map[openflow.TableID]*tableVersion)
 	d.rebuilds.Add(nd.rebuilds.Load())
+	d.publish()
+	// Let in-flight bursts drain off the superseded pipeline before
+	// returning, matching the transactional roll-out semantics.
+	d.epochs.synchronize()
 	return nil
 }

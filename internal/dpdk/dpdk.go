@@ -1,19 +1,44 @@
 // Package dpdk is the in-memory dataplane substrate standing in for the
-// Intel DPDK environment of the paper's prototype (§4.2): ports backed by
-// single-producer/single-consumer rings, burst-oriented receive and transmit,
-// and run-to-completion worker loops that can be sharded over multiple cores
-// (the Fig. 19 scalability experiment).
+// Intel DPDK environment of the paper's prototype (§4.2): multi-queue ports
+// backed by single-producer/single-consumer rings, RSS steering of injected
+// frames, burst-oriented receive and transmit, and run-to-completion worker
+// loops sharded over queues so a single hot port scales across cores (the
+// Fig. 19 scalability experiment).
 //
 // No kernel-bypass I/O happens here — the point of the substrate is to drive
 // the switch datapaths with minimum-size frames at memory speed and to
 // account for the fixed per-packet I/O cost the way the paper's model does.
+//
+// # Threading model
+//
+// Every port owns N RX/TX queue pairs (DefaultQueues unless configured).  A
+// symmetric RSS hash over the injected frame's 5-tuple (pkt.RSSHash) steers
+// each frame to one RX queue, so both directions of a flow land on the same
+// queue.  RunWorkers starts one run-to-completion goroutine ("core") per
+// worker; worker w owns the RX queue indices q ≡ w (mod workers) of every
+// port and TX queue w of every port, so each ring keeps exactly one producer
+// and one consumer and the workers share nothing but the datapath.  When the
+// datapath supports epoch-based quiescence (EpochDatapath — the compiled
+// ESWITCH datapath does), each worker registers a worker epoch and brackets
+// every poll iteration with Enter/Exit, which is what lets concurrent
+// flow-table updates retire superseded flow-table versions safely while the
+// steady-state loop takes zero locks.
+//
+// Transmission is batched: verdicts accumulate frames into per-worker,
+// per-port staging buffers that are flushed to the TX rings with one
+// EnqueueBurst per port at the end of each poll iteration, and forwarding
+// statistics accumulate in padded per-worker counters folded together by
+// Stats() on demand — the hot loop performs no shared-cache-line writes.
 package dpdk
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"eswitch/internal/lockcount"
 	"eswitch/internal/openflow"
 	"eswitch/internal/pkt"
 )
@@ -21,6 +46,11 @@ import (
 // DefaultBurst is the burst size used by the RX/TX loops (DPDK's customary
 // 32-packet bursts).
 const DefaultBurst = 32
+
+// DefaultQueues is the number of RX/TX queue pairs per port, and therefore
+// the largest worker count that still scales a single hot port (a NIC-like
+// default; NewSwitchQueues configures it).
+const DefaultQueues = 8
 
 // Ring is a bounded single-producer/single-consumer queue of frames.
 type Ring struct {
@@ -101,12 +131,12 @@ type PortStats struct {
 	TxDrops   uint64
 }
 
-// Port is a switch port: an RX ring the traffic source fills and a TX ring
-// the datapath fills.
+// Port is a switch port with N RX/TX queue pairs: the traffic source fills
+// the RX queues (RSS-steered), the datapath workers fill the TX queues.
 type Port struct {
-	ID uint32
-	rx *Ring
-	tx *Ring
+	ID  uint32
+	rxq []*Ring
+	txq []*Ring
 
 	rxPackets atomic.Uint64
 	txPackets atomic.Uint64
@@ -114,14 +144,44 @@ type Port struct {
 	txDrops   atomic.Uint64
 }
 
-// NewPort creates a port with the given ring sizes.
-func NewPort(id uint32, ringSize int) *Port {
-	return &Port{ID: id, rx: NewRing(ringSize), tx: NewRing(ringSize)}
+// NewPort creates a single-queue port with the given ring sizes.
+func NewPort(id uint32, ringSize int) *Port { return NewPortQueues(id, ringSize, 1) }
+
+// NewPortQueues creates a port with the given number of RX/TX queue pairs,
+// each backed by rings of the given size.
+func NewPortQueues(id uint32, ringSize, queues int) *Port {
+	if queues < 1 {
+		queues = 1
+	}
+	p := &Port{ID: id}
+	for q := 0; q < queues; q++ {
+		p.rxq = append(p.rxq, NewRing(ringSize))
+		p.txq = append(p.txq, NewRing(ringSize))
+	}
+	return p
 }
 
-// Inject places a frame on the port's RX ring (what a NIC or generator does).
+// NumQueues returns the number of RX/TX queue pairs.
+func (p *Port) NumQueues() int { return len(p.rxq) }
+
+// Inject places a frame on one of the port's RX queues, steered by the
+// symmetric RSS hash of the frame (what a multi-queue NIC does in hardware).
+// Each queue is single-producer, so one goroutine at a time may inject into
+// a given port unless producers pre-partition queues via InjectQueue.
 func (p *Port) Inject(frame []byte) bool {
-	if p.rx.Enqueue(frame) {
+	q := 0
+	if len(p.rxq) > 1 {
+		q = int(pkt.RSSHash(frame) % uint32(len(p.rxq)))
+	}
+	return p.InjectQueue(q, frame)
+}
+
+// InjectQueue places a frame on a specific RX queue.  Traffic generators
+// that precompute the RSS steering use it to keep the producer path to a
+// bare ring enqueue (and to shard injection across producer goroutines, one
+// per queue subset).
+func (p *Port) InjectQueue(q int, frame []byte) bool {
+	if p.rxq[q].Enqueue(frame) {
 		p.rxPackets.Add(1)
 		return true
 	}
@@ -129,9 +189,13 @@ func (p *Port) Inject(frame []byte) bool {
 	return false
 }
 
-// Transmit places a frame on the TX ring (what the datapath does on output).
+// RxQueueLen returns the number of frames waiting in RX queue q.
+func (p *Port) RxQueueLen(q int) int { return p.rxq[q].Len() }
+
+// Transmit places one frame on TX queue 0 (the single-frame slow path; the
+// worker loops use TxBurst instead).
 func (p *Port) Transmit(frame []byte) bool {
-	if p.tx.Enqueue(frame) {
+	if p.txq[0].Enqueue(frame) {
 		p.txPackets.Add(1)
 		return true
 	}
@@ -139,20 +203,47 @@ func (p *Port) Transmit(frame []byte) bool {
 	return false
 }
 
-// DrainTx empties the TX ring, returning the number of frames drained (a
+// TxBurst enqueues a staged burst of frames on TX queue q, counting frames
+// that did not fit as TX drops (what a NIC does when the descriptor ring is
+// full).  It returns how many frames were enqueued.
+func (p *Port) TxBurst(q int, frames [][]byte) int {
+	n := p.txq[q].EnqueueBurst(frames)
+	if n > 0 {
+		p.txPackets.Add(uint64(n))
+	}
+	if n < len(frames) {
+		p.txDrops.Add(uint64(len(frames) - n))
+	}
+	return n
+}
+
+// DrainTx empties all TX queues, returning the number of frames drained (a
 // traffic sink / loopback tester).
 func (p *Port) DrainTx() int {
 	n := 0
-	for {
-		if _, ok := p.tx.Dequeue(); !ok {
-			return n
+	for _, q := range p.txq {
+		for {
+			if _, ok := q.Dequeue(); !ok {
+				break
+			}
+			n++
 		}
-		n++
 	}
+	return n
 }
 
-// RxBurst receives up to len(out) frames from the RX ring.
-func (p *Port) RxBurst(out [][]byte) int { return p.rx.DequeueBurst(out) }
+// RxBurst receives up to len(out) frames from the port's RX queues in queue
+// order (single-threaded harnesses; the workers poll their own queues).
+func (p *Port) RxBurst(out [][]byte) int {
+	n := 0
+	for _, q := range p.rxq {
+		n += q.DequeueBurst(out[n:])
+		if n == len(out) {
+			break
+		}
+	}
+	return n
+}
 
 // Stats returns a snapshot of the port counters.
 func (p *Port) Stats() PortStats {
@@ -180,13 +271,35 @@ type BurstDatapath interface {
 	ProcessBurst(ps []*pkt.Packet, vs []openflow.Verdict)
 }
 
+// Epoch is the per-worker quiescence handle of an EpochDatapath.  It is an
+// alias for the anonymous interface so the concrete handle type lives with
+// the datapath implementation (core.WorkerEpoch) without an import here.
+type Epoch = interface {
+	Enter()
+	Exit()
+}
+
+// EpochDatapath is the lock-free extension of BurstDatapath: the datapath
+// publishes its compiled state through atomic snapshots, workers register a
+// quiescence epoch and bracket every poll iteration with Enter/Exit, and in
+// return they may call ProcessBurstUnlocked — the zero-lock, zero-atomic-RMW
+// burst path — while flow-table updates proceed concurrently.  The compiled
+// ESWITCH datapath implements it.
+type EpochDatapath interface {
+	BurstDatapath
+	RegisterWorker() Epoch
+	UnregisterWorker(Epoch)
+	ProcessBurstUnlocked(ps []*pkt.Packet, vs []openflow.Verdict)
+}
+
 // DatapathFunc adapts a function to the Datapath interface.
 type DatapathFunc func(p *pkt.Packet, v *openflow.Verdict)
 
 // Process implements Datapath.
 func (f DatapathFunc) Process(p *pkt.Packet, v *openflow.Verdict) { f(p, v) }
 
-// WorkerStats are per-worker forwarding counters.
+// WorkerStats are aggregate forwarding counters (folded over the per-worker
+// counters on demand).
 type WorkerStats struct {
 	Processed uint64
 	Forwarded uint64
@@ -194,61 +307,163 @@ type WorkerStats struct {
 	ToCtrl    uint64
 }
 
+// workerCounters are one worker's forwarding counters.  They are updated
+// once per poll iteration (not per packet) by their owning worker only; the
+// trailing padding keeps each worker's counters on their own cache line so
+// Stats() snapshots never false-share with the hot loops.
+type workerCounters struct {
+	processed atomic.Uint64
+	forwarded atomic.Uint64
+	dropped   atomic.Uint64
+	toCtrl    atomic.Uint64
+	_         [32]byte
+}
+
 // Switch ties ports and a datapath together and runs run-to-completion
 // forwarding loops over them.
 type Switch struct {
 	ports []*Port
 	dp    Datapath
-	// bdp is non-nil when the datapath supports native burst processing;
-	// the workers then hand whole RX bursts to it.
-	bdp   BurstDatapath
-	burst int
+	// bdp/edp are non-nil when the datapath supports native burst
+	// processing / epoch-based quiescence; the workers then use the
+	// fastest available path.
+	bdp    BurstDatapath
+	edp    EpochDatapath
+	burst  int
+	queues int
+
+	// mu guards counter registration; the forwarding loops never touch
+	// it.  The acquisition counter backs the zero-lock acceptance tests.
+	mu lockcount.Mutex
+	// counters holds the live workers' statistics blocks and base the
+	// folded totals of retired ones, so Stats stays monotonic while the
+	// registration list stays bounded by the number of live workers.
+	counters []*workerCounters
+	base     WorkerStats
+	// pollCounters is the single registered block shared by every pooled
+	// PollOnce state, so pool evictions cannot grow the registration list.
+	pollCounters *workerCounters
 
 	// wsPool recycles per-worker burst state for callers that use PollOnce
 	// directly instead of RunWorkers.
 	wsPool sync.Pool
-
-	processed atomic.Uint64
-	forwarded atomic.Uint64
-	dropped   atomic.Uint64
-	toCtrl    atomic.Uint64
 }
 
-// NewSwitch creates a switch with numPorts ports.  When dp also implements
-// BurstDatapath (the compiled ESWITCH datapath does), the worker loops use
-// the burst fast path automatically.
+// NewSwitch creates a switch with numPorts ports of DefaultQueues RX/TX
+// queue pairs each.  When dp also implements BurstDatapath (the compiled
+// ESWITCH datapath does), the worker loops use the burst fast path
+// automatically; when it implements EpochDatapath they additionally run the
+// zero-lock path under per-worker epochs.
 func NewSwitch(dp Datapath, numPorts, ringSize int) *Switch {
-	s := &Switch{dp: dp, burst: DefaultBurst}
+	return NewSwitchQueues(dp, numPorts, ringSize, DefaultQueues)
+}
+
+// NewSwitchQueues is NewSwitch with an explicit number of RX/TX queue pairs
+// per port (the maximum worker count that still scales one hot port).
+func NewSwitchQueues(dp Datapath, numPorts, ringSize, queues int) *Switch {
+	if queues < 1 {
+		queues = 1
+	}
+	s := &Switch{dp: dp, burst: DefaultBurst, queues: queues}
 	if bdp, ok := dp.(BurstDatapath); ok {
 		s.bdp = bdp
 	}
-	s.wsPool.New = func() any { return s.newWorkerState() }
+	if edp, ok := dp.(EpochDatapath); ok {
+		s.edp = edp
+	}
+	s.pollCounters = s.registerCounters()
+	s.wsPool.New = func() any { return s.newWorkerState(allQueues(queues), 0, s.pollCounters) }
 	for i := 0; i < numPorts; i++ {
-		s.ports = append(s.ports, NewPort(uint32(i+1), ringSize))
+		s.ports = append(s.ports, NewPortQueues(uint32(i+1), ringSize, queues))
 	}
 	return s
 }
 
-// workerState is the reusable per-worker burst scratch: the RX frame burst,
-// the packet structs wrapping it, and the verdicts.  Everything is allocated
-// once per worker so the polling loop is allocation-free.
+func allQueues(n int) []int {
+	qs := make([]int, n)
+	for i := range qs {
+		qs[i] = i
+	}
+	return qs
+}
+
+// workerState is the reusable per-worker state: the RX frame burst, the
+// packet structs wrapping it, the verdicts, the worker's queue assignment,
+// the per-port TX staging buffers and the worker's statistics counters.
+// Everything is allocated once per worker so the polling loop is
+// allocation-free in the steady state.
 type workerState struct {
 	frames   [][]byte
 	packets  []pkt.Packet
 	pkts     []*pkt.Packet
 	verdicts []openflow.Verdict
+	// queues are the RX queue indices this worker owns on every port; txq
+	// is the TX queue index it owns (one worker per queue keeps every ring
+	// single-producer/single-consumer).
+	queues []int
+	txq    int
+	// txStage stages outgoing frames per output port; it is flushed with
+	// one TxBurst per port at the end of each poll iteration.
+	txStage [][][]byte
+	// epoch is the datapath quiescence handle (nil when the datapath does
+	// not support epochs — or when this state serves epochless PollOnce
+	// callers, which must use the self-pinning ProcessBurst instead).
+	epoch    Epoch
+	counters *workerCounters
+	// spin seeds the backoff's pause loop; keeping it per-worker (and
+	// heap-reachable, which defeats dead-code elimination) means idle
+	// workers share no cache line.
+	spin uint64
 }
 
-func (s *Switch) newWorkerState() *workerState {
+// registerCounters allocates one statistics block and adds it to the fold
+// set.
+func (s *Switch) registerCounters() *workerCounters {
+	c := &workerCounters{}
+	s.mu.Lock()
+	s.counters = append(s.counters, c)
+	s.mu.Unlock()
+	return c
+}
+
+// retireCounters folds a stopped worker's counts into the base totals and
+// drops its block from the registration list.
+func (s *Switch) retireCounters(c *workerCounters) {
+	s.mu.Lock()
+	s.base.Processed += c.processed.Load()
+	s.base.Forwarded += c.forwarded.Load()
+	s.base.Dropped += c.dropped.Load()
+	s.base.ToCtrl += c.toCtrl.Load()
+	kept := s.counters[:0]
+	for _, o := range s.counters {
+		if o != c {
+			kept = append(kept, o)
+		}
+	}
+	s.counters = kept
+	s.mu.Unlock()
+}
+
+// newWorkerState builds one worker's reusable state; counters may be a
+// shared pre-registered block (the PollOnce pool) or nil to register a
+// dedicated one (RunWorkers).
+func (s *Switch) newWorkerState(queues []int, txq int, counters *workerCounters) *workerState {
 	ws := &workerState{
 		frames:   make([][]byte, s.burst),
 		packets:  make([]pkt.Packet, s.burst),
 		pkts:     make([]*pkt.Packet, s.burst),
 		verdicts: make([]openflow.Verdict, s.burst),
+		queues:   queues,
+		txq:      txq,
+		txStage:  make([][][]byte, len(s.ports)),
 	}
 	for i := range ws.packets {
 		ws.pkts[i] = &ws.packets[i]
 	}
+	if counters == nil {
+		counters = s.registerCounters()
+	}
+	ws.counters = counters
 	return ws
 }
 
@@ -263,20 +478,45 @@ func (s *Switch) Port(id uint32) (*Port, error) {
 // Ports returns all ports.
 func (s *Switch) Ports() []*Port { return s.ports }
 
-// Stats returns aggregate worker statistics.
-func (s *Switch) Stats() WorkerStats {
-	return WorkerStats{
-		Processed: s.processed.Load(),
-		Forwarded: s.forwarded.Load(),
-		Dropped:   s.dropped.Load(),
-		ToCtrl:    s.toCtrl.Load(),
+// NumQueues returns the number of RX/TX queue pairs per port.
+func (s *Switch) NumQueues() int { return s.queues }
+
+// ClampWorkers returns the worker count RunWorkers will actually start for a
+// requested count: at least one, at most the per-port queue count.
+func (s *Switch) ClampWorkers(n int) int {
+	if n < 1 {
+		n = 1
 	}
+	if n > s.queues {
+		n = s.queues
+	}
+	return n
 }
 
-// PollOnce performs one run-to-completion iteration over the given ports:
-// receive a burst from each, classify (through the burst fast path when the
-// datapath supports it), and transmit.  It returns the number of packets
-// processed.  Passing nil polls every port.
+// MutexOps returns how many times the switch's registration mutex has been
+// acquired; tests assert it stays flat across steady-state polling.  (Note
+// Stats itself acquires it.)
+func (s *Switch) MutexOps() uint64 { return s.mu.Ops() }
+
+// Stats folds the per-worker counters into aggregate statistics.
+func (s *Switch) Stats() WorkerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.base
+	for _, c := range s.counters {
+		t.Processed += c.processed.Load()
+		t.Forwarded += c.forwarded.Load()
+		t.Dropped += c.dropped.Load()
+		t.ToCtrl += c.toCtrl.Load()
+	}
+	return t
+}
+
+// PollOnce performs one run-to-completion iteration over all queues of the
+// given ports: receive a burst from each, classify (through the burst fast
+// path when the datapath supports it), and transmit.  It returns the number
+// of packets processed.  Passing nil polls every port.  PollOnce is a
+// single-threaded convenience; concurrent forwarding uses RunWorkers.
 func (s *Switch) PollOnce(ports []*Port) int {
 	ws := s.wsPool.Get().(*workerState)
 	n := s.pollPorts(ws, ports)
@@ -284,93 +524,167 @@ func (s *Switch) PollOnce(ports []*Port) int {
 	return n
 }
 
-// pollPorts is PollOnce over caller-owned worker state; the run-to-completion
-// workers hold one state each so the loop never allocates.
+// pollPorts is one poll iteration over caller-owned worker state: for every
+// port, drain a burst from each RX queue the worker owns, classify it, stage
+// the outgoing frames, then flush the staging buffers with one TX burst per
+// port and fold the iteration's tallies into the worker's counters.  The
+// whole iteration runs inside the worker's epoch (when the datapath has
+// one), takes no locks, and — after warm-up — performs no allocations.
 func (s *Switch) pollPorts(ws *workerState, ports []*Port) int {
 	if ports == nil {
 		ports = s.ports
 	}
+	if ws.epoch != nil {
+		ws.epoch.Enter()
+	}
 	total := 0
+	var forwarded, dropped, toCtrl uint64
 	for _, port := range ports {
-		n := port.RxBurst(ws.frames)
-		if n == 0 {
-			continue
+		for _, q := range ws.queues {
+			if q >= len(port.rxq) {
+				continue
+			}
+			n := port.rxq[q].DequeueBurst(ws.frames)
+			if n == 0 {
+				continue
+			}
+			if s.bdp != nil {
+				// Burst fast path: wrap the RX burst and classify it
+				// in one call — lock-free when the datapath supports
+				// epochs (the worker's Enter pins the snapshot).
+				for i := 0; i < n; i++ {
+					ws.packets[i] = pkt.Packet{Data: ws.frames[i], InPort: port.ID}
+				}
+				if ws.epoch != nil {
+					// The worker's Enter pinned the snapshot, so the
+					// zero-lock path is safe under concurrent updates.
+					s.edp.ProcessBurstUnlocked(ws.pkts[:n], ws.verdicts[:n])
+				} else {
+					// Epochless callers (PollOnce) go through the
+					// self-pinning burst entry point.
+					s.bdp.ProcessBurst(ws.pkts[:n], ws.verdicts[:n])
+				}
+				for i := 0; i < n; i++ {
+					s.stage(ws, &ws.verdicts[i], ws.frames[i], &forwarded, &dropped, &toCtrl)
+				}
+			} else {
+				for i := 0; i < n; i++ {
+					ws.packets[0] = pkt.Packet{Data: ws.frames[i], InPort: port.ID}
+					s.dp.Process(&ws.packets[0], &ws.verdicts[0])
+					s.stage(ws, &ws.verdicts[0], ws.frames[i], &forwarded, &dropped, &toCtrl)
+				}
+			}
+			total += n
 		}
-		if s.bdp != nil {
-			// Burst fast path: wrap the RX burst and classify it in one
-			// ProcessBurst call.
-			for i := 0; i < n; i++ {
-				ws.packets[i] = pkt.Packet{Data: ws.frames[i], InPort: port.ID}
-			}
-			s.bdp.ProcessBurst(ws.pkts[:n], ws.verdicts[:n])
-			for i := 0; i < n; i++ {
-				s.account(&ws.verdicts[i], ws.frames[i])
-			}
-		} else {
-			for i := 0; i < n; i++ {
-				ws.packets[0] = pkt.Packet{Data: ws.frames[i], InPort: port.ID}
-				s.dp.Process(&ws.packets[0], &ws.verdicts[0])
-				s.account(&ws.verdicts[0], ws.frames[i])
-			}
+	}
+	if total > 0 {
+		s.flushTx(ws)
+		ws.counters.processed.Add(uint64(total))
+		if forwarded > 0 {
+			ws.counters.forwarded.Add(forwarded)
 		}
-		total += n
+		if dropped > 0 {
+			ws.counters.dropped.Add(dropped)
+		}
+		if toCtrl > 0 {
+			ws.counters.toCtrl.Add(toCtrl)
+		}
+	}
+	if ws.epoch != nil {
+		ws.epoch.Exit()
 	}
 	return total
 }
 
-func (s *Switch) account(v *openflow.Verdict, frame []byte) {
-	s.processed.Add(1)
+// stage records one verdict: forwarded frames are appended to the per-port
+// TX staging buffers (flushed in bursts at the end of the poll iteration),
+// and the iteration-local tallies are bumped.
+func (s *Switch) stage(ws *workerState, v *openflow.Verdict, frame []byte, forwarded, dropped, toCtrl *uint64) {
 	switch {
 	case v.Forwarded():
-		s.forwarded.Add(1)
+		*forwarded++
 		for _, out := range v.OutPorts {
-			if int(out) <= len(s.ports) && out > 0 {
-				s.ports[out-1].Transmit(frame)
+			if out > 0 && int(out) <= len(ws.txStage) {
+				ws.txStage[out-1] = append(ws.txStage[out-1], frame)
 			}
 		}
 	case v.ToController:
-		s.toCtrl.Add(1)
+		*toCtrl++
 	default:
-		s.dropped.Add(1)
+		*dropped++
 	}
 }
 
-// RunWorkers starts one run-to-completion goroutine ("core") per port subset,
-// sharding ports round-robin over numWorkers, and returns a stop function.
-// Each worker busy-polls its ports until stopped.
-func (s *Switch) RunWorkers(numWorkers int) (stop func()) {
-	if numWorkers < 1 {
-		numWorkers = 1
+// flushTx drains the worker's TX staging buffers, one EnqueueBurst per
+// output port, preserving receive order within the worker's stream.
+func (s *Switch) flushTx(ws *workerState) {
+	for pi, staged := range ws.txStage {
+		if len(staged) == 0 {
+			continue
+		}
+		s.ports[pi].TxBurst(ws.txq, staged)
+		ws.txStage[pi] = staged[:0]
 	}
+}
+
+// idleBackoff is the workers' idle policy: a short pause-loop spin for the
+// first empty polls (latency stays minimal when traffic is merely bursty),
+// then cooperative yields so producers are not starved on small machines,
+// then brief sleeps once the port set looks genuinely idle.
+func (ws *workerState) idleBackoff(idle int) {
+	switch {
+	case idle < 8:
+		x := ws.spin
+		for i := 0; i < idle*16; i++ {
+			x = x*2862933555777941757 + 3037000493
+		}
+		ws.spin = x
+	case idle < 1024:
+		runtime.Gosched()
+	default:
+		time.Sleep(20 * time.Microsecond)
+	}
+}
+
+// RunWorkers starts one run-to-completion goroutine ("core") per worker and
+// returns a stop function.  Worker w owns RX queue indices q ≡ w (mod
+// workers) and TX queue w of every port, so a single hot port's RSS-spread
+// traffic scales across all workers while every ring keeps one producer and
+// one consumer.  numWorkers is clamped to the per-port queue count.  Each
+// worker busy-polls its queues with an idle backoff until stopped.
+func (s *Switch) RunWorkers(numWorkers int) (stop func()) {
+	numWorkers = s.ClampWorkers(numWorkers)
 	var wg sync.WaitGroup
 	done := make(chan struct{})
 	for w := 0; w < numWorkers; w++ {
-		var mine []*Port
-		for i := w; i < len(s.ports); i += numWorkers {
-			mine = append(mine, s.ports[i])
-		}
-		if len(mine) == 0 {
-			continue
+		var queues []int
+		for q := w; q < s.queues; q += numWorkers {
+			queues = append(queues, q)
 		}
 		wg.Add(1)
-		go func(ports []*Port) {
+		go func(queues []int, txq int) {
 			defer wg.Done()
-			ws := s.newWorkerState()
+			ws := s.newWorkerState(queues, txq, nil)
+			defer s.retireCounters(ws.counters)
+			if s.edp != nil {
+				ws.epoch = s.edp.RegisterWorker()
+				defer s.edp.UnregisterWorker(ws.epoch)
+			}
+			idle := 0
 			for {
 				select {
 				case <-done:
 					return
 				default:
 				}
-				if s.pollPorts(ws, ports) == 0 {
-					// Nothing received: yield briefly to avoid
-					// starving the producer on small machines.
-					for i := 0; i < 64; i++ {
-						_ = i
-					}
+				if s.pollPorts(ws, nil) == 0 {
+					idle++
+					ws.idleBackoff(idle)
+				} else {
+					idle = 0
 				}
 			}
-		}(mine)
+		}(queues, w)
 	}
 	return func() {
 		close(done)

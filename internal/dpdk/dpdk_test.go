@@ -196,3 +196,144 @@ func BenchmarkRing(b *testing.B) {
 		r.Dequeue()
 	}
 }
+
+// TestRingWraparoundBurst exercises EnqueueBurst/DequeueBurst across many
+// head/tail wraps of a small ring, asserting content and order survive the
+// index wraparound.
+func TestRingWraparoundBurst(t *testing.T) {
+	r := NewRing(8) // 8 slots, capacity 7
+	in := make([][]byte, 5)
+	out := make([][]byte, 8)
+	seq := byte(0)
+	for round := 0; round < 100; round++ {
+		for i := range in {
+			in[i] = []byte{seq}
+			seq++
+		}
+		if n := r.EnqueueBurst(in); n != len(in) {
+			t.Fatalf("round %d: enqueued %d of %d", round, n, len(in))
+		}
+		if n := r.DequeueBurst(out); n != len(in) {
+			t.Fatalf("round %d: dequeued %d of %d", round, n, len(in))
+		}
+		for i := 0; i < len(in); i++ {
+			if out[i][0] != in[i][0] {
+				t.Fatalf("round %d slot %d: got %d want %d", round, i, out[i][0], in[i][0])
+			}
+		}
+	}
+	// Partial burst against a nearly-full ring: exactly the free space fits.
+	for i := 0; i < r.Capacity()-2; i++ {
+		r.Enqueue([]byte{0xaa})
+	}
+	if n := r.EnqueueBurst(in); n != 2 {
+		t.Fatalf("partial enqueue burst: got %d want 2", n)
+	}
+	if r.Len() != r.Capacity() {
+		t.Fatalf("ring should be full, len %d", r.Len())
+	}
+}
+
+// TestTxFlushOrdering asserts frames leave a TX queue in receive order when
+// the worker stages and burst-flushes them (single queue so the stream is
+// totally ordered).
+func TestTxFlushOrdering(t *testing.T) {
+	sw := NewSwitchQueues(DatapathFunc(echoDatapath), 2, 1024, 1)
+	p1, _ := sw.Port(1)
+	const n = 300
+	for i := 0; i < n; i++ {
+		if !p1.Inject([]byte{byte(i), byte(i >> 8)}) {
+			t.Fatalf("inject %d failed", i)
+		}
+	}
+	for processed := 0; processed < n; {
+		got := sw.PollOnce(nil)
+		if got == 0 {
+			break
+		}
+		processed += got
+	}
+	p2, _ := sw.Port(2)
+	for i := 0; i < n; i++ {
+		f, ok := p2.txq[0].Dequeue()
+		if !ok {
+			t.Fatalf("tx queue ran dry at %d", i)
+		}
+		if f[0] != byte(i) || f[1] != byte(i>>8) {
+			t.Fatalf("tx order broken at %d: got %d,%d", i, f[0], f[1])
+		}
+	}
+}
+
+// TestRSSSteeringSpreadsAcrossQueues injects many distinct 5-tuple flows
+// into ONE port and asserts the RSS hash spreads them over multiple RX
+// queues — the property that lets one hot port scale across workers.
+func TestRSSSteeringSpreadsAcrossQueues(t *testing.T) {
+	sw := NewSwitchQueues(DatapathFunc(echoDatapath), 2, 4096, 4)
+	p1, _ := sw.Port(1)
+	bld := pkt.NewBuilder(128)
+	for i := 0; i < 128; i++ {
+		f := pkt.Clone(bld.TCPPacket(pkt.EthernetOpts{},
+			pkt.IPv4Opts{Src: pkt.IPv4FromOctets(10, 0, 0, byte(i)), Dst: pkt.IPv4FromOctets(192, 168, 0, 1)},
+			pkt.L4Opts{Src: uint16(1000 + i), Dst: 80}))
+		if !p1.Inject(f) {
+			t.Fatalf("inject %d failed", i)
+		}
+	}
+	busy := 0
+	for q := 0; q < p1.NumQueues(); q++ {
+		if p1.RxQueueLen(q) > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Fatalf("RSS steered 128 flows onto %d of %d queues", busy, p1.NumQueues())
+	}
+	// Both directions of a flow must share a queue.
+	fwd := pkt.Clone(bld.TCPPacket(pkt.EthernetOpts{},
+		pkt.IPv4Opts{Src: pkt.IPv4FromOctets(1, 1, 1, 1), Dst: pkt.IPv4FromOctets(2, 2, 2, 2)},
+		pkt.L4Opts{Src: 1111, Dst: 2222}))
+	rev := pkt.Clone(bld.TCPPacket(pkt.EthernetOpts{},
+		pkt.IPv4Opts{Src: pkt.IPv4FromOctets(2, 2, 2, 2), Dst: pkt.IPv4FromOctets(1, 1, 1, 1)},
+		pkt.L4Opts{Src: 2222, Dst: 1111}))
+	qf := pkt.RSSHash(fwd) % uint32(p1.NumQueues())
+	qr := pkt.RSSHash(rev) % uint32(p1.NumQueues())
+	if qf != qr {
+		t.Fatalf("flow directions split across queues %d and %d", qf, qr)
+	}
+}
+
+// TestWorkerStatsAggregation checks that the padded per-worker counters fold
+// into the same aggregate totals the shared counters used to produce.
+func TestWorkerStatsAggregation(t *testing.T) {
+	sw := NewSwitchQueues(DatapathFunc(echoDatapath), 2, 4096, 4)
+	stop := sw.RunWorkers(4)
+	p1, _ := sw.Port(1)
+	bld := pkt.NewBuilder(128)
+	const n = 1000
+	injected := 0
+	for i := 0; i < n; i++ {
+		f := pkt.Clone(bld.UDPPacket(pkt.EthernetOpts{},
+			pkt.IPv4Opts{Src: pkt.IPv4FromOctets(10, 0, byte(i>>8), byte(i)), Dst: pkt.IPv4FromOctets(10, 9, 9, 9)},
+			pkt.L4Opts{Src: uint16(i), Dst: 53}))
+		for !p1.Inject(f) {
+			for _, port := range sw.Ports() {
+				port.DrainTx()
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+		injected++
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for sw.Stats().Processed < uint64(injected) && time.Now().Before(deadline) {
+		for _, port := range sw.Ports() {
+			port.DrainTx()
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+	st := sw.Stats()
+	if st.Processed != uint64(injected) || st.Forwarded != uint64(injected) {
+		t.Fatalf("aggregated stats %+v, want processed=forwarded=%d", st, injected)
+	}
+}

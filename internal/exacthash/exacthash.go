@@ -94,6 +94,20 @@ func (t *Table) init(buckets int) {
 // Len returns the number of stored entries.
 func (t *Table) Len() int { return t.count }
 
+// Clone returns a deep copy of the table (buckets are value types, so one
+// slice copy captures the whole lookup state).  The ESWITCH update path
+// mirrors a live compound-hash template through Clone so flow-mods can be
+// applied off to the side and swapped in atomically.
+func (t *Table) Clone() *Table {
+	return &Table{
+		buckets:  append([]bucket(nil), t.buckets...),
+		mask:     t.mask,
+		seed:     t.seed,
+		count:    t.count,
+		rebuilds: t.rebuilds,
+	}
+}
+
 // NumBuckets returns the number of buckets; the cost model sizes the
 // structure's working set from it.
 func (t *Table) NumBuckets() int { return len(t.buckets) }

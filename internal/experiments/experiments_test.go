@@ -191,3 +191,15 @@ func TestDecomposition(t *testing.T) {
 		}
 	}
 }
+
+func TestFig19MeasuredScaling(t *testing.T) {
+	r := Fig19Measured(Quick())
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows %d", len(r.Rows))
+	}
+	for i, row := range r.Rows {
+		if v := cellFloat(t, r, i, 1); v <= 0 {
+			t.Fatalf("row %d (%v): non-positive measured rate %v", i, row, v)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+// Package lockcount provides a mutex instrumented with an acquisition
+// counter.  The dataplane's zero-lock acceptance tests wrap the writer/admin
+// mutexes of the compiled datapath (internal/core) and the switch substrate
+// (internal/dpdk) in one of these and assert the count stays flat across
+// steady-state forwarding — i.e. the worker path performs zero mutex
+// operations per burst.
+package lockcount
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Mutex is a sync.Mutex whose Lock calls are counted.
+type Mutex struct {
+	mu  sync.Mutex
+	ops atomic.Uint64
+}
+
+// Lock acquires the mutex, bumping the acquisition counter.
+func (m *Mutex) Lock() {
+	m.ops.Add(1)
+	m.mu.Lock()
+}
+
+// Unlock releases the mutex.
+func (m *Mutex) Unlock() { m.mu.Unlock() }
+
+// Ops returns how many times Lock has been called.
+func (m *Mutex) Ops() uint64 { return m.ops.Load() }

@@ -81,6 +81,28 @@ func (t *Table) Len() int { return len(t.entries) }
 // it to size the structure's working set.
 func (t *Table) FirstLevelSize() int { return len(t.tbl24) }
 
+// Clone returns a deep copy of the table.  The ESWITCH update path mirrors a
+// live LPM template once and then ping-pongs between the two copies, so the
+// (large) copy of the first level is paid only on the first incremental
+// update of a table, not on every route change.
+func (t *Table) Clone() *Table {
+	nt := &Table{
+		stride:   t.stride,
+		tbl24:    append([]uint32(nil), t.tbl24...),
+		depths24: append([]uint8(nil), t.depths24...),
+		groups:   make([]*group, len(t.groups)),
+		entries:  make(map[prefixKey]uint32, len(t.entries)),
+	}
+	for i, g := range t.groups {
+		ng := *g
+		nt.groups[i] = &ng
+	}
+	for k, v := range t.entries {
+		nt.entries[k] = v
+	}
+	return nt
+}
+
 // SecondLevelGroups returns the number of allocated second-level groups.
 func (t *Table) SecondLevelGroups() int { return len(t.groups) }
 

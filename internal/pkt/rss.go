@@ -1,0 +1,101 @@
+package pkt
+
+// Receive-side scaling: the symmetric flow hash a multi-queue NIC computes in
+// hardware to steer each received frame to one RX queue, so every packet of a
+// flow — in both directions — lands on the same core.  The dataplane
+// substrate (internal/dpdk) calls RSSHash once per injected frame; the
+// workers never rehash.
+//
+// The hash is symmetric the way a Toeplitz hash with a symmetric key (or
+// DPDK's RSS with the sort-by-address trick) is: source and destination
+// addresses, and source and destination ports, are min/max-ordered before
+// mixing, so hash(a→b) == hash(b→a) and connection state stays core-local.
+
+// rssSalt decorrelates the address and port contributions.
+const rssSalt = 0x9e3779b9
+
+// mix32 is the murmur3 finalizer: a cheap, well-distributed 32-bit mixer.
+func mix32(x uint32) uint32 {
+	x ^= x >> 16
+	x *= 0x85ebca6b
+	x ^= x >> 13
+	x *= 0xc2b2ae35
+	x ^= x >> 16
+	return x
+}
+
+// RSSHash computes the symmetric RSS hash of a raw Ethernet frame.
+//
+// For IPv4 it hashes the 5-tuple (addresses and — for TCP/UDP/SCTP on
+// unfragmented packets — ports, each pair min/max-ordered, plus the IP
+// protocol).  ARP hashes the sender/target addresses the same way.  Anything
+// else falls back to the symmetric MAC pair, and frames too short for an
+// Ethernet header hash their raw bytes, so every frame gets a deterministic
+// queue.  The parse here is deliberately minimal (a handful of bounded byte
+// loads, one optional VLAN tag) — it models the NIC's flow-director logic,
+// not the datapath's parser templates.
+func RSSHash(frame []byte) uint32 {
+	if len(frame) < EthernetHeaderLen {
+		h := uint32(2166136261)
+		for _, b := range frame {
+			h = (h ^ uint32(b)) * 16777619
+		}
+		return mix32(h)
+	}
+	etherType := be16(frame[12:14])
+	off := EthernetHeaderLen
+	if etherType == EtherTypeVLAN && len(frame) >= EthernetHeaderLen+VLANTagLen {
+		etherType = be16(frame[16:18])
+		off = EthernetHeaderLen + VLANTagLen
+	}
+	switch etherType {
+	case EtherTypeIPv4:
+		if len(frame) >= off+20 {
+			ihl := int(frame[off]&0x0f) * 4
+			proto := frame[off+9]
+			src := be32(frame[off+12 : off+16])
+			dst := be32(frame[off+16 : off+20])
+			lo, hi := src, dst
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			h := mix32(lo) ^ mix32(hi^rssSalt) ^ mix32(uint32(proto))
+			// Ports contribute only for unfragmented transport packets
+			// (a non-first fragment has no L4 header to read).
+			fragOff := be16(frame[off+6:off+8]) & 0x3fff // more-fragments bit | offset
+			l4 := off + ihl
+			if fragOff == 0 && ihl >= 20 && len(frame) >= l4+4 &&
+				(proto == IPProtoTCP || proto == IPProtoUDP || proto == IPProtoSCTP) {
+				sp := be16(frame[l4 : l4+2])
+				dp := be16(frame[l4+2 : l4+4])
+				plo, phi := sp, dp
+				if plo > phi {
+					plo, phi = phi, plo
+				}
+				h ^= mix32(uint32(plo)<<16 | uint32(phi))
+			}
+			return mix32(h)
+		}
+	case EtherTypeARP:
+		if len(frame) >= off+28 {
+			spa := be32(frame[off+14 : off+18])
+			tpa := be32(frame[off+24 : off+28])
+			lo, hi := spa, tpa
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			return mix32(mix32(lo) ^ mix32(hi^rssSalt))
+		}
+	}
+	// Non-IP (or truncated): symmetric hash of the MAC pair.
+	d := uint32(frame[0])<<16 | uint32(frame[1])<<8 | uint32(frame[2])
+	d2 := uint32(frame[3])<<16 | uint32(frame[4])<<8 | uint32(frame[5])
+	s := uint32(frame[6])<<16 | uint32(frame[7])<<8 | uint32(frame[8])
+	s2 := uint32(frame[9])<<16 | uint32(frame[10])<<8 | uint32(frame[11])
+	a := mix32(d) ^ mix32(d2^rssSalt)
+	b := mix32(s) ^ mix32(s2^rssSalt)
+	if a > b {
+		a, b = b, a
+	}
+	return mix32(a ^ mix32(b^rssSalt))
+}

@@ -1,0 +1,86 @@
+package pkt
+
+import "testing"
+
+func rssTCPFrame(t *testing.T, src, dst IPv4, sport, dport uint16, vlan uint16) []byte {
+	t.Helper()
+	b := NewBuilder(128)
+	return Clone(b.TCPPacket(EthernetOpts{VLAN: vlan}, IPv4Opts{Src: src, Dst: dst}, L4Opts{Src: sport, Dst: dport}))
+}
+
+func TestRSSHashSymmetric(t *testing.T) {
+	fwd := rssTCPFrame(t, IPv4FromOctets(10, 0, 0, 1), IPv4FromOctets(192, 168, 1, 9), 40000, 80, 0)
+	rev := rssTCPFrame(t, IPv4FromOctets(192, 168, 1, 9), IPv4FromOctets(10, 0, 0, 1), 80, 40000, 0)
+	if RSSHash(fwd) != RSSHash(rev) {
+		t.Fatalf("RSS hash not symmetric: %#x vs %#x", RSSHash(fwd), RSSHash(rev))
+	}
+	// A different flow must (for these fixed inputs) land elsewhere.
+	other := rssTCPFrame(t, IPv4FromOctets(10, 0, 0, 2), IPv4FromOctets(192, 168, 1, 9), 40000, 80, 0)
+	if RSSHash(fwd) == RSSHash(other) {
+		t.Fatalf("distinct flows collided: %#x", RSSHash(fwd))
+	}
+}
+
+func TestRSSHashVLANAgnosticParse(t *testing.T) {
+	// The VLAN tag shifts the IP header; the parse must follow it.  The
+	// same 5-tuple behind different tags still hashes by the 5-tuple, so
+	// the hash of the tagged frame matches its reversed twin.
+	fwd := rssTCPFrame(t, IPv4FromOctets(10, 1, 2, 3), IPv4FromOctets(10, 3, 2, 1), 1234, 4321, 7)
+	rev := rssTCPFrame(t, IPv4FromOctets(10, 3, 2, 1), IPv4FromOctets(10, 1, 2, 3), 4321, 1234, 7)
+	if RSSHash(fwd) != RSSHash(rev) {
+		t.Fatal("RSS hash not symmetric across a VLAN tag")
+	}
+}
+
+func TestRSSHashDeterministic(t *testing.T) {
+	f := rssTCPFrame(t, IPv4FromOctets(1, 2, 3, 4), IPv4FromOctets(4, 3, 2, 1), 10, 20, 0)
+	h := RSSHash(f)
+	for i := 0; i < 100; i++ {
+		if RSSHash(f) != h {
+			t.Fatal("RSS hash not deterministic")
+		}
+	}
+}
+
+func TestRSSHashSpreadsFlows(t *testing.T) {
+	const queues = 8
+	hit := make(map[uint32]int)
+	for i := 0; i < 256; i++ {
+		f := rssTCPFrame(t, IPv4FromOctets(10, 0, byte(i>>4), byte(i)), IPv4FromOctets(192, 168, 0, 1), uint16(20000+i), 80, 0)
+		hit[RSSHash(f)%queues]++
+	}
+	if len(hit) < queues/2 {
+		t.Fatalf("256 flows landed on only %d of %d queues: %v", len(hit), queues, hit)
+	}
+}
+
+func TestRSSHashShortAndNonIPFrames(t *testing.T) {
+	// Must not panic and must be deterministic for any junk.
+	cases := [][]byte{
+		nil,
+		{},
+		{0x01},
+		make([]byte, 13),
+		make([]byte, 14),                     // bare Ethernet, unknown ethertype
+		append(make([]byte, 12), 0x81, 0x00), // truncated VLAN tag
+	}
+	for i, f := range cases {
+		h1 := RSSHash(f)
+		h2 := RSSHash(f)
+		if h1 != h2 {
+			t.Fatalf("case %d: hash not deterministic", i)
+		}
+	}
+	// Non-IP frames hash the MAC pair symmetrically.
+	a := make([]byte, 60)
+	b := make([]byte, 60)
+	copy(a[0:6], []byte{2, 0, 0, 0, 0, 1})
+	copy(a[6:12], []byte{2, 0, 0, 0, 0, 2})
+	copy(b[0:6], []byte{2, 0, 0, 0, 0, 2})
+	copy(b[6:12], []byte{2, 0, 0, 0, 0, 1})
+	a[12], a[13] = 0x88, 0x99 // unknown ethertype
+	b[12], b[13] = 0x88, 0x99
+	if RSSHash(a) != RSSHash(b) {
+		t.Fatal("MAC-pair fallback not symmetric")
+	}
+}

@@ -67,6 +67,34 @@ func (c *Classifier) Len() int { return c.count }
 // template.
 func (c *Classifier) NumGroups() int { return len(c.groups) }
 
+// Clone returns a deep copy of the classifier: groups and their entry
+// buckets are copied, the entries themselves (immutable once inserted) are
+// shared.  The ESWITCH update path mirrors a live linked-list template
+// through Clone so flow-mods can be applied off to the side and swapped in
+// atomically.
+func (c *Classifier) Clone() *Classifier {
+	nc := &Classifier{
+		groups: make([]*group, len(c.groups)),
+		bysig:  make(map[maskSignature]*group, len(c.bysig)),
+		count:  c.count,
+	}
+	for i, g := range c.groups {
+		ng := &group{
+			sig:     g.sig,
+			fields:  g.fields,
+			masks:   g.masks,
+			entries: make(map[string][]*Entry, len(g.entries)),
+			maxPrio: g.maxPrio,
+		}
+		for k, es := range g.entries {
+			ng.entries[k] = append([]*Entry(nil), es...)
+		}
+		nc.groups[i] = ng
+		nc.bysig[g.sig] = ng
+	}
+	return nc
+}
+
 func signatureOf(m *openflow.Match) (maskSignature, []openflow.Field, []uint64) {
 	fields := m.Fields().Fields()
 	masks := make([]uint64, len(fields))

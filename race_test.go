@@ -1,0 +1,7 @@
+//go:build race
+
+package eswitch
+
+// raceEnabled reports that the race detector is instrumenting this build;
+// allocation assertions are skipped because the detector itself allocates.
+const raceEnabled = true

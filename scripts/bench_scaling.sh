@@ -1,0 +1,51 @@
+#!/usr/bin/env sh
+# bench_scaling.sh records the Fig. 19 worker-scaling benchmark — ALL traffic
+# on ONE hot port, RSS-spread over the port's RX queues, 1..4 workers polling
+# their queue subsets against the shared epoch-swapped compiled datapath — to
+# BENCH_scaling.json so multi-core scaling is tracked from PR to PR.
+#
+# Each row records the measured aggregate Mpps plus linear_ref_mpps, the
+# single-worker rate times the worker count: the rate linear scaling (the
+# paper's Fig. 19 result) predicts when one core is available per worker.  On
+# machines with fewer cores than workers the measured rate cannot exceed the
+# single-worker rate (the workers time-share); gomaxprocs is recorded so the
+# two situations are distinguishable.
+#
+# Usage:
+#   scripts/bench_scaling.sh          # measured pass (BENCHTIME, default 1000000x)
+#   scripts/bench_scaling.sh smoke    # reduced pass (CI)
+#
+# Environment:
+#   BENCHTIME   go test -benchtime value for the measured pass
+#   OUT         output file (default BENCH_scaling.json)
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1000000x}"
+if [ "${1:-}" = "smoke" ]; then
+	BENCHTIME=50000x
+fi
+OUT="${OUT:-BENCH_scaling.json}"
+# Effective parallelism: an explicit GOMAXPROCS cap wins, else the online
+# CPU count (the Go runtime's default).
+GMP="${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)}"
+
+go test -run '^$' -bench 'BenchmarkFig19_ScalingHotPort' -benchtime "$BENCHTIME" . | tee /dev/stderr | awk -v gmp="$GMP" '
+	BEGIN { printf "[" }
+	/^BenchmarkFig19_ScalingHotPort/ {
+		name = $1; nsop = "null"; mpps = "null"
+		for (i = 2; i < NF; i++) {
+			if ($(i+1) == "ns/op") nsop = $i
+			if ($(i+1) == "Mpps") mpps = $i
+		}
+		workers = name
+		sub(/^.*workers=/, "", workers)
+		sub(/-[0-9]+$/, "", workers)
+		if (base == 0 && mpps != "null") base = mpps
+		ref = (base > 0 && workers != "" && mpps != "null") ? sprintf("%.2f", base * workers) : "null"
+		printf "%s\n  {\"benchmark\": \"%s\", \"workers\": %s, \"ns_per_op\": %s, \"mpps\": %s, \"linear_ref_mpps\": %s, \"gomaxprocs\": %d}", sep, name, workers, nsop, mpps, ref, gmp
+		sep = ","
+	}
+	END { printf "\n]\n" }
+' > "$OUT"
+echo "wrote $OUT"
