@@ -346,4 +346,111 @@ func TestWorkerPathZeroLocksZeroAllocs(t *testing.T) {
 	if got := dp.MutexOps(); got != before {
 		t.Fatalf("ProcessBurst acquired the mutex %d times", got-before)
 	}
+
+	// The worker-local resource plane must not reintroduce shared state on
+	// the registered-worker path: a worker handle owns its burst scratch
+	// outright, so driving bursts through it stays zero-lock and
+	// zero-alloc, with no pool traffic at all.
+	w := dp.RegisterWorker()
+	defer dp.UnregisterWorker(w)
+	runWorker := func() {
+		w.Enter()
+		w.ProcessBurst(ps, vs)
+		w.Exit()
+	}
+	runWorker()
+	lockedDP = dp.MutexOps()
+	if !raceEnabled {
+		if allocs := testing.AllocsPerRun(20, runWorker); allocs != 0 {
+			t.Fatalf("registered-worker burst path allocates %v per burst", allocs)
+		}
+	} else {
+		for i := 0; i < 20; i++ {
+			runWorker()
+		}
+	}
+	if got := dp.MutexOps(); got != lockedDP {
+		t.Fatalf("registered-worker burst path acquired the mutex %d times", got-lockedDP)
+	}
+}
+
+// TestMeterShardsOffHotPath asserts the two meter halves of the worker-local
+// resource plane acceptance criterion:
+//
+//  1. meter-disabled datapaths register workers with no meter shard at all —
+//     the hot path contains no metering calls, so shards add zero cost;
+//  2. metered datapaths register each worker's shard exactly once, at
+//     RegisterWorker time: steady-state polling and bursts never touch the
+//     shard registry mutex (cpumodel.Meter.RegistryOps stays flat) or the
+//     datapath writer mutex.
+func TestMeterShardsOffHotPath(t *testing.T) {
+	uc := workload.L3UseCase(1000, 4, 2016)
+
+	// Unmetered: no shards ever appear.
+	plain, err := core.Compile(uc.Pipeline, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Meter() != nil {
+		t.Fatal("unmetered datapath has a meter")
+	}
+	wPlain := plain.RegisterWorker()
+	defer plain.UnregisterWorker(wPlain)
+
+	// Metered: shards register once per worker, then stay off the path.
+	meter := cpumodel.NewMeter(cpumodel.DefaultPlatform())
+	opts := core.DefaultOptions()
+	opts.Meter = meter
+	dp, err := core.Compile(uc.Pipeline, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := dpdk.NewSwitch(dp, uc.Pipeline.NumPorts, 4096)
+	trace := uc.Trace(512)
+	frames := make([][]byte, 256)
+	for i := range frames {
+		frames[i], _ = trace.Frame(i)
+	}
+	port, _ := sw.Port(1)
+	run := func() {
+		for _, f := range frames {
+			port.Inject(f)
+		}
+		for sw.PollOnce(nil) > 0 {
+		}
+		for _, p := range sw.Ports() {
+			p.DrainTx()
+		}
+	}
+	for i := 0; i < 4; i++ {
+		run() // warm the pinned-worker pool (each pin registers one shard)
+	}
+	shards := meter.NumShards()
+	if shards == 0 {
+		t.Fatal("metered polling registered no meter shards")
+	}
+	// Note the order: the folded read accessors (Packets &c.) take the
+	// registry lock by design — they are admin-path — so snapshot the op
+	// counters after the last stats read and before the measured polling.
+	packetsBefore := meter.Packets()
+	registry, locked := meter.RegistryOps(), dp.MutexOps()
+	for i := 0; i < 20; i++ {
+		run()
+	}
+	if got := meter.RegistryOps(); got != registry {
+		t.Fatalf("steady-state metered polling touched the shard registry %d times", got-registry)
+	}
+	if got := dp.MutexOps(); got != locked {
+		t.Fatalf("steady-state metered polling acquired the datapath mutex %d times", got-locked)
+	}
+	if got := meter.NumShards(); got != shards {
+		t.Fatalf("steady-state polling changed the shard count %d -> %d", shards, got)
+	}
+	if meter.Packets() == packetsBefore {
+		t.Fatal("metered polling charged no packets")
+	}
+	// Fold exactness: every processed packet was metered exactly once.
+	if st := sw.Stats(); meter.Packets() != st.Processed {
+		t.Fatalf("meter folded %d packets, switch processed %d", meter.Packets(), st.Processed)
+	}
 }

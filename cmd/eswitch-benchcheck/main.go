@@ -1,0 +1,193 @@
+// Command eswitch-benchcheck is the CI perf-regression gate and the bench
+// scripts' JSON validator.  It is deliberately dependency-free (no jq): the
+// recorded BENCH_*.json files are parsed with encoding/json only.
+//
+// Two modes:
+//
+//	eswitch-benchcheck -validate FILE
+//	    Parse FILE and fail unless it is a non-empty array of benchmark
+//	    rows with sane fields.  scripts/bench_*.sh run this against a
+//	    temporary file before moving it over the committed baseline, so a
+//	    crashed bench run can never commit a truncated record.
+//
+//	eswitch-benchcheck -baseline OLD.json -fresh NEW.json
+//	    Diff freshly recorded rows against the committed baseline and fail
+//	    on any row whose Mpps dropped by more than the budget: -max-drop
+//	    (default 10%) normally, -noise-drop (default 25%) for rows at or
+//	    above -noise-mpps (default 20 Mpps — the tiny cache-resident rows
+//	    whose run-to-run variance the recorded history shows is large).
+//	    Rows present in the baseline but missing from the fresh record
+//	    fail, so a benchmark cannot silently disappear.  Scaling rows that
+//	    record gomaxprocs are skipped with a warning when the fresh
+//	    environment's parallelism differs from the baseline's: comparing
+//	    worker scaling across machines with different core counts is
+//	    noise, not signal.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// row is one recorded benchmark result.  Unknown fields (linear_ref_mpps,
+// workers, ...) are ignored; pointer fields distinguish null from zero.
+type row struct {
+	Benchmark  string   `json:"benchmark"`
+	NsPerOp    *float64 `json:"ns_per_op"`
+	Mpps       *float64 `json:"mpps"`
+	GoMaxProcs *int     `json:"gomaxprocs"`
+}
+
+func loadRows(path string) ([]row, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rows []row
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rows, nil
+}
+
+// validate checks that rows form a usable benchmark record.
+func validate(rows []row) error {
+	if len(rows) == 0 {
+		return fmt.Errorf("no benchmark rows")
+	}
+	withRate := 0
+	for i, r := range rows {
+		if r.Benchmark == "" {
+			return fmt.Errorf("row %d has no benchmark name", i)
+		}
+		if r.Mpps != nil {
+			if *r.Mpps <= 0 {
+				return fmt.Errorf("row %q has non-positive mpps %v", r.Benchmark, *r.Mpps)
+			}
+			withRate++
+		}
+	}
+	if withRate == 0 {
+		return fmt.Errorf("no row carries an mpps rate")
+	}
+	return nil
+}
+
+// finding is one gate decision for a comparable row.
+type finding struct {
+	name       string
+	base, cur  float64
+	budget     float64
+	failed     bool
+	skipped    bool
+	skipReason string
+}
+
+// compare gates fresh rows against the baseline.
+func compare(baseline, fresh []row, maxDrop, noiseMpps, noiseDrop float64) []finding {
+	freshBy := make(map[string]row, len(fresh))
+	for _, r := range fresh {
+		freshBy[r.Benchmark] = r
+	}
+	var out []finding
+	for _, b := range baseline {
+		if b.Mpps == nil {
+			continue // unrated rows (setup-style benchmarks) are not gated
+		}
+		f := finding{name: b.Benchmark, base: *b.Mpps, budget: maxDrop}
+		if f.base >= noiseMpps {
+			// Cache-resident rows run so fast that scheduling noise
+			// dominates; give them the loose budget.
+			f.budget = noiseDrop
+		}
+		cur, ok := freshBy[b.Benchmark]
+		switch {
+		case !ok || cur.Mpps == nil:
+			f.failed = true
+			f.skipReason = "row missing from fresh record"
+		case b.GoMaxProcs != nil && cur.GoMaxProcs != nil && *b.GoMaxProcs != *cur.GoMaxProcs:
+			f.skipped = true
+			f.skipReason = fmt.Sprintf("gomaxprocs %d -> %d: different machine shape", *b.GoMaxProcs, *cur.GoMaxProcs)
+		default:
+			f.cur = *cur.Mpps
+			f.failed = f.cur < f.base*(1-f.budget)
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+func main() {
+	validatePath := flag.String("validate", "", "validate a recorded JSON file and exit")
+	baselinePath := flag.String("baseline", "", "committed baseline JSON")
+	freshPath := flag.String("fresh", "", "freshly recorded JSON")
+	maxDrop := flag.Float64("max-drop", 0.10, "failing Mpps drop fraction for normal rows")
+	noiseMpps := flag.Float64("noise-mpps", 20, "rows at or above this baseline Mpps use -noise-drop")
+	noiseDrop := flag.Float64("noise-drop", 0.25, "failing drop fraction for noise-dominated (cache-resident) rows")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(1)
+	}
+
+	if *validatePath != "" {
+		rows, err := loadRows(*validatePath)
+		if err != nil {
+			fail(err)
+		}
+		if err := validate(rows); err != nil {
+			fail(fmt.Errorf("%s: %w", *validatePath, err))
+		}
+		fmt.Printf("benchcheck: %s: %d rows ok\n", *validatePath, len(rows))
+		return
+	}
+
+	if *baselinePath == "" || *freshPath == "" {
+		fail(fmt.Errorf("need either -validate FILE or both -baseline and -fresh"))
+	}
+	baseline, err := loadRows(*baselinePath)
+	if err != nil {
+		fail(err)
+	}
+	if err := validate(baseline); err != nil {
+		fail(fmt.Errorf("baseline %s: %w", *baselinePath, err))
+	}
+	fresh, err := loadRows(*freshPath)
+	if err != nil {
+		fail(err)
+	}
+	if err := validate(fresh); err != nil {
+		fail(fmt.Errorf("fresh %s: %w", *freshPath, err))
+	}
+
+	findings := compare(baseline, fresh, *maxDrop, *noiseMpps, *noiseDrop)
+	failures := 0
+	for _, f := range findings {
+		switch {
+		case f.skipped:
+			fmt.Printf("skip %-70s %s\n", f.name, f.skipReason)
+		case f.failed && f.cur == 0:
+			failures++
+			fmt.Printf("FAIL %-70s %s\n", f.name, f.skipReason)
+		default:
+			delta := 0.0
+			if f.base > 0 {
+				delta = (f.cur - f.base) / f.base * 100
+			}
+			status := "ok  "
+			if f.failed {
+				status = "FAIL"
+				failures++
+			}
+			fmt.Printf("%s %-70s base %8.2f Mpps  fresh %8.2f Mpps  %+6.1f%%  (budget -%.0f%%)\n",
+				status, f.name, f.base, f.cur, delta, f.budget*100)
+		}
+	}
+	if failures > 0 {
+		fail(fmt.Errorf("%d of %d rows regressed beyond budget", failures, len(findings)))
+	}
+	fmt.Printf("benchcheck: %d rows within budget\n", len(findings))
+}

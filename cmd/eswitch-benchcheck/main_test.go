@@ -1,0 +1,79 @@
+package main
+
+import "testing"
+
+func fp(v float64) *float64 { return &v }
+func ip(v int) *int         { return &v }
+
+func TestValidate(t *testing.T) {
+	if err := validate(nil); err == nil {
+		t.Fatal("empty record must not validate")
+	}
+	if err := validate([]row{{Benchmark: "b"}}); err == nil {
+		t.Fatal("record with no rates must not validate")
+	}
+	if err := validate([]row{{Benchmark: "b", Mpps: fp(-1)}}); err == nil {
+		t.Fatal("negative rate must not validate")
+	}
+	if err := validate([]row{{Benchmark: "b", Mpps: fp(3.5)}, {Benchmark: "setup"}}); err != nil {
+		t.Fatalf("valid record rejected: %v", err)
+	}
+}
+
+func TestCompareBudgets(t *testing.T) {
+	baseline := []row{
+		{Benchmark: "slow", Mpps: fp(10)}, // normal row: 10% budget
+		{Benchmark: "fast", Mpps: fp(40)}, // cache-resident: 25% budget
+		{Benchmark: "unrated"},            // not gated
+		{Benchmark: "gone", Mpps: fp(5)},  // missing from fresh: fails
+	}
+	fresh := []row{
+		{Benchmark: "slow", Mpps: fp(9.2)}, // -8%: ok
+		{Benchmark: "fast", Mpps: fp(31)},  // -22.5%: inside the noise budget
+	}
+	fs := compare(baseline, fresh, 0.10, 20, 0.25)
+	byName := map[string]finding{}
+	for _, f := range fs {
+		byName[f.name] = f
+	}
+	if len(fs) != 3 {
+		t.Fatalf("gated %d rows, want 3 (unrated rows excluded)", len(fs))
+	}
+	if f := byName["slow"]; f.failed || f.budget != 0.10 {
+		t.Fatalf("slow: %+v", f)
+	}
+	if f := byName["fast"]; f.failed || f.budget != 0.25 {
+		t.Fatalf("fast: %+v", f)
+	}
+	if f := byName["gone"]; !f.failed {
+		t.Fatalf("missing row must fail: %+v", f)
+	}
+
+	// The same rows with real regressions must fail.
+	fresh = []row{
+		{Benchmark: "slow", Mpps: fp(8.9)}, // -11%
+		{Benchmark: "fast", Mpps: fp(29)},  // -27.5%
+		{Benchmark: "gone", Mpps: fp(5)},
+	}
+	fs = compare(baseline, fresh, 0.10, 20, 0.25)
+	for _, f := range fs {
+		if f.name != "gone" && !f.failed {
+			t.Fatalf("row %q should have failed: %+v", f.name, f)
+		}
+	}
+}
+
+func TestCompareSkipsCrossMachineScalingRows(t *testing.T) {
+	baseline := []row{{Benchmark: "scale/workers=4", Mpps: fp(8), GoMaxProcs: ip(1)}}
+	fresh := []row{{Benchmark: "scale/workers=4", Mpps: fp(2), GoMaxProcs: ip(8)}}
+	fs := compare(baseline, fresh, 0.10, 20, 0.25)
+	if len(fs) != 1 || !fs[0].skipped || fs[0].failed {
+		t.Fatalf("cross-machine row must be skipped, not failed: %+v", fs)
+	}
+	// Same machine shape: gated normally.
+	fresh[0].GoMaxProcs = ip(1)
+	fs = compare(baseline, fresh, 0.10, 20, 0.25)
+	if !fs[0].failed {
+		t.Fatalf("-75%% on the same machine shape must fail: %+v", fs[0])
+	}
+}

@@ -51,8 +51,15 @@ func main() {
 	duration := flag.Duration("duration", 5*time.Second, "how long to forward traffic")
 	cores := flag.Int("cores", 1, "number of forwarding worker goroutines")
 	queues := flag.Int("queues", dpdk.DefaultQueues, "RX/TX queue pairs per port (RSS width; caps -cores)")
+	txpolicy := flag.String("txpolicy", "drop", "full-TX-ring policy: drop, block or spill")
 	listen := flag.String("listen", "", "optional OpenFlow agent listen address (e.g. :6653)")
 	flag.Parse()
+
+	txPol, err := dpdk.ParseTxPolicy(*txpolicy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	uc := buildUseCase(*useCase, *flows)
 	if uc == nil {
@@ -116,12 +123,13 @@ func main() {
 	// subset (lock-free against the compiled datapath via worker epochs),
 	// batched TX.
 	sw := dpdk.NewSwitchQueues(fastpath, uc.Pipeline.NumPorts, 4096, *queues)
+	sw.SetTxPolicy(txPol)
 	trace := uc.Trace(*flows)
 	workers := sw.ClampWorkers(*cores) // report what actually runs
 	stop := sw.RunWorkers(workers)
 
-	fmt.Printf("eswitchd: forwarding %d active flows for %s on %d worker(s), %d RX/TX queues per port\n",
-		*flows, *duration, workers, sw.NumQueues())
+	fmt.Printf("eswitchd: forwarding %d active flows for %s on %d worker(s), %d RX/TX queues per port, TX policy %s\n",
+		*flows, *duration, workers, sw.NumQueues(), txPol)
 	deadline := time.Now().Add(*duration)
 	var p pkt.Packet
 	injected := uint64(0)
@@ -152,6 +160,7 @@ func main() {
 	fmt.Printf("\ninjected:  %d packets (%d rx drops, %d tx drops)\n", injected, ps.RxDrops, ps.TxDrops)
 	fmt.Printf("processed: %d packets (%d forwarded, %d dropped, %d to controller)\n",
 		st.Processed, st.Forwarded, st.Dropped, st.ToCtrl)
+	fmt.Printf("tx:        policy %s, %d retries, %d backpressure drops\n", txPol, st.TxRetries, st.TxDrops)
 	fmt.Printf("model:     %.1f cycles/packet, %.2f Mpps single-core at %.1f GHz, %.3f LLC misses/packet\n",
 		meter.CyclesPerPacket(), meter.PacketRate()/1e6, meter.Platform.FreqGHz, meter.LLCMissesPerPacket())
 }

@@ -48,13 +48,17 @@
 // one atomic store, and reclaim superseded copies only after every
 // registered worker epoch has passed a quiescent point (DPDK-style QSBR).
 // Process and ProcessBurst may therefore be called from many goroutines
-// concurrently with updates — each call pins a recycled worker epoch for
-// its duration.  Dedicated forwarding cores do better: they register a
-// worker epoch once (Datapath().RegisterWorker), bracket every burst with
-// Enter/Exit, and call the Unlocked variants, paying zero locks and zero
-// atomic read-modify-writes per burst.  The dataplane substrate under
-// internal/dpdk does exactly this: RSS-steered multi-queue ports, one burst
-// worker per core over its own queue subset, batched TX.  See
+// concurrently with updates — each call pins a recycled worker (epoch,
+// meter shard, burst scratch) for its duration, so even metered runs are
+// race-free.  Dedicated forwarding cores do better: they register a worker
+// handle once (Datapath().RegisterWorker), bracket every burst with
+// Enter/Exit, and process through the handle, paying zero locks, zero
+// atomic read-modify-writes and zero shared mutable state per burst — the
+// handle owns its burst scratch outright and charges metering to a private,
+// cache-line-padded meter shard folded on read.  The dataplane substrate
+// under internal/dpdk does exactly this: RSS-steered multi-queue ports, one
+// burst worker per core over its own queue subset, batched TX with a
+// configurable full-ring backpressure policy (drop | block | spill).  See
 // docs/architecture.md for the full threading model.
 package eswitch
 
@@ -329,7 +333,9 @@ type TrafficFlow = pktgen.Flow
 type Trace = pktgen.Trace
 
 // NewTrace pre-builds frames for the given flows.
-func NewTrace(flows []TrafficFlow, shuffleSeed int64) *Trace { return pktgen.NewTrace(flows, shuffleSeed) }
+func NewTrace(flows []TrafficFlow, shuffleSeed int64) *Trace {
+	return pktgen.NewTrace(flows, shuffleSeed)
+}
 
 // L2UseCase builds the MAC-switching use case of §4.1.
 func L2UseCase(tableSize, numPorts int) *UseCase { return workload.L2UseCase(tableSize, numPorts) }

@@ -54,38 +54,43 @@ var burstPool = sync.Pool{New: func() any { return new(burstScratch) }}
 // pointer) is touched once per burst per table instead of once per packet.
 //
 // Like Process, ProcessBurst is safe to call concurrently with flow-table
-// updates: it pins a recycled worker epoch for the duration of the burst.
-// Dedicated forwarding workers register their own WorkerEpoch and call
-// ProcessBurstUnlocked inside their Enter/Exit bracket instead.
+// updates and with other metered callers: it pins a recycled worker —
+// epoch, meter shard and burst scratch — for the duration of the burst.
+// Dedicated forwarding workers RegisterWorker once and call the handle's
+// ProcessBurst inside their Enter/Exit bracket instead.
 func (d *Datapath) ProcessBurst(ps []*pkt.Packet, vs []openflow.Verdict) {
-	e := d.pinGet()
-	e.Enter()
-	d.ProcessBurstUnlocked(ps, vs)
-	e.Exit()
-	d.pinPut(e)
+	w := d.pinGet()
+	w.Enter()
+	w.ProcessBurst(ps, vs)
+	w.Exit()
+	d.pinPut(w)
 }
 
-// ProcessBurstUnlocked is ProcessBurst without the epoch pin: one atomic
+// ProcessBurstUnlocked is ProcessBurst without the worker pin: one atomic
 // snapshot load, then pure computation — no locks, no atomic read-modify-
-// writes.  Callers must either hold a registered WorkerEpoch across the call
-// (the per-core dataplane workers) or quiesce updates externally.
+// writes.  It draws scratch from a shared pool and charges metering to the
+// shared datapath meter, so it is for single-threaded harnesses and callers
+// that quiesce updates externally; concurrent forwarding workers use the
+// handle returned by RegisterWorker, whose ProcessBurst runs entirely on
+// worker-local resources.
 func (d *Datapath) ProcessBurstUnlocked(ps []*pkt.Packet, vs []openflow.Verdict) {
 	sn := d.snap.Load()
 	sc := burstPool.Get().(*burstScratch)
 	for len(ps) > MaxBurst {
-		d.processBurst(sc, sn, ps[:MaxBurst], vs[:MaxBurst])
+		d.processBurst(sc, d.meter, sn, ps[:MaxBurst], vs[:MaxBurst])
 		ps, vs = ps[MaxBurst:], vs[MaxBurst:]
 	}
 	if len(ps) > 0 {
-		d.processBurst(sc, sn, ps, vs)
+		d.processBurst(sc, d.meter, sn, ps, vs)
 	}
 	burstPool.Put(sc)
 }
 
-// processBurst runs one burst of at most MaxBurst packets to completion.
-func (d *Datapath) processBurst(sc *burstScratch, sn *snapshot, ps []*pkt.Packet, vs []openflow.Verdict) {
+// processBurst runs one burst of at most MaxBurst packets to completion over
+// the caller-owned scratch sc, charging metering (when m is non-nil) to the
+// caller's meter — the worker's private shard on the worker path.
+func (d *Datapath) processBurst(sc *burstScratch, m *cpumodel.Meter, sn *snapshot, ps []*pkt.Packet, vs []openflow.Verdict) {
 	n := len(ps)
-	m := d.meter
 
 	// Stage 1: one parser pass over the whole burst, to the layer the
 	// compiled pipeline requires.

@@ -91,12 +91,17 @@ type Datapath struct {
 
 	// epochs tracks the registered forwarding workers for grace periods.
 	epochs epochDomain
-	// pins is a bounded free-list of registered worker epochs for
-	// anonymous Process/ProcessBurst callers (the facade's safe-by-default
-	// entry points).  A bounded list — rather than a sync.Pool — keeps the
-	// epoch domain from accumulating registered-but-evicted epochs across
-	// GC cycles.
-	pins chan *WorkerEpoch
+	// pins is a bounded free-list of registered workers for anonymous
+	// Process/ProcessBurst callers (the facade's safe-by-default entry
+	// points).  Each pinned worker carries its own epoch, meter shard and
+	// burst scratch.  A bounded list — rather than a sync.Pool — keeps the
+	// epoch domain and meter shard registry from accumulating
+	// registered-but-evicted entries across GC cycles; pinned counts how
+	// many have ever been created, so callers beyond the bound briefly wait
+	// for a free worker instead of churning through registrations (a worker
+	// is not cheap: its meter shard carries a simulated cache hierarchy).
+	pins   chan *Worker
+	pinned atomic.Int64
 
 	// versions holds the per-table shadow copies the incremental update
 	// path ping-pongs between (writer-owned; see update.go).
@@ -124,7 +129,7 @@ func Compile(pl *openflow.Pipeline, opts Options) (*Datapath, error) {
 		actionCache: make(map[string]*sharedActions),
 		versions:    make(map[openflow.TableID]*tableVersion),
 	}
-	d.pins = make(chan *WorkerEpoch, maxPinnedEpochs)
+	d.pins = make(chan *Worker, maxPinnedWorkers)
 	working := pl.Clone()
 	if opts.Decompose {
 		decomposed, extra := DecomposePipeline(working, opts)
@@ -303,16 +308,17 @@ func (d *Datapath) Stages() []TableStage {
 // verdict.  It parses the packet only as deep as the pipeline requires.
 //
 // Process is safe to call from any number of goroutines concurrently with
-// flow-table updates: the call pins a recycled worker epoch for its duration,
-// so updates cannot reclaim the state it reads.  Dedicated forwarding workers
-// should register a WorkerEpoch once and use ProcessUnlocked inside their own
-// Enter/Exit bracket instead.
+// flow-table updates and with each other — including when the datapath is
+// metered: the call pins a recycled worker for its duration, so updates
+// cannot reclaim the state it reads and metering charges the pinned worker's
+// private shard.  Dedicated forwarding workers should RegisterWorker once
+// and process inside their own Enter/Exit bracket instead.
 func (d *Datapath) Process(p *pkt.Packet, v *openflow.Verdict) {
-	e := d.pinGet()
-	e.Enter()
-	d.ProcessUnlocked(p, v)
-	e.Exit()
-	d.pinPut(e)
+	w := d.pinGet()
+	w.Enter()
+	w.Process(p, v)
+	w.Exit()
+	d.pinPut(w)
 }
 
 // ProcessUnlocked is Process without the epoch pin.  It takes no locks and
@@ -330,7 +336,7 @@ func (d *Datapath) ProcessUnlocked(p *pkt.Packet, v *openflow.Verdict) {
 		d.processFast(sn, p, v)
 		return
 	}
-	d.processMetered(sn, p, v)
+	d.processMetered(sn, d.meter, p, v)
 }
 
 // stepResult is how executing one matched entry ended.
@@ -415,9 +421,10 @@ func (d *Datapath) processFast(sn *snapshot, p *pkt.Packet, v *openflow.Verdict)
 	v.Dropped = true
 }
 
-// processMetered is the process variant used when a cycle meter is attached.
-func (d *Datapath) processMetered(sn *snapshot, p *pkt.Packet, v *openflow.Verdict) {
-	m := d.meter
+// processMetered is the process variant used when a cycle meter is attached;
+// m is the caller's meter — the datapath meter for single-threaded callers,
+// the worker's private shard on the worker path.
+func (d *Datapath) processMetered(sn *snapshot, m *cpumodel.Meter, p *pkt.Packet, v *openflow.Verdict) {
 	v.Reset()
 	m.StartPacket()
 	m.AddCycles(cpumodel.CostPktIO)

@@ -114,43 +114,59 @@ func (d *epochDomain) synchronize() {
 	}
 }
 
-// maxPinnedEpochs bounds the free-list of recycled epochs behind the
+// maxPinnedWorkers bounds the free-list of recycled workers behind the
 // facade's Process/ProcessBurst entry points; callers beyond the bound
-// register a transient epoch and unregister it on release.
-const maxPinnedEpochs = 64
+// register a transient worker and release it (epoch unregistered, meter
+// shard folded) when done.
+const maxPinnedWorkers = 64
 
-// pinGet returns a registered epoch for one facade call, recycling from the
-// bounded free-list when possible.
-func (d *Datapath) pinGet() *WorkerEpoch {
+// pinGet returns a registered worker for one facade call, recycling from the
+// bounded free-list when possible.  Pinned workers carry the full worker-
+// local resource plane — epoch, meter shard, burst scratch — so even the
+// anonymous facade entry points are race-free under metering and touch no
+// shared scratch pool.  At most maxPinnedWorkers are ever created: a worker
+// is not cheap (its meter shard carries a private simulated cache
+// hierarchy), so callers beyond the bound briefly wait for a worker to be
+// returned instead of registering and tearing down a transient one per call.
+func (d *Datapath) pinGet() *Worker {
 	select {
-	case e := <-d.pins:
-		return e
+	case w := <-d.pins:
+		return w
 	default:
-		return d.epochs.register()
+	}
+	if d.pinned.Add(1) <= maxPinnedWorkers {
+		return d.newWorker()
+	}
+	d.pinned.Add(-1)
+	return <-d.pins
+}
+
+// pinPut returns a worker to the free-list.  Creation is capped at the
+// channel capacity, so the send cannot block; the release path is kept as a
+// safety net only.
+func (d *Datapath) pinPut(w *Worker) {
+	select {
+	case d.pins <- w:
+	default:
+		d.pinned.Add(-1)
+		d.releaseWorker(w)
 	}
 }
 
-// pinPut returns an epoch to the free-list, unregistering it when the list
-// is full so the epoch domain never accumulates idle epochs.
-func (d *Datapath) pinPut(e *WorkerEpoch) {
-	select {
-	case d.pins <- e:
-	default:
-		d.epochs.unregister(e)
-	}
-}
+// RegisterWorker registers one forwarding worker with the datapath and
+// returns its handle: a quiescence epoch plus the worker-local resources
+// (meter shard, burst scratch) the zero-shared-state fast path runs on.  The
+// worker must bracket every poll iteration with Enter/Exit and classify
+// through the handle's ProcessBurst; flow-table updates wait for all
+// registered workers to pass a quiescent point before reclaiming superseded
+// table representations.
+func (d *Datapath) RegisterWorker() WorkerHandle { return d.newWorker() }
 
-// RegisterWorker registers one forwarding worker with the datapath's epoch
-// domain and returns its quiescence handle.  The worker must bracket every
-// burst (or per-packet Process call) with Enter/Exit; flow-table updates wait
-// for all registered workers to pass a quiescent point before reclaiming
-// superseded table representations.
-func (d *Datapath) RegisterWorker() Epoch { return d.epochs.register() }
-
-// UnregisterWorker removes a worker's epoch from the domain (on worker
-// shutdown).  The handle must be in the Exit'ed (quiescent) state.
-func (d *Datapath) UnregisterWorker(e Epoch) {
-	if w, ok := e.(*WorkerEpoch); ok {
-		d.epochs.unregister(w)
+// UnregisterWorker releases a worker handle (on worker shutdown): its epoch
+// leaves the quiescence domain and its meter shard is folded into the
+// datapath meter.  The handle must be in the Exit'ed (quiescent) state.
+func (d *Datapath) UnregisterWorker(h WorkerHandle) {
+	if w, ok := h.(*Worker); ok {
+		d.releaseWorker(w)
 	}
 }

@@ -162,14 +162,14 @@ func (d *directCode) Remove(match *openflow.Match, priority int) int {
 // exact-match lookup on the packed masked key.  An optional lowest-priority
 // catch-all entry acts as the default.
 type hashTable struct {
-	fields []openflow.Field
-	masks  []uint64
-	proto  pkt.Proto
-	table  *exacthash.Table
-	values []*compiledEntry
-	def    *compiledEntry // catch-all (may be nil)
+	fields      []openflow.Field
+	masks       []uint64
+	proto       pkt.Proto
+	table       *exacthash.Table
+	values      []*compiledEntry
+	def         *compiledEntry // catch-all (may be nil)
 	defPriority int
-	region *cpumodel.Region
+	region      *cpumodel.Region
 }
 
 func newHashTable(fields []openflow.Field, masks []uint64, sizeHint int, meter *cpumodel.Meter) *hashTable {
@@ -381,13 +381,13 @@ func (h *hashTable) Remove(match *openflow.Match, priority int) int {
 // implemented over the DIR-24-8 structure.  An optional catch-all entry
 // provides the default route.
 type lpmTable struct {
-	field  openflow.Field
-	proto  pkt.Proto
-	table  *lpm.Table
-	values []*compiledEntry
-	def    *compiledEntry
+	field       openflow.Field
+	proto       pkt.Proto
+	table       *lpm.Table
+	values      []*compiledEntry
+	def         *compiledEntry
 	defPriority int
-	region *cpumodel.Region
+	region      *cpumodel.Region
 }
 
 func newLPMTable(field openflow.Field, meter *cpumodel.Meter) *lpmTable {

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"eswitch/internal/cpumodel"
+	"eswitch/internal/openflow"
+	"eswitch/internal/pkt"
+)
+
+// This file implements the worker-local resource plane of the compiled
+// datapath: every forwarding worker owns a Worker handle bundling the three
+// pieces of per-worker mutable state the hot path needs —
+//
+//   - its quiescence epoch (WorkerEpoch, epoch.go), which is what lets the
+//     burst loop run lock-free under concurrent flow-table updates;
+//   - its meter shard (cpumodel.Meter.NewShard), so metered multi-worker
+//     runs are race-free: each worker charges cycles and simulated cache
+//     accesses to a private, cache-line-padded shard folded on read;
+//   - its burst scratch (burstScratch), the NUMA-style private working
+//     memory of the burst engine — owned outright, never pooled, never
+//     shared with another worker on the steady-state path.
+//
+// The datapath's meter-disabled hot path is unchanged by all of this: with
+// no meter attached the worker's shard is nil and the compiled process
+// variants contain no metering calls at all, so registering workers adds
+// zero locks, zero atomic read-modify-writes and zero allocations per burst.
+
+// WorkerHandle is the interface a registered forwarding worker holds.  It is
+// an alias for the anonymous interface so the dataplane substrate
+// (internal/dpdk) can name the same type without importing this package.
+type WorkerHandle = interface {
+	// Enter marks the start of one burst's read-side critical section.
+	Enter()
+	// Exit announces a quiescent point.
+	Exit()
+	// ProcessBurst classifies one burst through the worker's resources; it
+	// must run inside the worker's Enter/Exit bracket.
+	ProcessBurst(ps []*pkt.Packet, vs []openflow.Verdict)
+}
+
+// Worker is one forwarding worker's handle on the compiled datapath: its
+// quiescence epoch, its meter shard (nil when the datapath is unmetered) and
+// its privately owned burst scratch.  A Worker is single-threaded by
+// contract — exactly one goroutine drives it.
+type Worker struct {
+	d     *Datapath
+	epoch *WorkerEpoch
+	meter *cpumodel.Meter
+	// scratch is the worker-owned working state of the burst engine.  It
+	// lives inside the Worker (one allocation at registration) so the
+	// steady-state burst path touches no pool and shares no scratch memory
+	// with any other worker.
+	scratch burstScratch
+}
+
+// newWorker registers a worker: an epoch in the quiescence domain and, when
+// the datapath is metered, a shard of the datapath meter.
+func (d *Datapath) newWorker() *Worker {
+	w := &Worker{d: d, epoch: d.epochs.register()}
+	if d.meter != nil {
+		w.meter = d.meter.NewShard()
+	}
+	return w
+}
+
+// releaseWorker retires a worker: its epoch leaves the quiescence domain and
+// its meter shard is folded into the datapath meter's base totals.
+func (d *Datapath) releaseWorker(w *Worker) {
+	d.epochs.unregister(w.epoch)
+	if w.meter != nil {
+		d.meter.ReleaseShard(w.meter)
+	}
+}
+
+// Enter marks the start of a read-side critical section (one burst or one
+// poll iteration).
+func (w *Worker) Enter() { w.epoch.Enter() }
+
+// Exit marks a quiescent point: the worker holds no references to any
+// datapath state published before this call.
+func (w *Worker) Exit() { w.epoch.Exit() }
+
+// Meter returns the worker's private meter shard (nil when the datapath is
+// unmetered).  Aggregate numbers are read from the datapath meter, which
+// folds all shards.
+func (w *Worker) Meter() *cpumodel.Meter { return w.meter }
+
+// ProcessBurst sends a burst of packets through the compiled fast path using
+// the worker's own resources: its burst scratch (no pool access) and its
+// meter shard (no shared meter writes).  It performs no locks and no atomic
+// read-modify-writes — one atomic snapshot load, then pure computation — and
+// must be called inside the worker's Enter/Exit bracket (or with updates
+// quiesced externally).
+func (w *Worker) ProcessBurst(ps []*pkt.Packet, vs []openflow.Verdict) {
+	sn := w.d.snap.Load()
+	for len(ps) > MaxBurst {
+		w.d.processBurst(&w.scratch, w.meter, sn, ps[:MaxBurst], vs[:MaxBurst])
+		ps, vs = ps[MaxBurst:], vs[MaxBurst:]
+	}
+	if len(ps) > 0 {
+		w.d.processBurst(&w.scratch, w.meter, sn, ps, vs)
+	}
+}
+
+// Process sends one packet through the compiled fast path, charging any
+// metering to the worker's shard.  Like ProcessBurst it must run inside the
+// worker's Enter/Exit bracket.
+func (w *Worker) Process(p *pkt.Packet, v *openflow.Verdict) {
+	sn := w.d.snap.Load()
+	if w.meter == nil {
+		w.d.processFast(sn, p, v)
+		return
+	}
+	w.d.processMetered(sn, w.meter, p, v)
+}

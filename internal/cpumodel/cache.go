@@ -27,10 +27,10 @@ func (l CacheLevel) String() string {
 
 // cache is one set-associative LRU cache level.
 type cache struct {
-	sets   []cacheSet
-	assoc  int
-	shift  uint // log2(line size)
-	nsets  uint64
+	sets  []cacheSet
+	assoc int
+	shift uint // log2(line size)
+	nsets uint64
 	// counters
 	accesses uint64
 	misses   uint64
@@ -89,7 +89,7 @@ func (c *cache) access(addr uint64) bool {
 
 // Hierarchy is a simulated L1/L2/L3 cache hierarchy.
 type Hierarchy struct {
-	Platform Platform
+	Platform   Platform
 	l1, l2, l3 *cache
 }
 

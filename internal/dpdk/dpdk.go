@@ -18,17 +18,21 @@
 // worker; worker w owns the RX queue indices q ≡ w (mod workers) of every
 // port and TX queue w of every port, so each ring keeps exactly one producer
 // and one consumer and the workers share nothing but the datapath.  When the
-// datapath supports epoch-based quiescence (EpochDatapath — the compiled
-// ESWITCH datapath does), each worker registers a worker epoch and brackets
-// every poll iteration with Enter/Exit, which is what lets concurrent
-// flow-table updates retire superseded flow-table versions safely while the
-// steady-state loop takes zero locks.
+// datapath supports worker registration (WorkerDatapath — the compiled
+// ESWITCH datapath does), each worker registers a handle bundling its
+// worker-local resource plane — quiescence epoch, meter shard, burst scratch
+// — and brackets every poll iteration with Enter/Exit, which is what lets
+// concurrent flow-table updates retire superseded flow-table versions safely
+// while the steady-state loop takes zero locks and shares no mutable state.
 //
 // Transmission is batched: verdicts accumulate frames into per-worker,
 // per-port staging buffers that are flushed to the TX rings with one
 // EnqueueBurst per port at the end of each poll iteration, and forwarding
 // statistics accumulate in padded per-worker counters folded together by
 // Stats() on demand — the hot loop performs no shared-cache-line writes.
+// When a TX ring is full the switch's TxPolicy decides between dropping
+// (NIC-like default), blocking with bounded backoff, or spilling into a
+// worker-local backlog; see txpolicy.go.
 package dpdk
 
 import (
@@ -271,25 +275,30 @@ type BurstDatapath interface {
 	ProcessBurst(ps []*pkt.Packet, vs []openflow.Verdict)
 }
 
-// Epoch is the per-worker quiescence handle of an EpochDatapath.  It is an
-// alias for the anonymous interface so the concrete handle type lives with
-// the datapath implementation (core.WorkerEpoch) without an import here.
-type Epoch = interface {
+// Worker is the per-worker handle of a WorkerDatapath: the worker's
+// quiescence epoch plus its worker-local resources (meter shard, burst
+// scratch).  It is an alias for the anonymous interface so the concrete
+// handle type lives with the datapath implementation (core.Worker) without
+// an import here.
+type Worker = interface {
 	Enter()
 	Exit()
+	// ProcessBurst classifies one burst on the worker's private resources;
+	// it must run inside the worker's Enter/Exit bracket.
+	ProcessBurst(ps []*pkt.Packet, vs []openflow.Verdict)
 }
 
-// EpochDatapath is the lock-free extension of BurstDatapath: the datapath
+// WorkerDatapath is the lock-free extension of BurstDatapath: the datapath
 // publishes its compiled state through atomic snapshots, workers register a
-// quiescence epoch and bracket every poll iteration with Enter/Exit, and in
-// return they may call ProcessBurstUnlocked — the zero-lock, zero-atomic-RMW
-// burst path — while flow-table updates proceed concurrently.  The compiled
-// ESWITCH datapath implements it.
-type EpochDatapath interface {
+// handle carrying their worker-local resource plane (epoch, meter shard,
+// burst scratch), bracket every poll iteration with Enter/Exit, and classify
+// through the handle's ProcessBurst — the zero-lock, zero-atomic-RMW,
+// zero-shared-state burst path — while flow-table updates proceed
+// concurrently.  The compiled ESWITCH datapath implements it.
+type WorkerDatapath interface {
 	BurstDatapath
-	RegisterWorker() Epoch
-	UnregisterWorker(Epoch)
-	ProcessBurstUnlocked(ps []*pkt.Packet, vs []openflow.Verdict)
+	RegisterWorker() Worker
+	UnregisterWorker(Worker)
 }
 
 // DatapathFunc adapts a function to the Datapath interface.
@@ -305,6 +314,12 @@ type WorkerStats struct {
 	Forwarded uint64
 	Dropped   uint64
 	ToCtrl    uint64
+	// TxRetries counts TX enqueue re-attempts for frames that found their
+	// TX ring full at least once (block and spill policies); TxDrops counts
+	// frames abandoned after the policy's bounded retries (or immediately,
+	// under the default drop policy).
+	TxRetries uint64
+	TxDrops   uint64
 }
 
 // workerCounters are one worker's forwarding counters.  They are updated
@@ -316,7 +331,9 @@ type workerCounters struct {
 	forwarded atomic.Uint64
 	dropped   atomic.Uint64
 	toCtrl    atomic.Uint64
-	_         [32]byte
+	txRetries atomic.Uint64
+	txDrops   atomic.Uint64
+	_         [16]byte
 }
 
 // Switch ties ports and a datapath together and runs run-to-completion
@@ -324,13 +341,16 @@ type workerCounters struct {
 type Switch struct {
 	ports []*Port
 	dp    Datapath
-	// bdp/edp are non-nil when the datapath supports native burst
-	// processing / epoch-based quiescence; the workers then use the
+	// bdp/wdp are non-nil when the datapath supports native burst
+	// processing / registered worker handles; the workers then use the
 	// fastest available path.
 	bdp    BurstDatapath
-	edp    EpochDatapath
+	wdp    WorkerDatapath
 	burst  int
 	queues int
+	// txPolicy is what workers do when a TX ring is full (drop | block |
+	// spill).  Set it before the first poll; workers read it un-synchronized.
+	txPolicy TxPolicy
 
 	// mu guards counter registration; the forwarding loops never touch
 	// it.  The acquisition counter backs the zero-lock acceptance tests.
@@ -352,8 +372,9 @@ type Switch struct {
 // NewSwitch creates a switch with numPorts ports of DefaultQueues RX/TX
 // queue pairs each.  When dp also implements BurstDatapath (the compiled
 // ESWITCH datapath does), the worker loops use the burst fast path
-// automatically; when it implements EpochDatapath they additionally run the
-// zero-lock path under per-worker epochs.
+// automatically; when it implements WorkerDatapath they additionally run the
+// zero-lock path on registered per-worker resources (epoch, meter shard,
+// burst scratch).
 func NewSwitch(dp Datapath, numPorts, ringSize int) *Switch {
 	return NewSwitchQueues(dp, numPorts, ringSize, DefaultQueues)
 }
@@ -368,8 +389,8 @@ func NewSwitchQueues(dp Datapath, numPorts, ringSize, queues int) *Switch {
 	if bdp, ok := dp.(BurstDatapath); ok {
 		s.bdp = bdp
 	}
-	if edp, ok := dp.(EpochDatapath); ok {
-		s.edp = edp
+	if wdp, ok := dp.(WorkerDatapath); ok {
+		s.wdp = wdp
 	}
 	s.pollCounters = s.registerCounters()
 	s.wsPool.New = func() any { return s.newWorkerState(allQueues(queues), 0, s.pollCounters) }
@@ -387,11 +408,13 @@ func allQueues(n int) []int {
 	return qs
 }
 
-// workerState is the reusable per-worker state: the RX frame burst, the
+// workerState is one worker's private memory plane: the RX frame burst, the
 // packet structs wrapping it, the verdicts, the worker's queue assignment,
-// the per-port TX staging buffers and the worker's statistics counters.
-// Everything is allocated once per worker so the polling loop is
-// allocation-free in the steady state.
+// the per-port TX staging buffers, the per-port TX spill backlog and the
+// worker's statistics counters.  Everything is allocated once per worker —
+// the buffers are worker-owned freelists that retain their capacity across
+// polls — so the polling loop is allocation-free in the steady state and
+// shares no mutable memory with any other worker.
 type workerState struct {
 	frames   [][]byte
 	packets  []pkt.Packet
@@ -403,12 +426,19 @@ type workerState struct {
 	queues []int
 	txq    int
 	// txStage stages outgoing frames per output port; it is flushed with
-	// one TxBurst per port at the end of each poll iteration.
+	// one TX burst per port at the end of each poll iteration.
 	txStage [][][]byte
-	// epoch is the datapath quiescence handle (nil when the datapath does
-	// not support epochs — or when this state serves epochless PollOnce
-	// callers, which must use the self-pinning ProcessBurst instead).
-	epoch    Epoch
+	// txSpill carries per-port frames whose TX ring was full under the
+	// spill policy; they are re-attempted (in receive order, ahead of newly
+	// staged frames) on subsequent polls.  spillPending caches the total
+	// backlog so idle polls know whether a flush is still owed.
+	txSpill      [][][]byte
+	spillPending int
+	// worker is the datapath's registered worker handle (nil when the
+	// datapath does not support worker registration — or when this state
+	// serves anonymous PollOnce callers, which must use the self-pinning
+	// ProcessBurst instead).
+	worker   Worker
 	counters *workerCounters
 	// spin seeds the backoff's pause loop; keeping it per-worker (and
 	// heap-reachable, which defeats dead-code elimination) means idle
@@ -434,6 +464,8 @@ func (s *Switch) retireCounters(c *workerCounters) {
 	s.base.Forwarded += c.forwarded.Load()
 	s.base.Dropped += c.dropped.Load()
 	s.base.ToCtrl += c.toCtrl.Load()
+	s.base.TxRetries += c.txRetries.Load()
+	s.base.TxDrops += c.txDrops.Load()
 	kept := s.counters[:0]
 	for _, o := range s.counters {
 		if o != c {
@@ -456,6 +488,7 @@ func (s *Switch) newWorkerState(queues []int, txq int, counters *workerCounters)
 		queues:   queues,
 		txq:      txq,
 		txStage:  make([][][]byte, len(s.ports)),
+		txSpill:  make([][][]byte, len(s.ports)),
 	}
 	for i := range ws.packets {
 		ws.pkts[i] = &ws.packets[i]
@@ -508,6 +541,8 @@ func (s *Switch) Stats() WorkerStats {
 		t.Forwarded += c.forwarded.Load()
 		t.Dropped += c.dropped.Load()
 		t.ToCtrl += c.toCtrl.Load()
+		t.TxRetries += c.txRetries.Load()
+		t.TxDrops += c.txDrops.Load()
 	}
 	return t
 }
@@ -520,6 +555,14 @@ func (s *Switch) Stats() WorkerStats {
 func (s *Switch) PollOnce(ports []*Port) int {
 	ws := s.wsPool.Get().(*workerState)
 	n := s.pollPorts(ws, ports)
+	// A pooled state must not carry a spill backlog: the pool may drop the
+	// state at any GC, which would lose the frames without accounting.
+	// PollOnce therefore makes the final attempt immediately and counts the
+	// remainder as drops; the carried-across-polls behaviour of the spill
+	// policy belongs to dedicated RunWorkers workers, whose state is stable.
+	if ws.spillPending > 0 {
+		s.abandonSpill(ws)
+	}
 	s.wsPool.Put(ws)
 	return n
 }
@@ -534,8 +577,8 @@ func (s *Switch) pollPorts(ws *workerState, ports []*Port) int {
 	if ports == nil {
 		ports = s.ports
 	}
-	if ws.epoch != nil {
-		ws.epoch.Enter()
+	if ws.worker != nil {
+		ws.worker.Enter()
 	}
 	total := 0
 	var forwarded, dropped, toCtrl uint64
@@ -550,17 +593,18 @@ func (s *Switch) pollPorts(ws *workerState, ports []*Port) int {
 			}
 			if s.bdp != nil {
 				// Burst fast path: wrap the RX burst and classify it
-				// in one call — lock-free when the datapath supports
-				// epochs (the worker's Enter pins the snapshot).
+				// in one call — lock-free when the worker holds a
+				// registered handle (its Enter pins the snapshot).
 				for i := 0; i < n; i++ {
 					ws.packets[i] = pkt.Packet{Data: ws.frames[i], InPort: port.ID}
 				}
-				if ws.epoch != nil {
+				if ws.worker != nil {
 					// The worker's Enter pinned the snapshot, so the
-					// zero-lock path is safe under concurrent updates.
-					s.edp.ProcessBurstUnlocked(ws.pkts[:n], ws.verdicts[:n])
+					// zero-lock, worker-local-resource path is safe
+					// under concurrent updates.
+					ws.worker.ProcessBurst(ws.pkts[:n], ws.verdicts[:n])
 				} else {
-					// Epochless callers (PollOnce) go through the
+					// Anonymous callers (PollOnce) go through the
 					// self-pinning burst entry point.
 					s.bdp.ProcessBurst(ws.pkts[:n], ws.verdicts[:n])
 				}
@@ -577,8 +621,17 @@ func (s *Switch) pollPorts(ws *workerState, ports []*Port) int {
 			total += n
 		}
 	}
-	if total > 0 {
+	// The epoch bracket covers only classification: the TX flush (which may
+	// back off for a while under the block policy) and the counter folds
+	// touch nothing but rings and worker-local memory, so exiting first
+	// keeps flow-mod grace periods short even when TX is backed up.
+	if ws.worker != nil {
+		ws.worker.Exit()
+	}
+	if total > 0 || ws.spillPending > 0 {
 		s.flushTx(ws)
+	}
+	if total > 0 {
 		ws.counters.processed.Add(uint64(total))
 		if forwarded > 0 {
 			ws.counters.forwarded.Add(forwarded)
@@ -589,9 +642,6 @@ func (s *Switch) pollPorts(ws *workerState, ports []*Port) int {
 		if toCtrl > 0 {
 			ws.counters.toCtrl.Add(toCtrl)
 		}
-	}
-	if ws.epoch != nil {
-		ws.epoch.Exit()
 	}
 	return total
 }
@@ -615,15 +665,51 @@ func (s *Switch) stage(ws *workerState, v *openflow.Verdict, frame []byte, forwa
 	}
 }
 
-// flushTx drains the worker's TX staging buffers, one EnqueueBurst per
-// output port, preserving receive order within the worker's stream.
+// flushTx drains the worker's TX staging buffers (and, under the spill
+// policy, its spill backlog), one EnqueueBurst per output port, preserving
+// receive order within the worker's stream.  What happens when a TX ring is
+// full is decided by the switch's TxPolicy; see txpolicy.go.
 func (s *Switch) flushTx(ws *workerState) {
+	pol := s.txPolicy
+	var retries, drops uint64
 	for pi, staged := range ws.txStage {
-		if len(staged) == 0 {
+		spill := ws.txSpill[pi]
+		if len(staged) == 0 && len(spill) == 0 {
 			continue
 		}
-		s.ports[pi].TxBurst(ws.txq, staged)
-		ws.txStage[pi] = staged[:0]
+		port := s.ports[pi]
+		if pol == TxSpill {
+			ws.txSpill[pi] = s.flushSpill(ws, port, spill, staged, &retries, &drops)
+		} else {
+			sent := port.txEnqueue(ws.txq, staged)
+			if sent < len(staged) && pol == TxBlock {
+				// Bounded backoff: re-attempt the remainder, pausing a
+				// little longer each round, before giving up and
+				// counting drops.
+				for attempt := 1; attempt <= txRetryLimit && sent < len(staged); attempt++ {
+					ws.txBackoff(attempt)
+					retries += uint64(len(staged) - sent)
+					sent += port.txEnqueue(ws.txq, staged[sent:])
+				}
+			}
+			if over := len(staged) - sent; over > 0 {
+				drops += uint64(over)
+				port.countTxDrops(over)
+			}
+		}
+		ws.txStage[pi] = ws.txStage[pi][:0]
+	}
+	ws.spillPending = 0
+	if pol == TxSpill {
+		for _, sp := range ws.txSpill {
+			ws.spillPending += len(sp)
+		}
+	}
+	if retries > 0 {
+		ws.counters.txRetries.Add(retries)
+	}
+	if drops > 0 {
+		ws.counters.txDrops.Add(drops)
 	}
 }
 
@@ -666,10 +752,13 @@ func (s *Switch) RunWorkers(numWorkers int) (stop func()) {
 			defer wg.Done()
 			ws := s.newWorkerState(queues, txq, nil)
 			defer s.retireCounters(ws.counters)
-			if s.edp != nil {
-				ws.epoch = s.edp.RegisterWorker()
-				defer s.edp.UnregisterWorker(ws.epoch)
+			if s.wdp != nil {
+				ws.worker = s.wdp.RegisterWorker()
+				defer s.wdp.UnregisterWorker(ws.worker)
 			}
+			// On shutdown, make one last attempt at any spill backlog,
+			// then account what is still stuck as drops.
+			defer s.abandonSpill(ws)
 			idle := 0
 			for {
 				select {

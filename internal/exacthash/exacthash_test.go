@@ -156,7 +156,7 @@ func BenchmarkLookupMiss(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tbl.Lookup(Key{W0: uint64(i) | 1 << 40})
+		tbl.Lookup(Key{W0: uint64(i) | 1<<40})
 	}
 }
 

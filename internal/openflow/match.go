@@ -292,7 +292,7 @@ func formatKV(name, val string, plen, width int) string {
 	return name + "=" + val + "/" + itoa(plen)
 }
 
-func sprintUint(name string, v uint64) string      { return name + "=" + utoa(v) }
+func sprintUint(name string, v uint64) string        { return name + "=" + utoa(v) }
 func sprintUintMask(name string, v, m uint64) string { return name + "=" + utoa(v) + "/0x" + hexa(m) }
 
 func itoa(v int) string { return utoa(uint64(v)) }

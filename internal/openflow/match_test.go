@@ -78,13 +78,13 @@ func TestFieldFullMask(t *testing.T) {
 
 func TestFieldLayers(t *testing.T) {
 	cases := map[Field]pkt.Layer{
-		FieldInPort:  pkt.LayerNone,
-		FieldEthDst:  pkt.LayerL2,
-		FieldVLANID:  pkt.LayerL2,
-		FieldIPDst:   pkt.LayerL3,
-		FieldARPSPA:  pkt.LayerL3,
-		FieldTCPDst:  pkt.LayerL4,
-		FieldUDPSrc:  pkt.LayerL4,
+		FieldInPort:   pkt.LayerNone,
+		FieldEthDst:   pkt.LayerL2,
+		FieldVLANID:   pkt.LayerL2,
+		FieldIPDst:    pkt.LayerL3,
+		FieldARPSPA:   pkt.LayerL3,
+		FieldTCPDst:   pkt.LayerL4,
+		FieldUDPSrc:   pkt.LayerL4,
 		FieldTCPFlags: pkt.LayerL4,
 	}
 	for f, want := range cases {

@@ -1,0 +1,102 @@
+// Regression test for the worker-local resource plane: a metered workload
+// driven by ≥2 dataplane workers must be race-free and the folded meter must
+// account every processed packet exactly.  Before per-worker meter shards
+// existed, the workers charged cycles to the single shared cpumodel.Meter
+// and this test failed under `go test -race`.
+package eswitch
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"eswitch/internal/core"
+	"eswitch/internal/cpumodel"
+	"eswitch/internal/dpdk"
+	"eswitch/internal/experiments"
+	"eswitch/internal/workload"
+)
+
+func TestMeteredMultiWorkerIsRaceFreeAndExact(t *testing.T) {
+	uc := workload.L3UseCase(1000, 4, 2016)
+	opts := core.DefaultOptions()
+	meter := cpumodel.NewMeter(cpumodel.DefaultPlatform())
+	opts.Meter = meter
+	dp, err := core.Compile(uc.Pipeline, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := dpdk.NewSwitchQueues(dp, uc.Pipeline.NumPorts, 4096, 4)
+	stop := sync.OnceFunc(sw.RunWorkers(2)) // both workers poll RSS queue subsets of every port
+	defer stop()
+
+	trace := uc.Trace(4096)
+	frames := make([][]byte, 1024)
+	for i := range frames {
+		frames[i], _ = trace.Frame(i)
+	}
+	port, err := sw.Port(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const want = 20_000
+	injected := 0
+	deadline := time.Now().Add(60 * time.Second)
+	for injected < want && time.Now().Before(deadline) {
+		for _, f := range frames {
+			if injected == want {
+				break
+			}
+			if port.Inject(f) {
+				injected++
+			}
+		}
+		for _, p := range sw.Ports() {
+			p.DrainTx()
+		}
+	}
+	for sw.Stats().Processed < uint64(injected) && time.Now().Before(deadline) {
+		for _, p := range sw.Ports() {
+			p.DrainTx()
+		}
+	}
+	stop()
+
+	st := sw.Stats()
+	if st.Processed < uint64(injected) {
+		t.Fatalf("workers processed %d of %d injected", st.Processed, injected)
+	}
+	// The folded meter must agree with the dataplane exactly: every burst a
+	// worker processed was charged to that worker's private shard, and
+	// retiring the workers folded the shards into the base totals.
+	if got := meter.Packets(); got != st.Processed {
+		t.Fatalf("meter folded %d packets, dataplane processed %d", got, st.Processed)
+	}
+	if meter.TotalCycles() == 0 || meter.CyclesPerPacket() <= 0 {
+		t.Fatalf("metered run charged no cycles: %s", meter.String())
+	}
+	if meter.LLCMissesPerPacket() < 0 {
+		t.Fatalf("negative LLC misses: %s", meter.String())
+	}
+}
+
+// TestMeteredScalingHarness drives the Fig. 19 hot-port harness with a meter
+// attached — the metered multi-core experiment the shared meter used to make
+// impossible — and checks the model numbers survive the fold.
+func TestMeteredScalingHarness(t *testing.T) {
+	h, err := experiments.NewMeteredScalingHarness(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := h.Run(2, 10_000)
+	if pt.Processed == 0 {
+		t.Fatal("harness processed nothing")
+	}
+	if pt.ModelCyclesPkt <= 0 {
+		t.Fatalf("metered scaling point has no model cost: %+v", pt)
+	}
+	if got := h.Meter().Packets(); got < pt.Processed {
+		t.Fatalf("meter folded %d packets, harness processed %d", got, pt.Processed)
+	}
+}

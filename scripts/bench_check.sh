@@ -1,0 +1,55 @@
+#!/usr/bin/env sh
+# bench_check.sh is the CI perf-regression gate: it diffs the freshly
+# recorded BENCH_burst.json / BENCH_scaling.json in the working tree (the CI
+# record steps run scripts/bench_burst.sh and scripts/bench_scaling.sh just
+# before this) against the baselines committed at HEAD, and fails on any row
+# whose Mpps dropped more than the budget:
+#
+#   - 10% on normal rows,
+#   - 25% on the >=20 Mpps cache-resident rows, whose run-to-run variance the
+#     recorded history shows is noise-dominated,
+#   - scaling rows recorded on a machine with a different gomaxprocs than
+#     the baseline are skipped (cross-machine worker scaling is not signal).
+#
+# To refresh a baseline after an intentional change, run the record scripts
+# on the reference machine and commit the updated JSON files; the gate always
+# compares against the committed version, so the refresh takes effect on the
+# next commit.
+#
+# Usage:
+#   scripts/bench_check.sh                # gate both files
+#   MAX_DROP=0.15 scripts/bench_check.sh  # widen the normal budget
+#
+# Environment:
+#   MAX_DROP    failing drop fraction for normal rows      (default 0.10)
+#   NOISE_MPPS  threshold for the noise-tolerant budget    (default 20)
+#   NOISE_DROP  failing drop fraction for >=NOISE_MPPS rows (default 0.25)
+set -eu
+cd "$(dirname "$0")/.."
+
+MAX_DROP="${MAX_DROP:-0.10}"
+NOISE_MPPS="${NOISE_MPPS:-20}"
+NOISE_DROP="${NOISE_DROP:-0.25}"
+
+status=0
+for f in BENCH_burst.json BENCH_scaling.json; do
+	if [ ! -f "$f" ]; then
+		echo "bench_check: $f not recorded" >&2
+		status=1
+		continue
+	fi
+	base="$(mktemp)"
+	if ! git show "HEAD:$f" > "$base" 2>/dev/null; then
+		echo "bench_check: no committed baseline for $f (first record?) — skipping"
+		rm -f "$base"
+		continue
+	fi
+	echo "== $f =="
+	if ! go run ./cmd/eswitch-benchcheck \
+		-baseline "$base" -fresh "$f" \
+		-max-drop "$MAX_DROP" -noise-mpps "$NOISE_MPPS" -noise-drop "$NOISE_DROP"; then
+		status=1
+	fi
+	rm -f "$base"
+done
+exit $status

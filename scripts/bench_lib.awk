@@ -1,0 +1,30 @@
+# bench_lib.awk — shared best-of-COUNT estimator for the bench record
+# scripts.  Reads `go test -bench` output (possibly with -count N), tracks
+# the best (max) Mpps per benchmark — interference noise only ever slows a
+# run down, so max-of-N is the low-noise estimator a drop-threshold
+# regression gate needs — and emits one TSV row per benchmark in first-seen
+# order:
+#
+#   name <TAB> ns_per_op <TAB> mpps
+#
+# with "null" where a value never appeared.  The per-script wrappers format
+# these rows into their JSON schemas.
+/^Benchmark/ {
+	name = $1; nsop = ""; mpps = ""
+	for (i = 2; i < NF; i++) {
+		if ($(i+1) == "ns/op") nsop = $i
+		if ($(i+1) == "Mpps") mpps = $i
+	}
+	if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+	if (mpps != "" && (best[name] == "" || mpps + 0 > best[name] + 0)) {
+		best[name] = mpps; bestns[name] = nsop
+	}
+}
+END {
+	for (i = 1; i <= n; i++) {
+		name = order[i]
+		m = (best[name] == "") ? "null" : best[name]
+		ns = (name in bestns && bestns[name] != "") ? bestns[name] : "null"
+		printf "%s\t%s\t%s\n", name, ns, m
+	}
+}
