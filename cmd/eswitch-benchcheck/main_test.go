@@ -31,13 +31,16 @@ func TestCompareBudgets(t *testing.T) {
 		{Benchmark: "slow", Mpps: fp(9.2)}, // -8%: ok
 		{Benchmark: "fast", Mpps: fp(31)},  // -22.5%: inside the noise budget
 	}
-	fs := compare(baseline, fresh, 0.10, 20, 0.25)
+	fs, unbaselined := compare(baseline, fresh, 0.10, 20, 0.25)
 	byName := map[string]finding{}
 	for _, f := range fs {
 		byName[f.name] = f
 	}
 	if len(fs) != 3 {
 		t.Fatalf("gated %d rows, want 3 (unrated rows excluded)", len(fs))
+	}
+	if len(unbaselined) != 0 {
+		t.Fatalf("no fresh-only rows expected, got %v", unbaselined)
 	}
 	if f := byName["slow"]; f.failed || f.budget != 0.10 {
 		t.Fatalf("slow: %+v", f)
@@ -55,7 +58,7 @@ func TestCompareBudgets(t *testing.T) {
 		{Benchmark: "fast", Mpps: fp(29)},  // -27.5%
 		{Benchmark: "gone", Mpps: fp(5)},
 	}
-	fs = compare(baseline, fresh, 0.10, 20, 0.25)
+	fs, _ = compare(baseline, fresh, 0.10, 20, 0.25)
 	for _, f := range fs {
 		if f.name != "gone" && !f.failed {
 			t.Fatalf("row %q should have failed: %+v", f.name, f)
@@ -64,16 +67,95 @@ func TestCompareBudgets(t *testing.T) {
 }
 
 func TestCompareSkipsCrossMachineScalingRows(t *testing.T) {
-	baseline := []row{{Benchmark: "scale/workers=4", Mpps: fp(8), GoMaxProcs: ip(1)}}
-	fresh := []row{{Benchmark: "scale/workers=4", Mpps: fp(2), GoMaxProcs: ip(8)}}
-	fs := compare(baseline, fresh, 0.10, 20, 0.25)
-	if len(fs) != 1 || !fs[0].skipped || fs[0].failed {
-		t.Fatalf("cross-machine row must be skipped, not failed: %+v", fs)
+	for _, name := range []string{"scale/workers=4", "scale/cores=4"} {
+		baseline := []row{{Benchmark: name, Mpps: fp(8), GoMaxProcs: ip(1)}}
+		fresh := []row{{Benchmark: name, Mpps: fp(2), GoMaxProcs: ip(8)}}
+		fs, _ := compare(baseline, fresh, 0.10, 20, 0.25)
+		if len(fs) != 1 || !fs[0].skipped || fs[0].failed {
+			t.Fatalf("cross-machine %q must be skipped, not failed: %+v", name, fs)
+		}
+		// Same machine shape: gated normally.
+		fresh[0].GoMaxProcs = ip(1)
+		fs, _ = compare(baseline, fresh, 0.10, 20, 0.25)
+		if !fs[0].failed {
+			t.Fatalf("-75%% on the same machine shape must fail: %+v", fs[0])
+		}
 	}
-	// Same machine shape: gated normally.
+}
+
+func TestCompareGatesSingleThreadedRowsAcrossMachineShapes(t *testing.T) {
+	// Burst rows are single-threaded: gomaxprocs is machine metadata, not a
+	// measurement parameter, so a shape difference (baseline recorded on the
+	// 1-core reference, fresh run on a 4-vCPU CI runner) must not skip them —
+	// otherwise the CI gate gates nothing.  They are gated with the loose
+	// noise budget, since a different shape implies a different CPU SKU whose
+	// absolute single-core rate legitimately varies.
+	baseline := []row{
+		{Benchmark: "burst/flows=100", Mpps: fp(10), GoMaxProcs: ip(1)},
+		{Benchmark: "burst/flows=1000", Mpps: fp(10), GoMaxProcs: ip(1)},
+	}
+	fresh := []row{
+		{Benchmark: "burst/flows=100", Mpps: fp(8.5), GoMaxProcs: ip(4)}, // -15%: inside the cross-shape budget
+		{Benchmark: "burst/flows=1000", Mpps: fp(7), GoMaxProcs: ip(4)},  // -30%: fail
+	}
+	fs, _ := compare(baseline, fresh, 0.10, 20, 0.25)
+	if len(fs) != 2 {
+		t.Fatalf("gated %d rows, want 2", len(fs))
+	}
+	for _, f := range fs {
+		if f.skipped {
+			t.Fatalf("single-threaded row must not be shape-skipped: %+v", f)
+		}
+		if !f.crossShape || f.budget != 0.25 {
+			t.Fatalf("cross-shape row must use the noise budget: %+v", f)
+		}
+	}
+	if fs[0].failed || !fs[1].failed {
+		t.Fatalf("want [ok, fail], got %+v", fs)
+	}
+
+	// Same shape: the tight budget applies and -15% fails.
 	fresh[0].GoMaxProcs = ip(1)
-	fs = compare(baseline, fresh, 0.10, 20, 0.25)
-	if !fs[0].failed {
-		t.Fatalf("-75%% on the same machine shape must fail: %+v", fs[0])
+	fs, _ = compare(baseline, fresh, 0.10, 20, 0.25)
+	if !fs[0].failed || fs[0].crossShape || fs[0].budget != 0.10 {
+		t.Fatalf("-15%% on the same shape must fail under the tight budget: %+v", fs[0])
+	}
+
+	// A >=noiseMpps row already has the loose budget, but a cross-shape
+	// comparison must still be marked as such in the report.
+	baseline = []row{{Benchmark: "burst/hot", Mpps: fp(28), GoMaxProcs: ip(1)}}
+	fresh = []row{{Benchmark: "burst/hot", Mpps: fp(27), GoMaxProcs: ip(4)}}
+	fs, _ = compare(baseline, fresh, 0.10, 20, 0.25)
+	if fs[0].failed || !fs[0].crossShape || fs[0].budget != 0.25 {
+		t.Fatalf("cache-resident cross-shape row must be marked cross-shape: %+v", fs[0])
+	}
+
+	// A fresh row that exists but carries no rate fails with a message
+	// distinct from a genuinely missing row.
+	baseline = []row{{Benchmark: "burst/x", Mpps: fp(10)}}
+	fresh = []row{{Benchmark: "burst/x"}}
+	fs, _ = compare(baseline, fresh, 0.10, 20, 0.25)
+	if !fs[0].failed || fs[0].skipReason != "fresh row carries no mpps rate" {
+		t.Fatalf("unrated fresh row must fail with its own reason: %+v", fs[0])
+	}
+}
+
+func TestCompareNoticesUnbaselinedRows(t *testing.T) {
+	baseline := []row{
+		{Benchmark: "old", Mpps: fp(10)},
+		{Benchmark: "was-unrated"}, // baseline has no rate: fresh rate is unbaselined
+	}
+	fresh := []row{
+		{Benchmark: "old", Mpps: fp(10)},
+		{Benchmark: "brand-new", Mpps: fp(5)},
+		{Benchmark: "was-unrated", Mpps: fp(7)},
+		{Benchmark: "new-unrated"}, // no rate: nothing to gate, no notice
+	}
+	fs, unbaselined := compare(baseline, fresh, 0.10, 20, 0.25)
+	if len(fs) != 1 || fs[0].failed {
+		t.Fatalf("baseline row must gate cleanly: %+v", fs)
+	}
+	if len(unbaselined) != 2 || unbaselined[0] != "brand-new" || unbaselined[1] != "was-unrated" {
+		t.Fatalf("want [brand-new was-unrated] unbaselined, got %v", unbaselined)
 	}
 }

@@ -61,9 +61,11 @@ var burstPool = sync.Pool{New: func() any { return new(burstScratch) }}
 func (d *Datapath) ProcessBurst(ps []*pkt.Packet, vs []openflow.Verdict) {
 	w := d.pinGet()
 	w.Enter()
+	// Deferred so a panicking classify cannot leak one of the bounded pool
+	// slots, nor park a worker in the entered state where synchronize()
+	// would wait on it forever.
+	defer func() { w.Exit(); d.pinPut(w) }()
 	w.ProcessBurst(ps, vs)
-	w.Exit()
-	d.pinPut(w)
 }
 
 // ProcessBurstUnlocked is ProcessBurst without the worker pin: one atomic

@@ -316,9 +316,11 @@ func (d *Datapath) Stages() []TableStage {
 func (d *Datapath) Process(p *pkt.Packet, v *openflow.Verdict) {
 	w := d.pinGet()
 	w.Enter()
+	// Deferred so a panicking classify cannot leak one of the bounded pool
+	// slots, nor park a worker in the entered state where synchronize()
+	// would wait on it forever.
+	defer func() { w.Exit(); d.pinPut(w) }()
 	w.Process(p, v)
-	w.Exit()
-	d.pinPut(w)
 }
 
 // ProcessUnlocked is Process without the epoch pin.  It takes no locks and

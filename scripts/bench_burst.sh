@@ -26,8 +26,11 @@ if [ "${1:-}" = "smoke" ]; then
 fi
 OUT="${OUT:-BENCH_burst.json}"
 # gomaxprocs is recorded per row so the regression gate can tell a genuine
-# slowdown from a record taken on a different machine shape (which it skips).
-GMP="${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)}"
+# slowdown from a record taken on a different machine shape.  It is read
+# from the Go runtime itself — not guessed with getconf — so it is exactly
+# the "-N" name suffix go test appends, even under CPU affinity masks or
+# cgroup quotas.
+GMP="$(go run ./cmd/eswitch-benchcheck -gomaxprocs)"
 
 # Record to a temporary file and validate it before moving it into place, so
 # a crashed or truncated bench run can never clobber the committed baseline.
@@ -35,7 +38,7 @@ TMP="$OUT.tmp.$$"
 trap 'rm -f "$TMP"' EXIT
 
 go test -run '^$' -bench 'BenchmarkFig1[0123]' -benchtime "$BENCHTIME" -count "$COUNT" . | tee /dev/stderr |
-	awk -f scripts/bench_lib.awk | awk -F'\t' -v gmp="$GMP" '
+	awk -v gmp="$GMP" -f scripts/bench_lib.awk | awk -F'\t' -v gmp="$GMP" '
 	BEGIN { printf "[" }
 	{
 		printf "%s\n  {\"benchmark\": \"%s\", \"ns_per_op\": %s, \"mpps\": %s, \"gomaxprocs\": %d}", sep, $1, $2, $3, gmp

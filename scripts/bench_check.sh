@@ -8,8 +8,12 @@
 #   - 10% on normal rows,
 #   - 25% on the >=20 Mpps cache-resident rows, whose run-to-run variance the
 #     recorded history shows is noise-dominated,
-#   - scaling rows recorded on a machine with a different gomaxprocs than
-#     the baseline are skipped (cross-machine worker scaling is not signal).
+#   - worker-scaling rows ("workers=" or "cores=" in the name) recorded on a machine with
+#     a different gomaxprocs than the baseline are skipped (cross-machine
+#     worker scaling is not signal); single-threaded rows are always gated,
+#     with the loose NOISE_DROP budget when the machine shape differs (a
+#     different shape implies a different CPU SKU, whose absolute single-core
+#     rate legitimately varies).
 #
 # To refresh a baseline after an intentional change, run the record scripts
 # on the reference machine and commit the updated JSON files; the gate always

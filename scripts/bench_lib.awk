@@ -9,8 +9,19 @@
 #
 # with "null" where a value never appeared.  The per-script wrappers format
 # these rows into their JSON schemas.
+#
+# go test appends a -N GOMAXPROCS suffix to benchmark names whenever
+# GOMAXPROCS > 1, so the same benchmark records under different names on
+# different machine shapes.  The wrappers pass the effective parallelism as
+# -v gmp=N; the exact "-N" suffix is stripped so baseline and fresh rows
+# always key on the same name, while benchmark sub-names that merely end in
+# digits are left alone.  Machine-shape detection uses the recorded
+# gomaxprocs JSON field instead.  When gmp is unknown (0), any trailing
+# -digits are stripped as a best effort.
 /^Benchmark/ {
 	name = $1; nsop = ""; mpps = ""
+	if (gmp > 1) sub("-" gmp "$", "", name)
+	else if (gmp == 0) sub(/-[0-9]+$/, "", name)
 	for (i = 2; i < NF; i++) {
 		if ($(i+1) == "ns/op") nsop = $i
 		if ($(i+1) == "Mpps") mpps = $i

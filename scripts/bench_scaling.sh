@@ -33,9 +33,10 @@ if [ "${1:-}" = "smoke" ]; then
 	COUNT=1
 fi
 OUT="${OUT:-BENCH_scaling.json}"
-# Effective parallelism: an explicit GOMAXPROCS cap wins, else the online
-# CPU count (the Go runtime's default).
-GMP="${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)}"
+# Effective parallelism, read from the Go runtime itself — not guessed with
+# getconf — so it is exactly the "-N" name suffix go test appends, even
+# under CPU affinity masks or cgroup quotas.
+GMP="$(go run ./cmd/eswitch-benchcheck -gomaxprocs)"
 
 # Record to a temporary file and validate it before moving it into place, so
 # a crashed or truncated bench run can never clobber the committed baseline.
@@ -43,10 +44,13 @@ TMP="$OUT.tmp.$$"
 trap 'rm -f "$TMP"' EXIT
 
 go test -run '^$' -bench 'BenchmarkFig19_ScalingHotPort' -benchtime "$BENCHTIME" -count "$COUNT" . | tee /dev/stderr |
-	awk -f scripts/bench_lib.awk | awk -F'\t' -v gmp="$GMP" '
+	awk -v gmp="$GMP" -f scripts/bench_lib.awk | awk -F'\t' -v gmp="$GMP" '
 	BEGIN { printf "[" }
 	{
 		name = $1
+		# bench_lib.awk has already stripped the -N GOMAXPROCS suffix;
+		# the trailing-digits strip stays as defense so the workers
+		# field can never emit unquoted non-numeric JSON.
 		workers = name
 		sub(/^.*workers=/, "", workers)
 		sub(/-[0-9]+$/, "", workers)
