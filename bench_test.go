@@ -491,6 +491,126 @@ func BenchmarkAblationMicroflow(b *testing.B) {
 	}
 }
 
+// --- Microflow verdict cache -----------------------------------------------------
+
+// benchFlowCacheDrive measures the registered-worker burst path — the path
+// the dpdk workers run — against a pre-compiled datapath.  The cache-off rows
+// use the identical driver over a cache-free compile, so the on/off delta
+// isolates the microflow cache itself.
+func benchFlowCacheDrive(b *testing.B, dp *core.Datapath, uc *workload.UseCase, flows int, zipfS float64, cacheOn bool) {
+	b.Helper()
+	trace := uc.Trace(flows)
+	if zipfS > 0 {
+		if err := trace.UseZipf(zipfS, 42); err != nil {
+			b.Fatal(err)
+		}
+	}
+	w := dp.RegisterWorker()
+	defer dp.UnregisterWorker(w)
+	const burst = dpdk.DefaultBurst
+	packets := make([]pkt.Packet, burst)
+	ps := make([]*pkt.Packet, burst)
+	for i := range packets {
+		ps[i] = &packets[i]
+	}
+	vs := make([]openflow.Verdict, burst)
+	// Two passes over the flow set (capped) warm both the lookup structures
+	// and the cache, so the measured region is steady state for on and off.
+	warmup := 2 * flows
+	if warmup < 20_000 {
+		warmup = 20_000
+	}
+	if warmup > 250_000 {
+		warmup = 250_000
+	}
+	for i := 0; i < warmup; i += burst {
+		for j := 0; j < burst; j++ {
+			trace.Next(ps[j])
+		}
+		w.Enter()
+		w.ProcessBurst(ps, vs)
+		w.Exit()
+	}
+	// The datapath (and its monotonic cache-stats fold) is shared across
+	// sub-benchmarks and warmups, so the row's hit rate must come from a
+	// before/after delta over the measured region only.
+	before := dp.FlowCacheStats()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += burst {
+		n := burst
+		if rem := b.N - i; rem < n {
+			n = rem
+		}
+		for j := 0; j < n; j++ {
+			trace.Next(ps[j])
+		}
+		w.Enter()
+		w.ProcessBurst(ps[:n], vs[:n])
+		w.Exit()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Mpps")
+	if cacheOn {
+		after := dp.FlowCacheStats()
+		hits, misses := after.Hits-before.Hits, after.Misses-before.Misses
+		if hits+misses > 0 {
+			b.ReportMetric(100*float64(hits)/float64(hits+misses), "hit%")
+		}
+	}
+}
+
+// benchFlowCacheEntries is the cache-on size of the BenchmarkFlowCache rows,
+// shared with experiments.FlowCacheSweep so the CI-tracked rows and the
+// regenerated figure always measure the same cache.
+const benchFlowCacheEntries = experiments.FlowCacheEntries
+
+// benchmarkFlowCacheRows runs the cache on/off × uniform/Zipf(1.1) ×
+// flows={100,100K} grid over one use case.  The use case is built once and
+// compiled twice (cache off / cache on) up front — at the 100K-entry scale
+// these workloads run at, per-sub-benchmark construction would dominate the
+// run — and each sub-benchmark registers a fresh worker (fresh cache).
+func benchmarkFlowCacheRows(b *testing.B, uc *workload.UseCase) {
+	var dps [2]*core.Datapath
+	for i, entries := range []int{0, benchFlowCacheEntries} {
+		opts := core.DefaultOptions()
+		opts.Decompose = uc.WantsDecomposition
+		opts.FlowCache = entries
+		dp, err := core.Compile(uc.Pipeline, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dps[i] = dp
+	}
+	for _, dist := range []struct {
+		name string
+		s    float64
+	}{{"uniform", 0}, {"zipf", 1.1}} {
+		for _, flows := range []int{100, 100_000} {
+			for i, cache := range []string{"off", "on"} {
+				dp := dps[i]
+				b.Run(fmt.Sprintf("dist=%s/flows=%d/cache=%s", dist.name, flows, cache), func(b *testing.B) {
+					benchFlowCacheDrive(b, dp, uc, flows, dist.s, cache == "on")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFlowCache_L2 measures the microflow verdict cache over the
+// production-shaped two-stage L2 bridge (port-security check + 100K-station
+// MAC table): one cache probe replaces two large-table hash walks.
+func BenchmarkFlowCache_L2(b *testing.B) {
+	benchmarkFlowCacheRows(b, workload.L2PortSecurityUseCase(100_000, 4))
+}
+
+// BenchmarkFlowCache_L3 measures the cache over the production-shaped
+// two-stage router (100K-tuple flow-admission ACL + 100K-prefix RIB): one
+// cache probe replaces a large-hash and an LPM walk.
+func BenchmarkFlowCache_L3(b *testing.B) {
+	benchmarkFlowCacheRows(b, workload.L3ACLRouterUseCase(100_000, 100_000, 8, 2016))
+}
+
 // BenchmarkFig19_ScalingHotPort is the Fig. 19 acceptance benchmark of the
 // multi-queue refactor: ALL traffic arrives on ONE port, RSS-spread over the
 // port's RX queues, and 1..4 workers poll their queue subsets against the

@@ -207,6 +207,36 @@ func TestBurstDifferentialGateway(t *testing.T) {
 	runDifferential(t, "gateway", uc.Pipeline, frames, false)
 }
 
+// TestBurstDifferentialMultiStage covers the production-shaped two-stage
+// workloads the microflow-cache benchmarks run on: the port-security L2
+// bridge (incl. an unknown source that must punt, and an unknown destination
+// that must flood) and the ACL router (incl. a non-admitted tuple that must
+// drop).
+func TestBurstDifferentialMultiStage(t *testing.T) {
+	l2 := workload.L2PortSecurityUseCase(64, 4)
+	frames := framesFromTrace(l2.Trace(100), 100)
+	b := pkt.NewBuilder(128)
+	frames = append(frames,
+		// Unknown source MAC: port security punts to the controller.
+		diffFrame{data: pkt.Clone(b.EthernetFrame(pkt.EthernetOpts{
+			Dst: pkt.MACFromUint64(0x020000000001), Src: pkt.MACFromUint64(0xbad), EtherType: 0x0800}, nil)), inPort: 1},
+		// Known source, unknown destination: floods.
+		diffFrame{data: pkt.Clone(b.EthernetFrame(pkt.EthernetOpts{
+			Dst: pkt.MACFromUint64(0xdead), Src: pkt.MACFromUint64(0x020000000000), EtherType: 0x0800}, nil)), inPort: 1},
+	)
+	runDifferential(t, "l2-portsec", l2.Pipeline, frames, false)
+
+	l3 := workload.L3ACLRouterUseCase(80, 200, 8, 7)
+	frames = framesFromTrace(l3.Trace(100), 100)
+	frames = append(frames, diffFrame{
+		// Tuple outside the admission ACL: dropped at table 0.
+		data: pkt.Clone(b.TCPPacket(pkt.EthernetOpts{},
+			pkt.IPv4Opts{Src: pkt.IPv4FromOctets(203, 0, 113, 9), Dst: pkt.IPv4FromOctets(10, 0, 0, 1)},
+			pkt.L4Opts{Src: 999, Dst: 22})), inPort: 1,
+	})
+	runDifferential(t, "l3-acl", l3.Pipeline, frames, false)
+}
+
 func TestBurstDifferentialFirewalls(t *testing.T) {
 	b := pkt.NewBuilder(128)
 	web := uint64(workload.WebServerIP)
@@ -277,10 +307,20 @@ func TestProcessBurstNoAllocs(t *testing.T) {
 // TestWorkerPathZeroLocksZeroAllocs asserts the multi-queue acceptance
 // criterion directly: the steady-state worker path — RX burst → ProcessBurst
 // → staged TX flush — performs zero mutex acquisitions (on both the datapath
-// and the switch) and zero allocations per poll iteration.
+// and the switch) and zero allocations per poll iteration.  The flowcache
+// variant runs the identical assertions with the microflow verdict cache
+// enabled: probe, patch replay and install must all stay off the allocator
+// and off every mutex.
 func TestWorkerPathZeroLocksZeroAllocs(t *testing.T) {
+	t.Run("flowcache=off", func(t *testing.T) { testWorkerPathZeroLocksZeroAllocs(t, 0) })
+	t.Run("flowcache=on", func(t *testing.T) { testWorkerPathZeroLocksZeroAllocs(t, 4096) })
+}
+
+func testWorkerPathZeroLocksZeroAllocs(t *testing.T, flowCache int) {
 	uc := workload.L3UseCase(1000, 4, 2016)
-	dp, err := core.Compile(uc.Pipeline, core.DefaultOptions())
+	opts := core.DefaultOptions()
+	opts.FlowCache = flowCache
+	dp, err := core.Compile(uc.Pipeline, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -371,6 +411,66 @@ func TestWorkerPathZeroLocksZeroAllocs(t *testing.T) {
 	}
 	if got := dp.MutexOps(); got != lockedDP {
 		t.Fatalf("registered-worker burst path acquired the mutex %d times", got-lockedDP)
+	}
+	if flowCache > 0 {
+		if !dp.FlowCacheEnabled() {
+			t.Fatal("flowcache variant compiled an uncacheable pipeline")
+		}
+		st := dp.FlowCacheStats()
+		if st.Hits == 0 || st.Misses == 0 {
+			t.Fatalf("flowcache variant should have mixed hits and misses: %+v", st)
+		}
+	}
+}
+
+// TestSwitchStatsFoldFlowCache is the stats-surface acceptance test: the
+// dpdk switch folds the datapath's per-worker cache counters into its own
+// Stats, and with the cache on every processed packet is exactly one hit or
+// one miss (fold exactness), with hits appearing as soon as flows repeat.
+func TestSwitchStatsFoldFlowCache(t *testing.T) {
+	uc := workload.L3UseCase(500, 4, 2016)
+	opts := core.DefaultOptions()
+	opts.FlowCache = 4096
+	dp, err := core.Compile(uc.Pipeline, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := dpdk.NewSwitch(dp, uc.Pipeline.NumPorts, 4096)
+	trace := uc.Trace(256)
+	frames := make([][]byte, 256)
+	for i := range frames {
+		frames[i], _ = trace.Frame(i)
+	}
+	port, _ := sw.Port(1)
+	for pass := 0; pass < 3; pass++ {
+		for _, f := range frames {
+			port.Inject(f)
+		}
+		for sw.PollOnce(nil) > 0 {
+		}
+		for _, p := range sw.Ports() {
+			p.DrainTx()
+		}
+	}
+	st := sw.Stats()
+	if st.Processed != uint64(3*len(frames)) {
+		t.Fatalf("processed %d, want %d", st.Processed, 3*len(frames))
+	}
+	if st.CacheHits+st.CacheMisses != st.Processed {
+		t.Fatalf("fold exactness violated: hits %d + misses %d != processed %d",
+			st.CacheHits, st.CacheMisses, st.Processed)
+	}
+	if st.CacheHits == 0 {
+		t.Fatal("replayed flows produced no cache hits")
+	}
+	if st.CacheStale > st.CacheMisses {
+		t.Fatalf("stale %d exceeds misses %d", st.CacheStale, st.CacheMisses)
+	}
+	// The core-level fold must agree with the substrate's.
+	hits, misses, stale := dp.FlowCacheCounters()
+	if hits != st.CacheHits || misses != st.CacheMisses || stale != st.CacheStale {
+		t.Fatalf("substrate fold (%d,%d,%d) != datapath fold (%d,%d,%d)",
+			st.CacheHits, st.CacheMisses, st.CacheStale, hits, misses, stale)
 	}
 }
 

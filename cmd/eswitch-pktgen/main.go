@@ -5,7 +5,13 @@
 //
 // Usage:
 //
-//	eswitch-pktgen [-usecase gateway] [-flows 10000] [-packets 1000000] [-loopback]
+//	eswitch-pktgen [-usecase gateway] [-flows 10000] [-packets 1000000]
+//	               [-dist uniform|zipf] [-s 1.1] [-seed 1] [-loopback]
+//
+// -dist selects the flow-popularity model: "uniform" sweeps the active flow
+// set round-robin (the paper's worst-case locality), "zipf" draws flows from
+// a seeded Zipf(s) distribution — the realistic regime where a small head of
+// flows carries most of the traffic.
 package main
 
 import (
@@ -24,6 +30,9 @@ func main() {
 	useCase := flag.String("usecase", "gateway", "use case: l2, l3, loadbalancer, gateway")
 	flows := flag.Int("flows", 10000, "active flow count")
 	packets := flag.Int("packets", 1_000_000, "packets to generate")
+	dist := flag.String("dist", "uniform", "flow popularity: uniform or zipf")
+	zipfS := flag.Float64("s", 1.1, "Zipf exponent for -dist zipf (must be > 1)")
+	seed := flag.Int64("seed", 1, "seed for the Zipf popularity schedule")
 	loopback := flag.Bool("loopback", true, "process the generated packets through a compiled ESWITCH datapath")
 	flag.Parse()
 
@@ -43,7 +52,19 @@ func main() {
 	}
 
 	trace := uc.Trace(*flows)
-	fmt.Printf("pktgen: %q traffic, %d active flows, %d packets\n", *useCase, trace.NumFlows(), *packets)
+	switch *dist {
+	case "uniform":
+	case "zipf":
+		if err := trace.UseZipf(*zipfS, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown distribution %q (want uniform or zipf)\n", *dist)
+		os.Exit(2)
+	}
+	fmt.Printf("pktgen: %q traffic, %d active flows (%s popularity), %d packets\n",
+		*useCase, trace.NumFlows(), *dist, *packets)
 
 	var process func(*pkt.Packet, *openflow.Verdict)
 	if *loopback {

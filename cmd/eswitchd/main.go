@@ -6,10 +6,18 @@
 // Usage:
 //
 //	eswitchd [-usecase l2|l3|loadbalancer|gateway] [-datapath eswitch|ovs]
-//	         [-flows 10000] [-duration 5s] [-cores 1] [-listen :6653]
+//	         [-flows 10000] [-duration 5s] [-cores 1] [-flowcache 262144|off]
+//	         [-listen :6653]
 //
 // When -listen is given, an OpenFlow agent accepts one controller connection
 // and applies FlowMods to the running switch.
+//
+// -flowcache gives every forwarding worker a private microflow verdict cache
+// of the given number of entries in front of the compiled pipeline (eswitch
+// datapath only).  The cache and the cycle meter are mutually exclusive — the
+// model must observe the full template walk — so enabling the cache trades
+// the "model:" summary line for a "flowcache:" one showing the hit/miss/stale
+// counters folded from all workers.
 package main
 
 import (
@@ -18,6 +26,7 @@ import (
 	"log"
 	"net"
 	"os"
+	"strconv"
 	"time"
 
 	"eswitch/internal/controller"
@@ -52,6 +61,7 @@ func main() {
 	cores := flag.Int("cores", 1, "number of forwarding worker goroutines")
 	queues := flag.Int("queues", dpdk.DefaultQueues, "RX/TX queue pairs per port (RSS width; caps -cores)")
 	txpolicy := flag.String("txpolicy", "drop", "full-TX-ring policy: drop, block or spill")
+	flowcache := flag.String("flowcache", "off", "per-worker microflow verdict cache: entry count (e.g. 262144) or off")
 	listen := flag.String("listen", "", "optional OpenFlow agent listen address (e.g. :6653)")
 	flag.Parse()
 
@@ -59,6 +69,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+
+	cacheEntries := 0
+	if *flowcache != "off" && *flowcache != "0" {
+		cacheEntries, err = strconv.Atoi(*flowcache)
+		if err != nil || cacheEntries < 0 {
+			fmt.Fprintf(os.Stderr, "-flowcache wants an entry count or \"off\", got %q\n", *flowcache)
+			os.Exit(2)
+		}
 	}
 
 	uc := buildUseCase(*useCase, *flows)
@@ -70,22 +89,48 @@ func main() {
 	meter := cpumodel.NewMeter(cpumodel.DefaultPlatform())
 	var fastpath dpdk.Datapath
 	var programmer controller.FlowProgrammer
+	var compiled *core.Datapath
 	switch *datapath {
 	case "eswitch":
 		opts := core.DefaultOptions()
 		opts.Decompose = uc.WantsDecomposition
-		opts.Meter = meter
+		if cacheEntries > 0 {
+			// The microflow cache and the cycle meter are mutually
+			// exclusive: memoized verdicts would skip the per-stage model
+			// accounting, so a cached run reports cache stats instead.
+			opts.FlowCache = cacheEntries
+			meter = nil
+		} else {
+			opts.Meter = meter
+		}
 		dp, err := core.Compile(uc.Pipeline, opts)
 		if err != nil {
 			log.Fatalf("compile: %v", err)
 		}
+		if cacheEntries > 0 && !dp.FlowCacheEnabled() {
+			// The pipeline matches fields outside the flow key, so the
+			// cache could never engage: recompile with the cycle meter
+			// instead of running with neither cache stats nor model.
+			fmt.Println("eswitchd: note: pipeline matches fields outside the flow key; microflow cache disabled, keeping the cycle model")
+			cacheEntries = 0
+			meter = cpumodel.NewMeter(cpumodel.DefaultPlatform())
+			opts.FlowCache = 0
+			opts.Meter = meter
+			if dp, err = core.Compile(uc.Pipeline, opts); err != nil {
+				log.Fatalf("compile: %v", err)
+			}
+		}
 		fastpath = dp // the compiled datapath drives the workers' burst path
 		programmer = dp
+		compiled = dp
 		fmt.Printf("eswitchd: compiled %q into %d stages:\n", *useCase, len(dp.Stages()))
 		for _, st := range dp.Stages() {
 			fmt.Printf("  table %-4d %-14s %6d entries  %s\n", st.ID, st.Template, st.Entries, st.Name)
 		}
 	case "ovs":
+		if cacheEntries > 0 {
+			fmt.Println("eswitchd: note: -flowcache applies to the eswitch datapath only (ovs has its own microflow/megaflow cache)")
+		}
 		opts := ovs.DefaultOptions()
 		opts.Meter = meter
 		sw, err := ovs.New(uc.Pipeline, opts)
@@ -133,6 +178,7 @@ func main() {
 	deadline := time.Now().Add(*duration)
 	var p pkt.Packet
 	injected := uint64(0)
+	nq := uint32(sw.NumQueues())
 	for time.Now().Before(deadline) {
 		for burst := 0; burst < 4096; burst++ {
 			trace.Next(&p)
@@ -140,7 +186,12 @@ func main() {
 			if err != nil {
 				continue
 			}
-			if port.Inject(p.Data) {
+			// The trace pre-computed each flow's RSS hash, so steering
+			// through it keeps the producer path to a bare ring enqueue
+			// (Inject would rehash the frame per call).  The ring carries
+			// raw frames only, so the workers' microflow-cache probes
+			// recompute the same hash on their side — once per packet.
+			if port.InjectQueue(int(p.FlowHash()%nq), p.Data) {
 				injected++
 			}
 		}
@@ -161,6 +212,19 @@ func main() {
 	fmt.Printf("processed: %d packets (%d forwarded, %d dropped, %d to controller)\n",
 		st.Processed, st.Forwarded, st.Dropped, st.ToCtrl)
 	fmt.Printf("tx:        policy %s, %d retries, %d backpressure drops\n", txPol, st.TxRetries, st.TxDrops)
-	fmt.Printf("model:     %.1f cycles/packet, %.2f Mpps single-core at %.1f GHz, %.3f LLC misses/packet\n",
-		meter.CyclesPerPacket(), meter.PacketRate()/1e6, meter.Platform.FreqGHz, meter.LLCMissesPerPacket())
+	if compiled != nil && cacheEntries > 0 {
+		// CacheHits+CacheMisses == Processed when the cache is engaged
+		// (fold exactness); CacheStale is the subset of misses that found a
+		// matching key from a retired generation.
+		hitPct := 0.0
+		if st.CacheHits+st.CacheMisses > 0 {
+			hitPct = 100 * float64(st.CacheHits) / float64(st.CacheHits+st.CacheMisses)
+		}
+		fmt.Printf("flowcache: %d hits, %d misses (%d stale), %.1f%% hit rate\n",
+			st.CacheHits, st.CacheMisses, st.CacheStale, hitPct)
+	}
+	if meter != nil {
+		fmt.Printf("model:     %.1f cycles/packet, %.2f Mpps single-core at %.1f GHz, %.3f LLC misses/packet\n",
+			meter.CyclesPerPacket(), meter.PacketRate()/1e6, meter.Platform.FreqGHz, meter.LLCMissesPerPacket())
+	}
 }

@@ -209,6 +209,12 @@ const (
 // TableStage describes one compiled table (template and size).
 type TableStage = core.TableStage
 
+// FlowCacheStats are the folded per-worker microflow verdict cache counters
+// (see Options.FlowCache).  Stale is the subset of Misses whose probe found a
+// matching key from a retired generation; with the cache enabled, Hits+Misses
+// equals the number of packets classified through the burst path.
+type FlowCacheStats = core.FlowCacheStats
+
 // DefaultOptions returns the paper's compilation defaults (direct-code
 // threshold of 4, key inlining, parser specialization, no decomposition).
 func DefaultOptions() Options { return core.DefaultOptions() }
@@ -260,6 +266,11 @@ func (s *Switch) Meter() *Meter { return s.dp.Meter() }
 
 // Rebuilds returns how many per-table template (re)builds have happened.
 func (s *Switch) Rebuilds() uint64 { return s.dp.Rebuilds() }
+
+// FlowCacheStats folds the microflow verdict cache counters over every worker
+// that ever forwarded through this switch (all zero unless Options.FlowCache
+// is set; see core.Options.FlowCache).
+func (s *Switch) FlowCacheStats() FlowCacheStats { return s.dp.FlowCacheStats() }
 
 // IncrementalUpdates returns how many updates avoided a rebuild.
 func (s *Switch) IncrementalUpdates() uint64 { return s.dp.IncrementalUpdates() }

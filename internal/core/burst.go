@@ -39,6 +39,25 @@ type burstScratch struct {
 	addrs  [MaxBurst]uint32
 	values [MaxBurst]uint32
 	hash   exacthash.BatchScratch
+	// cache is the microflow-cache staging (cacheScratch), allocated only
+	// for workers that actually own a FlowCache — it is ~10KB, and the
+	// default cache-off scratch must not carry it.
+	cache *cacheScratch
+}
+
+// cacheScratch is the burst-local staging of the microflow-cache probe
+// (flowcache.go), indexed by burst slot: the probe key/hash/set-base of each
+// slot, whether the slot's verdict may be installed on the way out, the
+// post-parse header snapshot the install pass diffs against, and the list of
+// miss slots (the wave engine ping-pongs the frontiers, so the miss list
+// needs its own array).
+type cacheScratch struct {
+	ckey     [MaxBurst]flowKey
+	chash    [MaxBurst]uint32
+	cbase    [MaxBurst]uint32
+	cinstall [MaxBurst]bool
+	preH     [MaxBurst]pkt.Headers
+	miss     [MaxBurst]int32
 }
 
 // burstPool recycles scratch across bursts and workers; the scratch is
@@ -79,19 +98,23 @@ func (d *Datapath) ProcessBurstUnlocked(ps []*pkt.Packet, vs []openflow.Verdict)
 	sn := d.snap.Load()
 	sc := burstPool.Get().(*burstScratch)
 	for len(ps) > MaxBurst {
-		d.processBurst(sc, d.meter, sn, ps[:MaxBurst], vs[:MaxBurst])
+		d.processBurst(sc, d.meter, sn, nil, ps[:MaxBurst], vs[:MaxBurst])
 		ps, vs = ps[MaxBurst:], vs[MaxBurst:]
 	}
 	if len(ps) > 0 {
-		d.processBurst(sc, d.meter, sn, ps, vs)
+		d.processBurst(sc, d.meter, sn, nil, ps, vs)
 	}
 	burstPool.Put(sc)
 }
 
 // processBurst runs one burst of at most MaxBurst packets to completion over
 // the caller-owned scratch sc, charging metering (when m is non-nil) to the
-// caller's meter — the worker's private shard on the worker path.
-func (d *Datapath) processBurst(sc *burstScratch, m *cpumodel.Meter, sn *snapshot, ps []*pkt.Packet, vs []openflow.Verdict) {
+// caller's meter — the worker's private shard on the worker path.  When the
+// caller owns a microflow cache (fc non-nil) and the published pipeline is
+// cacheable, the burst first runs a cache probe pass: hits replay their
+// memoized verdict immediately and only the misses enter the wave engine,
+// installing their verdicts on the way out.
+func (d *Datapath) processBurst(sc *burstScratch, m *cpumodel.Meter, sn *snapshot, fc *FlowCache, ps []*pkt.Packet, vs []openflow.Verdict) {
 	n := len(ps)
 
 	// Stage 1: one parser pass over the whole burst, to the layer the
@@ -106,6 +129,11 @@ func (d *Datapath) processBurst(sc *burstScratch, m *cpumodel.Meter, sn *snapsho
 		vs[i].Reset()
 	}
 
+	if fc != nil && sn.cacheable && m == nil {
+		d.processBurstCached(sc, sn, fc, ps, vs)
+		return
+	}
+
 	// Stages 2+3: wave execution, breadth first over the goto DAG.
 	//
 	// Level 0 is one group by construction — every packet starts at
@@ -114,7 +142,7 @@ func (d *Datapath) processBurst(sc *burstScratch, m *cpumodel.Meter, sn *snapsho
 	// state (trampoline, frontier entry, action set) is materialized only
 	// for the packets that survive into level 1.  Single-table pipelines
 	// never touch the frontier machinery at all.
-	cur, next := sc.frontA[:], sc.frontB[:]
+	cur := sc.frontA[:]
 	curLen := 0
 	uniform := true
 	var nextTr *trampoline
@@ -175,17 +203,25 @@ func (d *Datapath) processBurst(sc *burstScratch, m *cpumodel.Meter, sn *snapsho
 		}
 	}
 
-	// Levels 1+: the current frontier holds every live packet at the
-	// current pipeline depth.  A uniform level — every packet waiting at
-	// the same trampoline, tracked from the previous level's survivors —
-	// is classified through the table's template in one batched lookup, so
-	// the template (and the trampoline's atomic pointer) is touched once
-	// per burst instead of once per packet.  A fragmented level (packets
-	// diverged, say, into per-CE user tables) is stepped per slot in a
-	// single fused pass: tiny groups gain nothing from staging, and the
-	// survivors re-merge into a single batch before a shared downstream
-	// table (the routing LPM) is visited.
-	for level := 1; curLen > 0; level++ {
+	d.runWaves(sc, m, sn, ps, vs, cur, sc.frontB[:], curLen, uniform, 1)
+}
+
+// runWaves executes the breadth-first wave loop over the goto DAG for the
+// packets in the cur frontier (slot indices into ps/vs), starting at the
+// given pipeline level.  The current frontier holds every live packet at the
+// current pipeline depth.  A uniform level — every packet waiting at
+// the same trampoline, tracked from the previous level's survivors —
+// is classified through the table's template in one batched lookup, so
+// the template (and the trampoline's atomic pointer) is touched once
+// per burst instead of once per packet.  A fragmented level (packets
+// diverged, say, into per-CE user tables) is stepped per slot in a
+// single fused pass: tiny groups gain nothing from staging, and the
+// survivors re-merge into a single batch before a shared downstream
+// table (the routing LPM) is visited.  It is shared verbatim by the plain
+// and cache-fronted burst paths so their semantics cannot drift.
+func (d *Datapath) runWaves(sc *burstScratch, m *cpumodel.Meter, sn *snapshot, ps []*pkt.Packet, vs []openflow.Verdict, cur, next []int32, curLen int, uniform bool, startLevel int) {
+	var nextTr *trampoline
+	for level := startLevel; curLen > 0; level++ {
 		if level >= openflow.MaxPipelineDepth {
 			// Same disposition as the per-packet path's depth guard.
 			for k := 0; k < curLen; k++ {
@@ -293,5 +329,114 @@ func (d *Datapath) processBurst(sc *burstScratch, m *cpumodel.Meter, sn *snapsho
 		cur, next = next, cur
 		curLen = nextLen
 		uniform = nextUniform
+	}
+}
+
+// processBurstCached is the microflow-cache front of the burst engine: probe
+// every packet of the (already parsed, verdict-reset) burst against the
+// worker's cache, replay the memoized verdict program for the hits, run only
+// the misses through the wave engine, and memoize their verdicts on the way
+// out.  Callers guarantee fc != nil, sn.cacheable and no metering.
+func (d *Datapath) processBurstCached(sc *burstScratch, sn *snapshot, fc *FlowCache, ps []*pkt.Packet, vs []openflow.Verdict) {
+	n := len(ps)
+	start := sn.start
+	var startDP tableDatapath
+	if start != nil {
+		startDP = start.load()
+	}
+	if startDP == nil {
+		// No start table: same disposition as the plain burst path.  The
+		// packets still ran the cache-enabled path, so they count as misses
+		// (fold exactness: hits+misses == processed).
+		for i := 0; i < n; i++ {
+			vs[i].Dropped = true
+		}
+		fc.bump(0, n, 0)
+		return
+	}
+
+	gen := sn.gen
+	cs := sc.cache
+
+	// Probe pass A: derive every packet's key, hash and set base, and read
+	// one word of the set's leading line.  On large caches the probe lines
+	// are cold; issuing all the touches before any full probe lets the
+	// memory system overlap the misses across the burst instead of
+	// serializing one DRAM round trip per packet.
+	var touch uint32
+	for i := 0; i < n; i++ {
+		p := ps[i]
+		if p.Metadata != 0 {
+			// Non-zero entry metadata is outside the canonical key; the
+			// packet takes the full walk and its verdict is not memoized.
+			cs.cbase[i] = probeSkip
+			continue
+		}
+		h := p.FlowHash()
+		cs.ckey[i] = makeFlowKey(p)
+		cs.chash[i] = h
+		base := (h & fc.mask) * flowCacheWays
+		cs.cbase[i] = base
+		touch += fc.entries[base].hash
+	}
+	fc.touchSink = touch
+
+	// Probe pass B: the actual lookups.  Hits replay their verdict program
+	// on the spot; misses join the level-0 frontier at the start table,
+	// with their engine slot state (trampoline, action set) primed the way
+	// the plain path's specialized level 0 would leave it.
+	cur := sc.frontA[:]
+	missN := 0
+	hits, stale := 0, 0
+	for i := 0; i < n; i++ {
+		p := ps[i]
+		if cs.cbase[i] != probeSkip {
+			if e, st := fc.lookupAt(cs.cbase[i], cs.chash[i], &cs.ckey[i], gen); e != nil {
+				e.apply(p, &vs[i])
+				hits++
+				continue
+			} else {
+				cs.cinstall[i] = true
+				cs.preH[i] = p.Headers
+				if st {
+					stale++
+				}
+			}
+		} else {
+			cs.cinstall[i] = false
+		}
+		sc.tramp[i] = start
+		if len(sc.sets[i]) > 0 {
+			sc.sets[i] = sc.sets[i][:0]
+		}
+		cs.miss[missN] = int32(i)
+		cur[missN] = int32(i)
+		missN++
+	}
+	fc.bump(hits, missN, stale)
+	if missN == 0 {
+		return
+	}
+
+	d.runWaves(sc, nil, sn, ps, vs, cur, sc.frontB[:], missN, true, 0)
+
+	// Install pass: memoize every miss whose verdict the cache can express —
+	// at most one output port, a walk shallow enough for the encoding, and a
+	// header delta the flat patch can replay.
+	for j := 0; j < missN; j++ {
+		i := int(cs.miss[j])
+		if !cs.cinstall[i] {
+			continue
+		}
+		flags, out, tables, ok := entryFromVerdict(&vs[i])
+		if !ok {
+			continue
+		}
+		p := ps[i]
+		patch, fields, ttlDec, ok := diffHeaders(&cs.preH[i], &p.Headers, p.Metadata)
+		if !ok {
+			continue
+		}
+		fc.install(cs.chash[i], &cs.ckey[i], gen, flags, out, tables, ttlDec, fields, &patch)
 	}
 }

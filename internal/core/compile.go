@@ -42,6 +42,15 @@ type snapshot struct {
 	parserLayer pkt.Layer
 	numPorts    int
 	missToCtrl  bool
+	// gen is the datapath generation this snapshot was published under.
+	// Every flow-mod bumps it after its table mutations are in place, so a
+	// microflow-cache entry recorded under an older generation can never be
+	// served once the mutation is visible (flowcache.go).
+	gen uint64
+	// cacheable reports whether the pipeline's verdicts may be memoized per
+	// microflow: every match field used anywhere in the pipeline is covered
+	// by the canonical flow key and per-entry counters are off.
+	cacheable bool
 }
 
 // miss records a table miss in the verdict per the pipeline's miss behaviour.
@@ -107,6 +116,17 @@ type Datapath struct {
 	// path ping-pongs between (writer-owned; see update.go).
 	versions map[openflow.TableID]*tableVersion
 
+	// gen is the writer-owned datapath generation, bumped by every flow-mod
+	// after its table mutations and published through the snapshot; the
+	// microflow caches treat entries from older generations as misses.
+	gen uint64
+	// usedFields accumulates (monotonically — deletes never shrink it, a
+	// deliberately conservative choice that keeps AddFlow O(1)) the union
+	// of match fields ever installed, backing the snapshot's cacheable bit.
+	usedFields openflow.FieldSet
+	// caches registers the live workers' microflow caches for stats folds.
+	caches cacheRegistry
+
 	// stats
 	rebuilds     atomic.Uint64
 	incremental  atomic.Uint64
@@ -145,6 +165,7 @@ func Compile(pl *openflow.Pipeline, opts Options) (*Datapath, error) {
 	d.trampolines = make(map[openflow.TableID]*trampoline, working.NumTables())
 	for _, t := range working.Tables() {
 		d.trampolines[t.ID] = &trampoline{}
+		d.usedFields = d.usedFields.Union(t.MatchFields())
 	}
 	for _, t := range working.Tables() {
 		dp, err := d.buildTable(t)
@@ -167,6 +188,8 @@ func (d *Datapath) publish() {
 		parserLayer: d.parserLayer,
 		numPorts:    d.numPorts,
 		missToCtrl:  d.pipeline.Miss == openflow.MissController,
+		gen:         d.gen,
+		cacheable:   !d.opts.UpdateCounters && d.usedFields&^cacheCoveredFields == 0,
 	})
 }
 

@@ -86,6 +86,17 @@ type Options struct {
 	SpecializeParser bool
 	// UpdateCounters maintains per-flow-entry counters on the fast path.
 	UpdateCounters bool
+	// FlowCache, when positive, gives every registered worker a private
+	// microflow verdict cache of (roughly, rounded up to a power of two)
+	// this many entries in front of the compiled pipeline: packets whose
+	// microflow verdict was memoized skip the template walk entirely.  The
+	// cache is only consulted when the pipeline is cacheable (every used
+	// match field is part of the canonical flow key) and the datapath is
+	// unmetered; see flowcache.go.  Zero disables it.  Memory note: every
+	// worker — including the facade's recycled pinned workers — owns a
+	// cache of entries x 128 bytes, so size it for the expected concurrent
+	// flow count, not "as big as possible".
+	FlowCache int
 	// Meter, when non-nil, receives cycle and memory-access accounting.
 	Meter *cpumodel.Meter
 }

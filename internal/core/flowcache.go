@@ -1,0 +1,528 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"eswitch/internal/openflow"
+	"eswitch/internal/pkt"
+)
+
+// This file implements the per-worker microflow verdict cache: a fixed-size,
+// set-associative, allocation-free exact-match table in front of the compiled
+// pipeline.  The compiled templates already make each table lookup cheap; the
+// cache removes the lookups altogether for the traffic that dominates real
+// deployments — a packet whose microflow was seen before skips the entire
+// template walk and replays a precompiled verdict program: output port / drop
+// / punt plus the pipeline's net header write-set flattened into one patch.
+//
+// Design points:
+//
+//   - The cache is worker-owned (core.Worker holds one next to its meter
+//     shard and burst scratch): a single writer, no locks, no atomic
+//     read-modify-writes, no shared mutable state.  Hit/miss/stale counters
+//     are single-writer atomic-store mirrors folded by Datapath.FlowCacheStats.
+//   - The probe key is the canonical microflow identity: in-port plus the
+//     parsed L2/L3/L4 view (exactly the fields the match templates can
+//     consult, see cacheCoveredFields).  The probe hash is the packet's
+//     symmetric RSS hash (pkt.Packet.FlowHash), computed at most once per
+//     packet and shared with RSS queue steering; a full key comparison
+//     disambiguates collisions, so hash symmetry costs nothing but a shared
+//     set between a flow's two directions.
+//   - Safety under flow-mods comes from a datapath generation counter: every
+//     mutation (AddFlow, DeleteFlow, InstallPipeline) bumps the generation
+//     published in the snapshot, and an entry whose recorded generation
+//     differs from the current snapshot's is a miss ("stale").  No per-entry
+//     locking, no invalidation walks: one counter compare per probe.
+//   - Verdicts that cannot be memoized are never installed: multi-port
+//     (flood/multicast) outputs, pipelines with per-entry counter updates,
+//     packets entering with non-zero metadata, and header rewrites the flat
+//     patch cannot express (see diffHeaders).  Metered datapaths disable the
+//     cache entirely — the cycle model must observe the full walk.
+//
+// Whether a *pipeline* is cacheable at all is decided at publish time: every
+// match field used anywhere in the pipeline must be part of the canonical key
+// (or be FieldMetadata, which is deterministic given the key because cached
+// packets are required to enter with metadata 0).  A pipeline matching on,
+// say, TCP flags or DSCP publishes cacheable=false and the probe pass is
+// skipped wholesale — the cache can never serve a verdict that depends on
+// state outside its key.
+
+// cacheCoveredFields is the set of match fields the canonical flow key
+// captures.  FieldMetadata is included because the packet-entry metadata of
+// every cached packet is pinned to zero, making mid-pipeline metadata a
+// deterministic function of the key.
+const cacheCoveredFields openflow.FieldSet = 1<<openflow.FieldInPort |
+	1<<openflow.FieldMetadata |
+	1<<openflow.FieldEthDst | 1<<openflow.FieldEthSrc | 1<<openflow.FieldEthType |
+	1<<openflow.FieldVLANID |
+	1<<openflow.FieldIPSrc | 1<<openflow.FieldIPDst | 1<<openflow.FieldIPProto |
+	1<<openflow.FieldTCPSrc | 1<<openflow.FieldTCPDst |
+	1<<openflow.FieldUDPSrc | 1<<openflow.FieldUDPDst |
+	1<<openflow.FieldSCTPSrc | 1<<openflow.FieldSCTPDst
+
+// flowKey is the canonical microflow identity: 40 bytes packing the in-port
+// and every parsed header field the covered match fields can read, plus the
+// protocol-presence mask and parse depth so prerequisite checks are part of
+// the identity too.
+type flowKey struct {
+	a, b, c, d, e uint64
+}
+
+// makeFlowKey derives the canonical key from a parsed packet.
+func makeFlowKey(p *pkt.Packet) flowKey {
+	h := &p.Headers
+	return flowKey{
+		a: uint64(p.InPort) | uint64(h.EthType)<<32 | uint64(h.VLANID)<<48,
+		b: h.EthDst.Uint64() | uint64(h.Proto&0xffff)<<48,
+		c: h.EthSrc.Uint64() | uint64(h.IPProto)<<48 | uint64(h.Parsed)<<56,
+		d: uint64(h.IPSrc)<<32 | uint64(h.IPDst),
+		e: uint64(h.L4Src) | uint64(h.L4Dst)<<16,
+	}
+}
+
+// cachePatch is the flattened net header write-set of one memoized pipeline
+// walk: absolute field values applied on a hit (the relative TTL decrement
+// lives in the entry's hot line as ttlDec).
+type cachePatch struct {
+	metadata uint64
+	ethDst   uint64
+	ethSrc   uint64
+	ipSrc    pkt.IPv4
+	ipDst    pkt.IPv4
+	l4Src    uint16
+	l4Dst    uint16
+	vlanID   uint16
+	vlanPCP  uint8
+	ipDSCP   uint8
+}
+
+// Patch-operation bits (cacheEntry.fields).
+const (
+	pfMetadata uint16 = 1 << iota
+	pfEthDst
+	pfEthSrc
+	pfIPSrc
+	pfIPDst
+	pfL4Src
+	pfL4Dst
+	pfVLANPush // set the VLAN presence bit and the tag
+	pfVLANPop  // clear the VLAN presence bit and the tag
+	pfVLANID   // rewrite the tag of an already-present VLAN header
+	pfVLANPCP
+	pfIPDSCP
+)
+
+// Verdict flag bits (cacheEntry.flags).
+const (
+	cacheValid uint8 = 1 << iota
+	cacheHasPort
+	cacheDropped
+	cacheToCtrl
+	cacheTableMiss
+	cacheModified
+)
+
+// cacheEntry is one memoized microflow verdict.  The first 64 bytes hold
+// everything a patch-free hit needs (key, generation, verdict, TTL
+// decrement), so the common case touches a single cache line; the patch
+// spills onto the second line and is read only when fields != 0.  Entries are
+// padded to 128 bytes so the hot line stays line-aligned within the
+// (64-byte-aligned) backing array.
+type cacheEntry struct {
+	key    flowKey // 40 bytes
+	gen    uint64
+	hash   uint32
+	out    uint32
+	fields uint16 // patch-operation bits
+	flags  uint8
+	tables uint8
+	ttlDec uint8
+	_      [3]byte // -> 64 bytes
+	patch  cachePatch
+	_      [24]byte // -> 128 bytes
+}
+
+// flowCacheWays is the set associativity: enough to ride out the occasional
+// hash pile-up without turning the probe into a scan.
+const flowCacheWays = 4
+
+// FlowCacheStats are the aggregate microflow-cache counters, folded over all
+// workers of a datapath.  Stale counts the probes that found a matching key
+// from a retired generation; every stale probe is also counted as a miss, so
+// Hits+Misses equals the number of packets that ran the cache-enabled burst
+// path.
+type FlowCacheStats struct {
+	Hits, Misses, Stale uint64
+}
+
+// FlowCache is one worker's microflow verdict cache.  It is single-writer by
+// construction (the owning worker); only the atomic stat mirrors are read by
+// other goroutines.
+type FlowCache struct {
+	entries []cacheEntry
+	mask    uint32 // numSets - 1
+	rr      uint32 // round-robin victim cursor (owner-only)
+
+	// touchSink absorbs the probe pass's early line touches so the compiler
+	// cannot eliminate them (owner-only; the value is meaningless).
+	touchSink uint32
+
+	// Owner-local running totals and their atomic mirrors: the owner
+	// increments the locals per burst and Store()s them into the mirrors —
+	// single-writer atomic stores, no read-modify-writes on the hot path.
+	hitsL, missesL, staleL uint64
+	hits, misses, stale    atomic.Uint64
+}
+
+// probeSkip marks a burst slot that bypasses the cache (non-zero entry
+// metadata); it can never collide with a real set base.
+const probeSkip = ^uint32(0)
+
+// newFlowCache sizes a cache for roughly the requested number of entries,
+// rounding the set count up to a power of two (ways stay fixed).
+func newFlowCache(entries int) *FlowCache {
+	sets := 64
+	for sets*flowCacheWays < entries {
+		sets <<= 1
+	}
+	return &FlowCache{
+		entries: make([]cacheEntry, sets*flowCacheWays),
+		mask:    uint32(sets - 1),
+	}
+}
+
+// Len returns the cache capacity in entries.
+func (fc *FlowCache) Len() int { return len(fc.entries) }
+
+// lookup probes the set for a current-generation entry with the given key.
+// It reports a stale sighting (matching key, retired generation) so the
+// caller can count it; a stale entry is never returned.
+func (fc *FlowCache) lookup(h uint32, k *flowKey, gen uint64) (e *cacheEntry, stale bool) {
+	return fc.lookupAt((h&fc.mask)*flowCacheWays, h, k, gen)
+}
+
+// lookupAt is lookup with the set base precomputed (the burst probe pass
+// derives all bases first so the cold set lines can be touched early).
+func (fc *FlowCache) lookupAt(base, h uint32, k *flowKey, gen uint64) (e *cacheEntry, stale bool) {
+	set := fc.entries[base : base+flowCacheWays]
+	for i := range set {
+		c := &set[i]
+		if c.hash == h && c.flags&cacheValid != 0 && c.key == *k {
+			if c.gen == gen {
+				return c, stale
+			}
+			stale = true
+		}
+	}
+	return nil, stale
+}
+
+// install memoizes a verdict for the key.  Victim priority: an entry already
+// holding the key (refresh in place), an invalid slot, a retired-generation
+// slot, then round-robin — so churn under a full set cannot pin one way.
+func (fc *FlowCache) install(h uint32, k *flowKey, gen uint64, flags uint8, out uint32, tables, ttlDec uint8, fields uint16, patch *cachePatch) {
+	base := (h & fc.mask) * flowCacheWays
+	set := fc.entries[base : base+flowCacheWays]
+	var victim *cacheEntry
+	for i := range set {
+		c := &set[i]
+		if c.flags&cacheValid == 0 {
+			if victim == nil {
+				victim = c
+			}
+			continue
+		}
+		if c.hash == h && c.key == *k {
+			victim = c
+			break
+		}
+		if c.gen != gen && (victim == nil || victim.flags&cacheValid != 0) {
+			victim = c
+		}
+	}
+	if victim == nil {
+		victim = &set[fc.rr%flowCacheWays]
+		fc.rr++
+	}
+	victim.key = *k
+	victim.gen = gen
+	victim.hash = h
+	victim.out = out
+	victim.fields = fields
+	victim.flags = flags
+	victim.tables = tables
+	victim.ttlDec = ttlDec
+	if fields != 0 {
+		victim.patch = *patch
+	}
+}
+
+// apply replays the memoized verdict program onto the packet and verdict:
+// verdict flags and output port from the hot line, then the header patch.
+// It mirrors exactly what the full pipeline walk produced when the entry was
+// installed.
+func (e *cacheEntry) apply(p *pkt.Packet, v *openflow.Verdict) {
+	v.Tables = int(e.tables)
+	v.TableMiss = e.flags&cacheTableMiss != 0
+	v.Modified = e.flags&cacheModified != 0
+	v.ToController = e.flags&cacheToCtrl != 0
+	v.Dropped = e.flags&cacheDropped != 0
+	if e.flags&cacheHasPort != 0 {
+		v.OutPorts = append(v.OutPorts[:0], e.out)
+	}
+	if e.ttlDec != 0 {
+		if t := p.Headers.IPTTL; t <= e.ttlDec {
+			p.Headers.IPTTL = 0
+		} else {
+			p.Headers.IPTTL = t - e.ttlDec
+		}
+	}
+	if e.fields != 0 {
+		e.applyPatch(p)
+	}
+}
+
+// applyPatch replays the flattened header write-set.  Push/pop run before the
+// absolute tag/PCP writes so a pop-then-retag walk replays in order.
+func (e *cacheEntry) applyPatch(p *pkt.Packet) {
+	f, pt, h := e.fields, &e.patch, &p.Headers
+	if f&pfVLANPush != 0 {
+		h.Proto |= pkt.ProtoVLAN
+		h.VLANID = pt.vlanID
+	}
+	if f&pfVLANPop != 0 {
+		h.Proto &^= pkt.ProtoVLAN
+		h.VLANID = 0
+	}
+	if f&pfVLANID != 0 {
+		h.VLANID = pt.vlanID
+	}
+	if f&pfVLANPCP != 0 {
+		h.VLANPCP = pt.vlanPCP
+	}
+	if f&pfEthDst != 0 {
+		h.EthDst = pkt.MACFromUint64(pt.ethDst)
+	}
+	if f&pfEthSrc != 0 {
+		h.EthSrc = pkt.MACFromUint64(pt.ethSrc)
+	}
+	if f&pfIPSrc != 0 {
+		h.IPSrc = pt.ipSrc
+	}
+	if f&pfIPDst != 0 {
+		h.IPDst = pt.ipDst
+	}
+	if f&pfIPDSCP != 0 {
+		h.IPDSCP = pt.ipDSCP
+	}
+	if f&pfL4Src != 0 {
+		h.L4Src = pt.l4Src
+	}
+	if f&pfL4Dst != 0 {
+		h.L4Dst = pt.l4Dst
+	}
+	if f&pfMetadata != 0 {
+		p.Metadata = pt.metadata
+	}
+}
+
+// diffHeaders flattens the pipeline's net header rewrites — the difference
+// between the post-parse view and the post-pipeline view — into a patch.  It
+// reports ok=false when the delta is not expressible (a change to a field the
+// patch cannot write, or a TTL that saturated at zero, whose true decrement
+// is unknowable); such verdicts are simply not installed.  preMeta is always
+// zero (enforced by the probe pass), so metadata is captured absolutely.
+func diffHeaders(pre, post *pkt.Headers, postMeta uint64) (patch cachePatch, fields uint16, ttlDec uint8, ok bool) {
+	// Anything the patch has no write for must be untouched.
+	if pre.Parsed != post.Parsed || pre.L2Off != post.L2Off ||
+		pre.L3Off != post.L3Off || pre.L4Off != post.L4Off ||
+		pre.EthType != post.EthType || pre.IPProto != post.IPProto ||
+		pre.IPECN != post.IPECN || pre.TCPFlags != post.TCPFlags ||
+		pre.ICMPType != post.ICMPType || pre.ICMPCode != post.ICMPCode ||
+		pre.ARPOp != post.ARPOp || pre.ARPSPA != post.ARPSPA || pre.ARPTPA != post.ARPTPA {
+		return patch, 0, 0, false
+	}
+	if (pre.Proto^post.Proto)&^pkt.ProtoVLAN != 0 {
+		return patch, 0, 0, false
+	}
+	switch {
+	case pre.Proto&pkt.ProtoVLAN == 0 && post.Proto&pkt.ProtoVLAN != 0:
+		fields |= pfVLANPush
+		patch.vlanID = post.VLANID
+	case pre.Proto&pkt.ProtoVLAN != 0 && post.Proto&pkt.ProtoVLAN == 0:
+		fields |= pfVLANPop
+		if post.VLANID != 0 {
+			fields |= pfVLANID
+			patch.vlanID = post.VLANID
+		}
+	case pre.VLANID != post.VLANID:
+		fields |= pfVLANID
+		patch.vlanID = post.VLANID
+	}
+	if pre.VLANPCP != post.VLANPCP {
+		fields |= pfVLANPCP
+		patch.vlanPCP = post.VLANPCP
+	}
+	if pre.EthDst != post.EthDst {
+		fields |= pfEthDst
+		patch.ethDst = post.EthDst.Uint64()
+	}
+	if pre.EthSrc != post.EthSrc {
+		fields |= pfEthSrc
+		patch.ethSrc = post.EthSrc.Uint64()
+	}
+	if pre.IPSrc != post.IPSrc {
+		fields |= pfIPSrc
+		patch.ipSrc = post.IPSrc
+	}
+	if pre.IPDst != post.IPDst {
+		fields |= pfIPDst
+		patch.ipDst = post.IPDst
+	}
+	if pre.IPDSCP != post.IPDSCP {
+		fields |= pfIPDSCP
+		patch.ipDSCP = post.IPDSCP
+	}
+	if pre.L4Src != post.L4Src {
+		fields |= pfL4Src
+		patch.l4Src = post.L4Src
+	}
+	if pre.L4Dst != post.L4Dst {
+		fields |= pfL4Dst
+		patch.l4Dst = post.L4Dst
+	}
+	if pre.IPTTL != post.IPTTL {
+		if post.IPTTL > pre.IPTTL || post.IPTTL == 0 {
+			// A TTL that grew cannot come from dec_ttl; a TTL that hit the
+			// floor hides how many decrements really ran.
+			return patch, 0, 0, false
+		}
+		ttlDec = pre.IPTTL - post.IPTTL
+	}
+	if postMeta != 0 {
+		fields |= pfMetadata
+		patch.metadata = postMeta
+	}
+	return patch, fields, ttlDec, true
+}
+
+// entryFromVerdict compresses a verdict into the entry's hot-line encoding.
+// It reports ok=false for verdicts the cache refuses to memoize: multi-port
+// outputs (flood/multicast replication) and walks deeper than the encoding.
+func entryFromVerdict(v *openflow.Verdict) (flags uint8, out uint32, tables uint8, ok bool) {
+	if len(v.OutPorts) > 1 || v.Tables > 255 {
+		return 0, 0, 0, false
+	}
+	flags = cacheValid
+	if len(v.OutPorts) == 1 {
+		flags |= cacheHasPort
+		out = v.OutPorts[0]
+	}
+	if v.Dropped {
+		flags |= cacheDropped
+	}
+	if v.ToController {
+		flags |= cacheToCtrl
+	}
+	if v.TableMiss {
+		flags |= cacheTableMiss
+	}
+	if v.Modified {
+		flags |= cacheModified
+	}
+	return flags, out, uint8(v.Tables), true
+}
+
+// bump folds one burst's probe tallies into the owner-local totals and
+// publishes them with plain atomic stores (no RMWs).
+func (fc *FlowCache) bump(hits, misses, stale int) {
+	if hits != 0 {
+		fc.hitsL += uint64(hits)
+		fc.hits.Store(fc.hitsL)
+	}
+	if misses != 0 {
+		fc.missesL += uint64(misses)
+		fc.misses.Store(fc.missesL)
+	}
+	if stale != 0 {
+		fc.staleL += uint64(stale)
+		fc.stale.Store(fc.staleL)
+	}
+}
+
+// Stats returns this cache's counters (concurrent-read safe).
+func (fc *FlowCache) Stats() FlowCacheStats {
+	return FlowCacheStats{
+		Hits:   fc.hits.Load(),
+		Misses: fc.misses.Load(),
+		Stale:  fc.stale.Load(),
+	}
+}
+
+// cacheRegistry tracks the live workers' caches of one Datapath plus the
+// folded totals of retired ones, so FlowCacheStats stays monotonic across
+// worker churn.  Registration happens at worker creation/retirement only —
+// never on the forwarding path.
+type cacheRegistry struct {
+	mu   sync.Mutex
+	live []*FlowCache
+	base FlowCacheStats
+}
+
+func (r *cacheRegistry) register(fc *FlowCache) {
+	r.mu.Lock()
+	r.live = append(r.live, fc)
+	r.mu.Unlock()
+}
+
+func (r *cacheRegistry) retire(fc *FlowCache) {
+	r.mu.Lock()
+	st := fc.Stats()
+	r.base.Hits += st.Hits
+	r.base.Misses += st.Misses
+	r.base.Stale += st.Stale
+	kept := r.live[:0]
+	for _, c := range r.live {
+		if c != fc {
+			kept = append(kept, c)
+		}
+	}
+	r.live = kept
+	r.mu.Unlock()
+}
+
+func (r *cacheRegistry) fold() FlowCacheStats {
+	r.mu.Lock()
+	t := r.base
+	for _, c := range r.live {
+		st := c.Stats()
+		t.Hits += st.Hits
+		t.Misses += st.Misses
+		t.Stale += st.Stale
+	}
+	r.mu.Unlock()
+	return t
+}
+
+// FlowCacheStats folds the microflow-cache counters of every worker that ever
+// forwarded through this datapath.  When the cache is enabled, Hits+Misses
+// equals the number of packets classified through the burst path (the fold-
+// exactness invariant the stats tests assert); all three are zero when
+// Options.FlowCache is off.
+func (d *Datapath) FlowCacheStats() FlowCacheStats { return d.caches.fold() }
+
+// FlowCacheCounters is FlowCacheStats unpacked for the dataplane substrate
+// (internal/dpdk folds these into its Switch.Stats without importing the
+// core types).
+func (d *Datapath) FlowCacheCounters() (hits, misses, stale uint64) {
+	st := d.caches.fold()
+	return st.Hits, st.Misses, st.Stale
+}
+
+// FlowCacheEnabled reports whether this datapath's workers carry microflow
+// caches AND the current pipeline is cacheable (every used match field is
+// covered by the canonical key).
+func (d *Datapath) FlowCacheEnabled() bool {
+	return d.opts.FlowCache > 0 && d.meter == nil && d.snap.Load().cacheable
+}

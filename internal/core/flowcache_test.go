@@ -1,0 +1,531 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"unsafe"
+
+	"eswitch/internal/cpumodel"
+	"eswitch/internal/openflow"
+	"eswitch/internal/pkt"
+	"eswitch/internal/workload"
+)
+
+// The acceptance tests of the per-worker microflow verdict cache: cache-on
+// runs must be observationally identical to the plain burst path (verdicts,
+// rewritten headers, metadata — with the second pass served from the cache),
+// stale generations must never be served after a flow-mod's synchronize
+// returns, and the hit/miss/stale counters must account for every packet.
+
+// TestCacheEntryLayout pins the size contract the probe relies on: the hot
+// part of an entry (everything but the patch) fits one cache line and the
+// padded entry stride keeps hot lines line-aligned.
+func TestCacheEntryLayout(t *testing.T) {
+	var e cacheEntry
+	if got := unsafe.Sizeof(e); got != 128 {
+		t.Fatalf("cacheEntry is %d bytes, want 128", got)
+	}
+	if off := unsafe.Offsetof(e.patch); off != 64 {
+		t.Fatalf("patch starts at offset %d, want 64", off)
+	}
+}
+
+// TestFlowCacheProbeInstall unit-tests the set-associative structure
+// directly: install/lookup round trips, generation mismatches reported as
+// stale, in-place refresh of an existing key, and stale-first victim
+// selection once a set fills.
+func TestFlowCacheProbeInstall(t *testing.T) {
+	fc := newFlowCache(256) // 64 sets x 4 ways
+	k := flowKey{a: 1, b: 2, c: 3, d: 4, e: 5}
+	const h = 0x1234
+	if e, stale := fc.lookup(h, &k, 1); e != nil || stale {
+		t.Fatal("empty cache returned an entry")
+	}
+	fc.install(h, &k, 1, cacheValid|cacheHasPort, 7, 2, 0, 0, nil)
+	e, stale := fc.lookup(h, &k, 1)
+	if e == nil || stale || e.out != 7 || e.tables != 2 {
+		t.Fatalf("lookup after install: %+v stale=%v", e, stale)
+	}
+	// Same key, retired generation: nil + stale sighting.
+	if e, stale := fc.lookup(h, &k, 2); e != nil || !stale {
+		t.Fatalf("stale entry served or not reported: %v %v", e, stale)
+	}
+	// Reinstall under the new generation refreshes in place (no second copy).
+	fc.install(h, &k, 2, cacheValid|cacheHasPort, 9, 2, 0, 0, nil)
+	if e, _ := fc.lookup(h, &k, 2); e == nil || e.out != 9 {
+		t.Fatalf("refresh in place failed: %+v", e)
+	}
+	live := 0
+	for i := range fc.entries {
+		if fc.entries[i].flags&cacheValid != 0 {
+			live++
+		}
+	}
+	if live != 1 {
+		t.Fatalf("refresh duplicated the entry: %d live", live)
+	}
+	// Fill the rest of the set at generation 2, then install a fresh key at
+	// generation 3: the victim must be one of the now-stale entries, never a
+	// fifth slot.
+	for i := uint64(0); i < flowCacheWays-1; i++ {
+		kI := flowKey{a: 100 + i}
+		fc.install(h, &kI, 2, cacheValid, 0, 1, 0, 0, nil)
+	}
+	kNew := flowKey{a: 999}
+	fc.install(h, &kNew, 3, cacheValid|cacheHasPort, 11, 1, 0, 0, nil)
+	if e, _ := fc.lookup(h, &kNew, 3); e == nil || e.out != 11 {
+		t.Fatalf("install into a full set failed: %+v", e)
+	}
+	live = 0
+	for i := range fc.entries {
+		if fc.entries[i].flags&cacheValid != 0 {
+			live++
+		}
+	}
+	if live != flowCacheWays {
+		t.Fatalf("full set grew or shrank: %d live, want %d", live, flowCacheWays)
+	}
+}
+
+// fcWorker registers a worker on a flowcache-enabled compile of the use case.
+func fcWorker(t *testing.T, uc *workload.UseCase, entries int) (*Datapath, *Worker) {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.Decompose = uc.WantsDecomposition
+	opts.FlowCache = entries
+	dp, err := Compile(uc.Pipeline, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, ok := dp.RegisterWorker().(*Worker)
+	if !ok {
+		t.Fatal("RegisterWorker did not return a *Worker")
+	}
+	return dp, w
+}
+
+func sameVerdict(a, b *openflow.Verdict) bool {
+	if a.ToController != b.ToController || a.Dropped != b.Dropped ||
+		a.TableMiss != b.TableMiss || a.Modified != b.Modified || a.Tables != b.Tables {
+		return false
+	}
+	if len(a.OutPorts) != len(b.OutPorts) {
+		return false
+	}
+	for i := range a.OutPorts {
+		if a.OutPorts[i] != b.OutPorts[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestFlowCacheDifferential replays every bundled workload twice through a
+// flowcache-enabled worker — the second pass is served almost entirely from
+// the cache — and requires bit-identical verdicts, rewritten headers and
+// metadata against a cache-free datapath over the same frames.
+func TestFlowCacheDifferential(t *testing.T) {
+	cases := []*workload.UseCase{
+		workload.L2UseCase(64, 4),
+		workload.L3UseCase(400, 8, 7),
+		workload.LoadBalancerUseCase(50),
+		workload.GatewayUseCase(workload.GatewayConfig{CEs: 3, UsersPerCE: 5, Prefixes: 300, Seed: 5}),
+		workload.L2PortSecurityUseCase(64, 4),
+		workload.L3ACLRouterUseCase(150, 200, 8, 7),
+	}
+	const nFlows = 200
+	for _, uc := range cases {
+		t.Run(uc.Name, func(t *testing.T) {
+			dp, w := fcWorker(t, uc, 4096)
+			defer dp.UnregisterWorker(w)
+			if !dp.FlowCacheEnabled() {
+				t.Fatalf("%s pipeline unexpectedly not cacheable", uc.Name)
+			}
+
+			plainOpts := DefaultOptions()
+			plainOpts.Decompose = uc.WantsDecomposition
+			plain, err := Compile(uc.Pipeline, plainOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			trace := uc.Trace(nFlows)
+			frames := make([][]byte, nFlows)
+			inPorts := make([]uint32, nFlows)
+			for i := range frames {
+				var p pkt.Packet
+				trace.Next(&p)
+				frames[i], inPorts[i] = p.Data, p.InPort
+			}
+
+			const burst = 32
+			packets := make([]pkt.Packet, burst)
+			ps := make([]*pkt.Packet, burst)
+			for i := range packets {
+				ps[i] = &packets[i]
+			}
+			vs := make([]openflow.Verdict, burst)
+			refPackets := make([]pkt.Packet, burst)
+			refPs := make([]*pkt.Packet, burst)
+			for i := range refPackets {
+				refPs[i] = &refPackets[i]
+			}
+			refVs := make([]openflow.Verdict, burst)
+
+			for pass := 0; pass < 3; pass++ {
+				for base := 0; base < nFlows; base += burst {
+					g := burst
+					if nFlows-base < g {
+						g = nFlows - base
+					}
+					for j := 0; j < g; j++ {
+						packets[j] = pkt.Packet{Data: frames[base+j], InPort: inPorts[base+j]}
+						refPackets[j] = pkt.Packet{Data: frames[base+j], InPort: inPorts[base+j]}
+					}
+					w.Enter()
+					w.ProcessBurst(ps[:g], vs[:g])
+					w.Exit()
+					plain.ProcessBurstUnlocked(refPs[:g], refVs[:g])
+					for j := 0; j < g; j++ {
+						if !sameVerdict(&vs[j], &refVs[j]) {
+							t.Fatalf("pass %d frame %d: cached verdict %s != plain %s",
+								pass, base+j, vs[j].String(), refVs[j].String())
+						}
+						if packets[j].Headers != refPackets[j].Headers {
+							t.Fatalf("pass %d frame %d: cached headers %+v != plain %+v",
+								pass, base+j, packets[j].Headers, refPackets[j].Headers)
+						}
+						if packets[j].Metadata != refPackets[j].Metadata {
+							t.Fatalf("pass %d frame %d: cached metadata %#x != plain %#x",
+								pass, base+j, packets[j].Metadata, refPackets[j].Metadata)
+						}
+					}
+				}
+			}
+
+			st := dp.FlowCacheStats()
+			if st.Hits == 0 {
+				t.Fatal("second and third passes produced no cache hits")
+			}
+			if st.Hits+st.Misses != uint64(3*nFlows) {
+				t.Fatalf("fold exactness violated: hits %d + misses %d != %d processed",
+					st.Hits, st.Misses, 3*nFlows)
+			}
+		})
+	}
+}
+
+// TestFlowCacheGating asserts the cache never engages where it could lie:
+// pipelines matching fields outside the canonical key, metered datapaths and
+// per-entry-counter datapaths all publish cacheable=false (or refuse the
+// cache outright), and multicast verdicts are not memoized.
+func TestFlowCacheGating(t *testing.T) {
+	t.Run("uncovered-field", func(t *testing.T) {
+		pl := openflow.NewPipeline(2)
+		pl.Table(0).AddFlow(10, openflow.NewMatch().Set(openflow.FieldTCPFlags, 0x10),
+			openflow.Apply(openflow.Output(2)))
+		pl.Table(0).AddFlow(0, openflow.NewMatch(), openflow.Apply(openflow.Drop()))
+		opts := DefaultOptions()
+		opts.FlowCache = 1024
+		dp, err := Compile(pl, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dp.FlowCacheEnabled() {
+			t.Fatal("pipeline matching tcp_flags must not be cacheable")
+		}
+		w := dp.RegisterWorker().(*Worker)
+		defer dp.UnregisterWorker(w)
+		b := pkt.NewBuilder(128)
+		frame := pkt.Clone(b.TCPPacket(pkt.EthernetOpts{}, pkt.IPv4Opts{Src: 1, Dst: 2}, pkt.L4Opts{Src: 1, Dst: 2}))
+		p := pkt.Packet{Data: frame, InPort: 1}
+		ps := []*pkt.Packet{&p}
+		vs := make([]openflow.Verdict, 1)
+		for i := 0; i < 3; i++ {
+			p = pkt.Packet{Data: frame, InPort: 1}
+			w.Enter()
+			w.ProcessBurst(ps, vs)
+			w.Exit()
+		}
+		if st := dp.FlowCacheStats(); st.Hits != 0 || st.Misses != 0 {
+			t.Fatalf("uncacheable pipeline still counted cache traffic: %+v", st)
+		}
+	})
+
+	t.Run("uncovered-field-added-later", func(t *testing.T) {
+		// A cacheable pipeline stops being cacheable the moment a flow-mod
+		// installs a match on an uncovered field.
+		pl := openflow.NewPipeline(2)
+		pl.Table(0).AddFlow(10, openflow.NewMatch().Set(openflow.FieldIPDst, 9),
+			openflow.Apply(openflow.Output(2)))
+		pl.Table(0).AddFlow(0, openflow.NewMatch(), openflow.Apply(openflow.Drop()))
+		opts := DefaultOptions()
+		opts.FlowCache = 1024
+		dp, err := Compile(pl, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dp.FlowCacheEnabled() {
+			t.Fatal("exact-IP pipeline should be cacheable")
+		}
+		if err := dp.AddFlow(0, openflow.NewEntry(20,
+			openflow.NewMatch().Set(openflow.FieldIPDSCP, 46),
+			openflow.Apply(openflow.Output(2)))); err != nil {
+			t.Fatal(err)
+		}
+		if dp.FlowCacheEnabled() {
+			t.Fatal("installing a dscp match must disable the cache")
+		}
+	})
+
+	t.Run("metered", func(t *testing.T) {
+		uc := workload.L3UseCase(100, 4, 1)
+		opts := DefaultOptions()
+		opts.FlowCache = 1024
+		opts.Meter = cpumodel.NewMeter(cpumodel.DefaultPlatform())
+		dp, err := Compile(uc.Pipeline, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dp.FlowCacheEnabled() {
+			t.Fatal("metered datapath must not cache")
+		}
+		w := dp.RegisterWorker().(*Worker)
+		defer dp.UnregisterWorker(w)
+		if w.cache != nil {
+			t.Fatal("metered worker got a cache")
+		}
+	})
+
+	t.Run("multicast-not-installed", func(t *testing.T) {
+		// The L2 flood catch-all replicates to 3 ports: such verdicts must
+		// take the full walk every time.
+		uc := workload.L2UseCase(4, 4)
+		dp, w := fcWorker(t, uc, 1024)
+		defer dp.UnregisterWorker(w)
+		b := pkt.NewBuilder(128)
+		frame := pkt.Clone(b.EthernetFrame(pkt.EthernetOpts{
+			Dst: pkt.MACFromUint64(0xdeadbeef), Src: pkt.MACFromUint64(7), EtherType: 0x0800}, nil))
+		p := pkt.Packet{Data: frame, InPort: 2}
+		ps := []*pkt.Packet{&p}
+		vs := make([]openflow.Verdict, 1)
+		for i := 0; i < 4; i++ {
+			p = pkt.Packet{Data: frame, InPort: 2}
+			w.Enter()
+			w.ProcessBurst(ps, vs)
+			w.Exit()
+			if len(vs[0].OutPorts) != 3 {
+				t.Fatalf("flood verdict lost ports: %v", vs[0].String())
+			}
+		}
+		if st := dp.FlowCacheStats(); st.Hits != 0 || st.Misses != 4 {
+			t.Fatalf("multicast verdict was memoized: %+v", st)
+		}
+	})
+
+	t.Run("nonzero-metadata-bypasses", func(t *testing.T) {
+		uc := workload.L3UseCase(100, 4, 1)
+		dp, w := fcWorker(t, uc, 1024)
+		defer dp.UnregisterWorker(w)
+		trace := uc.Trace(4)
+		var p pkt.Packet
+		trace.Next(&p)
+		p.Metadata = 7
+		ps := []*pkt.Packet{&p}
+		vs := make([]openflow.Verdict, 1)
+		for i := 0; i < 3; i++ {
+			meta := p.Metadata
+			w.Enter()
+			w.ProcessBurst(ps, vs)
+			w.Exit()
+			_ = meta
+			trace.Next(&p)
+			p.Metadata = 7
+		}
+		if st := dp.FlowCacheStats(); st.Hits != 0 {
+			t.Fatalf("packets with entry metadata were served from the cache: %+v", st)
+		}
+	})
+}
+
+// TestFlowCacheStaleGeneration is the invalidation acceptance test: once a
+// flow-mod has returned (its epoch synchronize done), no later burst may be
+// served a verdict memoized under the pre-update tables — the entry's retired
+// generation makes it a miss, and the fresh walk sees the new tables.
+func TestFlowCacheStaleGeneration(t *testing.T) {
+	pl := openflow.NewPipeline(4)
+	for i := 0; i < 32; i++ {
+		pl.Table(0).AddFlow(10, openflow.NewMatch().Set(openflow.FieldIPDst, uint64(0x0a000000+i)),
+			openflow.Apply(openflow.Output(2)))
+	}
+	pl.Table(0).AddFlow(0, openflow.NewMatch(), openflow.Apply(openflow.Drop()))
+	opts := DefaultOptions()
+	opts.FlowCache = 1024
+	dp, err := Compile(pl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := dp.RegisterWorker().(*Worker)
+	defer dp.UnregisterWorker(w)
+
+	b := pkt.NewBuilder(128)
+	frame := pkt.Clone(b.TCPPacket(pkt.EthernetOpts{},
+		pkt.IPv4Opts{Src: 1, Dst: pkt.IPv4(0x0a000005)}, pkt.L4Opts{Src: 1000, Dst: 80}))
+	shoot := func() *openflow.Verdict {
+		p := pkt.Packet{Data: frame, InPort: 1}
+		ps := []*pkt.Packet{&p}
+		vs := make([]openflow.Verdict, 1)
+		w.Enter()
+		w.ProcessBurst(ps, vs)
+		w.Exit()
+		return &vs[0]
+	}
+
+	if v := shoot(); len(v.OutPorts) != 1 || v.OutPorts[0] != 2 {
+		t.Fatalf("install pass: %s", v.String())
+	}
+	if v := shoot(); len(v.OutPorts) != 1 || v.OutPorts[0] != 2 {
+		t.Fatalf("hit pass: %s", v.String())
+	}
+	if st := dp.FlowCacheStats(); st.Hits != 1 {
+		t.Fatalf("expected exactly one hit before the update, got %+v", st)
+	}
+
+	// Replace the entry's action (same match+priority replaces): the very
+	// next burst must observe port 3, not the memoized port 2.
+	if err := dp.AddFlow(0, openflow.NewEntry(10,
+		openflow.NewMatch().Set(openflow.FieldIPDst, uint64(0x0a000005)),
+		openflow.Apply(openflow.Output(3)))); err != nil {
+		t.Fatal(err)
+	}
+	if v := shoot(); len(v.OutPorts) != 1 || v.OutPorts[0] != 3 {
+		t.Fatalf("post-replace burst served a retired verdict: %s", v.String())
+	}
+	if v := shoot(); len(v.OutPorts) != 1 || v.OutPorts[0] != 3 {
+		t.Fatalf("post-replace hit pass: %s", v.String())
+	}
+
+	// Delete the entry: the catch-all drop must take over immediately, and
+	// at least one probe must have seen (and refused) a stale entry along
+	// the way.
+	if _, err := dp.DeleteFlow(0,
+		openflow.NewMatch().Set(openflow.FieldIPDst, uint64(0x0a000005)), 10); err != nil {
+		t.Fatal(err)
+	}
+	if v := shoot(); !v.Dropped || len(v.OutPorts) != 0 {
+		t.Fatalf("post-delete burst served a retired verdict: %s", v.String())
+	}
+	if st := dp.FlowCacheStats(); st.Stale == 0 {
+		t.Fatalf("updates produced no stale sightings: %+v", st)
+	}
+	if st := dp.FlowCacheStats(); st.Hits+st.Misses != 5 {
+		t.Fatalf("fold exactness violated across updates: %+v (5 packets)", st)
+	}
+}
+
+// TestFlowCacheAcrossInstallPipeline: a full pipeline replacement retires
+// every memoized verdict too.
+func TestFlowCacheAcrossInstallPipeline(t *testing.T) {
+	uc := workload.L3UseCase(100, 4, 1)
+	dp, w := fcWorker(t, uc, 2048)
+	defer dp.UnregisterWorker(w)
+	trace := uc.Trace(8)
+	packets := make([]pkt.Packet, 8)
+	ps := make([]*pkt.Packet, 8)
+	vs := make([]openflow.Verdict, 8)
+	run := func() {
+		trace.Reset()
+		for i := range packets {
+			trace.Next(&packets[i])
+			ps[i] = &packets[i]
+		}
+		w.Enter()
+		w.ProcessBurst(ps, vs)
+		w.Exit()
+	}
+	run()
+	run()
+	if st := dp.FlowCacheStats(); st.Hits == 0 {
+		t.Fatal("no hits before the reinstall")
+	}
+	// Install a drop-everything pipeline; every cached forward verdict is
+	// now wrong and must not be served.
+	pl := openflow.NewPipeline(4)
+	pl.Table(0).AddFlow(0, openflow.NewMatch(), openflow.Apply(openflow.Drop()))
+	if err := dp.InstallPipeline(pl); err != nil {
+		t.Fatal(err)
+	}
+	run()
+	for i := range vs {
+		if !vs[i].Dropped || len(vs[i].OutPorts) != 0 {
+			t.Fatalf("packet %d forwarded on a verdict retired by InstallPipeline: %s", i, vs[i].String())
+		}
+	}
+}
+
+// TestFlowCacheEvictionChurn drives far more flows than the cache holds and
+// checks correctness is preserved under constant eviction (and that the
+// counters still account for every packet).
+func TestFlowCacheEvictionChurn(t *testing.T) {
+	uc := workload.L3UseCase(200, 4, 3)
+	dp, w := fcWorker(t, uc, 256) // deliberately tiny: 64 sets x 4 ways
+	defer dp.UnregisterWorker(w)
+	plain, err := Compile(uc.Pipeline, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A Zipf schedule (identical on both traces) keeps a popular head hot in
+	// the tiny cache while the tail churns through evictions.
+	trace := uc.Trace(5000)
+	ref := uc.Trace(5000)
+	if err := trace.UseZipf(1.2, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.UseZipf(1.2, 42); err != nil {
+		t.Fatal(err)
+	}
+	const burst = 32
+	packets := make([]pkt.Packet, burst)
+	ps := make([]*pkt.Packet, burst)
+	refPackets := make([]pkt.Packet, burst)
+	refPs := make([]*pkt.Packet, burst)
+	for i := range packets {
+		ps[i] = &packets[i]
+		refPs[i] = &refPackets[i]
+	}
+	vs := make([]openflow.Verdict, burst)
+	refVs := make([]openflow.Verdict, burst)
+	total := 0
+	for round := 0; round < 400; round++ {
+		for j := 0; j < burst; j++ {
+			trace.Next(ps[j])
+			ref.Next(refPs[j])
+		}
+		w.Enter()
+		w.ProcessBurst(ps, vs)
+		w.Exit()
+		plain.ProcessBurstUnlocked(refPs, refVs)
+		total += burst
+		for j := 0; j < burst; j++ {
+			if !sameVerdict(&vs[j], &refVs[j]) {
+				t.Fatalf("round %d slot %d: %s != %s", round, j, vs[j].String(), refVs[j].String())
+			}
+		}
+	}
+	st := dp.FlowCacheStats()
+	if st.Hits+st.Misses != uint64(total) {
+		t.Fatalf("fold exactness under churn: %+v != %d packets", st, total)
+	}
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("churn run should mix hits and misses: %+v", st)
+	}
+}
+
+func ExampleFlowCacheStats() {
+	uc := workload.L3UseCase(100, 4, 1)
+	opts := DefaultOptions()
+	opts.FlowCache = 1024
+	dp, _ := Compile(uc.Pipeline, opts)
+	fmt.Println(dp.FlowCacheStats().Hits)
+	// Output: 0
+}

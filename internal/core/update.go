@@ -107,8 +107,20 @@ func (d *Datapath) AddFlow(tableID openflow.TableID, e *openflow.FlowEntry) erro
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	// Re-publish the snapshot on exit: the update may have deepened the
-	// parser template or created the start table.
-	defer d.publish()
+	// parser template or created the start table.  The generation bump
+	// happens here — strictly after the table mutations below — so a
+	// microflow-cache entry recorded against the pre-update tables can
+	// never carry the post-update generation (flowcache.go).  It fires only
+	// once the declarative pipeline has actually changed: an AddFlow that
+	// errors out before mutating anything must not flush every worker's
+	// cache for a no-op.
+	mutated := false
+	defer func() {
+		if mutated {
+			d.gen++
+		}
+		d.publish()
+	}()
 
 	t := d.pipeline.Table(tableID)
 	if t == nil {
@@ -139,6 +151,12 @@ func (d *Datapath) AddFlow(tableID openflow.TableID, e *openflow.FlowEntry) erro
 		}
 	}
 	replaced := !t.Add(e)
+	mutated = true
+	// The entry is now part of the declarative pipeline, so its match
+	// fields join the cacheability accumulator — not earlier, or a failed
+	// AddFlow with an uncovered field would disable the microflow cache for
+	// a pipeline that never changed.
+	d.usedFields = d.usedFields.Union(e.Match.Fields())
 
 	// The parser template must stay deep enough for every match field in
 	// the pipeline, including the one just added.  The deeper parse depth
@@ -194,6 +212,14 @@ func (d *Datapath) DeleteFlow(tableID openflow.TableID, match *openflow.Match, p
 	if removed == 0 {
 		return 0, nil
 	}
+	// Entries were removed: after the table transition below is in place,
+	// retire every memoized verdict by bumping the published generation
+	// (the delete may have uncovered a lower-priority entry or a miss, so
+	// any cached verdict may now be wrong).
+	defer func() {
+		d.gen++
+		d.publish()
+	}()
 	tr := d.trampolines[tableID]
 	live := tr.load()
 	if live != nil && live.Kind() != TemplateDirectCode {
@@ -236,6 +262,11 @@ func (d *Datapath) InstallPipeline(pl *openflow.Pipeline) error {
 	d.decomposedBy = nd.decomposedBy
 	d.versions = make(map[openflow.TableID]*tableVersion)
 	d.rebuilds.Add(nd.rebuilds.Load())
+	// A fresh pipeline resets the used-field accumulator (the only place it
+	// may shrink — the whole compiled state was replaced) and retires every
+	// memoized verdict.
+	d.usedFields = nd.usedFields
+	d.gen++
 	d.publish()
 	// Let in-flight bursts drain off the superseded pipeline before
 	// returning, matching the transactional roll-out semantics.

@@ -45,6 +45,11 @@ type Worker struct {
 	d     *Datapath
 	epoch *WorkerEpoch
 	meter *cpumodel.Meter
+	// cache is the worker's private microflow verdict cache (flowcache.go),
+	// nil unless Options.FlowCache is set on an unmetered datapath.  Like
+	// the scratch it is owned outright: one writer, no locks, no shared
+	// mutable state — only its stat mirrors are read by other goroutines.
+	cache *FlowCache
 	// scratch is the worker-owned working state of the burst engine.  It
 	// lives inside the Worker (one allocation at registration) so the
 	// steady-state burst path touches no pool and shares no scratch memory
@@ -52,22 +57,35 @@ type Worker struct {
 	scratch burstScratch
 }
 
-// newWorker registers a worker: an epoch in the quiescence domain and, when
-// the datapath is metered, a shard of the datapath meter.
+// newWorker registers a worker: an epoch in the quiescence domain, a shard of
+// the datapath meter when metered, and a private microflow cache when
+// Options.FlowCache asks for one (metered datapaths never cache — the cycle
+// model must observe the full template walk).
 func (d *Datapath) newWorker() *Worker {
 	w := &Worker{d: d, epoch: d.epochs.register()}
 	if d.meter != nil {
 		w.meter = d.meter.NewShard()
 	}
+	if d.opts.FlowCache > 0 && d.meter == nil {
+		w.cache = newFlowCache(d.opts.FlowCache)
+		// The burst engine's cache staging rides along only for workers
+		// that own a cache; the default cache-off scratch stays lean.
+		w.scratch.cache = new(cacheScratch)
+		d.caches.register(w.cache)
+	}
 	return w
 }
 
-// releaseWorker retires a worker: its epoch leaves the quiescence domain and
-// its meter shard is folded into the datapath meter's base totals.
+// releaseWorker retires a worker: its epoch leaves the quiescence domain, its
+// meter shard is folded into the datapath meter's base totals, and its cache
+// counters fold into the datapath's cache stats.
 func (d *Datapath) releaseWorker(w *Worker) {
 	d.epochs.unregister(w.epoch)
 	if w.meter != nil {
 		d.meter.ReleaseShard(w.meter)
+	}
+	if w.cache != nil {
+		d.caches.retire(w.cache)
 	}
 }
 
@@ -85,19 +103,21 @@ func (w *Worker) Exit() { w.epoch.Exit() }
 func (w *Worker) Meter() *cpumodel.Meter { return w.meter }
 
 // ProcessBurst sends a burst of packets through the compiled fast path using
-// the worker's own resources: its burst scratch (no pool access) and its
-// meter shard (no shared meter writes).  It performs no locks and no atomic
+// the worker's own resources: its burst scratch (no pool access), its meter
+// shard (no shared meter writes) and — when enabled and the pipeline is
+// cacheable — its microflow verdict cache, which lets repeat microflows skip
+// the template walk entirely.  It performs no locks and no atomic
 // read-modify-writes — one atomic snapshot load, then pure computation — and
 // must be called inside the worker's Enter/Exit bracket (or with updates
 // quiesced externally).
 func (w *Worker) ProcessBurst(ps []*pkt.Packet, vs []openflow.Verdict) {
 	sn := w.d.snap.Load()
 	for len(ps) > MaxBurst {
-		w.d.processBurst(&w.scratch, w.meter, sn, ps[:MaxBurst], vs[:MaxBurst])
+		w.d.processBurst(&w.scratch, w.meter, sn, w.cache, ps[:MaxBurst], vs[:MaxBurst])
 		ps, vs = ps[MaxBurst:], vs[MaxBurst:]
 	}
 	if len(ps) > 0 {
-		w.d.processBurst(&w.scratch, w.meter, sn, ps, vs)
+		w.d.processBurst(&w.scratch, w.meter, sn, w.cache, ps, vs)
 	}
 }
 

@@ -301,6 +301,14 @@ type WorkerDatapath interface {
 	UnregisterWorker(Worker)
 }
 
+// CacheDatapath is the optional microflow-cache stats extension: a datapath
+// whose workers carry per-worker microflow verdict caches reports the folded
+// hit/miss/stale counters here, and Switch.Stats surfaces them.  The compiled
+// ESWITCH datapath implements it (core.Datapath.FlowCacheCounters).
+type CacheDatapath interface {
+	FlowCacheCounters() (hits, misses, stale uint64)
+}
+
 // DatapathFunc adapts a function to the Datapath interface.
 type DatapathFunc func(p *pkt.Packet, v *openflow.Verdict)
 
@@ -320,6 +328,15 @@ type WorkerStats struct {
 	// under the default drop policy).
 	TxRetries uint64
 	TxDrops   uint64
+	// CacheHits/CacheMisses/CacheStale are the microflow verdict cache
+	// counters folded over the datapath's workers (zero unless the datapath
+	// implements CacheDatapath and has the cache enabled).  CacheStale is
+	// the subset of CacheMisses whose probe found a matching key from a
+	// retired generation; when the cache is on, CacheHits+CacheMisses
+	// equals Processed — every packet is exactly one or the other.
+	CacheHits   uint64
+	CacheMisses uint64
+	CacheStale  uint64
 }
 
 // workerCounters are one worker's forwarding counters.  They are updated
@@ -341,11 +358,12 @@ type workerCounters struct {
 type Switch struct {
 	ports []*Port
 	dp    Datapath
-	// bdp/wdp are non-nil when the datapath supports native burst
-	// processing / registered worker handles; the workers then use the
-	// fastest available path.
+	// bdp/wdp/cdp are non-nil when the datapath supports native burst
+	// processing / registered worker handles / microflow-cache stats; the
+	// workers then use the fastest available path.
 	bdp    BurstDatapath
 	wdp    WorkerDatapath
+	cdp    CacheDatapath
 	burst  int
 	queues int
 	// txPolicy is what workers do when a TX ring is full (drop | block |
@@ -391,6 +409,9 @@ func NewSwitchQueues(dp Datapath, numPorts, ringSize, queues int) *Switch {
 	}
 	if wdp, ok := dp.(WorkerDatapath); ok {
 		s.wdp = wdp
+	}
+	if cdp, ok := dp.(CacheDatapath); ok {
+		s.cdp = cdp
 	}
 	s.pollCounters = s.registerCounters()
 	s.wsPool.New = func() any { return s.newWorkerState(allQueues(queues), 0, s.pollCounters) }
@@ -543,6 +564,12 @@ func (s *Switch) Stats() WorkerStats {
 		t.ToCtrl += c.toCtrl.Load()
 		t.TxRetries += c.txRetries.Load()
 		t.TxDrops += c.txDrops.Load()
+	}
+	// The microflow-cache counters live with the datapath's workers (the
+	// cache is part of the worker-local resource plane, not the substrate);
+	// fold them in so one Stats call tells the whole forwarding story.
+	if s.cdp != nil {
+		t.CacheHits, t.CacheMisses, t.CacheStale = s.cdp.FlowCacheCounters()
 	}
 	return t
 }

@@ -98,6 +98,14 @@ type Packet struct {
 	// Headers is the parsed view.  It is only valid up to the layer that
 	// has been parsed (see Headers.Parsed).
 	Headers Headers
+
+	// rss caches the symmetric flow hash of Data (RSSHash) after the first
+	// FlowHash call, so RSS queue steering and the datapath's microflow
+	// cache probe share a single hash computation per packet.  Producers
+	// that already hashed the frame (traffic generators, NIC-side steering)
+	// prime it with SetFlowHash.
+	rss   uint32
+	rssOK bool
 }
 
 // Reset clears the packet for reuse, keeping the Data slice capacity.
@@ -106,6 +114,27 @@ func (p *Packet) Reset() {
 	p.InPort = 0
 	p.Metadata = 0
 	p.Headers = Headers{}
+	p.rss = 0
+	p.rssOK = false
+}
+
+// FlowHash returns the symmetric flow hash of the packet's frame (RSSHash),
+// computing it on first use and caching it in the packet.  The hash is what a
+// multi-queue NIC computes for RSS steering; the microflow verdict cache
+// probes with the same value so the per-packet hash is computed at most once.
+func (p *Packet) FlowHash() uint32 {
+	if !p.rssOK {
+		p.rss = RSSHash(p.Data)
+		p.rssOK = true
+	}
+	return p.rss
+}
+
+// SetFlowHash primes the cached flow hash with a value the producer already
+// computed (it must equal RSSHash of the packet's frame).
+func (p *Packet) SetFlowHash(h uint32) {
+	p.rss = h
+	p.rssOK = true
 }
 
 // Layer identifies how deep a Headers value has been parsed.

@@ -50,7 +50,12 @@ func RSSHash(frame []byte) uint32 {
 	}
 	switch etherType {
 	case EtherTypeIPv4:
-		if len(frame) >= off+20 {
+		// An IHL below the 20-byte minimum marks a frame that merely claims
+		// IPv4 (padding after a bare Ethernet header, a corrupted header):
+		// hashing its zero "addresses" would steer every such frame — of
+		// every flow — to one constant bucket, so those fall through to the
+		// MAC-pair fallback like any other non-IP frame.
+		if len(frame) >= off+20 && int(frame[off]&0x0f)*4 >= 20 {
 			ihl := int(frame[off]&0x0f) * 4
 			proto := frame[off+9]
 			src := be32(frame[off+12 : off+16])

@@ -54,6 +54,132 @@ func TestRSSHashSpreadsFlows(t *testing.T) {
 	}
 }
 
+// icmpFrame builds an Ethernet+IPv4+ICMP frame (no transport ports).
+func icmpFrame(t *testing.T, src, dst IPv4, icmpType, icmpCode byte) []byte {
+	t.Helper()
+	b := NewBuilder(128)
+	return Clone(b.IPv4Packet(EthernetOpts{}, IPv4Opts{Src: src, Dst: dst, Proto: IPProtoICMP},
+		[]byte{icmpType, icmpCode, 0, 0}))
+}
+
+// sctpFrame builds an Ethernet+IPv4+SCTP frame.
+func sctpFrame(t *testing.T, src, dst IPv4, sport, dport uint16, vlan uint16) []byte {
+	t.Helper()
+	b := NewBuilder(128)
+	l4 := []byte{byte(sport >> 8), byte(sport), byte(dport >> 8), byte(dport), 0, 0, 0, 0}
+	return Clone(b.IPv4Packet(EthernetOpts{VLAN: vlan}, IPv4Opts{Src: src, Dst: dst, Proto: IPProtoSCTP}, l4))
+}
+
+// TestRSSHashNonTCPUDPSymmetric covers the protocols the plain 5-tuple tests
+// skip: ICMP (no ports — addresses and protocol only), SCTP (ports mixed like
+// TCP/UDP) and ARP (sender/target addresses).  The microflow verdict cache
+// keys on the same parsed view the datapath matches on and probes with this
+// hash, so each must be symmetric and deterministic.
+func TestRSSHashNonTCPUDPSymmetric(t *testing.T) {
+	a, z := IPv4FromOctets(10, 0, 0, 1), IPv4FromOctets(192, 0, 2, 9)
+
+	fwd, rev := icmpFrame(t, a, z, 8, 0), icmpFrame(t, z, a, 0, 0)
+	if RSSHash(fwd) != RSSHash(rev) {
+		t.Fatal("ICMP hash not symmetric in the addresses")
+	}
+	if RSSHash(fwd) != RSSHash(fwd) {
+		t.Fatal("ICMP hash not deterministic")
+	}
+
+	sf, sr := sctpFrame(t, a, z, 5000, 38412, 0), sctpFrame(t, z, a, 38412, 5000, 0)
+	if RSSHash(sf) != RSSHash(sr) {
+		t.Fatal("SCTP hash not symmetric in the 5-tuple")
+	}
+	if RSSHash(sf) == RSSHash(icmpFrame(t, a, z, 8, 0)) {
+		t.Fatal("SCTP and ICMP between the same addresses collided (ports/proto not mixed)")
+	}
+
+	b := NewBuilder(128)
+	af := Clone(b.ARPPacket(EthernetOpts{Dst: MACFromUint64(1), Src: MACFromUint64(2)}, 1, a, z))
+	ar := Clone(b.ARPPacket(EthernetOpts{Dst: MACFromUint64(2), Src: MACFromUint64(1)}, 2, z, a))
+	if RSSHash(af) != RSSHash(ar) {
+		t.Fatal("ARP hash not symmetric in sender/target addresses")
+	}
+}
+
+// TestRSSHashVLANTaggedNonTCP asserts the VLAN-tag skip works for the
+// non-TCP/UDP parses too: the tag shifts every inner offset, and both
+// directions of a tagged SCTP/ICMP flow must still land on one queue.
+func TestRSSHashVLANTaggedNonTCP(t *testing.T) {
+	a, z := IPv4FromOctets(172, 16, 0, 1), IPv4FromOctets(172, 16, 9, 9)
+	fwd := sctpFrame(t, a, z, 1000, 2000, 42)
+	rev := sctpFrame(t, z, a, 2000, 1000, 42)
+	if RSSHash(fwd) != RSSHash(rev) {
+		t.Fatal("VLAN-tagged SCTP hash not symmetric")
+	}
+	// The tag itself is not part of the flow identity: the same 5-tuple
+	// behind a different (or no) tag hashes identically, so re-tagging
+	// cannot migrate a flow across queues mid-connection.
+	if RSSHash(fwd) != RSSHash(sctpFrame(t, a, z, 1000, 2000, 0)) {
+		t.Fatal("VLAN tag leaked into the flow hash")
+	}
+}
+
+// TestRSSHashFragmentsShareFlow asserts non-first IPv4 fragments (which carry
+// no transport header) hash by addresses+protocol only, deterministically:
+// the bytes where the ports would sit must not contribute.
+func TestRSSHashFragmentsShareFlow(t *testing.T) {
+	b := NewBuilder(128)
+	frag := Clone(b.TCPPacket(EthernetOpts{},
+		IPv4Opts{Src: IPv4FromOctets(10, 1, 1, 1), Dst: IPv4FromOctets(10, 2, 2, 2)},
+		L4Opts{Src: 1111, Dst: 2222}))
+	frag2 := Clone(frag)
+	// Mark both as non-first fragments (fragment offset 16) and give them
+	// different payload bytes where the TCP ports would be parsed.
+	for _, f := range [][]byte{frag, frag2} {
+		f[EthernetHeaderLen+6] = 0
+		f[EthernetHeaderLen+7] = 2
+	}
+	frag2[EthernetHeaderLen+20] ^= 0xff // "source port" bytes differ
+	if RSSHash(frag) != RSSHash(frag2) {
+		t.Fatal("fragment payload bytes leaked into the flow hash")
+	}
+}
+
+// TestRSSHashMalformedIPv4FallsBackToMACs pins the fix the microflow cache
+// relies on: a frame that merely claims IPv4 (EtherType 0x0800 over padding,
+// IHL below the 20-byte minimum) must not collapse every flow into one
+// constant bucket — it is steered by the MAC pair like any non-IP frame.
+func TestRSSHashMalformedIPv4FallsBackToMACs(t *testing.T) {
+	b := NewBuilder(128)
+	f1 := Clone(b.EthernetFrame(EthernetOpts{Dst: MACFromUint64(1), Src: MACFromUint64(0x0a0001), EtherType: EtherTypeIPv4}, nil))
+	f2 := Clone(b.EthernetFrame(EthernetOpts{Dst: MACFromUint64(1), Src: MACFromUint64(0x0a0002), EtherType: EtherTypeIPv4}, nil))
+	if RSSHash(f1) == RSSHash(f2) {
+		t.Fatal("padded pseudo-IPv4 frames with different MACs hashed identically")
+	}
+	// Symmetric like the genuine MAC-pair fallback.
+	r1 := Clone(b.EthernetFrame(EthernetOpts{Dst: MACFromUint64(0x0a0001), Src: MACFromUint64(1), EtherType: EtherTypeIPv4}, nil))
+	if RSSHash(f1) != RSSHash(r1) {
+		t.Fatal("pseudo-IPv4 MAC fallback not symmetric")
+	}
+}
+
+// TestPacketFlowHashCaching asserts the packet-cached hash: FlowHash computes
+// RSSHash of the frame once, SetFlowHash primes it, and Reset clears it.
+func TestPacketFlowHashCaching(t *testing.T) {
+	frame := rssTCPFrame(t, IPv4FromOctets(10, 0, 0, 1), IPv4FromOctets(10, 0, 0, 2), 1, 2, 0)
+	p := Packet{Data: frame}
+	if p.FlowHash() != RSSHash(frame) {
+		t.Fatal("FlowHash != RSSHash of the frame")
+	}
+	// The cached value survives even if Data changes (the producer contract
+	// is one frame per packet lifetime); SetFlowHash overrides.
+	p.SetFlowHash(12345)
+	if p.FlowHash() != 12345 {
+		t.Fatal("SetFlowHash did not prime the cache")
+	}
+	p.Reset()
+	p.Data = frame
+	if p.FlowHash() != RSSHash(frame) {
+		t.Fatal("Reset did not clear the cached hash")
+	}
+}
+
 func TestRSSHashShortAndNonIPFrames(t *testing.T) {
 	// Must not panic and must be deterministic for any junk.
 	cases := [][]byte{

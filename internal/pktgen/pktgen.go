@@ -6,14 +6,46 @@
 // The central knob, mirroring the evaluation, is the size of the active flow
 // set: the generator pre-builds one frame per flow and then emits packets by
 // sweeping the flow set, which removes traffic locality exactly the way the
-// paper's "number of active flows" axis does.
+// paper's "number of active flows" axis does.  UseZipf replaces the uniform
+// sweep with a Zipf-distributed popularity schedule — the realistic regime
+// where a small fraction of flows carries most of the traffic, and the one a
+// microflow verdict cache is designed for.
 package pktgen
 
 import (
+	"fmt"
 	"math/rand"
 
 	"eswitch/internal/pkt"
 )
+
+// ZipfGen is a seeded, deterministic Zipf(s) sampler over flow ranks
+// [0, n): Next draws rank k with probability proportional to 1/(k+1)^s, so
+// rank 0 is the most popular flow.  The same (s, n, seed) triple always
+// yields the same sequence.
+type ZipfGen struct {
+	z *rand.Zipf
+}
+
+// Zipf returns a seeded Zipf(s) flow-popularity generator over n flows.
+// s must be > 1 (the Zipf exponent; 1.1 is the conventional "realistic
+// traffic" setting) and n >= 1.
+func Zipf(s float64, n int, seed int64) (*ZipfGen, error) {
+	if s <= 1 {
+		return nil, fmt.Errorf("pktgen: Zipf exponent s must be > 1, got %v", s)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("pktgen: Zipf needs at least one flow, got %d", n)
+	}
+	z := rand.NewZipf(rand.New(rand.NewSource(seed)), s, 1, uint64(n-1))
+	if z == nil {
+		return nil, fmt.Errorf("pktgen: invalid Zipf parameters s=%v n=%d", s, n)
+	}
+	return &ZipfGen{z: z}, nil
+}
+
+// Next returns the next sampled flow rank in [0, n).
+func (g *ZipfGen) Next() int { return int(g.z.Uint64()) }
 
 // Flow describes one synthetic flow; any zero field falls back to a default.
 type Flow struct {
@@ -34,8 +66,17 @@ type Flow struct {
 type Trace struct {
 	frames  [][]byte
 	inPorts []uint32
-	order   []int
-	cursor  int
+	// hashes holds the symmetric RSS flow hash of each frame, computed once
+	// at build time; Next primes each emitted packet with it so neither the
+	// injecting substrate nor the datapath's microflow-cache probe rehashes
+	// the frame.
+	hashes []uint32
+	order  []int
+	// perm is the trace's base emission permutation (round-robin or the
+	// seeded shuffle), preserved so UseZipf can re-derive its rank→flow
+	// mapping no matter how often the schedule is rebuilt.
+	perm   []int
+	cursor int
 }
 
 // NewTrace pre-builds the frames for the given flows.  When shuffleSeed is
@@ -57,6 +98,7 @@ func NewTrace(flows []Flow, shuffleSeed int64) *Trace {
 			frame = pkt.Clone(b.TCPPacket(eth, pkt.IPv4Opts{Src: f.SrcIP, Dst: f.DstIP}, pkt.L4Opts{Src: f.SrcPort, Dst: f.DstPort}))
 		}
 		t.frames = append(t.frames, frame)
+		t.hashes = append(t.hashes, pkt.RSSHash(frame))
 		inPort := f.InPort
 		if inPort == 0 {
 			inPort = 1
@@ -71,15 +113,50 @@ func NewTrace(flows []Flow, shuffleSeed int64) *Trace {
 		rng := rand.New(rand.NewSource(shuffleSeed))
 		rng.Shuffle(len(t.order), func(i, j int) { t.order[i], t.order[j] = t.order[j], t.order[i] })
 	}
+	t.perm = append([]int(nil), t.order...)
 	return t
 }
 
 // NumFlows returns the number of distinct flows in the trace.
 func (t *Trace) NumFlows() int { return len(t.frames) }
 
+// UseZipf replaces the trace's uniform round-robin sweep with a
+// Zipf(s)-distributed flow-popularity schedule: flow ranks are drawn from a
+// seeded Zipf sampler and mapped through the trace's (possibly shuffled)
+// emission permutation, so popularity is decorrelated from flow construction
+// order.  The schedule is pre-sampled once — several passes over the flow set
+// — and replayed cyclically, which keeps Next as cheap as the uniform sweep
+// and makes the emitted sequence a pure function of (s, seed).
+func (t *Trace) UseZipf(s float64, seed int64) error {
+	g, err := Zipf(s, len(t.frames), seed)
+	if err != nil {
+		return err
+	}
+	// rankToFlow is the trace's base emission permutation: rank 0 (the most
+	// popular) maps to whatever flow the shuffle put first.  It is taken
+	// from the preserved permutation, not the current schedule, so UseZipf
+	// may be called repeatedly (different s or seed) on one trace.
+	rankToFlow := t.perm
+	n := 4 * len(t.frames)
+	if n < 65536 {
+		n = 65536 // enough samples for stable tail statistics on tiny flow sets
+	}
+	if n > 1<<22 {
+		n = 1 << 22
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = rankToFlow[g.Next()]
+	}
+	t.order = order
+	t.cursor = 0
+	return nil
+}
+
 // Next fills p with the next packet of the trace (sweeping the active flow
-// set round-robin in the configured order).  The packet's Data aliases the
-// trace's pre-built frame; the caller must not modify it.
+// set in the configured order — round-robin, or the Zipf schedule after
+// UseZipf).  The packet's Data aliases the trace's pre-built frame; the
+// caller must not modify it.
 func (t *Trace) Next(p *pkt.Packet) {
 	idx := t.order[t.cursor]
 	t.cursor++
@@ -90,6 +167,7 @@ func (t *Trace) Next(p *pkt.Packet) {
 	p.InPort = t.inPorts[idx]
 	p.Metadata = 0
 	p.Headers = pkt.Headers{}
+	p.SetFlowHash(t.hashes[idx])
 }
 
 // Reset rewinds the trace to its first packet.

@@ -94,6 +94,136 @@ func TestFlowKinds(t *testing.T) {
 	}
 }
 
+// TestZipfDeterministic is the satellite acceptance test: the same
+// (s, n, seed) triple yields the same sample sequence, a different seed a
+// different one.
+func TestZipfDeterministic(t *testing.T) {
+	const n, samples = 1000, 4096
+	a, err := Zipf(1.1, n, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Zipf(1.1, n, 42)
+	c, _ := Zipf(1.1, n, 43)
+	different := false
+	for i := 0; i < samples; i++ {
+		va, vb, vc := a.Next(), b.Next(), c.Next()
+		if va != vb {
+			t.Fatalf("sample %d: same seed diverged (%d vs %d)", i, va, vb)
+		}
+		if va < 0 || va >= n {
+			t.Fatalf("sample %d out of range: %d", i, va)
+		}
+		if va != vc {
+			different = true
+		}
+	}
+	if !different {
+		t.Fatal("different seeds produced identical sequences")
+	}
+	if _, err := Zipf(1.0, n, 1); err == nil {
+		t.Fatal("s <= 1 must be rejected")
+	}
+	if _, err := Zipf(1.1, 0, 1); err == nil {
+		t.Fatal("n < 1 must be rejected")
+	}
+}
+
+// TestZipfSkew sanity-checks the distribution shape: under Zipf(1.1) a small
+// head of the flow ranks must absorb a clear majority of the samples.
+func TestZipfSkew(t *testing.T) {
+	const n, samples = 10_000, 100_000
+	g, err := Zipf(1.1, n, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := 0
+	for i := 0; i < samples; i++ {
+		if g.Next() < n/100 { // top 1% of ranks
+			head++
+		}
+	}
+	if frac := float64(head) / samples; frac < 0.25 {
+		t.Fatalf("top 1%% of ranks got only %.1f%% of Zipf(1.1) traffic", frac*100)
+	}
+}
+
+// TestTraceUseZipf asserts the Zipf schedule is deterministic, covers only
+// valid flows, and skews emission towards a popular head.
+func TestTraceUseZipf(t *testing.T) {
+	flows := make([]Flow, 256)
+	for i := range flows {
+		flows[i] = Flow{InPort: uint32(1 + i%4), DstIP: pkt.IPv4(i + 1), DstPort: 80, SrcPort: uint16(i)}
+	}
+	a := NewTrace(flows, 3)
+	b := NewTrace(flows, 3)
+	if err := a.UseZipf(1.1, 11); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.UseZipf(1.1, 11); err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	var pa, pb pkt.Packet
+	const emit = 8192
+	for i := 0; i < emit; i++ {
+		a.Next(&pa)
+		b.Next(&pb)
+		if string(pa.Data) != string(pb.Data) || pa.InPort != pb.InPort {
+			t.Fatalf("packet %d: same seed emitted different frames", i)
+		}
+		counts[string(pa.Data[:16])]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < emit/32 { // uniform would give emit/256 per flow
+		t.Fatalf("Zipf emission looks uniform: hottest flow got %d of %d packets", max, emit)
+	}
+	if err := a.UseZipf(0.9, 1); err == nil {
+		t.Fatal("UseZipf must reject s <= 1")
+	}
+
+	// UseZipf is idempotent over the trace's base permutation: re-applying
+	// the same (s, seed) — even after another schedule was active — must
+	// reproduce the sequence of a fresh trace, not compose with it.
+	re := NewTrace(flows, 3)
+	if err := re.UseZipf(1.3, 99); err != nil { // unrelated schedule first
+		t.Fatal(err)
+	}
+	if err := re.UseZipf(1.1, 11); err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	for i := 0; i < 1024; i++ {
+		re.Next(&pa)
+		b.Next(&pb)
+		if string(pa.Data) != string(pb.Data) || pa.InPort != pb.InPort {
+			t.Fatalf("packet %d: re-applied UseZipf diverged from a fresh trace", i)
+		}
+	}
+}
+
+// TestTraceNextPrimesFlowHash asserts Next hands out packets whose cached
+// flow hash matches RSSHash of the frame, so the datapath never rehashes.
+func TestTraceNextPrimesFlowHash(t *testing.T) {
+	tr := NewTrace([]Flow{
+		{L2Only: true, DstMAC: pkt.MACFromUint64(5), SrcMAC: pkt.MACFromUint64(9)},
+		{Proto: pkt.IPProtoUDP, DstPort: 53, DstIP: 1, SrcIP: 2},
+		{VLAN: 7, DstPort: 80, DstIP: 2, SrcIP: 3},
+	}, 0)
+	var p pkt.Packet
+	for i := 0; i < 6; i++ {
+		tr.Next(&p)
+		if p.FlowHash() != pkt.RSSHash(p.Data) {
+			t.Fatalf("packet %d: primed flow hash %#x != RSSHash %#x", i, p.FlowHash(), pkt.RSSHash(p.Data))
+		}
+	}
+}
+
 func BenchmarkTraceNext(b *testing.B) {
 	flows := make([]Flow, 1024)
 	for i := range flows {

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"math/rand"
+	"sort"
 
 	"eswitch/internal/openflow"
 	"eswitch/internal/pkt"
@@ -67,6 +68,77 @@ func L2UseCase(tableSize int, numPorts int) *UseCase {
 	}
 }
 
+// installRoutes fills a RIB table with dec_ttl+output entries for the routes,
+// installing in decreasing prefix-length (= priority) order: every insert
+// then hits FlowTable.Add's append fast path, which keeps building a
+// full-scale RIB (100K+ prefixes) linear instead of quadratic.  The caller's
+// route slice is left in its original order (the traffic generators index
+// it), and nextHop maps each route to its egress port.
+func installRoutes(t *openflow.FlowTable, routes []Route, nextHop func(Route) uint32) {
+	installOrder := append([]Route(nil), routes...)
+	sort.Slice(installOrder, func(i, j int) bool { return installOrder[i].Prefix > installOrder[j].Prefix })
+	for _, r := range installOrder {
+		t.AddFlow(r.Prefix, openflow.NewMatch().SetPrefix(openflow.FieldIPDst, uint64(r.Addr), r.Prefix),
+			openflow.Apply(openflow.DecTTL(), openflow.Output(nextHop(r))))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// L2 switching with port security: the OVS "NORMAL"-shaped two-stage bridge.
+// ---------------------------------------------------------------------------
+
+// L2PortSecurityUseCase builds a production-shaped two-stage L2 bridge:
+// table 0 validates the (in_port, eth_src) binding of every known station
+// (port security / MAC learning check — a compound hash over two fields),
+// table 1 forwards by destination address exactly like L2UseCase.  Unknown
+// sources are punted to the controller for learning; unknown destinations
+// flood.  At full scale (100K+ stations) every packet takes two large-table
+// hash lookups, which is the regime where memoizing the whole pipeline's
+// verdict per microflow pays even under uniform traffic.
+func L2PortSecurityUseCase(stations, numPorts int) *UseCase {
+	if numPorts < 2 {
+		numPorts = 4
+	}
+	stationPort := func(i int) uint32 { return uint32(1 + i%numPorts) }
+	pl := openflow.NewPipeline(numPorts)
+	t0 := pl.Table(0)
+	t0.Name = "port-security"
+	t1 := pl.AddTable(1)
+	t1.Name = "mac"
+	for i := 0; i < stations; i++ {
+		t0.AddFlow(100, openflow.NewMatch().
+			Set(openflow.FieldInPort, uint64(stationPort(i))).
+			Set(openflow.FieldEthSrc, l2MAC(i).Uint64()),
+			openflow.Goto(1))
+		t1.AddFlow(100, openflow.NewMatch().Set(openflow.FieldEthDst, l2MAC(i).Uint64()),
+			openflow.Apply(openflow.Output(stationPort(i))))
+	}
+	t0.AddFlow(0, openflow.NewMatch(), openflow.Apply(openflow.ToController()))
+	t1.AddFlow(0, openflow.NewMatch(), openflow.Apply(openflow.Flood()))
+
+	return &UseCase{
+		Name:     "l2-portsec",
+		Pipeline: pl,
+		Trace: func(activeFlows int) *pktgen.Trace {
+			if activeFlows < 1 {
+				activeFlows = 1
+			}
+			flows := make([]pktgen.Flow, 0, activeFlows)
+			for f := 0; f < activeFlows; f++ {
+				src := f % stations
+				dst := int((uint64(f)*2654435761 + 12345) % uint64(stations))
+				flows = append(flows, pktgen.Flow{
+					InPort: stationPort(src),
+					SrcMAC: l2MAC(src),
+					DstMAC: l2MAC(dst),
+					L2Only: true,
+				})
+			}
+			return pktgen.NewTrace(flows, int64(activeFlows)+3)
+		},
+	}
+}
+
 // ---------------------------------------------------------------------------
 // L3 routing (§4.1): longest prefix match over a routing table.
 // ---------------------------------------------------------------------------
@@ -83,10 +155,7 @@ func L3UseCase(numPrefixes int, numPorts int, seed int64) *UseCase {
 	pl := openflow.NewPipeline(numPorts)
 	t0 := pl.Table(0)
 	t0.Name = "rib"
-	for _, r := range routes {
-		m := openflow.NewMatch().SetPrefix(openflow.FieldIPDst, uint64(r.Addr), r.Prefix)
-		t0.AddFlow(r.Prefix, m, openflow.Apply(openflow.DecTTL(), openflow.Output(r.NextHop)))
-	}
+	installRoutes(t0, routes, func(r Route) uint32 { return r.NextHop })
 	t0.AddFlow(0, openflow.NewMatch(), openflow.Apply(openflow.Drop()))
 
 	return &UseCase{
@@ -107,6 +176,79 @@ func L3UseCase(numPrefixes int, numPorts int, seed int64) *UseCase {
 					SrcIP:   pkt.IPv4FromOctets(198, 18, byte(f>>8), byte(f)),
 					DstIP:   AddressInside(r, f),
 					SrcPort: uint16(1024 + f%60000),
+					DstPort: 80,
+				})
+			}
+			return pktgen.NewTrace(flows, seed+int64(activeFlows))
+		},
+	}
+}
+
+// ---------------------------------------------------------------------------
+// L3 routing behind a flow-admission ACL: the router + conntrack-offload
+// shape.
+// ---------------------------------------------------------------------------
+
+// L3ACLRouterUseCase builds a production-shaped two-stage router: table 0
+// admits known transport flows by exact 5-tuple (a conntrack-offload /
+// stateless-ACL whitelist — compound hash over four fields), table 1 is the
+// L3UseCase RIB (DIR-24-8 LPM).  Traffic sweeps the admitted tuples, so at
+// full scale every packet takes one large-hash and one LPM lookup — two cold
+// structures that a single microflow-cache probe replaces.
+func L3ACLRouterUseCase(numTuples, numPrefixes, numPorts int, seed int64) *UseCase {
+	if numPorts < 2 {
+		numPorts = 8
+	}
+	routes := GenerateRoutes(numPrefixes, numPorts, seed)
+	type tuple struct {
+		src, dst pkt.IPv4
+		sport    uint16
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x5bd1e995))
+	tuples := make([]tuple, numTuples)
+	for i := range tuples {
+		r := routes[rng.Intn(len(routes))]
+		tuples[i] = tuple{
+			src:   pkt.IPv4FromOctets(198, 18, byte(i>>8), byte(i)),
+			dst:   AddressInside(r, i),
+			sport: uint16(1024 + i%60000),
+		}
+	}
+
+	pl := openflow.NewPipeline(numPorts)
+	t0 := pl.Table(0)
+	t0.Name = "acl"
+	rib := pl.AddTable(1)
+	rib.Name = "rib"
+	for _, tp := range tuples {
+		t0.AddFlow(100, openflow.NewMatch().
+			Set(openflow.FieldIPSrc, uint64(tp.src)).
+			Set(openflow.FieldIPDst, uint64(tp.dst)).
+			Set(openflow.FieldTCPSrc, uint64(tp.sport)).
+			Set(openflow.FieldTCPDst, 80),
+			openflow.Goto(1))
+	}
+	t0.AddFlow(0, openflow.NewMatch(), openflow.Apply(openflow.Drop()))
+	installRoutes(rib, routes, func(r Route) uint32 { return r.NextHop })
+	rib.AddFlow(0, openflow.NewMatch(), openflow.Apply(openflow.Drop()))
+
+	return &UseCase{
+		Name:     "l3-acl",
+		Pipeline: pl,
+		Trace: func(activeFlows int) *pktgen.Trace {
+			if activeFlows < 1 {
+				activeFlows = 1
+			}
+			flows := make([]pktgen.Flow, 0, activeFlows)
+			for f := 0; f < activeFlows; f++ {
+				tp := tuples[f%len(tuples)]
+				flows = append(flows, pktgen.Flow{
+					InPort:  1,
+					SrcMAC:  pkt.MACFromUint64(2),
+					DstMAC:  pkt.MACFromUint64(1),
+					SrcIP:   tp.src,
+					DstIP:   tp.dst,
+					SrcPort: tp.sport,
 					DstPort: 80,
 				})
 			}
@@ -278,10 +420,7 @@ func GatewayUseCase(cfg GatewayConfig) *UseCase {
 
 	// Table 110: the Internet routing table.
 	routes := GenerateRoutes(cfg.Prefixes, 1, cfg.Seed)
-	for _, r := range routes {
-		routing.AddFlow(r.Prefix, openflow.NewMatch().SetPrefix(openflow.FieldIPDst, uint64(r.Addr), r.Prefix),
-			openflow.Apply(openflow.DecTTL(), openflow.Output(gatewayNetworkPort)))
-	}
+	installRoutes(routing, routes, func(Route) uint32 { return gatewayNetworkPort })
 	routing.AddFlow(0, openflow.NewMatch(), openflow.Apply(openflow.Output(gatewayNetworkPort)))
 
 	// Table 200: map public addresses back to the user (reverse direction).
