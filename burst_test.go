@@ -325,6 +325,10 @@ func testWorkerPathZeroLocksZeroAllocs(t *testing.T, flowCache int) {
 		t.Fatal(err)
 	}
 	sw := dpdk.NewSwitch(dp, uc.Pipeline.NumPorts, 4096)
+	// The slow path must stay off the hot path: with the punt rings armed
+	// but no punting traffic (the L3 workload never punts), the worker loop
+	// below must remain zero-lock and zero-alloc.
+	sw.ArmPuntRings(256, 0)
 	trace := uc.Trace(512)
 	frames := make([][]byte, 256)
 	for i := range frames {
@@ -370,6 +374,11 @@ func testWorkerPathZeroLocksZeroAllocs(t *testing.T, flowCache int) {
 	// under the mutex — at random; the assertion only holds uninstrumented.
 	if got := sw.MutexOps(); !raceEnabled && got != lockedSW {
 		t.Fatalf("switch mutex acquired %d times on the worker path", got-lockedSW)
+	}
+	// (Stats itself takes the counted mutex, so the zero-punt premise is
+	// checked only after the lock assertions.)
+	if st := sw.Stats(); st.Punts != 0 || st.PuntDrops != 0 {
+		t.Fatalf("steady-state workload punted (%d/%d) — the zero-punt premise broke", st.Punts, st.PuntDrops)
 	}
 	// The epoch-pinned facade burst path must also stay lock-free.
 	packets := make([]pkt.Packet, 32)

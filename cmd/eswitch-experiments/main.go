@@ -19,7 +19,7 @@ import (
 
 func main() {
 	scale := flag.String("scale", "standard", "experiment scale: quick, standard (100K flows) or full (1M flows)")
-	figure := flag.String("figure", "all", "which figure to regenerate (all, table1, fig3, fig9...fig20, decomposition, flowcache)")
+	figure := flag.String("figure", "all", "which figure to regenerate (all, table1, fig3, fig9...fig20, decomposition, flowcache, flowsetup)")
 	flag.Parse()
 
 	var cfg experiments.Config
@@ -52,6 +52,7 @@ func main() {
 		"fig20":         experiments.Fig20,
 		"decomposition": experiments.Decomposition,
 		"flowcache":     experiments.FlowCacheSweep,
+		"flowsetup":     experiments.FlowSetupRate,
 	}
 
 	start := time.Now()

@@ -5,11 +5,11 @@
 //
 // Usage:
 //
-//	eswitchd [-usecase l2|l3|loadbalancer|gateway] [-datapath eswitch|ovs]
+//	eswitchd [-usecase l2|l3|loadbalancer|gateway|l2learn] [-datapath eswitch|ovs]
 //	         [-flows 10000] [-duration 5s] [-cores 1] [-flowcache 262144|off]
-//	         [-listen :6653]
+//	         [-listen :6653] [-punt-ring 1024] [-punt-rate 10000]
 //
-// When -listen is given, an OpenFlow agent accepts one controller connection
+// When -listen is given, an OpenFlow agent accepts controller connections
 // and applies FlowMods to the running switch.
 //
 // -flowcache gives every forwarding worker a private microflow verdict cache
@@ -18,6 +18,17 @@
 // model must observe the full template walk — so enabling the cache trades
 // the "model:" summary line for a "flowcache:" one showing the hit/miss/stale
 // counters folded from all workers.
+//
+// -punt-ring arms the slow path: every forwarding worker gets a bounded punt
+// ring of the given capacity, ToController verdicts are copied into it
+// (drop-on-full, accounted) instead of discarded, and — with -listen — a
+// slow-path service drains the rings into PacketIn messages for the
+// connected controller and executes its PacketOut replies (including
+// output:TABLE re-injection).  -punt-rate caps PacketIn delivery in packets
+// per second (OVS-style controller rate limiting; 0 = unlimited).  The
+// l2learn use case starts with an EMPTY table-miss-punts pipeline, so
+// attaching a learning controller (controller.LearningSwitch) closes the
+// reactive loop: punts decay to zero as flows are learned.
 package main
 
 import (
@@ -33,10 +44,20 @@ import (
 	"eswitch/internal/core"
 	"eswitch/internal/cpumodel"
 	"eswitch/internal/dpdk"
+	"eswitch/internal/ofp"
 	"eswitch/internal/ovs"
 	"eswitch/internal/pkt"
+	"eswitch/internal/slowpath"
 	"eswitch/internal/workload"
 )
+
+// rateString renders a pps cap for the startup banner.
+func rateString(pps int) string {
+	if pps <= 0 {
+		return "unlimited"
+	}
+	return fmt.Sprintf("%d pps", pps)
+}
 
 func buildUseCase(name string, flows int) *workload.UseCase {
 	switch name {
@@ -48,6 +69,8 @@ func buildUseCase(name string, flows int) *workload.UseCase {
 		return workload.LoadBalancerUseCase(100)
 	case "gateway":
 		return workload.GatewayUseCase(workload.DefaultGatewayConfig())
+	case "l2learn":
+		return workload.L2LearningUseCase(1000, 4)
 	default:
 		return nil
 	}
@@ -63,6 +86,8 @@ func main() {
 	txpolicy := flag.String("txpolicy", "drop", "full-TX-ring policy: drop, block or spill")
 	flowcache := flag.String("flowcache", "off", "per-worker microflow verdict cache: entry count (e.g. 262144) or off")
 	listen := flag.String("listen", "", "optional OpenFlow agent listen address (e.g. :6653)")
+	puntRing := flag.Int("punt-ring", 0, "per-worker slow-path punt ring capacity (0 = punts counted but discarded)")
+	puntRate := flag.Int("punt-rate", 0, "PacketIn delivery cap in packets/second (0 = unlimited)")
 	flag.Parse()
 
 	txPol, err := dpdk.ParseTxPolicy(*txpolicy)
@@ -145,6 +170,20 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Drive the switch through the dataplane substrate: RSS-steered
+	// multi-queue ports, one burst worker per core over its own queue
+	// subset (lock-free against the compiled datapath via worker epochs),
+	// batched TX.
+	sw := dpdk.NewSwitchQueues(fastpath, uc.Pipeline.NumPorts, 4096, *queues)
+	sw.SetTxPolicy(txPol)
+
+	var puntRings []*slowpath.Ring
+	if *puntRing > 0 {
+		puntRings = sw.ArmPuntRings(*puntRing, 0)
+		fmt.Printf("eswitchd: slow path armed: %d punt rings x %d entries, PacketIn rate limit %s\n",
+			len(puntRings), puntRings[0].Capacity(), rateString(*puntRate))
+	}
+
 	if *listen != "" {
 		ln, err := net.Listen("tcp", *listen)
 		if err != nil {
@@ -157,18 +196,43 @@ func main() {
 				if err != nil {
 					return
 				}
-				go agent.Serve(conn)
+				if puntRings == nil {
+					// Proactive-only channel: FlowMods/Barriers, any number
+					// of concurrent controllers.
+					go agent.Serve(conn)
+					continue
+				}
+				// Reactive channel: the punt rings are single-consumer, so
+				// one controller at a time gets the slow-path service for
+				// the lifetime of its connection.
+				rw, out := controller.SharedChannel(conn)
+				svc, err := slowpath.NewService(slowpath.Config{
+					Rings:    puntRings,
+					RatePPS:  *puntRate,
+					Window:   256,
+					Executor: sw,
+					Send: func(pi ofp.PacketIn) error {
+						return ofp.WriteMessage(out, ofp.Message{Type: ofp.TypePacketIn, Body: ofp.EncodePacketIn(pi)})
+					},
+				})
+				if err != nil {
+					log.Printf("slowpath: %v", err)
+					conn.Close()
+					continue
+				}
+				agent.PacketOutHandler = svc.HandlePacketOut
+				stop := make(chan struct{})
+				go svc.Run(stop)
+				if err := agent.Serve(rw); err != nil {
+					log.Printf("agent: %v", err)
+				}
+				close(stop)
+				agent.PacketOutHandler = nil
+				conn.Close()
 			}
 		}()
 		fmt.Printf("eswitchd: OpenFlow agent listening on %s\n", ln.Addr())
 	}
-
-	// Drive the switch through the dataplane substrate: RSS-steered
-	// multi-queue ports, one burst worker per core over its own queue
-	// subset (lock-free against the compiled datapath via worker epochs),
-	// batched TX.
-	sw := dpdk.NewSwitchQueues(fastpath, uc.Pipeline.NumPorts, 4096, *queues)
-	sw.SetTxPolicy(txPol)
 	trace := uc.Trace(*flows)
 	workers := sw.ClampWorkers(*cores) // report what actually runs
 	stop := sw.RunWorkers(workers)
@@ -212,6 +276,12 @@ func main() {
 	fmt.Printf("processed: %d packets (%d forwarded, %d dropped, %d to controller)\n",
 		st.Processed, st.Forwarded, st.Dropped, st.ToCtrl)
 	fmt.Printf("tx:        policy %s, %d retries, %d backpressure drops\n", txPol, st.TxRetries, st.TxDrops)
+	if puntRings != nil {
+		// Punts+PuntDrops == ToCtrl: every punted verdict is exactly one
+		// ring push attempt.
+		fmt.Printf("slowpath:  %d punts queued, %d ring drops, %d re-injected punts cut\n",
+			st.Punts, st.PuntDrops, sw.ReinjectPunts())
+	}
 	if compiled != nil && cacheEntries > 0 {
 		// CacheHits+CacheMisses == Processed when the cache is engaged
 		// (fold exactness); CacheStale is the subset of misses that found a

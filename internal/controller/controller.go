@@ -29,8 +29,15 @@ type FlowProgrammer interface {
 type Agent struct {
 	programmer FlowProgrammer
 
-	flowMods atomic.Uint64
-	packets  atomic.Uint64
+	// PacketOutHandler, when set, executes every PacketOut received on the
+	// channel (the slow-path service's HandlePacketOut).  Execution errors
+	// are counted, not fatal: a late PacketOut referencing an expired
+	// buffer-id must not kill a long-lived channel.
+	PacketOutHandler func(ofp.PacketOut) error
+
+	flowMods      atomic.Uint64
+	packets       atomic.Uint64
+	packetOutErrs atomic.Uint64
 }
 
 // NewAgent returns an agent applying flow mods to the programmer.
@@ -41,6 +48,9 @@ func (a *Agent) FlowMods() uint64 { return a.flowMods.Load() }
 
 // PacketOuts returns the number of packet-out messages received.
 func (a *Agent) PacketOuts() uint64 { return a.packets.Load() }
+
+// PacketOutErrors returns how many received PacketOuts failed to execute.
+func (a *Agent) PacketOutErrors() uint64 { return a.packetOutErrs.Load() }
 
 // Serve processes messages from the connection until it is closed or an error
 // occurs.  io.EOF (orderly shutdown) is reported as nil.
@@ -77,10 +87,16 @@ func (a *Agent) Serve(conn io.ReadWriter) error {
 				return err
 			}
 		case ofp.TypePacketOut:
-			if _, err := ofp.DecodePacketOut(msg.Body); err != nil {
+			po, err := ofp.DecodePacketOut(msg.Body)
+			if err != nil {
 				return err
 			}
 			a.packets.Add(1)
+			if a.PacketOutHandler != nil {
+				if err := a.PacketOutHandler(po); err != nil {
+					a.packetOutErrs.Add(1)
+				}
+			}
 		default:
 			// Ignore unknown message types, as real agents do.
 		}
@@ -105,6 +121,41 @@ func (a *Agent) applyFlowMod(fm ofp.FlowMod) error {
 // switch-to-controller direction of the reactive path).
 func (a *Agent) SendPacketIn(conn io.Writer, pi ofp.PacketIn) error {
 	return ofp.WriteMessage(conn, ofp.Message{Type: ofp.TypePacketIn, Xid: 0, Body: ofp.EncodePacketIn(pi)})
+}
+
+// SyncWriter serializes whole-buffer writes from multiple goroutines onto
+// one control channel.  The agent's replies (EchoReply, BarrierReply) and
+// the slow-path service's PacketIns share a connection; ofp.WriteMessage
+// issues exactly one Write per framed message, so a write-level mutex keeps
+// message framing atomic on the wire.
+type SyncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewSyncWriter wraps w for concurrent whole-message writes.
+func NewSyncWriter(w io.Writer) *SyncWriter { return &SyncWriter{w: w} }
+
+// Write implements io.Writer under the mutex.
+func (sw *SyncWriter) Write(p []byte) (int, error) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.w.Write(p)
+}
+
+// channelRW pairs a reader with a (typically synchronized) writer.
+type channelRW struct {
+	io.Reader
+	io.Writer
+}
+
+// SharedChannel splits a control connection into its read side and a
+// synchronized write side: Serve reads from the connection directly while
+// every writer — the agent's own replies and any slow-path service — goes
+// through the returned SyncWriter.
+func SharedChannel(conn io.ReadWriter) (io.ReadWriter, *SyncWriter) {
+	sw := NewSyncWriter(conn)
+	return channelRW{Reader: conn, Writer: sw}, sw
 }
 
 // Controller is the controller-side endpoint.

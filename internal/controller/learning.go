@@ -1,0 +1,133 @@
+package controller
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"eswitch/internal/ofp"
+	"eswitch/internal/openflow"
+	"eswitch/internal/pkt"
+)
+
+// LearningSwitch is the classic reactive L2 learning controller — the
+// repository's first closed switch↔controller loop (BOFUSS-style): every
+// table-miss PacketIn teaches it the (source MAC → in-port) binding, and as
+// soon as a punted packet's destination is known it installs an exact-match
+// FlowMod so the flow's remaining packets stay on the fast path, replaying
+// the punted packet itself with a PacketOut (to the learned port, or FLOOD
+// while the destination is still unknown).  Convergence is observable from
+// the switch side: the punt rate decays to zero once every station has been
+// learned, and the microflow verdict cache takes over via the datapath's
+// generation counter.
+type LearningSwitch struct {
+	ctrl *Controller
+	// Table and Priority select where learned flows land (defaults: table 0,
+	// priority 100).
+	Table    openflow.TableID
+	Priority int
+
+	mu sync.Mutex
+	// macs is what has been learned; installed is which destinations already
+	// have a FlowMod, so a burst of punts for one destination does not
+	// re-install the same flow per punt.
+	macs      map[uint64]uint32
+	installed map[uint64]bool
+
+	packetIns atomic.Uint64
+	flowMods  atomic.Uint64
+	floods    atomic.Uint64
+	lastErr   atomic.Value // error
+}
+
+// NewLearningSwitch attaches a learning switch to the controller endpoint
+// (its PacketInHandler is taken over).
+func NewLearningSwitch(c *Controller) *LearningSwitch {
+	ls := &LearningSwitch{
+		ctrl:      c,
+		Priority:  100,
+		macs:      make(map[uint64]uint32),
+		installed: make(map[uint64]bool),
+	}
+	c.PacketInHandler = ls.HandlePacketIn
+	return ls
+}
+
+// Run serves the control channel until it closes (Controller.Run).
+func (ls *LearningSwitch) Run() error { return ls.ctrl.Run() }
+
+// PacketIns returns how many PacketIns were handled.
+func (ls *LearningSwitch) PacketIns() uint64 { return ls.packetIns.Load() }
+
+// FlowMods returns how many flows the controller installed.
+func (ls *LearningSwitch) FlowMods() uint64 { return ls.flowMods.Load() }
+
+// Floods returns how many punted packets were flooded (destination still
+// unknown at punt time).
+func (ls *LearningSwitch) Floods() uint64 { return ls.floods.Load() }
+
+// Learned returns the number of learned stations.
+func (ls *LearningSwitch) Learned() int {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	return len(ls.macs)
+}
+
+// Err returns the last channel error the handler hit (nil while healthy).
+func (ls *LearningSwitch) Err() error {
+	if e, ok := ls.lastErr.Load().(error); ok {
+		return e
+	}
+	return nil
+}
+
+// HandlePacketIn is the reactive loop body: learn the source, then either
+// install + forward (known destination) or flood (unknown).
+func (ls *LearningSwitch) HandlePacketIn(pi ofp.PacketIn) {
+	ls.packetIns.Add(1)
+	p := pkt.Packet{Data: pi.Data, InPort: pi.InPort}
+	if !pkt.ParseL2(&p) {
+		return // unparsable runt: nothing to learn, nothing to forward
+	}
+	src, dst := p.Headers.EthSrc, p.Headers.EthDst
+
+	ls.mu.Lock()
+	// Learn the source binding (unicast sources only — a broadcast source
+	// address is a malformed frame, not a station).
+	if src[0]&1 == 0 {
+		ls.macs[src.Uint64()] = pi.InPort
+	}
+	outPort, known := ls.macs[dst.Uint64()]
+	install := known && dst[0]&1 == 0 && !ls.installed[dst.Uint64()]
+	if install {
+		ls.installed[dst.Uint64()] = true
+	}
+	ls.mu.Unlock()
+
+	if install {
+		match := openflow.NewMatch().Set(openflow.FieldEthDst, dst.Uint64())
+		if err := ls.ctrl.InstallFlow(ls.Table, ls.Priority, match, openflow.Apply(openflow.Output(outPort))); err != nil {
+			ls.lastErr.Store(err)
+			return
+		}
+		ls.flowMods.Add(1)
+	}
+
+	// Replay the punted packet itself: to the learned port when known,
+	// flooded otherwise.  The data rides in the PacketOut even when the
+	// switch buffered the frame — correctness over the few saved bytes.
+	action := openflow.Flood()
+	if known {
+		action = openflow.Output(outPort)
+	} else {
+		ls.floods.Add(1)
+	}
+	po := ofp.PacketOut{
+		BufferID: pi.BufferID,
+		InPort:   pi.InPort,
+		Actions:  openflow.ActionList{action},
+		Data:     pi.Data,
+	}
+	if err := ls.ctrl.SendPacketOut(po); err != nil {
+		ls.lastErr.Store(err)
+	}
+}

@@ -165,14 +165,14 @@ func (d *Datapath) processBurst(sc *burstScratch, m *cpumodel.Meter, sn *snapsho
 			v.Tables++
 			ce := sc.outs[j].entry
 			if ce == nil {
-				sn.miss(v)
+				sn.miss(v, sn.start.id)
 				if m != nil {
 					m.AddCycles(cpumodel.CostPktIO)
 				}
 				continue
 			}
 			set0 = set0[:0]
-			switch d.executeEntry(sn, ce, p, v, &set0) {
+			switch d.executeEntry(sn, ce, p, v, &set0, sn.start.id) {
 			case stepNext:
 				sc.tramp[j] = ce.next
 				// Persist the accumulated action set for the next level;
@@ -253,13 +253,13 @@ func (d *Datapath) runWaves(sc *burstScratch, m *cpumodel.Meter, sn *snapshot, p
 				v.Tables++
 				ce := sc.outs[j].entry
 				if ce == nil {
-					sn.miss(v)
+					sn.miss(v, tr.id)
 					if m != nil {
 						m.AddCycles(cpumodel.CostPktIO)
 					}
 					continue
 				}
-				switch d.executeEntry(sn, ce, p, v, &sc.sets[i]) {
+				switch d.executeEntry(sn, ce, p, v, &sc.sets[i], tr.id) {
 				case stepNext:
 					sc.tramp[i] = ce.next
 					if nextLen == 0 {
@@ -284,7 +284,8 @@ func (d *Datapath) runWaves(sc *burstScratch, m *cpumodel.Meter, sn *snapshot, p
 			for k := 0; k < curLen; k++ {
 				i := int(cur[k])
 				p, v := ps[i], &vs[i]
-				dp := sc.tramp[i].load()
+				tri := sc.tramp[i]
+				dp := tri.load()
 				if dp == nil {
 					v.Dropped = true
 					continue
@@ -298,13 +299,13 @@ func (d *Datapath) runWaves(sc *burstScratch, m *cpumodel.Meter, sn *snapshot, p
 				}
 				ce := out.entry
 				if ce == nil {
-					sn.miss(v)
+					sn.miss(v, tri.id)
 					if m != nil {
 						m.AddCycles(cpumodel.CostPktIO)
 					}
 					continue
 				}
-				switch d.executeEntry(sn, ce, p, v, &sc.sets[i]) {
+				switch d.executeEntry(sn, ce, p, v, &sc.sets[i], tri.id) {
 				case stepNext:
 					sc.tramp[i] = ce.next
 					if nextLen == 0 {
@@ -428,7 +429,7 @@ func (d *Datapath) processBurstCached(sc *burstScratch, sn *snapshot, fc *FlowCa
 		if !cs.cinstall[i] {
 			continue
 		}
-		flags, out, tables, ok := entryFromVerdict(&vs[i])
+		flags, out, tables, puntTable, ok := entryFromVerdict(&vs[i])
 		if !ok {
 			continue
 		}
@@ -437,6 +438,6 @@ func (d *Datapath) processBurstCached(sc *burstScratch, sn *snapshot, fc *FlowCa
 		if !ok {
 			continue
 		}
-		fc.install(cs.chash[i], &cs.ckey[i], gen, flags, out, tables, ttlDec, fields, &patch)
+		fc.install(cs.chash[i], &cs.ckey[i], gen, flags, out, tables, ttlDec, puntTable, fields, &patch)
 	}
 }

@@ -13,9 +13,13 @@ import (
 
 // trampoline is the indirection every goto_table jump goes through (§3.3):
 // the compiled table it points to can be replaced atomically, which is what
-// makes per-table rebuilds transactional and non-disruptive (§3.4).
+// makes per-table rebuilds transactional and non-disruptive (§3.4).  The
+// trampoline also carries its table's ID so verdicts can attribute
+// punts-to-controller to the table that generated them without any extra
+// per-stage bookkeeping.
 type trampoline struct {
 	ptr atomic.Pointer[tableSlot]
+	id  openflow.TableID
 }
 
 type tableSlot struct {
@@ -53,11 +57,13 @@ type snapshot struct {
 	cacheable bool
 }
 
-// miss records a table miss in the verdict per the pipeline's miss behaviour.
-func (sn *snapshot) miss(v *openflow.Verdict) {
+// miss records a table miss at the given table in the verdict per the
+// pipeline's miss behaviour.
+func (sn *snapshot) miss(v *openflow.Verdict, table openflow.TableID) {
 	v.TableMiss = true
 	if sn.missToCtrl {
 		v.ToController = true
+		v.NotePunt(openflow.PuntMiss, table)
 	} else {
 		v.Dropped = true
 	}
@@ -164,7 +170,7 @@ func Compile(pl *openflow.Pipeline, opts Options) (*Datapath, error) {
 	}
 	d.trampolines = make(map[openflow.TableID]*trampoline, working.NumTables())
 	for _, t := range working.Tables() {
-		d.trampolines[t.ID] = &trampoline{}
+		d.trampolines[t.ID] = &trampoline{id: t.ID}
 		d.usedFields = d.usedFields.Union(t.MatchFields())
 	}
 	for _, t := range working.Tables() {
@@ -380,15 +386,20 @@ const (
 // action-set bookkeeping, metadata writes, and — when the entry is terminal —
 // the accumulated action set.  The action set is passed by pointer and only
 // written when an instruction actually touches it, which keeps the common
-// apply-only hot path free of action-set stores.  It returns how processing
-// ended and is shared verbatim by the per-packet and burst engines so their
-// semantics cannot drift.
-func (d *Datapath) executeEntry(sn *snapshot, ce *compiledEntry, p *pkt.Packet, v *openflow.Verdict, set *openflow.ActionList) stepResult {
+// apply-only hot path free of action-set stores.  table is the entry's own
+// table, to which any punt-to-controller the entry executes is attributed.
+// It returns how processing ended and is shared verbatim by the per-packet
+// and burst engines so their semantics cannot drift.
+func (d *Datapath) executeEntry(sn *snapshot, ce *compiledEntry, p *pkt.Packet, v *openflow.Verdict, set *openflow.ActionList, table openflow.TableID) stepResult {
 	if d.opts.UpdateCounters {
 		ce.counters.Add(len(p.Data))
 	}
 	if len(ce.apply.list) > 0 {
+		wasPunt := v.ToController
 		openflow.ApplyActions(ce.apply.list, p, v, sn.numPorts)
+		if !wasPunt && v.ToController {
+			v.NotePunt(openflow.PuntAction, table)
+		}
 		if v.Dropped && !v.Forwarded() && !v.ToController {
 			if hasDrop(ce.apply.list) {
 				return stepDropped
@@ -407,7 +418,11 @@ func (d *Datapath) executeEntry(sn *snapshot, ce *compiledEntry, p *pkt.Packet, 
 	}
 	if !ce.hasNext {
 		if len(*set) > 0 {
+			wasPunt := v.ToController
 			openflow.ApplyActions(*set, p, v, sn.numPorts)
+			if !wasPunt && v.ToController {
+				v.NotePunt(openflow.PuntAction, table)
+			}
 		}
 		if !v.Forwarded() && !v.ToController {
 			v.Dropped = true
@@ -435,10 +450,10 @@ func (d *Datapath) processFast(sn *snapshot, p *pkt.Packet, v *openflow.Verdict)
 		v.Tables++
 		out := dp.LookupFast(p)
 		if out.entry == nil {
-			sn.miss(v)
+			sn.miss(v, tr.id)
 			return
 		}
-		if d.executeEntry(sn, out.entry, p, v, &actionSet) != stepNext {
+		if d.executeEntry(sn, out.entry, p, v, &actionSet, tr.id) != stepNext {
 			return
 		}
 		tr = out.entry.next
@@ -471,11 +486,11 @@ func (d *Datapath) processMetered(sn *snapshot, m *cpumodel.Meter, p *pkt.Packet
 		v.Tables++
 		out := dp.Lookup(p, m)
 		if out.entry == nil {
-			sn.miss(v)
+			sn.miss(v, tr.id)
 			m.AddCycles(cpumodel.CostPktIO)
 			return
 		}
-		switch d.executeEntry(sn, out.entry, p, v, &actionSet) {
+		switch d.executeEntry(sn, out.entry, p, v, &actionSet, tr.id) {
 		case stepDropped:
 			m.AddCycles(cpumodel.CostActions)
 			return

@@ -121,6 +121,10 @@ const (
 	cacheToCtrl
 	cacheTableMiss
 	cacheModified
+	// cachePuntMiss distinguishes the punt reason of a cacheToCtrl entry:
+	// set = table miss (PuntMiss), clear = explicit controller output
+	// (PuntAction).  The originating table lives in puntTable.
+	cachePuntMiss
 )
 
 // cacheEntry is one memoized microflow verdict.  The first 64 bytes hold
@@ -130,17 +134,18 @@ const (
 // padded to 128 bytes so the hot line stays line-aligned within the
 // (64-byte-aligned) backing array.
 type cacheEntry struct {
-	key    flowKey // 40 bytes
-	gen    uint64
-	hash   uint32
-	out    uint32
-	fields uint16 // patch-operation bits
-	flags  uint8
-	tables uint8
-	ttlDec uint8
-	_      [3]byte // -> 64 bytes
-	patch  cachePatch
-	_      [24]byte // -> 128 bytes
+	key       flowKey // 40 bytes
+	gen       uint64
+	hash      uint32
+	out       uint32
+	fields    uint16 // patch-operation bits
+	flags     uint8
+	tables    uint8
+	ttlDec    uint8
+	_         [1]byte
+	puntTable uint16 // originating table of a cacheToCtrl verdict -> 64 bytes
+	patch     cachePatch
+	_         [24]byte // -> 128 bytes
 }
 
 // flowCacheWays is the set associativity: enough to ride out the occasional
@@ -221,7 +226,7 @@ func (fc *FlowCache) lookupAt(base, h uint32, k *flowKey, gen uint64) (e *cacheE
 // install memoizes a verdict for the key.  Victim priority: an entry already
 // holding the key (refresh in place), an invalid slot, a retired-generation
 // slot, then round-robin — so churn under a full set cannot pin one way.
-func (fc *FlowCache) install(h uint32, k *flowKey, gen uint64, flags uint8, out uint32, tables, ttlDec uint8, fields uint16, patch *cachePatch) {
+func (fc *FlowCache) install(h uint32, k *flowKey, gen uint64, flags uint8, out uint32, tables, ttlDec uint8, puntTable uint16, fields uint16, patch *cachePatch) {
 	base := (h & fc.mask) * flowCacheWays
 	set := fc.entries[base : base+flowCacheWays]
 	var victim *cacheEntry
@@ -253,6 +258,7 @@ func (fc *FlowCache) install(h uint32, k *flowKey, gen uint64, flags uint8, out 
 	victim.flags = flags
 	victim.tables = tables
 	victim.ttlDec = ttlDec
+	victim.puntTable = puntTable
 	if fields != 0 {
 		victim.patch = *patch
 	}
@@ -268,6 +274,16 @@ func (e *cacheEntry) apply(p *pkt.Packet, v *openflow.Verdict) {
 	v.Modified = e.flags&cacheModified != 0
 	v.ToController = e.flags&cacheToCtrl != 0
 	v.Dropped = e.flags&cacheDropped != 0
+	if v.ToController {
+		// Replay the punt attribution so a cache hit delivers exactly the
+		// PacketIn the full walk would have (reason + originating table).
+		reason := openflow.PuntAction
+		if e.flags&cachePuntMiss != 0 {
+			reason = openflow.PuntMiss
+		}
+		v.PuntReason = reason
+		v.PuntTable = openflow.TableID(e.puntTable)
+	}
 	if e.flags&cacheHasPort != 0 {
 		v.OutPorts = append(v.OutPorts[:0], e.out)
 	}
@@ -410,9 +426,9 @@ func diffHeaders(pre, post *pkt.Headers, postMeta uint64) (patch cachePatch, fie
 // entryFromVerdict compresses a verdict into the entry's hot-line encoding.
 // It reports ok=false for verdicts the cache refuses to memoize: multi-port
 // outputs (flood/multicast replication) and walks deeper than the encoding.
-func entryFromVerdict(v *openflow.Verdict) (flags uint8, out uint32, tables uint8, ok bool) {
+func entryFromVerdict(v *openflow.Verdict) (flags uint8, out uint32, tables uint8, puntTable uint16, ok bool) {
 	if len(v.OutPorts) > 1 || v.Tables > 255 {
-		return 0, 0, 0, false
+		return 0, 0, 0, 0, false
 	}
 	flags = cacheValid
 	if len(v.OutPorts) == 1 {
@@ -424,6 +440,10 @@ func entryFromVerdict(v *openflow.Verdict) (flags uint8, out uint32, tables uint
 	}
 	if v.ToController {
 		flags |= cacheToCtrl
+		if v.PuntReason == openflow.PuntMiss {
+			flags |= cachePuntMiss
+		}
+		puntTable = uint16(v.PuntTable)
 	}
 	if v.TableMiss {
 		flags |= cacheTableMiss
@@ -431,7 +451,7 @@ func entryFromVerdict(v *openflow.Verdict) (flags uint8, out uint32, tables uint
 	if v.Modified {
 		flags |= cacheModified
 	}
-	return flags, out, uint8(v.Tables), true
+	return flags, out, uint8(v.Tables), puntTable, true
 }
 
 // bump folds one burst's probe tallies into the owner-local totals and

@@ -41,7 +41,7 @@ func TestFlowCacheProbeInstall(t *testing.T) {
 	if e, stale := fc.lookup(h, &k, 1); e != nil || stale {
 		t.Fatal("empty cache returned an entry")
 	}
-	fc.install(h, &k, 1, cacheValid|cacheHasPort, 7, 2, 0, 0, nil)
+	fc.install(h, &k, 1, cacheValid|cacheHasPort, 7, 2, 0, 0, 0, nil)
 	e, stale := fc.lookup(h, &k, 1)
 	if e == nil || stale || e.out != 7 || e.tables != 2 {
 		t.Fatalf("lookup after install: %+v stale=%v", e, stale)
@@ -51,7 +51,7 @@ func TestFlowCacheProbeInstall(t *testing.T) {
 		t.Fatalf("stale entry served or not reported: %v %v", e, stale)
 	}
 	// Reinstall under the new generation refreshes in place (no second copy).
-	fc.install(h, &k, 2, cacheValid|cacheHasPort, 9, 2, 0, 0, nil)
+	fc.install(h, &k, 2, cacheValid|cacheHasPort, 9, 2, 0, 0, 0, nil)
 	if e, _ := fc.lookup(h, &k, 2); e == nil || e.out != 9 {
 		t.Fatalf("refresh in place failed: %+v", e)
 	}
@@ -69,10 +69,10 @@ func TestFlowCacheProbeInstall(t *testing.T) {
 	// fifth slot.
 	for i := uint64(0); i < flowCacheWays-1; i++ {
 		kI := flowKey{a: 100 + i}
-		fc.install(h, &kI, 2, cacheValid, 0, 1, 0, 0, nil)
+		fc.install(h, &kI, 2, cacheValid, 0, 1, 0, 0, 0, nil)
 	}
 	kNew := flowKey{a: 999}
-	fc.install(h, &kNew, 3, cacheValid|cacheHasPort, 11, 1, 0, 0, nil)
+	fc.install(h, &kNew, 3, cacheValid|cacheHasPort, 11, 1, 0, 0, 0, nil)
 	if e, _ := fc.lookup(h, &kNew, 3); e == nil || e.out != 11 {
 		t.Fatalf("install into a full set failed: %+v", e)
 	}

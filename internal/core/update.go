@@ -127,7 +127,7 @@ func (d *Datapath) AddFlow(tableID openflow.TableID, e *openflow.FlowEntry) erro
 		// Controllers routinely add flows to tables that have not been
 		// referenced yet; create the stage on demand.
 		t = d.pipeline.AddTable(tableID)
-		tr := &trampoline{}
+		tr := &trampoline{id: tableID}
 		d.trampolines[tableID] = tr
 		dp, err := d.buildTable(t)
 		if err != nil {
@@ -141,7 +141,7 @@ func (d *Datapath) AddFlow(tableID openflow.TableID, e *openflow.FlowEntry) erro
 			// the goto has somewhere to land (OpenFlow controllers
 			// routinely install parent entries before children).
 			nt := d.pipeline.AddTable(e.Instructions.GotoTable)
-			tr := &trampoline{}
+			tr := &trampoline{id: nt.ID}
 			d.trampolines[nt.ID] = tr
 			dp, err := d.buildTable(nt)
 			if err != nil {

@@ -45,6 +45,7 @@ import (
 	"eswitch/internal/lockcount"
 	"eswitch/internal/openflow"
 	"eswitch/internal/pkt"
+	"eswitch/internal/slowpath"
 )
 
 // DefaultBurst is the burst size used by the RX/TX loops (DPDK's customary
@@ -136,11 +137,15 @@ type PortStats struct {
 }
 
 // Port is a switch port with N RX/TX queue pairs: the traffic source fills
-// the RX queues (RSS-steered), the datapath workers fill the TX queues.
+// the RX queues (RSS-steered), the datapath workers fill the TX queues.  A
+// dedicated slow-path TX ring (spq) carries controller-originated PacketOut
+// frames, so the slow-path service never shares a worker-owned TX queue (the
+// TX queues are single-producer by contract).
 type Port struct {
 	ID  uint32
 	rxq []*Ring
 	txq []*Ring
+	spq *Ring
 
 	rxPackets atomic.Uint64
 	txPackets atomic.Uint64
@@ -162,6 +167,7 @@ func NewPortQueues(id uint32, ringSize, queues int) *Port {
 		p.rxq = append(p.rxq, NewRing(ringSize))
 		p.txq = append(p.txq, NewRing(ringSize))
 	}
+	p.spq = NewRing(ringSize)
 	return p
 }
 
@@ -221,8 +227,20 @@ func (p *Port) TxBurst(q int, frames [][]byte) int {
 	return n
 }
 
-// DrainTx empties all TX queues, returning the number of frames drained (a
-// traffic sink / loopback tester).
+// TransmitSlow places a controller-originated (PacketOut) frame on the
+// port's dedicated slow-path TX ring, keeping the worker-owned TX queues
+// single-producer.  One slow-path service at a time may transmit.
+func (p *Port) TransmitSlow(frame []byte) bool {
+	if p.spq.Enqueue(frame) {
+		p.txPackets.Add(1)
+		return true
+	}
+	p.txDrops.Add(1)
+	return false
+}
+
+// DrainTx empties all TX queues (including the slow-path ring), returning
+// the number of frames drained (a traffic sink / loopback tester).
 func (p *Port) DrainTx() int {
 	n := 0
 	for _, q := range p.txq {
@@ -232,6 +250,12 @@ func (p *Port) DrainTx() int {
 			}
 			n++
 		}
+	}
+	for {
+		if _, ok := p.spq.Dequeue(); !ok {
+			break
+		}
+		n++
 	}
 	return n
 }
@@ -328,6 +352,13 @@ type WorkerStats struct {
 	// under the default drop policy).
 	TxRetries uint64
 	TxDrops   uint64
+	// Punts counts ToController verdicts copied into a slow-path punt ring
+	// and PuntDrops those lost to a full ring; Punts+PuntDrops == ToCtrl
+	// whenever the punt rings are armed (ArmPuntRings) — every punted
+	// verdict is exactly one push attempt.  Both stay zero with the rings
+	// unarmed (punted packets are then counted and discarded).
+	Punts     uint64
+	PuntDrops uint64
 	// CacheHits/CacheMisses/CacheStale are the microflow verdict cache
 	// counters folded over the datapath's workers (zero unless the datapath
 	// implements CacheDatapath and has the cache enabled).  CacheStale is
@@ -369,6 +400,14 @@ type Switch struct {
 	// txPolicy is what workers do when a TX ring is full (drop | block |
 	// spill).  Set it before the first poll; workers read it un-synchronized.
 	txPolicy TxPolicy
+	// punt, when armed, holds one slow-path punt ring per TX-queue index, so
+	// every worker (and the pooled PollOnce state, which owns queue 0's TX
+	// side already) pushes to its own single-producer ring.  Arm it before
+	// the first poll; workers read it un-synchronized.
+	punt []*slowpath.Ring
+	// reinjectPunts counts output:TABLE PacketOut frames the pipeline punted
+	// right back (see packetout.go).
+	reinjectPunts atomic.Uint64
 
 	// mu guards counter registration; the forwarding loops never touch
 	// it.  The acquisition counter backs the zero-lock acceptance tests.
@@ -455,6 +494,10 @@ type workerState struct {
 	// backlog so idle polls know whether a flush is still owed.
 	txSpill      [][][]byte
 	spillPending int
+	// punt is the worker's slow-path punt ring (nil until the switch arms
+	// punt rings; resolved lazily so states built before ArmPuntRings pick
+	// their ring up on the next poll).
+	punt *slowpath.Ring
 	// worker is the datapath's registered worker handle (nil when the
 	// datapath does not support worker registration — or when this state
 	// serves anonymous PollOnce callers, which must use the self-pinning
@@ -552,6 +595,29 @@ func (s *Switch) ClampWorkers(n int) int {
 // Stats itself acquires it.)
 func (s *Switch) MutexOps() uint64 { return s.mu.Ops() }
 
+// ArmPuntRings gives every TX-queue index (and therefore every worker) a
+// bounded slow-path punt ring of the given capacity and per-slot frame size
+// (slowpath defaults when <= 0): from then on every ToController verdict is
+// copied — frame, in-port, punt reason, originating table — into the
+// observing worker's own ring, drop-on-full, instead of being discarded.
+// Arm before the first poll; the returned rings are what a slowpath.Service
+// drains.  Calling it again replaces the rings (anything still queued in the
+// old ones is abandoned), so arm once per switch lifetime in practice.
+func (s *Switch) ArmPuntRings(capacity, frameCap int) []*slowpath.Ring {
+	if capacity <= 0 {
+		capacity = slowpath.DefaultRingCapacity
+	}
+	rings := make([]*slowpath.Ring, s.queues)
+	for i := range rings {
+		rings[i] = slowpath.NewRing(capacity, frameCap)
+	}
+	s.punt = rings
+	return rings
+}
+
+// PuntRings returns the armed punt rings (nil when unarmed).
+func (s *Switch) PuntRings() []*slowpath.Ring { return s.punt }
+
 // Stats folds the per-worker counters into aggregate statistics.
 func (s *Switch) Stats() WorkerStats {
 	s.mu.Lock()
@@ -570,6 +636,12 @@ func (s *Switch) Stats() WorkerStats {
 	// fold them in so one Stats call tells the whole forwarding story.
 	if s.cdp != nil {
 		t.CacheHits, t.CacheMisses, t.CacheStale = s.cdp.FlowCacheCounters()
+	}
+	// Punt accounting lives in the rings themselves (single-writer mirrors),
+	// so the fold needs no registration churn as workers come and go.
+	for _, r := range s.punt {
+		t.Punts += r.Pushed()
+		t.PuntDrops += r.Drops()
 	}
 	return t
 }
@@ -604,6 +676,11 @@ func (s *Switch) pollPorts(ws *workerState, ports []*Port) int {
 	if ports == nil {
 		ports = s.ports
 	}
+	if ws.punt == nil && s.punt != nil {
+		// Rings armed after this state was built: adopt the worker's ring
+		// (one nil-check per poll, nothing on the per-packet path).
+		ws.punt = s.punt[ws.txq]
+	}
 	if ws.worker != nil {
 		ws.worker.Enter()
 	}
@@ -636,13 +713,13 @@ func (s *Switch) pollPorts(ws *workerState, ports []*Port) int {
 					s.bdp.ProcessBurst(ws.pkts[:n], ws.verdicts[:n])
 				}
 				for i := 0; i < n; i++ {
-					s.stage(ws, &ws.verdicts[i], ws.frames[i], &forwarded, &dropped, &toCtrl)
+					s.stage(ws, &ws.verdicts[i], ws.frames[i], port.ID, &forwarded, &dropped, &toCtrl)
 				}
 			} else {
 				for i := 0; i < n; i++ {
 					ws.packets[0] = pkt.Packet{Data: ws.frames[i], InPort: port.ID}
 					s.dp.Process(&ws.packets[0], &ws.verdicts[0])
-					s.stage(ws, &ws.verdicts[0], ws.frames[i], &forwarded, &dropped, &toCtrl)
+					s.stage(ws, &ws.verdicts[0], ws.frames[i], port.ID, &forwarded, &dropped, &toCtrl)
 				}
 			}
 			total += n
@@ -675,19 +752,31 @@ func (s *Switch) pollPorts(ws *workerState, ports []*Port) int {
 
 // stage records one verdict: forwarded frames are appended to the per-port
 // TX staging buffers (flushed in bursts at the end of the poll iteration),
-// and the iteration-local tallies are bumped.
-func (s *Switch) stage(ws *workerState, v *openflow.Verdict, frame []byte, forwarded, dropped, toCtrl *uint64) {
-	switch {
-	case v.Forwarded():
+// punted frames are copied into the worker's slow-path punt ring (when one
+// is armed), and the iteration-local tallies are bumped.  Forwarding and
+// punting are independent dimensions of a verdict — "output:2,controller"
+// both transmits and punts, counting once in each of forwarded and toCtrl —
+// so this is a pair of tests, not a three-way switch.
+func (s *Switch) stage(ws *workerState, v *openflow.Verdict, frame []byte, inPort uint32, forwarded, dropped, toCtrl *uint64) {
+	fwd := v.Forwarded()
+	if fwd {
 		*forwarded++
 		for _, out := range v.OutPorts {
 			if out > 0 && int(out) <= len(ws.txStage) {
 				ws.txStage[out-1] = append(ws.txStage[out-1], frame)
 			}
 		}
-	case v.ToController:
+	}
+	if v.ToController {
 		*toCtrl++
-	default:
+		if ws.punt != nil {
+			// The ring copies the frame into its pre-allocated slot buffer
+			// (drop-on-full, counted by the ring), so the recycled RX frame
+			// can be reused — or transmitted above — immediately.
+			ws.punt.Push(frame, inPort, v.PuntTable, v.PuntReason)
+		}
+	}
+	if !fwd && !v.ToController {
 		*dropped++
 	}
 }

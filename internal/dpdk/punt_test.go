@@ -1,0 +1,198 @@
+package dpdk
+
+import (
+	"bytes"
+	"testing"
+
+	"eswitch/internal/openflow"
+	"eswitch/internal/pkt"
+	"eswitch/internal/slowpath"
+)
+
+// puntingDatapath fabricates verdicts per destination port byte (frame[0]):
+//
+//	0x01 -> output:2
+//	0x02 -> controller (explicit action punt from table 5)
+//	0x03 -> output:2 AND controller (the dual verdict of satellite concern)
+//	else -> drop
+type puntingDatapath struct{}
+
+func (puntingDatapath) Process(p *pkt.Packet, v *openflow.Verdict) {
+	v.Reset()
+	switch p.Data[0] {
+	case 0x01:
+		v.OutPorts = append(v.OutPorts, 2)
+	case 0x02:
+		v.ToController = true
+		v.NotePunt(openflow.PuntMiss, 1)
+	case 0x03:
+		v.OutPorts = append(v.OutPorts, 2)
+		v.ToController = true
+		v.NotePunt(openflow.PuntAction, 5)
+	default:
+		v.Dropped = true
+	}
+}
+
+// TestStageForwardAndPunt pins the verdict taxonomy fix: a verdict carrying
+// both output ports and ToController must be staged to TX AND punted,
+// counting once in each of forwarded and toCtrl (previously the punt was
+// silently lost to the Forwarded branch).
+func TestStageForwardAndPunt(t *testing.T) {
+	sw := NewSwitchQueues(puntingDatapath{}, 2, 64, 1)
+	rings := sw.ArmPuntRings(16, 0)
+	port1, _ := sw.Port(1)
+	port2, _ := sw.Port(2)
+
+	port1.Inject([]byte{0x03, 0xaa})
+	sw.PollOnce(nil)
+
+	st := sw.Stats()
+	if st.Processed != 1 || st.Forwarded != 1 || st.ToCtrl != 1 || st.Dropped != 0 {
+		t.Fatalf("dual verdict counted wrong: %+v", st)
+	}
+	if got := port2.DrainTx(); got != 1 {
+		t.Fatalf("dual verdict staged %d frames to TX, want 1", got)
+	}
+	var rec slowpath.PuntRecord
+	if !rings[0].Pop(&rec) {
+		t.Fatal("dual verdict was not punted")
+	}
+	if !bytes.Equal(rec.Frame, []byte{0x03, 0xaa}) || rec.InPort != 1 ||
+		rec.Table != 5 || rec.Reason != openflow.PuntAction {
+		t.Fatalf("punt record = %+v", rec)
+	}
+	if st.Punts != 1 || st.PuntDrops != 0 {
+		t.Fatalf("punt counters = %d/%d", st.Punts, st.PuntDrops)
+	}
+
+	// Pure punt and pure forward still behave.
+	port1.Inject([]byte{0x02})
+	port1.Inject([]byte{0x01})
+	sw.PollOnce(nil)
+	st = sw.Stats()
+	if st.Forwarded != 2 || st.ToCtrl != 2 || st.Dropped != 0 {
+		t.Fatalf("counters after mixed traffic: %+v", st)
+	}
+	if !rings[0].Pop(&rec) || rec.Table != 1 || rec.Reason != openflow.PuntMiss || rec.InPort != 1 {
+		t.Fatalf("miss punt record = %+v", rec)
+	}
+}
+
+// TestPuntDisarmedCountsOnly: without punt rings the substrate keeps the
+// pre-slow-path behaviour — ToController verdicts are counted and the frame
+// is discarded — and the punt counters stay zero.
+func TestPuntDisarmedCountsOnly(t *testing.T) {
+	sw := NewSwitchQueues(puntingDatapath{}, 2, 64, 1)
+	port1, _ := sw.Port(1)
+	port1.Inject([]byte{0x02})
+	sw.PollOnce(nil)
+	st := sw.Stats()
+	if st.ToCtrl != 1 || st.Punts != 0 || st.PuntDrops != 0 {
+		t.Fatalf("disarmed stats: %+v", st)
+	}
+}
+
+// TestPuntOverflowAccounting: a full punt ring drops (never blocks the
+// worker), and Punts+PuntDrops == ToCtrl exactly.
+func TestPuntOverflowAccounting(t *testing.T) {
+	sw := NewSwitchQueues(puntingDatapath{}, 2, 256, 1)
+	rings := sw.ArmPuntRings(4, 0) // capacity 3
+	port1, _ := sw.Port(1)
+	const total = 50
+	for i := 0; i < total; i++ {
+		port1.Inject([]byte{0x02, byte(i)})
+	}
+	for sw.PollOnce(nil) > 0 {
+	}
+	st := sw.Stats()
+	if st.ToCtrl != total {
+		t.Fatalf("toCtrl = %d, want %d", st.ToCtrl, total)
+	}
+	if st.Punts+st.PuntDrops != st.ToCtrl {
+		t.Fatalf("accounting broken: %d punts + %d drops != %d toCtrl", st.Punts, st.PuntDrops, st.ToCtrl)
+	}
+	if st.Punts != uint64(rings[0].Capacity()) {
+		t.Fatalf("punts = %d, want ring capacity %d", st.Punts, rings[0].Capacity())
+	}
+	if rings[0].Len() != rings[0].Capacity() {
+		t.Fatalf("ring holds %d", rings[0].Len())
+	}
+}
+
+// tableDP forwards InPort 1 to port 2 and punts everything else — the
+// datapath behind the output:TABLE PacketOut tests.
+type tableDP struct{}
+
+func (tableDP) Process(p *pkt.Packet, v *openflow.Verdict) {
+	v.Reset()
+	if p.InPort == 1 {
+		v.OutPorts = append(v.OutPorts, 2)
+		return
+	}
+	v.ToController = true
+	v.NotePunt(openflow.PuntMiss, 0)
+}
+
+func TestSwitchPacketOut(t *testing.T) {
+	sw := NewSwitchQueues(tableDP{}, 4, 64, 1)
+	frame := []byte{0xde, 0xad}
+
+	// Plain physical output.
+	if err := sw.PacketOut(0, frame, openflow.ActionList{openflow.Output(3)}); err != nil {
+		t.Fatal(err)
+	}
+	p3, _ := sw.Port(3)
+	if p3.DrainTx() != 1 {
+		t.Fatal("output:3 did not transmit")
+	}
+
+	// Flood skips the ingress port.
+	if err := sw.PacketOut(2, frame, openflow.ActionList{openflow.Flood()}); err != nil {
+		t.Fatal(err)
+	}
+	counts := 0
+	for _, port := range sw.Ports() {
+		n := port.DrainTx()
+		if port.ID == 2 && n != 0 {
+			t.Fatal("flood echoed out the ingress port")
+		}
+		counts += n
+	}
+	if counts != 3 {
+		t.Fatalf("flood reached %d ports, want 3", counts)
+	}
+
+	// output:TABLE re-injects through the datapath and forwards its verdict.
+	if err := sw.PacketOut(1, frame, openflow.ActionList{openflow.Output(openflow.PortTable)}); err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := sw.Port(2)
+	if p2.DrainTx() != 1 {
+		t.Fatal("output:TABLE verdict not transmitted")
+	}
+
+	// A re-injected frame that punts again is cut and counted, not looped.
+	if err := sw.PacketOut(3, frame, openflow.ActionList{openflow.Output(openflow.PortTable)}); err != nil {
+		t.Fatal(err)
+	}
+	if sw.ReinjectPunts() != 1 {
+		t.Fatalf("ReinjectPunts = %d", sw.ReinjectPunts())
+	}
+
+	// Unsupported actions and unknown ports are rejected.
+	if err := sw.PacketOut(0, frame, openflow.ActionList{openflow.SetField(openflow.FieldEthDst, 5)}); err == nil {
+		t.Fatal("set-field packet-out accepted")
+	}
+	if err := sw.PacketOut(0, frame, openflow.ActionList{openflow.Output(99)}); err == nil {
+		t.Fatal("unknown port accepted")
+	}
+	// Drop ends execution without transmitting.
+	if err := sw.PacketOut(0, frame, openflow.ActionList{openflow.Drop(), openflow.Output(1)}); err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := sw.Port(1)
+	if p1.DrainTx() != 0 {
+		t.Fatal("drop packet-out still transmitted")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"eswitch/internal/workload"
 )
@@ -242,5 +243,30 @@ func TestFig19MeasuredScaling(t *testing.T) {
 		if v := cellFloat(t, r, i, 1); v <= 0 {
 			t.Fatalf("row %d (%v): non-positive measured rate %v", i, row, v)
 		}
+	}
+}
+
+func TestFlowSetupRateClosedLoop(t *testing.T) {
+	h, err := NewSlowPathHarness(SlowPathConfig{Hosts: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if _, err := h.Converge(64, 20*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if h.Learner.FlowMods() == 0 {
+		t.Fatal("reactive loop installed no flows")
+	}
+	mpps, punts := h.MeasureForwarding(5000)
+	if punts != 0 {
+		t.Fatalf("post-convergence punts: %d", punts)
+	}
+	if mpps <= 0 {
+		t.Fatalf("mpps = %v", mpps)
+	}
+	st := h.SW.Stats()
+	if h.Service.Delivered()+st.PuntDrops != st.ToCtrl {
+		t.Fatalf("accounting: delivered %d + drops %d != toCtrl %d", h.Service.Delivered(), st.PuntDrops, st.ToCtrl)
 	}
 }

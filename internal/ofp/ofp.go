@@ -40,6 +40,19 @@ const (
 	FlowModDelete uint8 = 3
 )
 
+// PacketIn reasons (OpenFlow's OFPR_* values).
+const (
+	// PacketInReasonNoMatch: the packet missed a table whose miss behaviour
+	// punts to the controller.
+	PacketInReasonNoMatch uint8 = 0
+	// PacketInReasonAction: an explicit output:CONTROLLER action.
+	PacketInReasonAction uint8 = 1
+)
+
+// NoBuffer is the BufferID of a PacketIn/PacketOut that carries the full
+// packet inline instead of referencing a switch-side buffer (OFP_NO_BUFFER).
+const NoBuffer uint32 = 0xffffffff
+
 // headerLen is the fixed message header size.
 const headerLen = 8
 
@@ -103,10 +116,16 @@ type FlowMod struct {
 
 // PacketIn is a packet punted to the controller.
 type PacketIn struct {
+	// BufferID identifies the switch-side copy of the packet inside the slow
+	// path's buffer-id window (NoBuffer when the switch kept no copy); a
+	// PacketOut echoing it within the window may omit the packet data.
 	BufferID uint32
 	InPort   uint32
-	TableID  openflow.TableID
-	Data     []byte
+	// TableID is the flow table that generated the punt and Reason one of
+	// the PacketInReason* values (table miss vs explicit controller output).
+	TableID openflow.TableID
+	Reason  uint8
+	Data    []byte
 }
 
 // PacketOut is a packet the controller injects into the datapath.
@@ -291,6 +310,7 @@ func EncodePacketIn(pi PacketIn) []byte {
 	e.u32(pi.BufferID)
 	e.u32(pi.InPort)
 	e.u16(uint16(pi.TableID))
+	e.u8(pi.Reason)
 	e.bytes(pi.Data)
 	return e.buf
 }
@@ -298,7 +318,7 @@ func EncodePacketIn(pi PacketIn) []byte {
 // DecodePacketIn parses a PacketIn message body.
 func DecodePacketIn(body []byte) (PacketIn, error) {
 	d := &decoder{buf: body}
-	pi := PacketIn{BufferID: d.u32(), InPort: d.u32(), TableID: openflow.TableID(d.u16())}
+	pi := PacketIn{BufferID: d.u32(), InPort: d.u32(), TableID: openflow.TableID(d.u16()), Reason: d.u8()}
 	pi.Data = pi.Data[:0]
 	pi.Data = append(pi.Data, d.rest()...)
 	return pi, d.err

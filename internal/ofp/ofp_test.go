@@ -112,12 +112,13 @@ func TestFlowModDecodeTruncated(t *testing.T) {
 }
 
 func TestPacketInOutRoundTrip(t *testing.T) {
-	pi := PacketIn{BufferID: 9, InPort: 3, TableID: 12, Data: []byte{1, 2, 3, 4}}
+	pi := PacketIn{BufferID: 9, InPort: 3, TableID: 12, Reason: PacketInReasonAction, Data: []byte{1, 2, 3, 4}}
 	gotPI, err := DecodePacketIn(EncodePacketIn(pi))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if gotPI.BufferID != 9 || gotPI.InPort != 3 || gotPI.TableID != 12 || !bytes.Equal(gotPI.Data, pi.Data) {
+	if gotPI.BufferID != 9 || gotPI.InPort != 3 || gotPI.TableID != 12 ||
+		gotPI.Reason != PacketInReasonAction || !bytes.Equal(gotPI.Data, pi.Data) {
 		t.Fatalf("packet-in round trip: %+v", gotPI)
 	}
 	po := PacketOut{BufferID: 1, InPort: 2, Actions: openflow.ActionList{openflow.Output(7)}, Data: []byte{9, 9}}

@@ -9,6 +9,10 @@ import (
 
 // Reserved OpenFlow port numbers.
 const (
+	// PortTable submits the packet to the first flow table.  It is only
+	// valid in packet-out action lists (the controller re-injecting a punted
+	// packet through the pipeline); in flow entries it is ignored.
+	PortTable uint32 = 0xfffffff9
 	// PortFlood floods the packet on every port except the ingress port.
 	PortFlood uint32 = 0xfffffffb
 	// PortController sends the packet to the controller (packet-in).
@@ -18,6 +22,34 @@ const (
 	// PortMax is the highest valid physical port number.
 	PortMax uint32 = 0xffffff00
 )
+
+// PuntReason says why a packet was punted to the controller — the reason
+// field of the resulting PacketIn.
+type PuntReason uint8
+
+// Punt reasons.
+const (
+	// PuntNone: the packet was not punted.
+	PuntNone PuntReason = iota
+	// PuntMiss: a table miss under the MissController behaviour.
+	PuntMiss
+	// PuntAction: an explicit output:CONTROLLER action.
+	PuntAction
+)
+
+// String names the punt reason the way OpenFlow's packet-in reasons do.
+func (r PuntReason) String() string {
+	switch r {
+	case PuntNone:
+		return "none"
+	case PuntMiss:
+		return "no_match"
+	case PuntAction:
+		return "action"
+	default:
+		return fmt.Sprintf("reason(%d)", uint8(r))
+	}
+}
 
 // ActionType enumerates the supported OpenFlow actions.
 type ActionType uint8
@@ -162,6 +194,13 @@ type Verdict struct {
 	OutPorts []uint32
 	// ToController is set when the packet must be punted to the controller.
 	ToController bool
+	// PuntReason records why the packet was (first) punted and PuntTable the
+	// table that generated the punt — a table miss records the missing table,
+	// an explicit output:CONTROLLER the table whose actions executed it.
+	// Both are meaningful only when ToController is set; the slow path copies
+	// them into the PacketIn it delivers.
+	PuntReason PuntReason
+	PuntTable  TableID
 	// Dropped is set when the packet matched an explicit or implicit drop.
 	Dropped bool
 	// TableMiss is set when the pipeline ended in a table miss with no
@@ -178,6 +217,8 @@ type Verdict struct {
 func (v *Verdict) Reset() {
 	v.OutPorts = v.OutPorts[:0]
 	v.ToController = false
+	v.PuntReason = PuntNone
+	v.PuntTable = 0
 	v.Dropped = false
 	v.TableMiss = false
 	v.Modified = false
@@ -186,6 +227,15 @@ func (v *Verdict) Reset() {
 
 // Forwarded reports whether the packet was sent out at least one port.
 func (v *Verdict) Forwarded() bool { return len(v.OutPorts) > 0 }
+
+// NotePunt records the punt cause, keeping the first attribution when a walk
+// punts more than once (an explicit controller output followed by a miss).
+func (v *Verdict) NotePunt(reason PuntReason, table TableID) {
+	if v.PuntReason == PuntNone {
+		v.PuntReason = reason
+		v.PuntTable = table
+	}
+}
 
 // Equivalent reports whether two verdicts describe the same externally
 // observable outcome (same output ports in the same order, same controller /
@@ -242,6 +292,10 @@ func ApplyActions(actions ActionList, p *pkt.Packet, v *Verdict, numPorts int) {
 			switch a.Port {
 			case PortController:
 				v.ToController = true
+			case PortTable:
+				// Only meaningful in packet-out action lists, where the
+				// slow path resolves it before calling ApplyActions; in a
+				// flow entry it is ignored rather than treated as a port.
 			case PortFlood:
 				for port := 1; port <= numPorts; port++ {
 					if uint32(port) != p.InPort {

@@ -247,6 +247,7 @@ func (in *Interpreter) ProcessParsed(p *pkt.Packet, v *Verdict, tracker FieldTra
 			switch pl.Miss {
 			case MissController:
 				v.ToController = true
+				v.NotePunt(PuntMiss, tableID)
 			default:
 				v.Dropped = true
 			}
@@ -257,7 +258,11 @@ func (in *Interpreter) ProcessParsed(p *pkt.Packet, v *Verdict, tracker FieldTra
 		}
 		ins := &entry.Instructions
 		if len(ins.ApplyActions) > 0 {
+			wasPunt := v.ToController
 			ApplyActions(ins.ApplyActions, p, v, pl.NumPorts)
+			if !wasPunt && v.ToController {
+				v.NotePunt(PuntAction, tableID)
+			}
 			if v.Dropped && !v.Forwarded() && !v.ToController {
 				// An explicit drop in apply-actions ends processing.
 				if hasExplicitDrop(ins.ApplyActions) {
@@ -280,7 +285,11 @@ func (in *Interpreter) ProcessParsed(p *pkt.Packet, v *Verdict, tracker FieldTra
 		if !ins.HasGoto {
 			// End of pipeline: execute the accumulated action set.
 			if len(actionSet) > 0 {
+				wasPunt := v.ToController
 				ApplyActions(actionSet, p, v, pl.NumPorts)
+				if !wasPunt && v.ToController {
+					v.NotePunt(PuntAction, tableID)
+				}
 			}
 			if !v.Forwarded() && !v.ToController {
 				v.Dropped = true

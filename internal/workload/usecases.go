@@ -140,6 +140,56 @@ func L2PortSecurityUseCase(stations, numPorts int) *UseCase {
 }
 
 // ---------------------------------------------------------------------------
+// L2 learning: the reactive slow-path use case (empty table, controller
+// learns).
+// ---------------------------------------------------------------------------
+
+// L2LearningUseCase builds the reactive counterpart of L2UseCase: the
+// pipeline starts EMPTY with table-miss-punts-to-controller behaviour, and a
+// reactive L2 learning controller is expected to fill the MAC table at
+// runtime from the resulting PacketIns (controller.LearningSwitch).  The
+// traffic is a full sweep over host pairs — every host appears as a source,
+// so a learning controller converges after one pass and the punt rate decays
+// to zero.  hosts are stationed round-robin on the ports exactly like
+// L2UseCase, so the learned flow table ends up equivalent to L2UseCase's
+// pre-installed one.
+func L2LearningUseCase(hosts, numPorts int) *UseCase {
+	if numPorts < 2 {
+		numPorts = 4
+	}
+	if hosts < 2 {
+		hosts = 2
+	}
+	pl := openflow.NewPipeline(numPorts)
+	pl.Miss = openflow.MissController
+	pl.Table(0).Name = "mac (learned)"
+
+	return &UseCase{
+		Name:     "l2-learning",
+		Pipeline: pl,
+		Trace: func(activeFlows int) *pktgen.Trace {
+			if activeFlows < hosts {
+				activeFlows = hosts // every host must speak for convergence
+			}
+			flows := make([]pktgen.Flow, 0, activeFlows)
+			for f := 0; f < activeFlows; f++ {
+				src := f % hosts
+				// A derangement-ish pairing so destinations cover the host
+				// set without self-traffic.
+				dst := (src + 1 + int((uint64(f)*2654435761)%uint64(hosts-1))) % hosts
+				flows = append(flows, pktgen.Flow{
+					InPort: uint32(1 + src%numPorts),
+					SrcMAC: l2MAC(src),
+					DstMAC: l2MAC(dst),
+					L2Only: true,
+				})
+			}
+			return pktgen.NewTrace(flows, int64(activeFlows)+7)
+		},
+	}
+}
+
+// ---------------------------------------------------------------------------
 // L3 routing (§4.1): longest prefix match over a routing table.
 // ---------------------------------------------------------------------------
 

@@ -2,8 +2,11 @@
 # bench_burst.sh records the Fig. 10-13 packet-rate benchmarks — per-packet
 # (eswitch), burst (eswitch-burst) and the flow-caching baseline (ovs) — plus
 # the microflow verdict cache rows (BenchmarkFlowCache_*: cache on vs off at
-# flows=100 and flows=100000, uniform and Zipf popularity) to BENCH_burst.json
-# so the performance trajectory is tracked from PR to PR.
+# flows=100 and flows=100000, uniform and Zipf popularity) and the slow-path
+# rows (BenchmarkSlowPath_*: punt-ring and punt-delivery throughput, the
+# reactive learning-switch flow-setup rate over TCP, and post-convergence
+# fast-path Mpps with punt rings armed) to BENCH_burst.json so the
+# performance trajectory is tracked from PR to PR.
 #
 # Each benchmark runs COUNT times and the best Mpps per row is recorded:
 # scheduling/co-tenancy interference only ever slows a run down, so max-of-N
@@ -39,7 +42,7 @@ GMP="$(go run ./cmd/eswitch-benchcheck -gomaxprocs)"
 TMP="$OUT.tmp.$$"
 trap 'rm -f "$TMP"' EXIT
 
-go test -run '^$' -bench 'BenchmarkFig1[0123]|BenchmarkFlowCache' -benchtime "$BENCHTIME" -count "$COUNT" -timeout 60m . | tee /dev/stderr |
+go test -run '^$' -bench 'BenchmarkFig1[0123]|BenchmarkFlowCache|BenchmarkSlowPath' -benchtime "$BENCHTIME" -count "$COUNT" -timeout 60m . | tee /dev/stderr |
 	awk -v gmp="$GMP" -f scripts/bench_lib.awk | awk -F'\t' -v gmp="$GMP" '
 	BEGIN { printf "[" }
 	{
