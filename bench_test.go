@@ -666,7 +666,10 @@ func BenchmarkSlowPath_PuntDeliver(b *testing.B) {
 		b.Fatal(err)
 	}
 	sw := dpdk.NewSwitch(dp, 4, 8192)
-	rings := sw.ArmPuntRings(4096, 0)
+	rings, err := sw.ArmPuntRings(4096, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
 	svc, err := slowpath.NewService(slowpath.Config{
 		Rings: rings,
 		Send:  func(pi ofp.PacketIn) error { return nil },

@@ -7,9 +7,12 @@ package eswitch
 
 import (
 	"fmt"
+	"net"
 	"runtime/debug"
 	"testing"
+	"time"
 
+	"eswitch/internal/controller"
 	"eswitch/internal/core"
 	"eswitch/internal/cpumodel"
 	"eswitch/internal/dpdk"
@@ -316,10 +319,56 @@ func TestWorkerPathZeroLocksZeroAllocs(t *testing.T) {
 	t.Run("flowcache=on", func(t *testing.T) { testWorkerPathZeroLocksZeroAllocs(t, 4096) })
 }
 
+// idleSupervisor connects a supervised control channel to a throwaway
+// controller endpoint and parks it: the echo interval is an hour, so during
+// the measured window the supervisor goroutine sits blocked in its select
+// and the agent sits blocked in a read — supervision armed, zero background
+// activity.
+func idleSupervisor(t *testing.T, dp controller.FlowProgrammer) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		if c, err := ln.Accept(); err == nil {
+			accepted <- c
+		}
+	}()
+	sup, err := controller.NewSupervisor(controller.SupervisorConfig{
+		Dial:         func() (net.Conn, error) { return net.Dial("tcp", ln.Addr().String()) },
+		Agent:        controller.NewAgent(dp),
+		EchoInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup.Start()
+	t.Cleanup(func() {
+		sup.Stop()
+		ln.Close()
+		select {
+		case c := <-accepted:
+			c.Close()
+		default:
+		}
+	})
+	for i := 0; sup.State() != controller.SupervisorUp; i++ {
+		if i > 5000 {
+			t.Fatal("supervisor never established its session")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 func testWorkerPathZeroLocksZeroAllocs(t *testing.T, flowCache int) {
 	uc := workload.L3UseCase(1000, 4, 2016)
 	opts := core.DefaultOptions()
 	opts.FlowCache = flowCache
+	// The capacity guardrail is part of the armed failure plane; it gates
+	// AddFlow only, so the worker path below must never feel it.
+	opts.MaxTableEntries = 4096
 	dp, err := core.Compile(uc.Pipeline, opts)
 	if err != nil {
 		t.Fatal(err)
@@ -328,7 +377,15 @@ func testWorkerPathZeroLocksZeroAllocs(t *testing.T, flowCache int) {
 	// The slow path must stay off the hot path: with the punt rings armed
 	// but no punting traffic (the L3 workload never punts), the worker loop
 	// below must remain zero-lock and zero-alloc.
-	sw.ArmPuntRings(256, 0)
+	if _, err := sw.ArmPuntRings(256, 0); err != nil {
+		t.Fatal(err)
+	}
+	// The rest of the failure plane rides along: punt-storm filter armed,
+	// fail mode explicit, and an idle supervised control channel connected.
+	// None of it may cost the zero-punt worker path a lock or an allocation.
+	sw.SetPuntFilter(1024, 64)
+	sw.SetFailMode(dpdk.FailNormal)
+	idleSupervisor(t, dp)
 	trace := uc.Trace(512)
 	frames := make([][]byte, 256)
 	for i := range frames {
@@ -377,8 +434,9 @@ func testWorkerPathZeroLocksZeroAllocs(t *testing.T, flowCache int) {
 	}
 	// (Stats itself takes the counted mutex, so the zero-punt premise is
 	// checked only after the lock assertions.)
-	if st := sw.Stats(); st.Punts != 0 || st.PuntDrops != 0 {
-		t.Fatalf("steady-state workload punted (%d/%d) — the zero-punt premise broke", st.Punts, st.PuntDrops)
+	if st := sw.Stats(); st.Punts != 0 || st.PuntDrops != 0 || st.PuntSuppressed != 0 || st.PuntFiltered != 0 {
+		t.Fatalf("steady-state workload punted (%d/%d, %d suppressed, %d filtered) — the zero-punt premise broke",
+			st.Punts, st.PuntDrops, st.PuntSuppressed, st.PuntFiltered)
 	}
 	// The epoch-pinned facade burst path must also stay lock-free.
 	packets := make([]pkt.Packet, 32)

@@ -8,6 +8,8 @@
 //	eswitchd [-usecase l2|l3|loadbalancer|gateway|l2learn] [-datapath eswitch|ovs]
 //	         [-flows 10000] [-duration 5s] [-cores 1] [-flowcache 262144|off]
 //	         [-listen :6653] [-punt-ring 1024] [-punt-rate 10000]
+//	         [-fail-mode normal|standalone|secure] [-punt-filter 4096]
+//	         [-punt-filter-window 64] [-miss-send-len 128] [-max-table-entries 0]
 //
 // When -listen is given, an OpenFlow agent accepts controller connections
 // and applies FlowMods to the running switch.
@@ -88,9 +90,19 @@ func main() {
 	listen := flag.String("listen", "", "optional OpenFlow agent listen address (e.g. :6653)")
 	puntRing := flag.Int("punt-ring", 0, "per-worker slow-path punt ring capacity (0 = punts counted but discarded)")
 	puntRate := flag.Int("punt-rate", 0, "PacketIn delivery cap in packets/second (0 = unlimited)")
+	failModeName := flag.String("fail-mode", "normal", "degraded mode while no controller is connected: normal, standalone or secure")
+	puntFilter := flag.Int("punt-filter", 0, "per-worker punt-storm filter size in microflow entries (0 = off)")
+	puntFilterWindow := flag.Int("punt-filter-window", 64, "punt-storm filter suppression window in worker poll iterations")
+	missSendLen := flag.Int("miss-send-len", 0, "PacketIn payload truncation in bytes, original length preserved in total_len (0 = full frame)")
+	maxTable := flag.Int("max-table-entries", 0, "per-table flow entry cap; overflowing FlowMods fail with TABLE_FULL (0 = unlimited; eswitch datapath only)")
 	flag.Parse()
 
 	txPol, err := dpdk.ParseTxPolicy(*txpolicy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	failMode, err := dpdk.ParseFailMode(*failModeName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -119,6 +131,7 @@ func main() {
 	case "eswitch":
 		opts := core.DefaultOptions()
 		opts.Decompose = uc.WantsDecomposition
+		opts.MaxTableEntries = *maxTable
 		if cacheEntries > 0 {
 			// The microflow cache and the cycle meter are mutually
 			// exclusive: memoized verdicts would skip the per-stage model
@@ -176,10 +189,24 @@ func main() {
 	// batched TX.
 	sw := dpdk.NewSwitchQueues(fastpath, uc.Pipeline.NumPorts, 4096, *queues)
 	sw.SetTxPolicy(txPol)
+	if *puntFilter > 0 {
+		sw.SetPuntFilter(*puntFilter, *puntFilterWindow)
+		fmt.Printf("eswitchd: punt-storm filter armed: %d entries per worker, %d-poll window\n",
+			*puntFilter, *puntFilterWindow)
+	}
+	if failMode != dpdk.FailNormal {
+		// Degraded until a controller actually connects; the reactive accept
+		// loop below flips the switch back to normal per connection.
+		sw.SetFailMode(failMode)
+		fmt.Printf("eswitchd: fail mode %s while no controller is connected\n", failMode)
+	}
 
 	var puntRings []*slowpath.Ring
 	if *puntRing > 0 {
-		puntRings = sw.ArmPuntRings(*puntRing, 0)
+		puntRings, err = sw.ArmPuntRings(*puntRing, 0)
+		if err != nil {
+			log.Fatalf("slowpath: %v", err)
+		}
 		fmt.Printf("eswitchd: slow path armed: %d punt rings x %d entries, PacketIn rate limit %s\n",
 			len(puntRings), puntRings[0].Capacity(), rateString(*puntRate))
 	}
@@ -207,10 +234,11 @@ func main() {
 				// the lifetime of its connection.
 				rw, out := controller.SharedChannel(conn)
 				svc, err := slowpath.NewService(slowpath.Config{
-					Rings:    puntRings,
-					RatePPS:  *puntRate,
-					Window:   256,
-					Executor: sw,
+					Rings:       puntRings,
+					RatePPS:     *puntRate,
+					Window:      256,
+					MissSendLen: *missSendLen,
+					Executor:    sw,
 					Send: func(pi ofp.PacketIn) error {
 						return ofp.WriteMessage(out, ofp.Message{Type: ofp.TypePacketIn, Body: ofp.EncodePacketIn(pi)})
 					},
@@ -221,11 +249,13 @@ func main() {
 					continue
 				}
 				agent.PacketOutHandler = svc.HandlePacketOut
+				sw.SetFailMode(dpdk.FailNormal)
 				stop := make(chan struct{})
 				go svc.Run(stop)
 				if err := agent.Serve(rw); err != nil {
 					log.Printf("agent: %v", err)
 				}
+				sw.SetFailMode(failMode)
 				close(stop)
 				agent.PacketOutHandler = nil
 				conn.Close()
@@ -277,10 +307,11 @@ func main() {
 		st.Processed, st.Forwarded, st.Dropped, st.ToCtrl)
 	fmt.Printf("tx:        policy %s, %d retries, %d backpressure drops\n", txPol, st.TxRetries, st.TxDrops)
 	if puntRings != nil {
-		// Punts+PuntDrops == ToCtrl: every punted verdict is exactly one
-		// ring push attempt.
-		fmt.Printf("slowpath:  %d punts queued, %d ring drops, %d re-injected punts cut\n",
-			st.Punts, st.PuntDrops, sw.ReinjectPunts())
+		// Punts+PuntDrops+PuntSuppressed+PuntFiltered == ToCtrl: every punted
+		// verdict is exactly one ring push attempt, a degraded-mode
+		// suppression, or a storm-filter hit.
+		fmt.Printf("slowpath:  %d punts queued, %d ring drops, %d suppressed (fail mode), %d storm-filtered, %d re-injected punts cut\n",
+			st.Punts, st.PuntDrops, st.PuntSuppressed, st.PuntFiltered, sw.ReinjectPunts())
 	}
 	if compiled != nil && cacheEntries > 0 {
 		// CacheHits+CacheMisses == Processed when the cache is engaged

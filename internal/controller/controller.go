@@ -8,11 +8,13 @@
 package controller
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"eswitch/internal/ofp"
 	"eswitch/internal/openflow"
@@ -36,8 +38,14 @@ type Agent struct {
 	PacketOutHandler func(ofp.PacketOut) error
 
 	flowMods      atomic.Uint64
+	flowModErrs   atomic.Uint64
 	packets       atomic.Uint64
 	packetOutErrs atomic.Uint64
+	// lastEchoReply is when the channel last proved itself alive (an
+	// EchoReply arrived), UnixNano; the supervisor's liveness check reads
+	// it.  echoReplies counts them.
+	lastEchoReply atomic.Int64
+	echoReplies   atomic.Uint64
 }
 
 // NewAgent returns an agent applying flow mods to the programmer.
@@ -45,6 +53,29 @@ func NewAgent(p FlowProgrammer) *Agent { return &Agent{programmer: p} }
 
 // FlowMods returns the number of flow modifications applied.
 func (a *Agent) FlowMods() uint64 { return a.flowMods.Load() }
+
+// FlowModErrors returns how many FlowMods failed to apply (each answered
+// with an OFPT_ERROR on the channel, not a channel teardown).
+func (a *Agent) FlowModErrors() uint64 { return a.flowModErrs.Load() }
+
+// EchoReplies returns how many EchoReply messages the agent has consumed.
+func (a *Agent) EchoReplies() uint64 { return a.echoReplies.Load() }
+
+// LastEchoReply returns when the last EchoReply arrived (zero time when none
+// has).  The supervisor's liveness check compares it against the echo
+// deadline.
+func (a *Agent) LastEchoReply() time.Time {
+	ns := a.lastEchoReply.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
+
+// markEchoReply arms/refreshes the liveness clock; the supervisor calls it
+// at session start so a silent controller times out relative to the
+// session's beginning, not the Unix epoch.
+func (a *Agent) markEchoReply(t time.Time) { a.lastEchoReply.Store(t.UnixNano()) }
 
 // PacketOuts returns the number of packet-out messages received.
 func (a *Agent) PacketOuts() uint64 { return a.packets.Load() }
@@ -74,17 +105,40 @@ func (a *Agent) Serve(conn io.ReadWriter) error {
 			if err := ofp.WriteMessage(conn, ofp.Message{Type: ofp.TypeEchoReply, Xid: msg.Xid, Body: msg.Body}); err != nil {
 				return err
 			}
+		case ofp.TypeEchoReply:
+			// The reply to an EchoRequest the supervisor sent: refresh the
+			// liveness clock its echo deadline is measured against.
+			a.markEchoReply(time.Now())
+			a.echoReplies.Add(1)
 		case ofp.TypeBarrierRequest:
 			if err := ofp.WriteMessage(conn, ofp.Message{Type: ofp.TypeBarrierReply, Xid: msg.Xid}); err != nil {
 				return err
 			}
 		case ofp.TypeFlowMod:
+			// A FlowMod the switch cannot honor is answered with an
+			// OFPT_ERROR, never a channel teardown: the framing layer
+			// guarantees message boundaries, so neither a malformed body
+			// nor a rejected flow desynchronizes the stream, and killing a
+			// long-lived reactive channel over one bad flow would turn a
+			// single controller bug into a forwarding outage.
 			fm, err := ofp.DecodeFlowMod(msg.Body)
 			if err != nil {
-				return err
+				a.flowModErrs.Add(1)
+				if err := a.sendError(conn, msg, ofp.ErrTypeBadRequest, ofp.BadRequestBadLen); err != nil {
+					return err
+				}
+				continue
 			}
 			if err := a.applyFlowMod(fm); err != nil {
-				return err
+				a.flowModErrs.Add(1)
+				code := ofp.FlowModFailedUnknown
+				var tf interface{ TableFull() bool }
+				if errors.As(err, &tf) && tf.TableFull() {
+					code = ofp.FlowModFailedTableFull
+				}
+				if err := a.sendError(conn, msg, ofp.ErrTypeFlowModFailed, code); err != nil {
+					return err
+				}
 			}
 		case ofp.TypePacketOut:
 			po, err := ofp.DecodePacketOut(msg.Body)
@@ -101,6 +155,14 @@ func (a *Agent) Serve(conn io.ReadWriter) error {
 			// Ignore unknown message types, as real agents do.
 		}
 	}
+}
+
+// sendError answers a failed request with an OFPT_ERROR carrying the
+// request's xid and echoing its body, so the controller can tell exactly
+// which flow was rejected.
+func (a *Agent) sendError(conn io.Writer, req ofp.Message, errType, code uint16) error {
+	body := ofp.EncodeError(ofp.ErrorMsg{Type: errType, Code: code, Data: req.Body})
+	return ofp.WriteMessage(conn, ofp.Message{Type: ofp.TypeError, Xid: req.Xid, Body: body})
 }
 
 func (a *Agent) applyFlowMod(fm ofp.FlowMod) error {
@@ -167,6 +229,10 @@ type Controller struct {
 	// PacketInHandler, when set, is invoked for every PacketIn read by
 	// HandleOne/Run.
 	PacketInHandler func(ofp.PacketIn)
+	// ErrorHandler, when set, is invoked for every OFPT_ERROR the switch
+	// sends (most importantly FLOW_MOD_FAILED/TABLE_FULL, the capacity
+	// guardrail) read by Run or Barrier.
+	ErrorHandler func(ofp.ErrorMsg)
 }
 
 // NewController wraps an established control channel.
@@ -255,6 +321,18 @@ func (c *Controller) Barrier() error {
 					c.PacketInHandler(pi)
 				}
 			}
+		case ofp.TypeEchoRequest:
+			// The supervised switch probes channel liveness; answer even
+			// mid-barrier (the write is safe: Barrier holds the mutex).
+			if err := ofp.WriteMessage(c.conn, ofp.Message{Type: ofp.TypeEchoReply, Xid: msg.Xid, Body: msg.Body}); err != nil {
+				return err
+			}
+		case ofp.TypeError:
+			if c.ErrorHandler != nil {
+				if em, err := ofp.DecodeError(msg.Body); err == nil {
+					c.ErrorHandler(em)
+				}
+			}
 		case ofp.TypeHello, ofp.TypeEchoReply:
 			// Fine, keep waiting.
 		}
@@ -273,9 +351,27 @@ func (c *Controller) Run() error {
 			}
 			return err
 		}
-		if msg.Type == ofp.TypePacketIn && c.PacketInHandler != nil {
-			if pi, err := ofp.DecodePacketIn(msg.Body); err == nil {
-				c.PacketInHandler(pi)
+		switch msg.Type {
+		case ofp.TypePacketIn:
+			if c.PacketInHandler != nil {
+				if pi, err := ofp.DecodePacketIn(msg.Body); err == nil {
+					c.PacketInHandler(pi)
+				}
+			}
+		case ofp.TypeEchoRequest:
+			// Liveness probe from a supervised switch: reply under the
+			// write mutex (Run itself holds no lock while reading).
+			c.mu.Lock()
+			err := ofp.WriteMessage(c.conn, ofp.Message{Type: ofp.TypeEchoReply, Xid: msg.Xid, Body: msg.Body})
+			c.mu.Unlock()
+			if err != nil {
+				return err
+			}
+		case ofp.TypeError:
+			if c.ErrorHandler != nil {
+				if em, err := ofp.DecodeError(msg.Body); err == nil {
+					c.ErrorHandler(em)
+				}
 			}
 		}
 	}

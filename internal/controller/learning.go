@@ -35,31 +35,62 @@ type LearningSwitch struct {
 
 	packetIns atomic.Uint64
 	flowMods  atomic.Uint64
+	flowErrs  atomic.Uint64
 	floods    atomic.Uint64
 	lastErr   atomic.Value // error
 }
 
 // NewLearningSwitch attaches a learning switch to the controller endpoint
-// (its PacketInHandler is taken over).
+// (its PacketInHandler and ErrorHandler are taken over).
 func NewLearningSwitch(c *Controller) *LearningSwitch {
 	ls := &LearningSwitch{
-		ctrl:      c,
 		Priority:  100,
 		macs:      make(map[uint64]uint32),
 		installed: make(map[uint64]bool),
 	}
-	c.PacketInHandler = ls.HandlePacketIn
+	ls.Attach(c)
 	return ls
 }
 
+// Attach rebinds the learning switch to a (new) controller endpoint — the
+// learning-state resync half of a control-channel reconnect.  Learned MAC
+// bindings survive (stations did not move because the channel flapped), but
+// the installed-flow ledger is cleared: the switch may or may not still hold
+// the flows installed over the previous connection, so the conservative
+// resync forgets the claim and lets the evidence — a punt for that
+// destination — trigger a harmless re-install.  Call it with the old
+// channel's Run already finished (or never started).
+func (ls *LearningSwitch) Attach(c *Controller) {
+	ls.mu.Lock()
+	ls.ctrl = c
+	if ls.macs == nil { // zero-value LearningSwitch attaching for the first time
+		ls.macs = make(map[uint64]uint32)
+	}
+	ls.installed = make(map[uint64]bool)
+	ls.mu.Unlock()
+	c.PacketInHandler = ls.HandlePacketIn
+	c.ErrorHandler = ls.HandleError
+}
+
 // Run serves the control channel until it closes (Controller.Run).
-func (ls *LearningSwitch) Run() error { return ls.ctrl.Run() }
+func (ls *LearningSwitch) Run() error { return ls.controller().Run() }
+
+// controller returns the currently attached endpoint.
+func (ls *LearningSwitch) controller() *Controller {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	return ls.ctrl
+}
 
 // PacketIns returns how many PacketIns were handled.
 func (ls *LearningSwitch) PacketIns() uint64 { return ls.packetIns.Load() }
 
 // FlowMods returns how many flows the controller installed.
 func (ls *LearningSwitch) FlowMods() uint64 { return ls.flowMods.Load() }
+
+// FlowModErrors returns how many installed flows the switch rejected with an
+// OFPT_ERROR (e.g. TABLE_FULL).
+func (ls *LearningSwitch) FlowModErrors() uint64 { return ls.flowErrs.Load() }
 
 // Floods returns how many punted packets were flooded (destination still
 // unknown at punt time).
@@ -101,11 +132,12 @@ func (ls *LearningSwitch) HandlePacketIn(pi ofp.PacketIn) {
 	if install {
 		ls.installed[dst.Uint64()] = true
 	}
+	ctrl := ls.ctrl
 	ls.mu.Unlock()
 
 	if install {
 		match := openflow.NewMatch().Set(openflow.FieldEthDst, dst.Uint64())
-		if err := ls.ctrl.InstallFlow(ls.Table, ls.Priority, match, openflow.Apply(openflow.Output(outPort))); err != nil {
+		if err := ctrl.InstallFlow(ls.Table, ls.Priority, match, openflow.Apply(openflow.Output(outPort))); err != nil {
 			ls.lastErr.Store(err)
 			return
 		}
@@ -127,7 +159,29 @@ func (ls *LearningSwitch) HandlePacketIn(pi ofp.PacketIn) {
 		Actions:  openflow.ActionList{action},
 		Data:     pi.Data,
 	}
-	if err := ls.ctrl.SendPacketOut(po); err != nil {
+	if err := ctrl.SendPacketOut(po); err != nil {
 		ls.lastErr.Store(err)
+	}
+}
+
+// HandleError digests an OFPT_ERROR from the switch.  For a failed FlowMod
+// the error echoes the rejected request, so the learner un-marks that
+// destination in its installed-flow ledger: the flow is NOT on the switch,
+// and a later punt for it must be allowed to retry the install (e.g. after
+// the controller or an operator frees table capacity) instead of being
+// filtered by the ledger forever.
+func (ls *LearningSwitch) HandleError(em ofp.ErrorMsg) {
+	ls.flowErrs.Add(1)
+	if em.Type != ofp.ErrTypeFlowModFailed {
+		return
+	}
+	fm, err := ofp.DecodeFlowMod(em.Data)
+	if err != nil || fm.Match == nil {
+		return
+	}
+	if dst, _, ok := fm.Match.Get(openflow.FieldEthDst); ok {
+		ls.mu.Lock()
+		delete(ls.installed, dst)
+		ls.mu.Unlock()
 	}
 }

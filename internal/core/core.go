@@ -97,9 +97,31 @@ type Options struct {
 	// cache of entries x 128 bytes, so size it for the expected concurrent
 	// flow count, not "as big as possible".
 	FlowCache int
+	// MaxTableEntries, when positive, caps every flow table's entry count:
+	// an AddFlow that would grow a table past the cap fails with a
+	// *TableFullError (surfaced to OpenFlow controllers as
+	// OFPET_FLOW_MOD_FAILED/TABLE_FULL) instead of growing without bound.
+	// Replacing an existing entry (same priority and match) never counts
+	// against the cap.  Zero means unlimited.
+	MaxTableEntries int
 	// Meter, when non-nil, receives cycle and memory-access accounting.
 	Meter *cpumodel.Meter
 }
+
+// TableFullError is the table-capacity guardrail's error: the AddFlow was
+// rejected because the target table is at Options.MaxTableEntries.
+type TableFullError struct {
+	Table openflow.TableID
+	Limit int
+}
+
+func (e *TableFullError) Error() string {
+	return fmt.Sprintf("core: table %d is full (%d entries)", e.Table, e.Limit)
+}
+
+// TableFull marks the error for protocol layers that must map it to
+// OFPET_FLOW_MOD_FAILED/TABLE_FULL without importing this package.
+func (e *TableFullError) TableFull() bool { return true }
 
 // DefaultOptions returns the paper's defaults.
 func DefaultOptions() Options {

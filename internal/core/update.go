@@ -135,6 +135,13 @@ func (d *Datapath) AddFlow(tableID openflow.TableID, e *openflow.FlowEntry) erro
 		}
 		tr.store(dp)
 	}
+	if max := d.opts.MaxTableEntries; max > 0 && t.Len() >= max && !t.Contains(e.Priority, e.Match) {
+		// The capacity guardrail fires before any mutation below (goto
+		// target creation, parser deepening, the Add itself): a rejected
+		// FlowMod must leave the pipeline exactly as it was.  Replacements
+		// pass — they do not grow the table.
+		return &TableFullError{Table: tableID, Limit: max}
+	}
 	if e.Instructions.HasGoto {
 		if _, ok := d.trampolines[e.Instructions.GotoTable]; !ok {
 			// The target table does not exist yet: create it empty so

@@ -57,6 +57,55 @@ const DefaultBurst = 32
 // default; NewSwitchQueues configures it).
 const DefaultQueues = 8
 
+// FailMode is the switch's controller-loss policy: what the dataplane does
+// with controller-dependent packets (ToController verdicts) while the control
+// channel is down.  The supervisor flips the mode on disconnect/reconnect;
+// the workers read it with one atomic load per punted packet — never on the
+// pure forwarding path.
+type FailMode uint32
+
+const (
+	// FailNormal is the healthy-channel mode: punts flow to the armed
+	// rings as usual.
+	FailNormal FailMode = iota
+	// FailStandalone keeps the dataplane forwarding on its own: installed
+	// flows (including the forwarding half of "output:N,controller"
+	// verdicts) keep transmitting at full rate, while the punt half is
+	// suppressed and counted (PuntSuppressed) instead of queued for a
+	// controller that cannot answer.
+	FailStandalone
+	// FailSecure drops controller-dependent packets entirely: a packet
+	// whose verdict punts — a table miss or an explicit controller output,
+	// even one that also forwards — is discarded (counted in both
+	// PuntSuppressed and Dropped).  Flows with purely local verdicts are
+	// unaffected.
+	FailSecure
+)
+
+// ParseFailMode parses a fail-mode flag value (normal | standalone | secure).
+func ParseFailMode(s string) (FailMode, error) {
+	switch s {
+	case "normal":
+		return FailNormal, nil
+	case "standalone":
+		return FailStandalone, nil
+	case "secure":
+		return FailSecure, nil
+	}
+	return FailNormal, fmt.Errorf("dpdk: unknown fail mode %q (want normal, standalone or secure)", s)
+}
+
+// String renders the mode the way ParseFailMode reads it.
+func (m FailMode) String() string {
+	switch m {
+	case FailStandalone:
+		return "standalone"
+	case FailSecure:
+		return "secure"
+	}
+	return "normal"
+}
+
 // Ring is a bounded single-producer/single-consumer queue of frames.
 type Ring struct {
 	buf  [][]byte
@@ -353,12 +402,25 @@ type WorkerStats struct {
 	TxRetries uint64
 	TxDrops   uint64
 	// Punts counts ToController verdicts copied into a slow-path punt ring
-	// and PuntDrops those lost to a full ring; Punts+PuntDrops == ToCtrl
-	// whenever the punt rings are armed (ArmPuntRings) — every punted
-	// verdict is exactly one push attempt.  Both stay zero with the rings
-	// unarmed (punted packets are then counted and discarded).
+	// and PuntDrops those lost to a full ring.  With the rings armed,
+	// every punted verdict is exactly one of queued, ring-dropped,
+	// degraded-mode-suppressed or storm-filtered:
+	//
+	//	Punts + PuntDrops + PuntSuppressed + PuntFiltered == ToCtrl
+	//
+	// which collapses to the original Punts+PuntDrops == ToCtrl whenever
+	// the channel is healthy (FailNormal) and the punt filter is off or
+	// idle.  All four stay zero with the rings unarmed and the mode normal
+	// (punted packets are then counted and discarded).
 	Punts     uint64
 	PuntDrops uint64
+	// PuntSuppressed counts punts withheld by a degraded fail mode
+	// (standalone or secure) while the control channel was down.
+	PuntSuppressed uint64
+	// PuntFiltered counts punts withheld by the per-worker punt-storm
+	// filter: the microflow punted recently and its repeat would only
+	// crowd the ring (SetPuntFilter).
+	PuntFiltered uint64
 	// CacheHits/CacheMisses/CacheStale are the microflow verdict cache
 	// counters folded over the datapath's workers (zero unless the datapath
 	// implements CacheDatapath and has the cache enabled).  CacheStale is
@@ -375,13 +437,15 @@ type WorkerStats struct {
 // trailing padding keeps each worker's counters on their own cache line so
 // Stats() snapshots never false-share with the hot loops.
 type workerCounters struct {
-	processed atomic.Uint64
-	forwarded atomic.Uint64
-	dropped   atomic.Uint64
-	toCtrl    atomic.Uint64
-	txRetries atomic.Uint64
-	txDrops   atomic.Uint64
-	_         [16]byte
+	processed    atomic.Uint64
+	forwarded    atomic.Uint64
+	dropped      atomic.Uint64
+	toCtrl       atomic.Uint64
+	txRetries    atomic.Uint64
+	txDrops      atomic.Uint64
+	puntSuppress atomic.Uint64
+	puntFiltered atomic.Uint64
+	_            [16]byte
 }
 
 // Switch ties ports and a datapath together and runs run-to-completion
@@ -405,6 +469,15 @@ type Switch struct {
 	// side already) pushes to its own single-producer ring.  Arm it before
 	// the first poll; workers read it un-synchronized.
 	punt []*slowpath.Ring
+	// failMode is the controller-loss policy (FailMode); the supervisor
+	// stores it, workers load it once per PUNTED packet — the pure
+	// forwarding path never reads it.
+	failMode atomic.Uint32
+	// puntFilterSize/puntFilterWindow configure the per-worker punt-storm
+	// filter (SetPuntFilter); workers materialize their private filter
+	// lazily, like the punt rings.  Size is a power of two (mask = size-1).
+	puntFilterSize   int
+	puntFilterWindow uint64
 	// reinjectPunts counts output:TABLE PacketOut frames the pipeline punted
 	// right back (see packetout.go).
 	reinjectPunts atomic.Uint64
@@ -498,6 +571,13 @@ type workerState struct {
 	// punt rings; resolved lazily so states built before ArmPuntRings pick
 	// their ring up on the next poll).
 	punt *slowpath.Ring
+	// puntFilter is the worker's private recently-punted filter (nil until
+	// SetPuntFilter arms it; adopted lazily like the punt ring): a
+	// direct-mapped table of (flow hash, last-punt poll) slots consulted
+	// only on the punt path.  pollSeq is the worker's poll-iteration clock
+	// the filter's recency window is measured in.
+	puntFilter []puntFilterSlot
+	pollSeq    uint64
 	// worker is the datapath's registered worker handle (nil when the
 	// datapath does not support worker registration — or when this state
 	// serves anonymous PollOnce callers, which must use the self-pinning
@@ -508,6 +588,14 @@ type workerState struct {
 	// heap-reachable, which defeats dead-code elimination) means idle
 	// workers share no cache line.
 	spin uint64
+}
+
+// puntFilterSlot is one entry of the per-worker punt-storm filter.  seen is
+// the worker's pollSeq at the last punt of this hash (0 = never; pollSeq
+// starts at 1).
+type puntFilterSlot struct {
+	hash uint32
+	seen uint64
 }
 
 // registerCounters allocates one statistics block and adds it to the fold
@@ -530,6 +618,8 @@ func (s *Switch) retireCounters(c *workerCounters) {
 	s.base.ToCtrl += c.toCtrl.Load()
 	s.base.TxRetries += c.txRetries.Load()
 	s.base.TxDrops += c.txDrops.Load()
+	s.base.PuntSuppressed += c.puntSuppress.Load()
+	s.base.PuntFiltered += c.puntFiltered.Load()
 	kept := s.counters[:0]
 	for _, o := range s.counters {
 		if o != c {
@@ -603,7 +693,23 @@ func (s *Switch) MutexOps() uint64 { return s.mu.Ops() }
 // Arm before the first poll; the returned rings are what a slowpath.Service
 // drains.  Calling it again replaces the rings (anything still queued in the
 // old ones is abandoned), so arm once per switch lifetime in practice.
-func (s *Switch) ArmPuntRings(capacity, frameCap int) []*slowpath.Ring {
+//
+// A ring whose usable capacity is below the RX burst size is rejected: a
+// punt burst larger than the ring lets the burst's leading flows monopolize
+// the slots pass after pass while every flow behind them drops — a discovery
+// livelock for reactive controllers, not just lost PacketIns.
+func (s *Switch) ArmPuntRings(capacity, frameCap int) ([]*slowpath.Ring, error) {
+	rings := s.armPuntRings(capacity, frameCap)
+	if usable := rings[0].Capacity(); usable < s.burst {
+		s.punt = nil
+		return nil, fmt.Errorf("dpdk: punt ring capacity %d is below the RX burst (%d): a burst-sized punt wave would livelock flow discovery; size rings >= the burst", usable, s.burst)
+	}
+	return rings, nil
+}
+
+// armPuntRings is ArmPuntRings without the burst-size check; tests that
+// exercise deliberate ring overflow use it in-package.
+func (s *Switch) armPuntRings(capacity, frameCap int) []*slowpath.Ring {
 	if capacity <= 0 {
 		capacity = slowpath.DefaultRingCapacity
 	}
@@ -618,6 +724,41 @@ func (s *Switch) ArmPuntRings(capacity, frameCap int) []*slowpath.Ring {
 // PuntRings returns the armed punt rings (nil when unarmed).
 func (s *Switch) PuntRings() []*slowpath.Ring { return s.punt }
 
+// SetFailMode selects the controller-loss policy (see FailMode); the
+// supervisor flips it on disconnect/reconnect.  Safe to call while workers
+// run: it is one atomic store, observed by each worker at its next punted
+// packet.
+func (s *Switch) SetFailMode(m FailMode) { s.failMode.Store(uint32(m)) }
+
+// FailMode returns the current controller-loss policy.
+func (s *Switch) FailMode() FailMode { return FailMode(s.failMode.Load()) }
+
+// SetPuntFilter arms the per-worker punt-storm filter: each worker gets a
+// private direct-mapped table of `entries` (rounded up to a power of two)
+// recently-punted flow hashes, and a microflow that punted within the last
+// `windowPolls` poll iterations has its repeat punts withheld (counted in
+// PuntFiltered) instead of queued.  The first punt of every microflow always
+// passes, so one elephant miss cannot monopolize the punt rings or the
+// PacketIn token bucket while distinct flows are still being discovered.
+// Hash collisions evict the previous occupant (a colliding flow merely
+// re-punts), and false filtering is bounded by the window.  Arm before the
+// first poll; entries <= 0 disarms.
+func (s *Switch) SetPuntFilter(entries, windowPolls int) {
+	if entries <= 0 {
+		s.puntFilterSize = 0
+		return
+	}
+	size := 1
+	for size < entries {
+		size <<= 1
+	}
+	if windowPolls < 1 {
+		windowPolls = 1
+	}
+	s.puntFilterSize = size
+	s.puntFilterWindow = uint64(windowPolls)
+}
+
 // Stats folds the per-worker counters into aggregate statistics.
 func (s *Switch) Stats() WorkerStats {
 	s.mu.Lock()
@@ -630,6 +771,8 @@ func (s *Switch) Stats() WorkerStats {
 		t.ToCtrl += c.toCtrl.Load()
 		t.TxRetries += c.txRetries.Load()
 		t.TxDrops += c.txDrops.Load()
+		t.PuntSuppressed += c.puntSuppress.Load()
+		t.PuntFiltered += c.puntFiltered.Load()
 	}
 	// The microflow-cache counters live with the datapath's workers (the
 	// cache is part of the worker-local resource plane, not the substrate);
@@ -681,11 +824,19 @@ func (s *Switch) pollPorts(ws *workerState, ports []*Port) int {
 		// (one nil-check per poll, nothing on the per-packet path).
 		ws.punt = s.punt[ws.txq]
 	}
+	if ws.puntFilter == nil && s.puntFilterSize > 0 {
+		// Same lazy adoption for the punt-storm filter: a one-time
+		// allocation per worker state, off the per-packet path.
+		ws.puntFilter = make([]puntFilterSlot, s.puntFilterSize)
+	}
+	// The filter's recency clock: one increment per poll iteration, so a
+	// window of N polls corresponds to roughly N bursts of headroom.
+	ws.pollSeq++
 	if ws.worker != nil {
 		ws.worker.Enter()
 	}
 	total := 0
-	var forwarded, dropped, toCtrl uint64
+	var tal stageTallies
 	for _, port := range ports {
 		for _, q := range ws.queues {
 			if q >= len(port.rxq) {
@@ -713,13 +864,13 @@ func (s *Switch) pollPorts(ws *workerState, ports []*Port) int {
 					s.bdp.ProcessBurst(ws.pkts[:n], ws.verdicts[:n])
 				}
 				for i := 0; i < n; i++ {
-					s.stage(ws, &ws.verdicts[i], ws.frames[i], port.ID, &forwarded, &dropped, &toCtrl)
+					s.stage(ws, &ws.verdicts[i], ws.frames[i], port.ID, &tal)
 				}
 			} else {
 				for i := 0; i < n; i++ {
 					ws.packets[0] = pkt.Packet{Data: ws.frames[i], InPort: port.ID}
 					s.dp.Process(&ws.packets[0], &ws.verdicts[0])
-					s.stage(ws, &ws.verdicts[0], ws.frames[i], port.ID, &forwarded, &dropped, &toCtrl)
+					s.stage(ws, &ws.verdicts[0], ws.frames[i], port.ID, &tal)
 				}
 			}
 			total += n
@@ -737,17 +888,33 @@ func (s *Switch) pollPorts(ws *workerState, ports []*Port) int {
 	}
 	if total > 0 {
 		ws.counters.processed.Add(uint64(total))
-		if forwarded > 0 {
-			ws.counters.forwarded.Add(forwarded)
+		if tal.forwarded > 0 {
+			ws.counters.forwarded.Add(tal.forwarded)
 		}
-		if dropped > 0 {
-			ws.counters.dropped.Add(dropped)
+		if tal.dropped > 0 {
+			ws.counters.dropped.Add(tal.dropped)
 		}
-		if toCtrl > 0 {
-			ws.counters.toCtrl.Add(toCtrl)
+		if tal.toCtrl > 0 {
+			ws.counters.toCtrl.Add(tal.toCtrl)
+		}
+		if tal.puntSuppress > 0 {
+			ws.counters.puntSuppress.Add(tal.puntSuppress)
+		}
+		if tal.puntFiltered > 0 {
+			ws.counters.puntFiltered.Add(tal.puntFiltered)
 		}
 	}
 	return total
+}
+
+// stageTallies are one poll iteration's verdict counts, folded into the
+// worker's counters once at the end of the iteration.
+type stageTallies struct {
+	forwarded    uint64
+	dropped      uint64
+	toCtrl       uint64
+	puntSuppress uint64
+	puntFiltered uint64
 }
 
 // stage records one verdict: forwarded frames are appended to the per-port
@@ -757,28 +924,76 @@ func (s *Switch) pollPorts(ws *workerState, ports []*Port) int {
 // punting are independent dimensions of a verdict — "output:2,controller"
 // both transmits and punts, counting once in each of forwarded and toCtrl —
 // so this is a pair of tests, not a three-way switch.
-func (s *Switch) stage(ws *workerState, v *openflow.Verdict, frame []byte, inPort uint32, forwarded, dropped, toCtrl *uint64) {
+//
+// Punted packets additionally pass through the failure plane, none of which
+// costs the pure forwarding path anything: under fail-secure the whole
+// packet (including its forwarding half) is discarded, under fail-standalone
+// the punt half is suppressed while forwarding proceeds, and in normal mode
+// the punt-storm filter may withhold a repeat punt of a recently-punted
+// microflow.  Every suppressed/filtered punt is counted, preserving
+// Punts+PuntDrops+PuntSuppressed+PuntFiltered == ToCtrl.
+func (s *Switch) stage(ws *workerState, v *openflow.Verdict, frame []byte, inPort uint32, tal *stageTallies) {
 	fwd := v.Forwarded()
+	punt := v.ToController
+	var mode FailMode
+	if punt {
+		tal.toCtrl++
+		mode = FailMode(s.failMode.Load())
+		if mode == FailSecure {
+			// Controller-dependent packet with no controller: discard it
+			// outright, forwarding half included.
+			tal.puntSuppress++
+			tal.dropped++
+			return
+		}
+	}
 	if fwd {
-		*forwarded++
+		tal.forwarded++
 		for _, out := range v.OutPorts {
 			if out > 0 && int(out) <= len(ws.txStage) {
 				ws.txStage[out-1] = append(ws.txStage[out-1], frame)
 			}
 		}
 	}
-	if v.ToController {
-		*toCtrl++
-		if ws.punt != nil {
+	if punt {
+		switch {
+		case mode == FailStandalone:
+			// Installed flows keep forwarding (handled above); the punt
+			// half waits for the channel to come back.
+			tal.puntSuppress++
+		case ws.punt != nil:
+			if ws.puntFilter != nil && ws.puntRepeats(frame, s.puntFilterWindow) {
+				tal.puntFiltered++
+				break
+			}
 			// The ring copies the frame into its pre-allocated slot buffer
 			// (drop-on-full, counted by the ring), so the recycled RX frame
 			// can be reused — or transmitted above — immediately.
 			ws.punt.Push(frame, inPort, v.PuntTable, v.PuntReason)
 		}
 	}
-	if !fwd && !v.ToController {
-		*dropped++
+	if !fwd && !punt {
+		tal.dropped++
 	}
+}
+
+// puntRepeats consults and updates the worker's punt-storm filter: it
+// reports true when this frame's microflow already punted within the last
+// `window` polls.  A miss (first punt, expired entry, or a colliding hash
+// evicting the previous occupant) records the flow and passes the punt.
+// The hash is computed only for punted packets — by definition off the fast
+// path — and the filter is worker-private, so this takes no locks and
+// allocates nothing.
+func (ws *workerState) puntRepeats(frame []byte, window uint64) bool {
+	h := pkt.RSSHash(frame)
+	slot := &ws.puntFilter[h&uint32(len(ws.puntFilter)-1)]
+	if slot.hash == h && slot.seen != 0 && ws.pollSeq-slot.seen <= window {
+		slot.seen = ws.pollSeq // a suppressed repeat keeps the entry fresh
+		return true
+	}
+	slot.hash = h
+	slot.seen = ws.pollSeq
+	return false
 }
 
 // flushTx drains the worker's TX staging buffers (and, under the spill

@@ -40,7 +40,7 @@ func (puntingDatapath) Process(p *pkt.Packet, v *openflow.Verdict) {
 // silently lost to the Forwarded branch).
 func TestStageForwardAndPunt(t *testing.T) {
 	sw := NewSwitchQueues(puntingDatapath{}, 2, 64, 1)
-	rings := sw.ArmPuntRings(16, 0)
+	rings := sw.armPuntRings(16, 0) // unchecked: below-burst ring is fine in-package
 	port1, _ := sw.Port(1)
 	port2, _ := sw.Port(2)
 
@@ -97,7 +97,7 @@ func TestPuntDisarmedCountsOnly(t *testing.T) {
 // worker), and Punts+PuntDrops == ToCtrl exactly.
 func TestPuntOverflowAccounting(t *testing.T) {
 	sw := NewSwitchQueues(puntingDatapath{}, 2, 256, 1)
-	rings := sw.ArmPuntRings(4, 0) // capacity 3
+	rings := sw.armPuntRings(4, 0) // capacity 3, deliberately below burst to force overflow
 	port1, _ := sw.Port(1)
 	const total = 50
 	for i := 0; i < total; i++ {

@@ -1,0 +1,457 @@
+package experiments
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"eswitch/internal/controller"
+	"eswitch/internal/core"
+	"eswitch/internal/dpdk"
+	"eswitch/internal/faultinject"
+	"eswitch/internal/ofp"
+	"eswitch/internal/slowpath"
+	"eswitch/internal/workload"
+)
+
+// This file is the chaos end of the failure plane: a harness that runs the
+// complete reactive stack — compiled pipeline, dpdk substrate with punt
+// rings, slow-path service, supervised OpenFlow channel, learning controller
+// — with the CONTROLLER as the mortal party.  The switch side dials out
+// through a controller.Supervisor, so the harness can kill the controller
+// (close its listener and live connection), watch the switch degrade into
+// its configured fail mode, revive the controller on the same address, and
+// watch the supervisor reconnect and the learning loop reconverge.  All
+// faults beyond kill/revive come from a seeded faultinject.Injector wired
+// through the dialed connection, the slow-path PacketIn sink, and the
+// agent's flow programmer.
+
+// ChaosConfig parameterizes a ChaosHarness.
+type ChaosConfig struct {
+	// Hosts/Flows/NumPorts shape the L2 learning workload as in
+	// SlowPathConfig.  Hosts must stay at or below the punt-ring capacity so
+	// a full discovery sweep cannot drop learnable punts.
+	Hosts    int
+	Flows    int
+	NumPorts int
+	// PuntRing is the per-worker punt ring capacity (default 1024).
+	PuntRing int
+	// FailMode is the degraded mode entered when the control channel dies
+	// (default FailStandalone).
+	FailMode dpdk.FailMode
+	// FlowCache sizes the per-worker microflow cache (0 = off).
+	FlowCache int
+	// MaxTableEntries caps every flow table (0 = unlimited).
+	MaxTableEntries int
+	// MissSendLen truncates PacketIn payloads (0 = full frame).
+	MissSendLen int
+	// PuntFilter/PuntFilterWindow arm the punt-storm filter (0 = off).
+	PuntFilter       int
+	PuntFilterWindow int
+	// EchoInterval/EchoTimeout drive the supervisor's liveness probe
+	// (defaults 20ms/60ms — test-scale).
+	EchoInterval time.Duration
+	EchoTimeout  time.Duration
+	// BackoffMin/BackoffMax bound the redial backoff (defaults 5ms/50ms —
+	// test-scale); Seed makes the jitter (and the injector, when the
+	// harness creates one) deterministic.
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	Seed       int64
+	// Injector, when non-nil, is threaded through the dialed control
+	// connection (faultinject.Conn points), the slow-path PacketIn sink
+	// ("slowpath.send") and the agent's flow programmer ("flowmod.add").
+	Injector *faultinject.Injector
+}
+
+// ChaosHarness owns the running stack.  The switch side (SW, Agent, Sup) is
+// immortal; the controller side (listener + Learner attachment) dies on
+// KillController and returns on ReviveController.
+type ChaosHarness struct {
+	UC      *workload.UseCase
+	DP      *core.Datapath
+	SW      *dpdk.Switch
+	Rings   []*slowpath.Ring
+	Agent   *controller.Agent
+	Sup     *controller.Supervisor
+	Learner *controller.LearningSwitch
+
+	cfg     ChaosConfig
+	frames  [][]byte
+	inPorts []uint32
+	addr    string
+
+	mu    sync.Mutex
+	ln    net.Listener
+	conn  net.Conn
+	svc   *slowpath.Service
+	alive bool
+}
+
+// NewChaosHarness builds the stack, starts the controller listener and the
+// switch-side supervisor, and returns once the first session is up.
+func NewChaosHarness(cfg ChaosConfig) (*ChaosHarness, error) {
+	if cfg.Hosts <= 0 {
+		cfg.Hosts = 64
+	}
+	if cfg.Flows < cfg.Hosts {
+		cfg.Flows = cfg.Hosts
+	}
+	if cfg.NumPorts <= 0 {
+		cfg.NumPorts = 4
+	}
+	if cfg.PuntRing <= 0 {
+		cfg.PuntRing = 1024
+	}
+	if cfg.FailMode == dpdk.FailNormal {
+		cfg.FailMode = dpdk.FailStandalone
+	}
+	if cfg.EchoInterval <= 0 {
+		cfg.EchoInterval = 20 * time.Millisecond
+	}
+	if cfg.EchoTimeout <= 0 {
+		cfg.EchoTimeout = 60 * time.Millisecond
+	}
+	if cfg.BackoffMin <= 0 {
+		cfg.BackoffMin = 5 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 50 * time.Millisecond
+	}
+
+	h := &ChaosHarness{cfg: cfg}
+	h.UC = workload.L2LearningUseCase(cfg.Hosts, cfg.NumPorts)
+	opts := core.DefaultOptions()
+	opts.FlowCache = cfg.FlowCache
+	opts.MaxTableEntries = cfg.MaxTableEntries
+	dp, err := core.Compile(h.UC.Pipeline, opts)
+	if err != nil {
+		return nil, err
+	}
+	h.DP = dp
+	h.SW = dpdk.NewSwitch(dp, cfg.NumPorts, 8192)
+	h.Rings, err = h.SW.ArmPuntRings(cfg.PuntRing, 0)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Hosts > h.Rings[0].Capacity() {
+		return nil, fmt.Errorf("chaos: %d hosts exceed the %d-slot punt ring (a discovery sweep would drop learnable punts)",
+			cfg.Hosts, h.Rings[0].Capacity())
+	}
+	if cfg.PuntFilter > 0 {
+		h.SW.SetPuntFilter(cfg.PuntFilter, cfg.PuntFilterWindow)
+	}
+	// The switch starts with no controller: degraded from the first packet.
+	h.SW.SetFailMode(cfg.FailMode)
+
+	trace := h.UC.Trace(cfg.Flows)
+	h.frames = make([][]byte, cfg.Flows)
+	h.inPorts = make([]uint32, cfg.Flows)
+	for i := range h.frames {
+		h.frames[i], h.inPorts[i] = trace.Frame(i)
+	}
+
+	var programmer controller.FlowProgrammer = dp
+	if cfg.Injector != nil {
+		programmer = faultinject.WrapProgrammer(dp, cfg.Injector)
+	}
+	h.Agent = controller.NewAgent(programmer)
+	h.Learner = &controller.LearningSwitch{Priority: 100}
+
+	// Controller side: listen, remember the concrete address so revival
+	// rebinds the exact same endpoint the supervisor keeps dialing.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	h.addr = ln.Addr().String()
+	h.mu.Lock()
+	h.ln, h.alive = ln, true
+	h.mu.Unlock()
+	go h.acceptLoop(ln)
+
+	h.Sup, err = controller.NewSupervisor(controller.SupervisorConfig{
+		Dial:         h.dial,
+		Agent:        h.Agent,
+		EchoInterval: cfg.EchoInterval,
+		EchoTimeout:  cfg.EchoTimeout,
+		BackoffMin:   cfg.BackoffMin,
+		BackoffMax:   cfg.BackoffMax,
+		Seed:         cfg.Seed,
+		OnUp:         h.onUp,
+		OnDown:       func(error) { h.SW.SetFailMode(h.cfg.FailMode) },
+	})
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	h.Sup.Start()
+	if err := h.WaitState(controller.SupervisorUp, 5*time.Second); err != nil {
+		h.Close()
+		return nil, err
+	}
+	return h, nil
+}
+
+// dial is the supervisor's connect hook (with fault points when configured).
+func (h *ChaosHarness) dial() (net.Conn, error) {
+	conn, err := net.Dial("tcp", h.addr)
+	if err != nil {
+		return nil, err
+	}
+	if h.cfg.Injector != nil {
+		conn = faultinject.Conn(conn, h.cfg.Injector)
+	}
+	return conn, nil
+}
+
+// onUp arms the slow path for the new session and clears the degraded mode;
+// the returned teardown stops the service (flushing already-queued punts)
+// when the session dies.
+func (h *ChaosHarness) onUp(w *controller.SyncWriter) func() {
+	svc, err := slowpath.NewService(slowpath.Config{
+		Rings:       h.Rings,
+		Window:      256,
+		MissSendLen: h.cfg.MissSendLen,
+		Executor:    h.SW,
+		Send: func(pi ofp.PacketIn) error {
+			if in := h.cfg.Injector; in != nil {
+				if err := in.Hit("slowpath.send"); err != nil {
+					return err
+				}
+			}
+			return ofp.WriteMessage(w, ofp.Message{Type: ofp.TypePacketIn, Body: ofp.EncodePacketIn(pi)})
+		},
+	})
+	if err != nil {
+		// Cannot happen with a well-formed config; surface it by leaving
+		// the slow path disarmed (punts overflow their rings, accounted).
+		return nil
+	}
+	h.Agent.PacketOutHandler = svc.HandlePacketOut
+	h.SW.SetFailMode(dpdk.FailNormal)
+	h.mu.Lock()
+	h.svc = svc
+	h.mu.Unlock()
+	stop := make(chan struct{})
+	go svc.Run(stop)
+	return func() { close(stop) }
+}
+
+// Service returns the slow-path service of the CURRENT session (nil before
+// the first session).
+func (h *ChaosHarness) Service() *slowpath.Service {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.svc
+}
+
+// acceptLoop attaches the persistent learning controller to every accepted
+// connection (sessions are sequential: the supervisor holds one channel at a
+// time) and pumps its read loop until the connection dies.
+func (h *ChaosHarness) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener killed
+		}
+		h.mu.Lock()
+		h.conn = conn
+		h.mu.Unlock()
+		ctrl := controller.NewController(conn)
+		h.Learner.Attach(ctrl)
+		if err := ctrl.Hello(); err != nil {
+			conn.Close()
+			continue
+		}
+		go func() {
+			_ = ctrl.Run()
+			conn.Close()
+		}()
+	}
+}
+
+// KillController kills the controller: the listener closes (dials fail) and
+// the live control connection is severed (the session dies).  The switch
+// side survives and degrades.
+func (h *ChaosHarness) KillController() {
+	h.mu.Lock()
+	ln, conn := h.ln, h.conn
+	h.ln, h.conn, h.alive = nil, nil, false
+	h.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	if conn != nil {
+		conn.Close()
+	}
+}
+
+// ReviveController rebinds the controller's original address and resumes
+// accepting; the supervisor's next redial succeeds and the learning loop
+// resynchronizes (Attach clears the installed-flow ledger, keeps the MACs).
+func (h *ChaosHarness) ReviveController() error {
+	ln, err := net.Listen("tcp", h.addr)
+	if err != nil {
+		return err
+	}
+	h.mu.Lock()
+	h.ln, h.alive = ln, true
+	h.mu.Unlock()
+	go h.acceptLoop(ln)
+	return nil
+}
+
+// Close tears the whole stack down.
+func (h *ChaosHarness) Close() {
+	h.Sup.Stop()
+	h.KillController()
+}
+
+// InjectAll injects one full sweep over the flow set, returning how many
+// frames the RX rings accepted.
+func (h *ChaosHarness) InjectAll() int {
+	ok := 0
+	for i := range h.frames {
+		port, err := h.SW.Port(h.inPorts[i])
+		if err != nil {
+			continue
+		}
+		if port.Inject(h.frames[i]) {
+			ok++
+		}
+	}
+	return ok
+}
+
+// InjectStorm injects `times` copies of an unlearnable frame (destination
+// outside the host set): every copy punts — or is suppressed/filtered under
+// a degraded mode or storm filter — regardless of learning progress.
+func (h *ChaosHarness) InjectStorm(times int) int {
+	frame := append([]byte(nil), h.frames[0]...)
+	copy(frame[0:6], []byte{0x02, 0xde, 0xad, 0xbe, 0xef, 0x99})
+	port, err := h.SW.Port(h.inPorts[0])
+	if err != nil {
+		return 0
+	}
+	ok := 0
+	for k := 0; k < times; k++ {
+		if port.Inject(frame) {
+			ok++
+		}
+	}
+	return ok
+}
+
+// PollDrain processes the RX backlog and drains the TX sinks.
+func (h *ChaosHarness) PollDrain() {
+	for h.SW.PollOnce(nil) > 0 {
+	}
+	for _, p := range h.SW.Ports() {
+		p.DrainTx()
+	}
+}
+
+// WaitState blocks until the supervisor reaches the given state.
+func (h *ChaosHarness) WaitState(s controller.SupervisorState, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for h.Sup.State() != s {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("chaos: supervisor stuck in %v (want %v) after %v", h.Sup.State(), s, timeout)
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+	return nil
+}
+
+// WaitSessions blocks until the supervisor has established n sessions.
+func (h *ChaosHarness) WaitSessions(n uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for h.Sup.Sessions() < n {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("chaos: %d sessions after %v (want %d)", h.Sup.Sessions(), timeout, n)
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+	return nil
+}
+
+// ringsEmpty reports whether every punt ring is drained.
+func (h *ChaosHarness) ringsEmpty() bool {
+	for _, r := range h.Rings {
+		if r.Len() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// WaitQuiet blocks until the whole loop is stable: rings empty and the
+// punt/PacketIn/PacketOut counters unchanged across several consecutive
+// checks.  Unlike SlowPathHarness.WaitQuiet it never compares absolute
+// counters across subsystems — the slow-path service (and its delivered
+// count) is recreated per session, so only stability is meaningful here.
+func (h *ChaosHarness) WaitQuiet(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	stable := 0
+	var last [3]uint64
+	for {
+		st := h.SW.Stats()
+		cur := [3]uint64{st.ToCtrl, h.Learner.PacketIns(), h.Agent.PacketOuts()}
+		if h.ringsEmpty() && cur == last {
+			stable++
+			if stable >= 5 {
+				return nil
+			}
+		} else {
+			stable = 0
+		}
+		last = cur
+		if time.Now().After(deadline) {
+			return fmt.Errorf("chaos: loop not quiet after %v (toCtrl %d, packetIns %d, packetOuts %d)",
+				timeout, cur[0], cur[1], cur[2])
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Converge repeats full-sweep passes until one generates no new punt
+// verdicts, returning how many passes it took.  Call it with the controller
+// alive; a full sweep fits the punt ring (enforced at construction), so
+// every host is discovered.
+func (h *ChaosHarness) Converge(maxPasses int, quiet time.Duration) (int, error) {
+	for pass := 1; pass <= maxPasses; pass++ {
+		before := h.SW.Stats().ToCtrl
+		h.InjectAll()
+		h.PollDrain()
+		if err := h.WaitQuiet(quiet); err != nil {
+			return pass, err
+		}
+		if h.SW.Stats().ToCtrl == before {
+			return pass, nil
+		}
+	}
+	return maxPasses, fmt.Errorf("chaos: punts did not converge to zero in %d passes", maxPasses)
+}
+
+// MeasureForwarding pumps `packets` frames through the switch and returns
+// the deltas of the forwarded / punt-verdict counters.
+func (h *ChaosHarness) MeasureForwarding(packets int) (forwarded, toCtrl uint64) {
+	before := h.SW.Stats()
+	done := 0
+	for done < packets {
+		for i := 0; i < len(h.frames) && done < packets; i++ {
+			port, err := h.SW.Port(h.inPorts[i])
+			if err != nil {
+				continue
+			}
+			if port.Inject(h.frames[i]) {
+				done++
+			}
+		}
+		h.PollDrain()
+	}
+	after := h.SW.Stats()
+	return after.Forwarded - before.Forwarded, after.ToCtrl - before.ToCtrl
+}

@@ -92,7 +92,10 @@ func NewSlowPathHarness(cfg SlowPathConfig) (*SlowPathHarness, error) {
 	}
 	h.DP = dp
 	h.SW = dpdk.NewSwitch(dp, cfg.NumPorts, 8192)
-	h.Rings = h.SW.ArmPuntRings(cfg.PuntRing, 0)
+	h.Rings, err = h.SW.ArmPuntRings(cfg.PuntRing, 0)
+	if err != nil {
+		return nil, err
+	}
 	h.Agent = controller.NewAgent(dp)
 
 	trace := h.UC.Trace(cfg.Flows)
@@ -179,6 +182,26 @@ func (h *SlowPathHarness) InjectAll() int { return h.InjectRotated(0) }
 // one fixed prefix of the sweep from monopolizing the ring every pass.
 func (h *SlowPathHarness) InjectRotated(start int) int {
 	return h.injectRange(start, len(h.frames))
+}
+
+// InjectStorm injects `times` copies of one frame whose destination MAC lies
+// outside the host set: the learning controller floods it and installs
+// nothing, so every single copy punts regardless of learning progress — a
+// deterministic punt storm for overflow and storm-filter tests.
+func (h *SlowPathHarness) InjectStorm(times int) int {
+	frame := append([]byte(nil), h.frames[0]...)
+	copy(frame[0:6], []byte{0x02, 0xde, 0xad, 0xbe, 0xef, 0x99})
+	port, err := h.SW.Port(h.inPorts[0])
+	if err != nil {
+		return 0
+	}
+	ok := 0
+	for k := 0; k < times; k++ {
+		if port.Inject(frame) {
+			ok++
+		}
+	}
+	return ok
 }
 
 // injectRange injects n flows starting at index start (mod the flow count).

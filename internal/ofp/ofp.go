@@ -25,6 +25,7 @@ type MsgType uint8
 // Message types (a subset of OpenFlow 1.3).
 const (
 	TypeHello          MsgType = 0
+	TypeError          MsgType = 1
 	TypeEchoRequest    MsgType = 2
 	TypeEchoReply      MsgType = 3
 	TypePacketIn       MsgType = 10
@@ -32,6 +33,28 @@ const (
 	TypeFlowMod        MsgType = 14
 	TypeBarrierRequest MsgType = 20
 	TypeBarrierReply   MsgType = 21
+)
+
+// Error types (OpenFlow's OFPET_* values, the subset the agent raises).
+const (
+	// ErrTypeBadRequest: the request could not be decoded.
+	ErrTypeBadRequest uint16 = 1
+	// ErrTypeFlowModFailed: a FlowMod was decoded but could not be applied.
+	ErrTypeFlowModFailed uint16 = 5
+)
+
+// OFPET_FLOW_MOD_FAILED codes (OpenFlow's OFPFMFC_* values).
+const (
+	FlowModFailedUnknown   uint16 = 0
+	FlowModFailedTableFull uint16 = 1
+)
+
+// OFPET_BAD_REQUEST codes.
+const (
+	// BadRequestBadLen covers every decode failure: the framing layer
+	// guarantees message boundaries, so a body that fails to decode is a
+	// length/structure problem, never a desynchronized stream.
+	BadRequestBadLen uint16 = 6
 )
 
 // FlowMod commands.
@@ -125,7 +148,39 @@ type PacketIn struct {
 	// the PacketInReason* values (table miss vs explicit controller output).
 	TableID openflow.TableID
 	Reason  uint8
-	Data    []byte
+	// TotalLen is the original frame length on the wire (OpenFlow's
+	// total_len): Data may be a miss_send_len-truncated prefix, and this is
+	// how the controller knows.  EncodePacketIn fills it from len(Data)
+	// when left zero.
+	TotalLen uint16
+	Data     []byte
+}
+
+// ErrorMsg is an OFPT_ERROR message: the agent's reply to a request it could
+// not honor (most importantly OFPET_FLOW_MOD_FAILED/TABLE_FULL, the
+// table-capacity guardrail).  Data echoes the failed request's body so the
+// controller can identify which flow was rejected.
+type ErrorMsg struct {
+	Type uint16
+	Code uint16
+	Data []byte
+}
+
+// EncodeError serializes an Error message body.
+func EncodeError(em ErrorMsg) []byte {
+	e := &encoder{}
+	e.u16(em.Type)
+	e.u16(em.Code)
+	e.bytes(em.Data)
+	return e.buf
+}
+
+// DecodeError parses an Error message body.
+func DecodeError(body []byte) (ErrorMsg, error) {
+	d := &decoder{buf: body}
+	em := ErrorMsg{Type: d.u16(), Code: d.u16()}
+	em.Data = append(em.Data, d.rest()...)
+	return em, d.err
 }
 
 // PacketOut is a packet the controller injects into the datapath.
@@ -304,13 +359,23 @@ func DecodeFlowMod(body []byte) (FlowMod, error) {
 	return fm, d.err
 }
 
-// EncodePacketIn serializes a PacketIn message body.
+// EncodePacketIn serializes a PacketIn message body.  A zero TotalLen is
+// encoded as len(Data) — untruncated PacketIns need not fill it in.
 func EncodePacketIn(pi PacketIn) []byte {
 	e := &encoder{}
 	e.u32(pi.BufferID)
 	e.u32(pi.InPort)
 	e.u16(uint16(pi.TableID))
 	e.u8(pi.Reason)
+	total := pi.TotalLen
+	if total == 0 {
+		n := len(pi.Data)
+		if n > 0xffff {
+			n = 0xffff
+		}
+		total = uint16(n)
+	}
+	e.u16(total)
 	e.bytes(pi.Data)
 	return e.buf
 }
@@ -318,7 +383,7 @@ func EncodePacketIn(pi PacketIn) []byte {
 // DecodePacketIn parses a PacketIn message body.
 func DecodePacketIn(body []byte) (PacketIn, error) {
 	d := &decoder{buf: body}
-	pi := PacketIn{BufferID: d.u32(), InPort: d.u32(), TableID: openflow.TableID(d.u16()), Reason: d.u8()}
+	pi := PacketIn{BufferID: d.u32(), InPort: d.u32(), TableID: openflow.TableID(d.u16()), Reason: d.u8(), TotalLen: d.u16()}
 	pi.Data = pi.Data[:0]
 	pi.Data = append(pi.Data, d.rest()...)
 	return pi, d.err

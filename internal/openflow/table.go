@@ -214,6 +214,22 @@ func (t *FlowTable) Add(e *FlowEntry) bool {
 	return true
 }
 
+// Contains reports whether the table holds an entry with exactly this
+// priority and match — the entry a FlowMod ADD would replace rather than
+// add.  It shares Add's lazy index, so capacity checks on large tables stay
+// O(1).
+func (t *FlowTable) Contains(priority int, match *Match) bool {
+	key := entryKey{priority: priority, match: match.HashKey()}
+	if t.index == nil {
+		t.index = make(map[entryKey]int)
+		for i, old := range t.entries {
+			t.index[entryKey{priority: old.Priority, match: old.Match.HashKey()}] = i
+		}
+	}
+	i, ok := t.index[key]
+	return ok && t.entries[i].Priority == priority && t.entries[i].Match.Equal(match)
+}
+
 // reindex rebuilds the replace-on-add index after bulk removals.
 func (t *FlowTable) reindex() {
 	t.index = make(map[entryKey]int, len(t.entries))

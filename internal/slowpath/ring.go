@@ -49,18 +49,23 @@ type PuntRecord struct {
 	// recycled across Pops).
 	Frame  []byte
 	InPort uint32
-	Table  openflow.TableID
-	Reason openflow.PuntReason
+	// TotalLen is the punted frame's original length: Frame may be a
+	// slot-capacity-truncated prefix, and PacketIn encoding preserves the
+	// on-the-wire length through this field (miss_send_len semantics).
+	TotalLen uint32
+	Table    openflow.TableID
+	Reason   openflow.PuntReason
 }
 
 // puntSlot is one ring slot.  Its frame buffer is allocated once at ring
 // construction and reused for every punt that lands in the slot, which is
 // what keeps the producer path allocation-free.
 type puntSlot struct {
-	buf    []byte // len = copied bytes, cap = frameCap
-	inPort uint32
-	table  uint16
-	reason uint8
+	buf      []byte // len = copied bytes, cap = frameCap
+	inPort   uint32
+	totalLen uint32 // frame length before slot-capacity truncation
+	table    uint16
+	reason   uint8
 }
 
 // Ring is a bounded single-producer/single-consumer punt ring: exactly one
@@ -125,6 +130,7 @@ func (r *Ring) Push(frame []byte, inPort uint32, table openflow.TableID, reason 
 	}
 	s.buf = append(s.buf[:0], frame[:n]...)
 	s.inPort = inPort
+	s.totalLen = uint32(len(frame))
 	s.table = uint16(table)
 	s.reason = uint8(reason)
 	// The tail store publishes the filled slot to the consumer.
@@ -144,6 +150,7 @@ func (r *Ring) Pop(rec *PuntRecord) bool {
 	s := &r.slots[head&r.mask]
 	rec.Frame = append(rec.Frame[:0], s.buf...)
 	rec.InPort = s.inPort
+	rec.TotalLen = s.totalLen
 	rec.Table = openflow.TableID(s.table)
 	rec.Reason = openflow.PuntReason(s.reason)
 	// The slot's contents were copied out; releasing it hands the buffer

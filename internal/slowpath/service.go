@@ -47,6 +47,12 @@ type Config struct {
 	// NoBuffer and its full data — which it does anyway; the window only
 	// adds the switch-side copy a data-less PacketOut needs).
 	Window int
+	// MissSendLen, when positive, truncates every PacketIn's data to the
+	// first MissSendLen bytes (OpenFlow's miss_send_len); the original
+	// frame length still rides in the PacketIn header's TotalLen, and the
+	// buffer-id window keeps the untruncated frame so a data-less
+	// PacketOut replays the whole packet.  0 sends the full punted frame.
+	MissSendLen int
 	// Send delivers encoded PacketIns (required).
 	Send Sink
 	// Executor executes PacketOut action lists (optional; PacketOuts fail
@@ -85,6 +91,10 @@ type Service struct {
 	delivered  atomic.Uint64
 	sendErrs   atomic.Uint64
 	packetOuts atomic.Uint64
+	// ringDelivered counts deliveries per source ring — the fair-drain
+	// ledger: under a storm concentrated on one ring, round-robin draining
+	// must keep every other ring's count advancing.
+	ringDelivered []atomic.Uint64
 }
 
 // NewService validates the config and returns a service ready to Run.
@@ -98,7 +108,7 @@ func NewService(cfg Config) (*Service, error) {
 			cfg.Burst = cfg.RatePPS / 50
 		}
 	}
-	s := &Service{cfg: cfg, rings: cfg.Rings}
+	s := &Service{cfg: cfg, rings: cfg.Rings, ringDelivered: make([]atomic.Uint64, len(cfg.Rings))}
 	if cfg.Window > 0 {
 		s.window = make([]bufFrame, cfg.Window)
 		for i := range s.window {
@@ -119,6 +129,16 @@ func (s *Service) SendErrors() uint64 { return s.sendErrs.Load() }
 
 // PacketOuts returns how many PacketOut messages were executed.
 func (s *Service) PacketOuts() uint64 { return s.packetOuts.Load() }
+
+// RingDelivered returns the per-ring delivery counts (indexed like
+// Config.Rings): the fairness ledger of the round-robin drain.
+func (s *Service) RingDelivered() []uint64 {
+	out := make([]uint64, len(s.ringDelivered))
+	for i := range s.ringDelivered {
+		out[i] = s.ringDelivered[i].Load()
+	}
+	return out
+}
 
 // take consumes one delivery token, refilling the bucket from wall time; it
 // reports false when the bucket is empty (the caller should back off for
@@ -176,24 +196,39 @@ func (s *Service) lookupBuffer(id uint32) ([]byte, bool) {
 	return append([]byte(nil), e.frame...), true
 }
 
-// deliver encodes one punt record as a PacketIn and sends it.
-func (s *Service) deliver(rec *PuntRecord) {
+// deliver encodes one punt record (popped from ring `ring`) as a PacketIn
+// and sends it.  The buffer-id window keeps the whole ring-capped frame; the
+// PacketIn's data is additionally cut to MissSendLen, with the original
+// on-the-wire length preserved in TotalLen.
+func (s *Service) deliver(ring int, rec *PuntRecord) {
 	reason := ofp.PacketInReasonAction
 	if rec.Reason == openflow.PuntMiss {
 		reason = ofp.PacketInReasonNoMatch
+	}
+	data := rec.Frame
+	if n := s.cfg.MissSendLen; n > 0 && len(data) > n {
+		data = data[:n]
+	}
+	total := rec.TotalLen
+	if total > 0xffff {
+		total = 0xffff
 	}
 	pi := ofp.PacketIn{
 		BufferID: s.bufferFrame(rec.Frame),
 		InPort:   rec.InPort,
 		TableID:  rec.Table,
 		Reason:   reason,
-		Data:     rec.Frame,
+		TotalLen: uint16(total),
+		Data:     data,
 	}
 	if err := s.cfg.Send(pi); err != nil {
 		s.sendErrs.Add(1)
 		return
 	}
 	s.delivered.Add(1)
+	if ring >= 0 && ring < len(s.ringDelivered) {
+		s.ringDelivered[ring].Add(1)
+	}
 }
 
 // Poll drains at most one record from each ring (continuing round-robin from
@@ -203,19 +238,20 @@ func (s *Service) deliver(rec *PuntRecord) {
 func (s *Service) Poll() int {
 	n := 0
 	for i := 0; i < len(s.rings); i++ {
-		ring := s.rings[(s.cursor+i)%len(s.rings)]
+		idx := (s.cursor + i) % len(s.rings)
+		ring := s.rings[idx]
 		if ring.Len() == 0 {
 			continue
 		}
 		if !s.take() {
-			s.cursor = (s.cursor + i) % len(s.rings)
+			s.cursor = idx
 			if n == 0 {
 				return -1
 			}
 			return n
 		}
 		if ring.Pop(&s.rec) {
-			s.deliver(&s.rec)
+			s.deliver(idx, &s.rec)
 			n++
 		}
 	}
@@ -229,9 +265,9 @@ func (s *Service) Poll() int {
 // tokens — the shutdown flush path.
 func (s *Service) drainOnce() int {
 	n := 0
-	for _, ring := range s.rings {
+	for idx, ring := range s.rings {
 		if ring.Pop(&s.rec) {
-			s.deliver(&s.rec)
+			s.deliver(idx, &s.rec)
 			n++
 		}
 	}

@@ -346,3 +346,55 @@ func TestServiceShutdownSweepBypassesRateLimit(t *testing.T) {
 		t.Fatalf("shutdown stranded punts: delivered %d, %d still queued", svc.Delivered(), ring.Len())
 	}
 }
+
+// TestServiceFairnessUnderConcentratedStorm: one worker's ring holding a
+// punt storm must not starve the others — the round-robin drain serves the
+// quiet rings early, and the per-ring fairness ledger (RingDelivered)
+// accounts every delivery to its source ring.
+func TestServiceFairnessUnderConcentratedStorm(t *testing.T) {
+	rings := []*Ring{NewRing(2048, 32), NewRing(2048, 32), NewRing(2048, 32)}
+	const storm, quiet = 1000, 8
+	for i := 0; i < storm; i++ {
+		rings[0].Push([]byte{0, byte(i)}, 1, 0, openflow.PuntMiss)
+	}
+	for w := 1; w < 3; w++ {
+		for i := 0; i < quiet; i++ {
+			rings[w].Push([]byte{byte(w), byte(i)}, uint32(w), 0, openflow.PuntMiss)
+		}
+	}
+	var order []byte // source ring of each delivery, in delivery order
+	svc, err := NewService(Config{
+		Rings: rings,
+		Send: func(pi ofp.PacketIn) error {
+			order = append(order, pi.Data[0])
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for svc.Poll() > 0 {
+	}
+	got := svc.RingDelivered()
+	want := []uint64{storm, quiet, quiet}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fairness ledger = %v, want %v", got, want)
+		}
+	}
+	if svc.Delivered() != storm+2*quiet {
+		t.Fatalf("Delivered = %d, want %d", svc.Delivered(), storm+2*quiet)
+	}
+	// No starvation: the quiet rings finish within the first rotations —
+	// every one of their punts is delivered before the storm ring has
+	// received more than (quiet+1) turns of service.
+	lastQuiet := 0
+	for i, w := range order {
+		if w != 0 {
+			lastQuiet = i
+		}
+	}
+	if lastQuiet >= 3*(quiet+1) {
+		t.Fatalf("quiet rings starved: last quiet delivery at position %d of %d", lastQuiet, len(order))
+	}
+}
