@@ -614,6 +614,142 @@ func BenchmarkFlowCache_L3(b *testing.B) {
 	benchmarkFlowCacheRows(b, workload.L3ACLRouterUseCase(100_000, 100_000, 8, 2016))
 }
 
+// --- Megaflow second-level cache -----------------------------------------------
+
+// benchMegaflowEntries is the megaflow-on per-group entry budget of the
+// BenchmarkMegaflow rows.
+const benchMegaflowEntries = 4096
+
+// benchMegaflowDrive drives the datapath with packets drawn from next and
+// reports Mpps plus the microflow and (when enabled) megaflow hit rates over
+// the measured region.  nFlows sizes the warmup: two passes over the active
+// flow set, clamped the way benchFlowCacheDrive clamps.
+func benchMegaflowDrive(b *testing.B, dp *core.Datapath, next func(*pkt.Packet), nFlows int, megaOn bool) {
+	b.Helper()
+	w := dp.RegisterWorker()
+	defer dp.UnregisterWorker(w)
+	const burst = dpdk.DefaultBurst
+	packets := make([]pkt.Packet, burst)
+	ps := make([]*pkt.Packet, burst)
+	for i := range packets {
+		ps[i] = &packets[i]
+	}
+	vs := make([]openflow.Verdict, burst)
+	warmup := 2 * nFlows
+	if warmup < 20_000 {
+		warmup = 20_000
+	}
+	if warmup > 250_000 {
+		warmup = 250_000
+	}
+	for i := 0; i < warmup; i += burst {
+		for j := 0; j < burst; j++ {
+			next(ps[j])
+		}
+		w.Enter()
+		w.ProcessBurst(ps, vs)
+		w.Exit()
+	}
+	// The datapath (and its monotonic stats folds) is shared across
+	// sub-benchmarks, so hit rates come from before/after deltas.
+	before := dp.FlowCacheStats()
+	beforeM := dp.MegaflowStats()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += burst {
+		n := burst
+		if rem := b.N - i; rem < n {
+			n = rem
+		}
+		for j := 0; j < n; j++ {
+			next(ps[j])
+		}
+		w.Enter()
+		w.ProcessBurst(ps[:n], vs[:n])
+		w.Exit()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Mpps")
+	after := dp.FlowCacheStats()
+	if hits, misses := after.Hits-before.Hits, after.Misses-before.Misses; hits+misses > 0 {
+		b.ReportMetric(100*float64(hits)/float64(hits+misses), "hit%")
+	}
+	if megaOn {
+		afterM := dp.MegaflowStats()
+		if mh, mm := afterM.Hits-beforeM.Hits, afterM.Misses-beforeM.Misses; mh+mm > 0 {
+			b.ReportMetric(100*float64(mh)/float64(mh+mm), "megahit%")
+		}
+	}
+}
+
+// BenchmarkMegaflow_L3 measures the masked-match second-level cache over the
+// 100K-prefix router on the dist=uniform|zipf|sweep × megaflow=off|on grid.
+// Both compiles keep the microflow cache on, so megaflow=off is the
+// microflow-only baseline the megaflow layer must beat under the sweep.
+//
+// The sweep rows are the adversarial acceptance workload: a source-address ×
+// source-port scan emitting 2^20 (~1M) distinct microflows — each seen once
+// per wrap, far beyond any exact-match cache — against a destination the
+// pipeline routes through a real LPM path.  Exact-match caching is useless
+// there (hit% ~0) while the megaflow layer absorbs the scan under a handful
+// of wildcard entries (megahit% > 90 after warmup).
+func BenchmarkMegaflow_L3(b *testing.B) {
+	uc := workload.L3UseCase(100_000, 8, 2016)
+	var dps [2]*core.Datapath
+	for i, mega := range []int{0, benchMegaflowEntries} {
+		opts := core.DefaultOptions()
+		opts.Decompose = uc.WantsDecomposition
+		opts.FlowCache = benchFlowCacheEntries
+		opts.Megaflow = mega
+		dp, err := core.Compile(uc.Pipeline, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dps[i] = dp
+	}
+	const flows = 100_000
+	for _, dist := range []struct {
+		name string
+		s    float64
+	}{{"uniform", 0}, {"zipf", 1.1}} {
+		for i, mega := range []string{"off", "on"} {
+			dp := dps[i]
+			b.Run(fmt.Sprintf("dist=%s/flows=%d/megaflow=%s", dist.name, flows, mega), func(b *testing.B) {
+				trace := uc.Trace(flows)
+				if dist.s > 0 {
+					if err := trace.UseZipf(dist.s, 42); err != nil {
+						b.Fatal(err)
+					}
+				}
+				benchMegaflowDrive(b, dp, trace.Next, flows, mega == "on")
+			})
+		}
+	}
+	// Sweep template: borrow a routed destination from the trace so the scan
+	// traverses a real LPM path, then step the source address and port — the
+	// fields the L3 pipeline never examines.
+	var probe pkt.Packet
+	uc.Trace(4).Next(&probe)
+	pkt.ParseL4(&probe)
+	template := pktgen.Flow{
+		InPort:  probe.InPort,
+		SrcIP:   pkt.IPv4FromOctets(10, 200, 0, 1),
+		DstIP:   probe.Headers.IPDst,
+		SrcPort: 1024,
+		DstPort: 80,
+	}
+	for i, mega := range []string{"off", "on"} {
+		dp := dps[i]
+		sweep, err := pktgen.NewSweepTrace(template, 1<<16, 1<<4, dpdk.DefaultBurst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("dist=sweep/flows=%d/megaflow=%s", sweep.NumFlows(), mega), func(b *testing.B) {
+			benchMegaflowDrive(b, dp, sweep.Next, sweep.NumFlows(), mega == "on")
+		})
+	}
+}
+
 // BenchmarkFig19_ScalingHotPort is the Fig. 19 acceptance benchmark of the
 // multi-queue refactor: ALL traffic arrives on ONE port, RSS-spread over the
 // port's RX queues, and 1..4 workers poll their queue subsets against the

@@ -314,9 +314,15 @@ func TestProcessBurstNoAllocs(t *testing.T) {
 // variant runs the identical assertions with the microflow verdict cache
 // enabled: probe, patch replay and install must all stay off the allocator
 // and off every mutex.
+// The megaflow variant shrinks the microflow cache below the working set so
+// the steady state exercises the second-level masked probe, megaflow hit
+// replay and microflow promotion on every poll — all of which must likewise
+// stay allocation- and lock-free (mask groups are created once, during
+// warmup).
 func TestWorkerPathZeroLocksZeroAllocs(t *testing.T) {
-	t.Run("flowcache=off", func(t *testing.T) { testWorkerPathZeroLocksZeroAllocs(t, 0) })
-	t.Run("flowcache=on", func(t *testing.T) { testWorkerPathZeroLocksZeroAllocs(t, 4096) })
+	t.Run("flowcache=off", func(t *testing.T) { testWorkerPathZeroLocksZeroAllocs(t, 0, 0) })
+	t.Run("flowcache=on", func(t *testing.T) { testWorkerPathZeroLocksZeroAllocs(t, 4096, 0) })
+	t.Run("megaflow=on", func(t *testing.T) { testWorkerPathZeroLocksZeroAllocs(t, 64, 4096) })
 }
 
 // idleSupervisor connects a supervised control channel to a throwaway
@@ -362,10 +368,11 @@ func idleSupervisor(t *testing.T, dp controller.FlowProgrammer) {
 	}
 }
 
-func testWorkerPathZeroLocksZeroAllocs(t *testing.T, flowCache int) {
+func testWorkerPathZeroLocksZeroAllocs(t *testing.T, flowCache, megaflow int) {
 	uc := workload.L3UseCase(1000, 4, 2016)
 	opts := core.DefaultOptions()
 	opts.FlowCache = flowCache
+	opts.Megaflow = megaflow
 	// The capacity guardrail is part of the armed failure plane; it gates
 	// AddFlow only, so the worker path below must never feel it.
 	opts.MaxTableEntries = 4096
@@ -486,6 +493,15 @@ func testWorkerPathZeroLocksZeroAllocs(t *testing.T, flowCache int) {
 		st := dp.FlowCacheStats()
 		if st.Hits == 0 || st.Misses == 0 {
 			t.Fatalf("flowcache variant should have mixed hits and misses: %+v", st)
+		}
+	}
+	if megaflow > 0 {
+		if !dp.MegaflowEnabled() {
+			t.Fatal("megaflow variant compiled an uncacheable pipeline")
+		}
+		ms := dp.MegaflowStats()
+		if ms.Hits == 0 {
+			t.Fatalf("megaflow variant never hit the masked cache — the measured path did not exercise it: %+v", ms)
 		}
 	}
 }

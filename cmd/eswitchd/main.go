@@ -7,6 +7,7 @@
 //
 //	eswitchd [-usecase l2|l3|loadbalancer|gateway|l2learn] [-datapath eswitch|ovs]
 //	         [-flows 10000] [-duration 5s] [-cores 1] [-flowcache 262144|off]
+//	         [-megaflow 65536] [-flow-sweep-interval 1s] [-soft-table-entries 0]
 //	         [-listen :6653] [-punt-ring 1024] [-punt-rate 10000]
 //	         [-fail-mode normal|standalone|secure] [-punt-filter 4096]
 //	         [-punt-filter-window 64] [-miss-send-len 128] [-max-table-entries 0]
@@ -20,6 +21,20 @@
 // model must observe the full template walk — so enabling the cache trades
 // the "model:" summary line for a "flowcache:" one showing the hit/miss/stale
 // counters folded from all workers.
+//
+// -megaflow adds a per-worker megaflow (masked-match) second-level cache of
+// the given number of entries behind the microflow cache: microflow misses
+// probe it before walking the compiled pipeline, and double misses install a
+// minimal masked match derived from the fields the walk actually examined.
+// It requires -flowcache.
+//
+// -flow-sweep-interval starts the flow lifecycle sweeper: flow entries
+// installed with idle/hard timeouts (FlowMod timeouts over -listen) expire
+// lazily off the hot path, and each removal is announced to the connected
+// controller as a FlowRemoved message.  -soft-table-entries adds an
+// LRU-approximate eviction policy: tables above the soft limit shed their
+// least-recently-active entries each sweep (a soft companion to the
+// -max-table-entries hard cap).
 //
 // -punt-ring arms the slow path: every forwarding worker gets a bounded punt
 // ring of the given capacity, ToController verdicts are copied into it
@@ -40,6 +55,7 @@ import (
 	"net"
 	"os"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"eswitch/internal/controller"
@@ -87,6 +103,9 @@ func main() {
 	queues := flag.Int("queues", dpdk.DefaultQueues, "RX/TX queue pairs per port (RSS width; caps -cores)")
 	txpolicy := flag.String("txpolicy", "drop", "full-TX-ring policy: drop, block or spill")
 	flowcache := flag.String("flowcache", "off", "per-worker microflow verdict cache: entry count (e.g. 262144) or off")
+	megaflow := flag.Int("megaflow", 0, "per-worker megaflow (masked-match) second-level cache entries behind the microflow cache (0 = off; requires -flowcache)")
+	sweepInterval := flag.Duration("flow-sweep-interval", 0, "flow lifecycle sweep interval enabling idle/hard timeout expiry and FlowRemoved announcements (0 = off; eswitch datapath only)")
+	softTable := flag.Int("soft-table-entries", 0, "per-table soft entry limit; the lifecycle sweeper evicts least-recently-active entries above it (0 = off)")
 	listen := flag.String("listen", "", "optional OpenFlow agent listen address (e.g. :6653)")
 	puntRing := flag.Int("punt-ring", 0, "per-worker slow-path punt ring capacity (0 = punts counted but discarded)")
 	puntRate := flag.Int("punt-rate", 0, "PacketIn delivery cap in packets/second (0 = unlimited)")
@@ -137,8 +156,12 @@ func main() {
 			// exclusive: memoized verdicts would skip the per-stage model
 			// accounting, so a cached run reports cache stats instead.
 			opts.FlowCache = cacheEntries
+			opts.Megaflow = *megaflow
 			meter = nil
 		} else {
+			if *megaflow > 0 {
+				fmt.Println("eswitchd: note: -megaflow requires -flowcache; megaflow cache disabled")
+			}
 			opts.Meter = meter
 		}
 		dp, err := core.Compile(uc.Pipeline, opts)
@@ -211,12 +234,50 @@ func main() {
 			len(puntRings), puntRings[0].Capacity(), rateString(*puntRate))
 	}
 
+	// The flow lifecycle sweeper runs per datapath, entirely off the hot
+	// path; removals (idle/hard expiry, soft-limit eviction) are announced to
+	// whichever controller connection is current as FlowRemoved messages.
+	// frOut holds that connection's synchronized writer (nil when none).
+	var frOut atomic.Pointer[controller.SyncWriter]
+	var agent *controller.Agent
+	if compiled != nil && (*sweepInterval > 0 || *softTable > 0) {
+		agent = controller.NewAgent(programmer)
+		sweeper := core.NewSweeper(compiled, core.SweeperConfig{
+			Interval:  *sweepInterval,
+			SoftLimit: *softTable,
+			OnRemoved: func(rf core.RemovedFlow) {
+				out := frOut.Load()
+				if out == nil {
+					return
+				}
+				agent.SendFlowRemoved(out, ofp.FlowRemoved{
+					Reason:      rf.Reason, // core Removed* values equal the wire reasons
+					TableID:     rf.Table,
+					Priority:    int32(rf.Priority),
+					IdleTimeout: rf.IdleTimeout,
+					HardTimeout: rf.HardTimeout,
+					DurationSec: uint32(rf.Duration / time.Second),
+					Packets:     rf.Packets,
+					Bytes:       rf.Bytes,
+					Match:       rf.Match,
+				})
+			},
+		})
+		sweepStop := make(chan struct{})
+		defer close(sweepStop)
+		go sweeper.Run(sweepStop)
+		fmt.Printf("eswitchd: flow lifecycle sweeper running every %s (soft table limit %d)\n",
+			sweeper.Interval(), *softTable)
+	}
+
 	if *listen != "" {
 		ln, err := net.Listen("tcp", *listen)
 		if err != nil {
 			log.Fatalf("listen: %v", err)
 		}
-		agent := controller.NewAgent(programmer)
+		if agent == nil {
+			agent = controller.NewAgent(programmer)
+		}
 		go func() {
 			for {
 				conn, err := ln.Accept()
@@ -224,9 +285,16 @@ func main() {
 					return
 				}
 				if puntRings == nil {
-					// Proactive-only channel: FlowMods/Barriers, any number
-					// of concurrent controllers.
-					go agent.Serve(conn)
+					// Proactive-only channel: FlowMods/Barriers.  The agent's
+					// replies and the sweeper's FlowRemoved announcements
+					// share the connection through a synchronized writer.
+					rw, out := controller.SharedChannel(conn)
+					frOut.Store(out)
+					go func() {
+						agent.Serve(rw)
+						frOut.CompareAndSwap(out, nil)
+						conn.Close()
+					}()
 					continue
 				}
 				// Reactive channel: the punt rings are single-consumer, so
@@ -249,6 +317,7 @@ func main() {
 					continue
 				}
 				agent.PacketOutHandler = svc.HandlePacketOut
+				frOut.Store(out)
 				sw.SetFailMode(dpdk.FailNormal)
 				stop := make(chan struct{})
 				go svc.Run(stop)
@@ -257,6 +326,7 @@ func main() {
 				}
 				sw.SetFailMode(failMode)
 				close(stop)
+				frOut.CompareAndSwap(out, nil)
 				agent.PacketOutHandler = nil
 				conn.Close()
 			}
@@ -323,6 +393,30 @@ func main() {
 		}
 		fmt.Printf("flowcache: %d hits, %d misses (%d stale), %.1f%% hit rate\n",
 			st.CacheHits, st.CacheMisses, st.CacheStale, hitPct)
+		// Occupancy: Fills are installs into empty slots, Victims installs
+		// that displaced a different live microflow (set-conflict churn).
+		fcs := compiled.FlowCacheStats()
+		if fcs.Capacity > 0 {
+			// Capacity sums live workers' slots, so occupancy is only
+			// meaningful while workers are registered.
+			live := fcs.Fills
+			if live > fcs.Capacity {
+				live = fcs.Capacity
+			}
+			fmt.Printf("           %d installs (%d fills, %d victims), ~%.1f%% of %d slots filled\n",
+				fcs.Installs, fcs.Fills, fcs.Victims, 100*float64(live)/float64(fcs.Capacity), fcs.Capacity)
+		} else {
+			fmt.Printf("           %d installs (%d fills, %d victims)\n",
+				fcs.Installs, fcs.Fills, fcs.Victims)
+		}
+		if compiled.MegaflowEnabled() {
+			megaPct := 0.0
+			if st.MegaHits+st.MegaMisses > 0 {
+				megaPct = 100 * float64(st.MegaHits) / float64(st.MegaHits+st.MegaMisses)
+			}
+			fmt.Printf("megaflow:  %d hits, %d misses, %.1f%% of microflow misses short-circuited\n",
+				st.MegaHits, st.MegaMisses, megaPct)
+		}
 	}
 	if meter != nil {
 		fmt.Printf("model:     %.1f cycles/packet, %.2f Mpps single-core at %.1f GHz, %.3f LLC misses/packet\n",

@@ -233,6 +233,32 @@ type TableStage = core.TableStage
 // equals the number of packets classified through the burst path.
 type FlowCacheStats = core.FlowCacheStats
 
+// MegaflowStats are the folded per-worker megaflow (masked-match) cache
+// counters (see Options.Megaflow).  A Hit is a microflow miss resolved by the
+// masked probe without walking the compiled pipeline; with the megaflow cache
+// enabled, Hits+Misses equals FlowCacheStats.Misses.
+type MegaflowStats = core.MegaflowStats
+
+// RemovedFlow describes one flow entry removed by the lifecycle sweeper.
+type RemovedFlow = core.RemovedFlow
+
+// SweeperConfig configures the flow lifecycle sweeper (see StartSweeper).
+type SweeperConfig = core.SweeperConfig
+
+// Sweeper is the flow lifecycle plane: a per-datapath background scanner that
+// expires entries carrying idle/hard timeouts and evicts down to a soft table
+// limit, entirely off the hot path (see core.Sweeper).
+type Sweeper = core.Sweeper
+
+// Flow-removal reasons (RemovedFlow.Reason); numerically equal to the ofp
+// FlowRemoved wire reasons.
+const (
+	RemovedIdleTimeout = core.RemovedIdleTimeout
+	RemovedHardTimeout = core.RemovedHardTimeout
+	RemovedDelete      = core.RemovedDelete
+	RemovedEviction    = core.RemovedEviction
+)
+
 // DefaultOptions returns the paper's compilation defaults (direct-code
 // threshold of 4, key inlining, parser specialization, no decomposition).
 func DefaultOptions() Options { return core.DefaultOptions() }
@@ -394,6 +420,17 @@ func (s *Switch) Rebuilds() uint64 { return s.dp.Rebuilds() }
 // that ever forwarded through this switch (all zero unless Options.FlowCache
 // is set; see core.Options.FlowCache).
 func (s *Switch) FlowCacheStats() FlowCacheStats { return s.dp.FlowCacheStats() }
+
+// MegaflowStats folds the second-level megaflow cache counters over every
+// worker that ever forwarded through this switch (all zero unless
+// Options.Megaflow is set; see core.Options.Megaflow).
+func (s *Switch) MegaflowStats() MegaflowStats { return s.dp.MegaflowStats() }
+
+// NewSweeper builds a flow lifecycle sweeper over this switch's datapath.
+// Run it on its own goroutine (Sweeper.Run) or drive it manually
+// (Sweeper.SweepOnce); see SweeperConfig for timeouts, soft-limit eviction
+// and the OnRemoved announcement hook.
+func (s *Switch) NewSweeper(cfg SweeperConfig) *Sweeper { return core.NewSweeper(s.dp, cfg) }
 
 // IncrementalUpdates returns how many updates avoided a rebuild.
 func (s *Switch) IncrementalUpdates() uint64 { return s.dp.IncrementalUpdates() }

@@ -170,6 +170,8 @@ func (a *Agent) applyFlowMod(fm ofp.FlowMod) error {
 	switch fm.Command {
 	case ofp.FlowModAdd:
 		entry := openflow.NewEntry(int(fm.Priority), fm.Match, fm.Instructions)
+		entry.IdleTimeout = fm.IdleTimeout
+		entry.HardTimeout = fm.HardTimeout
 		return a.programmer.AddFlow(fm.TableID, entry)
 	case ofp.FlowModDelete:
 		_, err := a.programmer.DeleteFlow(fm.TableID, fm.Match, int(fm.Priority))
@@ -183,6 +185,14 @@ func (a *Agent) applyFlowMod(fm ofp.FlowMod) error {
 // switch-to-controller direction of the reactive path).
 func (a *Agent) SendPacketIn(conn io.Writer, pi ofp.PacketIn) error {
 	return ofp.WriteMessage(conn, ofp.Message{Type: ofp.TypePacketIn, Xid: 0, Body: ofp.EncodePacketIn(pi)})
+}
+
+// SendFlowRemoved announces a removed flow entry to the controller over the
+// connection (how the lifecycle sweeper's expirations and evictions reach the
+// controller).  Writers sharing the channel must pass the SyncWriter side of
+// SharedChannel, as for SendPacketIn.
+func (a *Agent) SendFlowRemoved(conn io.Writer, fr ofp.FlowRemoved) error {
+	return ofp.WriteMessage(conn, ofp.Message{Type: ofp.TypeFlowRemoved, Xid: 0, Body: ofp.EncodeFlowRemoved(fr)})
 }
 
 // SyncWriter serializes whole-buffer writes from multiple goroutines onto
@@ -233,6 +243,11 @@ type Controller struct {
 	// sends (most importantly FLOW_MOD_FAILED/TABLE_FULL, the capacity
 	// guardrail) read by Run or Barrier.
 	ErrorHandler func(ofp.ErrorMsg)
+	// FlowRemovedHandler, when set, is invoked for every FlowRemoved the
+	// switch sends (idle/hard timeout expirations and soft-limit evictions
+	// from the lifecycle sweeper, plus announced deletes) read by Run or
+	// Barrier.
+	FlowRemovedHandler func(ofp.FlowRemoved)
 }
 
 // NewController wraps an established control channel.
@@ -268,6 +283,24 @@ func (c *Controller) InstallFlow(table openflow.TableID, priority int, match *op
 		Priority:     int32(priority),
 		Match:        match,
 		Instructions: ins,
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ofp.WriteMessage(c.conn, ofp.Message{Type: ofp.TypeFlowMod, Xid: c.nextXid(), Body: ofp.EncodeFlowMod(fm)})
+}
+
+// InstallFlowLifetime is InstallFlow with idle/hard timeouts (seconds; zero
+// means never expire) carried on the FlowMod — the reactive controller's way
+// to install self-expiring flows the lifecycle sweeper reaps.
+func (c *Controller) InstallFlowLifetime(table openflow.TableID, priority int, match *openflow.Match, ins openflow.Instructions, idle, hard uint16) error {
+	fm := ofp.FlowMod{
+		Command:      ofp.FlowModAdd,
+		TableID:      table,
+		Priority:     int32(priority),
+		Match:        match,
+		Instructions: ins,
+		IdleTimeout:  idle,
+		HardTimeout:  hard,
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -333,6 +366,12 @@ func (c *Controller) Barrier() error {
 					c.ErrorHandler(em)
 				}
 			}
+		case ofp.TypeFlowRemoved:
+			if c.FlowRemovedHandler != nil {
+				if fr, err := ofp.DecodeFlowRemoved(msg.Body); err == nil {
+					c.FlowRemovedHandler(fr)
+				}
+			}
 		case ofp.TypeHello, ofp.TypeEchoReply:
 			// Fine, keep waiting.
 		}
@@ -371,6 +410,12 @@ func (c *Controller) Run() error {
 			if c.ErrorHandler != nil {
 				if em, err := ofp.DecodeError(msg.Body); err == nil {
 					c.ErrorHandler(em)
+				}
+			}
+		case ofp.TypeFlowRemoved:
+			if c.FlowRemovedHandler != nil {
+				if fr, err := ofp.DecodeFlowRemoved(msg.Body); err == nil {
+					c.FlowRemovedHandler(fr)
 				}
 			}
 		}

@@ -306,6 +306,116 @@ func TestAgentSkipsUnknownMessageTypes(t *testing.T) {
 	}
 }
 
+// TestFlowRemovedEndToEnd closes the lifecycle loop over a real TCP channel:
+// the controller installs a self-expiring flow with InstallFlowLifetime (the
+// idle timeout rides the FlowMod body), the switch-side sweeper expires it on
+// an injected clock, and the resulting FlowRemoved travels back through the
+// shared channel's SyncWriter into the controller's FlowRemovedHandler.
+func TestFlowRemovedEndToEnd(t *testing.T) {
+	pl := openflow.NewPipeline(4)
+	pl.Table(0).AddFlow(0, openflow.NewMatch(), openflow.Apply(openflow.Drop()))
+	opts := core.DefaultOptions()
+	opts.UpdateCounters = true // the sweeper's idle detector reads per-entry counters
+	dp, err := core.Compile(pl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	agent := NewAgent(dp)
+	outCh := make(chan *SyncWriter, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		rw, out := SharedChannel(conn)
+		outCh <- out
+		agent.Serve(rw)
+		conn.Close()
+	}()
+	ctrl, clientConn, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clientConn.Close()
+
+	var removed []ofp.FlowRemoved
+	ctrl.FlowRemovedHandler = func(fr ofp.FlowRemoved) { removed = append(removed, fr) }
+
+	// Install a flow that expires after 3 idle seconds.
+	match := openflow.NewMatch().Set(openflow.FieldIPSrc, 0x0a000001)
+	if err := ctrl.InstallFlowLifetime(0, 10, match, openflow.Apply(openflow.Output(2)), 3, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	if got := dp.Pipeline().Table(0).Len(); got != 2 {
+		t.Fatalf("table holds %d entries after install, want 2", got)
+	}
+	out := <-outCh
+
+	// Switch-side sweeper: expirations are delivered to the controller through
+	// the same shared channel the agent serves (off the worker hot path).
+	now := time.Unix(3000, 0)
+	s := core.NewSweeper(dp, core.SweeperConfig{
+		Now: func() time.Time { return now },
+		OnRemoved: func(rf core.RemovedFlow) {
+			fr := ofp.FlowRemoved{
+				Reason:      rf.Reason, // numerically identical to ofp's OFPRR_* values
+				TableID:     rf.Table,
+				Priority:    int32(rf.Priority),
+				IdleTimeout: rf.IdleTimeout,
+				HardTimeout: rf.HardTimeout,
+				DurationSec: uint32(rf.Duration / time.Second),
+				Packets:     rf.Packets,
+				Bytes:       rf.Bytes,
+				Match:       rf.Match,
+			}
+			if err := agent.SendFlowRemoved(out, fr); err != nil {
+				t.Errorf("SendFlowRemoved: %v", err)
+			}
+		},
+	})
+	if n := s.SweepOnce(); n != 0 {
+		t.Fatalf("sweep at install time removed %d entries", n)
+	}
+	now = now.Add(4 * time.Second)
+	if n := s.SweepOnce(); n != 1 {
+		t.Fatalf("sweep after idle window removed %d entries, want 1", n)
+	}
+
+	// The FlowRemoved was framed onto the wire before this BarrierRequest, so
+	// the barrier's dispatch loop must deliver it before the reply arrives.
+	if err := ctrl.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 {
+		t.Fatalf("controller saw %d FlowRemoved messages, want 1", len(removed))
+	}
+	fr := removed[0]
+	if fr.Reason != ofp.FlowRemovedIdleTimeout {
+		t.Fatalf("reason %d, want idle timeout", fr.Reason)
+	}
+	if fr.TableID != 0 || fr.Priority != 10 || fr.IdleTimeout != 3 {
+		t.Fatalf("identity fields: %+v", fr)
+	}
+	if fr.DurationSec != 4 {
+		t.Fatalf("duration %ds, want 4s", fr.DurationSec)
+	}
+	if !fr.Match.Equal(match) {
+		t.Fatalf("match mismatch: %v vs %v", fr.Match, match)
+	}
+	if got := dp.Pipeline().Table(0).Len(); got != 1 {
+		t.Fatalf("table holds %d entries after expiry, want the catch-all only", got)
+	}
+}
+
 // countingProgrammer wraps a FlowProgrammer and records the apply count at
 // observation points.
 type countingProgrammer struct {

@@ -98,11 +98,11 @@ func (d *Datapath) ProcessBurstUnlocked(ps []*pkt.Packet, vs []openflow.Verdict)
 	sn := d.snap.Load()
 	sc := burstPool.Get().(*burstScratch)
 	for len(ps) > MaxBurst {
-		d.processBurst(sc, d.meter, sn, nil, ps[:MaxBurst], vs[:MaxBurst])
+		d.processBurst(sc, d.meter, sn, nil, nil, ps[:MaxBurst], vs[:MaxBurst])
 		ps, vs = ps[MaxBurst:], vs[MaxBurst:]
 	}
 	if len(ps) > 0 {
-		d.processBurst(sc, d.meter, sn, nil, ps, vs)
+		d.processBurst(sc, d.meter, sn, nil, nil, ps, vs)
 	}
 	burstPool.Put(sc)
 }
@@ -113,8 +113,10 @@ func (d *Datapath) ProcessBurstUnlocked(ps []*pkt.Packet, vs []openflow.Verdict)
 // caller owns a microflow cache (fc non-nil) and the published pipeline is
 // cacheable, the burst first runs a cache probe pass: hits replay their
 // memoized verdict immediately and only the misses enter the wave engine,
-// installing their verdicts on the way out.
-func (d *Datapath) processBurst(sc *burstScratch, m *cpumodel.Meter, sn *snapshot, fc *FlowCache, ps []*pkt.Packet, vs []openflow.Verdict) {
+// installing their verdicts on the way out.  When the caller additionally
+// owns a megaflow cache (mc non-nil), microflow misses probe it before
+// falling through to the pipeline (megaflow.go).
+func (d *Datapath) processBurst(sc *burstScratch, m *cpumodel.Meter, sn *snapshot, fc *FlowCache, mc *megaCache, ps []*pkt.Packet, vs []openflow.Verdict) {
 	n := len(ps)
 
 	// Stage 1: one parser pass over the whole burst, to the layer the
@@ -130,7 +132,7 @@ func (d *Datapath) processBurst(sc *burstScratch, m *cpumodel.Meter, sn *snapsho
 	}
 
 	if fc != nil && sn.cacheable && m == nil {
-		d.processBurstCached(sc, sn, fc, ps, vs)
+		d.processBurstCached(sc, sn, fc, mc, ps, vs)
 		return
 	}
 
@@ -337,8 +339,12 @@ func (d *Datapath) runWaves(sc *burstScratch, m *cpumodel.Meter, sn *snapshot, p
 // every packet of the (already parsed, verdict-reset) burst against the
 // worker's cache, replay the memoized verdict program for the hits, run only
 // the misses through the wave engine, and memoize their verdicts on the way
-// out.  Callers guarantee fc != nil, sn.cacheable and no metering.
-func (d *Datapath) processBurstCached(sc *burstScratch, sn *snapshot, fc *FlowCache, ps []*pkt.Packet, vs []openflow.Verdict) {
+// out.  When mc is non-nil, the misses are finished through the megaflow
+// layer instead (processMissesTracked): probe the second-level cache, run
+// only the double misses through the tracked pipeline walk, and install both
+// cache levels on the way out.  Callers guarantee fc != nil, sn.cacheable and
+// no metering.
+func (d *Datapath) processBurstCached(sc *burstScratch, sn *snapshot, fc *FlowCache, mc *megaCache, ps []*pkt.Packet, vs []openflow.Verdict) {
 	n := len(ps)
 	start := sn.start
 	var startDP tableDatapath
@@ -416,6 +422,11 @@ func (d *Datapath) processBurstCached(sc *burstScratch, sn *snapshot, fc *FlowCa
 	}
 	fc.bump(hits, missN, stale)
 	if missN == 0 {
+		return
+	}
+
+	if mc != nil {
+		d.processMissesTracked(sc, sn, fc, mc, ps, vs, missN)
 		return
 	}
 

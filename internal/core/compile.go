@@ -132,6 +132,8 @@ type Datapath struct {
 	usedFields openflow.FieldSet
 	// caches registers the live workers' microflow caches for stats folds.
 	caches cacheRegistry
+	// megas registers the live workers' megaflow caches likewise.
+	megas megaRegistry
 
 	// stats
 	rebuilds     atomic.Uint64

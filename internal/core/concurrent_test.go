@@ -62,7 +62,7 @@ func ccFrame(src, dst uint32, sport uint16) []byte {
 }
 
 func TestConcurrentFlowModsUnderBurstTraffic(t *testing.T) {
-	runConcurrentFlowMods(t, 0)
+	runConcurrentFlowMods(t, 0, 0)
 }
 
 // TestConcurrentFlowModsFlowCache is the flowcache acceptance variant: the
@@ -73,12 +73,21 @@ func TestConcurrentFlowModsUnderBurstTraffic(t *testing.T) {
 // epoch entry, and the convergence check proves the caches drain to the final
 // configuration once updates stop.
 func TestConcurrentFlowModsFlowCache(t *testing.T) {
-	runConcurrentFlowMods(t, 8192)
+	runConcurrentFlowMods(t, 8192, 0)
 }
 
-func runConcurrentFlowMods(t *testing.T, flowCache int) {
+// TestConcurrentFlowModsMegaflow adds the second-level masked-match cache to
+// the storm: a deliberately tiny microflow cache keeps the megaflow probe and
+// the tracked walk hot on every burst, so the generation guard on memoized
+// masked verdicts is exercised against the same AddFlow/DeleteFlow churn.
+func TestConcurrentFlowModsMegaflow(t *testing.T) {
+	runConcurrentFlowMods(t, 64, 4096)
+}
+
+func runConcurrentFlowMods(t *testing.T, flowCache, megaflow int) {
 	opts := DefaultOptions()
 	opts.FlowCache = flowCache
+	opts.Megaflow = megaflow
 	dp, err := Compile(ccPipeline(), opts)
 	if err != nil {
 		t.Fatal(err)
@@ -233,6 +242,16 @@ func runConcurrentFlowMods(t *testing.T, flowCache int) {
 		}
 		if st.Stale == 0 {
 			t.Fatal("150 update rounds produced no stale-generation sightings")
+		}
+	}
+	if megaflow > 0 {
+		ms := dp.MegaflowStats()
+		if ms.Hits == 0 || ms.Misses == 0 {
+			t.Fatalf("megaflow storm run should mix hits and misses: %+v", ms)
+		}
+		if fcs := dp.FlowCacheStats(); ms.Hits+ms.Misses != fcs.Misses {
+			t.Fatalf("megaflow layering violated under churn: %d + %d != %d",
+				ms.Hits, ms.Misses, fcs.Misses)
 		}
 	}
 

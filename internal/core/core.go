@@ -97,6 +97,17 @@ type Options struct {
 	// cache of entries x 128 bytes, so size it for the expected concurrent
 	// flow count, not "as big as possible".
 	FlowCache int
+	// Megaflow, when positive, adds a per-worker megaflow (masked-match)
+	// second-level cache of roughly this many entries behind the microflow
+	// cache: a microflow miss probes the megaflow cache before falling
+	// through to the compiled pipeline, and a double miss runs the pipeline
+	// once under a mask accumulator to derive the minimal masked match to
+	// install (see megaflow.go).  It absorbs wildcard-heavy traffic tails
+	// (port sweeps, address scans) that blow out the exact-match microflow
+	// cache.  Requires FlowCache > 0 (the megaflow layer is probed only on
+	// microflow miss); ignored otherwise, and ignored on metered datapaths.
+	// Zero disables it (the default).
+	Megaflow int
 	// MaxTableEntries, when positive, caps every flow table's entry count:
 	// an AddFlow that would grow a table past the cap fails with a
 	// *TableFullError (surfaced to OpenFlow controllers as
@@ -187,6 +198,14 @@ type tableDatapath interface {
 	// keys of the burst before probing.  m may be nil and is checked once
 	// per burst, not per packet.
 	LookupBurst(ps []*pkt.Packet, outs []lookupOutcome, sc *burstScratch, m *cpumodel.Meter)
+	// LookupTracked is LookupFast with mask observation: every field/bit the
+	// lookup examines is reported to acc, which is how the megaflow layer
+	// derives the minimal masked match covering a pipeline walk.  Each
+	// template reports at its natural granularity — direct code per rule
+	// (with prefix refinement on mismatches), the compound hash its full
+	// field/mask vector, LPM the matched DIR-24-8 prefix, tuple space search
+	// the masks of every probed tuple.  acc must be non-nil.
+	LookupTracked(p *pkt.Packet, acc *openflow.MaskAccumulator) lookupOutcome
 	// CanInsert reports whether the entry can be added incrementally
 	// without violating the template's prerequisite.
 	CanInsert(e *openflow.FlowEntry) bool

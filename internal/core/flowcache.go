@@ -157,8 +157,19 @@ const flowCacheWays = 4
 // from a retired generation; every stale probe is also counted as a miss, so
 // Hits+Misses equals the number of packets that ran the cache-enabled burst
 // path.
+//
+// The occupancy counters describe install-side behaviour: Installs is every
+// memoization, Fills the installs that claimed a previously-empty slot (so
+// Fills approximates the occupied-entry count — entries are never explicitly
+// freed, only overwritten), and Victims the installs that evicted a live
+// entry holding a different key (set-conflict pressure).  Capacity is the
+// summed entry capacity of the live workers' caches, so Fills/Capacity is the
+// fleet-wide fill fraction and Victims>0 signals working sets spilling their
+// sets.
 type FlowCacheStats struct {
-	Hits, Misses, Stale uint64
+	Hits, Misses, Stale      uint64
+	Installs, Fills, Victims uint64
+	Capacity                 uint64
 }
 
 // FlowCache is one worker's microflow verdict cache.  It is single-writer by
@@ -178,6 +189,15 @@ type FlowCache struct {
 	// single-writer atomic stores, no read-modify-writes on the hot path.
 	hitsL, missesL, staleL uint64
 	hits, misses, stale    atomic.Uint64
+
+	// Install-side occupancy tallies (same single-writer mirror scheme):
+	// every install, installs that filled a previously-invalid slot, and
+	// installs that evicted a live entry with a different key.  They are
+	// maintained in install itself — the install path runs once per microflow
+	// miss, not per packet, so the three conditional stores are off the
+	// hit path.
+	installsL, fillsL, victimsL uint64
+	installs, fills, victims    atomic.Uint64
 }
 
 // probeSkip marks a burst slot that bypasses the cache (non-zero entry
@@ -250,6 +270,15 @@ func (fc *FlowCache) install(h uint32, k *flowKey, gen uint64, flags uint8, out 
 		victim = &set[fc.rr%flowCacheWays]
 		fc.rr++
 	}
+	fc.installsL++
+	fc.installs.Store(fc.installsL)
+	if victim.flags&cacheValid == 0 {
+		fc.fillsL++
+		fc.fills.Store(fc.fillsL)
+	} else if victim.key != *k {
+		fc.victimsL++
+		fc.victims.Store(fc.victimsL)
+	}
 	victim.key = *k
 	victim.gen = gen
 	victim.hash = h
@@ -264,45 +293,54 @@ func (fc *FlowCache) install(h uint32, k *flowKey, gen uint64, flags uint8, out 
 	}
 }
 
-// apply replays the memoized verdict program onto the packet and verdict:
-// verdict flags and output port from the hot line, then the header patch.
+// apply replays the memoized verdict program onto the packet and verdict.
 // It mirrors exactly what the full pipeline walk produced when the entry was
 // installed.
 func (e *cacheEntry) apply(p *pkt.Packet, v *openflow.Verdict) {
-	v.Tables = int(e.tables)
-	v.TableMiss = e.flags&cacheTableMiss != 0
-	v.Modified = e.flags&cacheModified != 0
-	v.ToController = e.flags&cacheToCtrl != 0
-	v.Dropped = e.flags&cacheDropped != 0
+	applyVerdictProgram(p, v, e.flags, e.out, e.tables, e.ttlDec, e.puntTable, e.fields, &e.patch)
+}
+
+// applyVerdictProgram replays a flattened verdict program onto the packet and
+// verdict: verdict flags and output port from the hot-line encoding, then the
+// header patch.  It is shared by the microflow cache (cacheEntry) and the
+// megaflow cache (megaEntry) so a hit in either level reproduces identical
+// verdicts, headers and punt attribution.
+func applyVerdictProgram(p *pkt.Packet, v *openflow.Verdict, flags uint8, out uint32, tables, ttlDec uint8, puntTable uint16, fields uint16, patch *cachePatch) {
+	v.Tables = int(tables)
+	v.TableMiss = flags&cacheTableMiss != 0
+	v.Modified = flags&cacheModified != 0
+	v.ToController = flags&cacheToCtrl != 0
+	v.Dropped = flags&cacheDropped != 0
 	if v.ToController {
 		// Replay the punt attribution so a cache hit delivers exactly the
 		// PacketIn the full walk would have (reason + originating table).
 		reason := openflow.PuntAction
-		if e.flags&cachePuntMiss != 0 {
+		if flags&cachePuntMiss != 0 {
 			reason = openflow.PuntMiss
 		}
 		v.PuntReason = reason
-		v.PuntTable = openflow.TableID(e.puntTable)
+		v.PuntTable = openflow.TableID(puntTable)
 	}
-	if e.flags&cacheHasPort != 0 {
-		v.OutPorts = append(v.OutPorts[:0], e.out)
+	if flags&cacheHasPort != 0 {
+		v.OutPorts = append(v.OutPorts[:0], out)
 	}
-	if e.ttlDec != 0 {
-		if t := p.Headers.IPTTL; t <= e.ttlDec {
+	if ttlDec != 0 {
+		if t := p.Headers.IPTTL; t <= ttlDec {
 			p.Headers.IPTTL = 0
 		} else {
-			p.Headers.IPTTL = t - e.ttlDec
+			p.Headers.IPTTL = t - ttlDec
 		}
 	}
-	if e.fields != 0 {
-		e.applyPatch(p)
+	if fields != 0 {
+		applyHeaderPatch(p, fields, patch)
 	}
 }
 
-// applyPatch replays the flattened header write-set.  Push/pop run before the
-// absolute tag/PCP writes so a pop-then-retag walk replays in order.
-func (e *cacheEntry) applyPatch(p *pkt.Packet) {
-	f, pt, h := e.fields, &e.patch, &p.Headers
+// applyHeaderPatch replays the flattened header write-set.  Push/pop run
+// before the absolute tag/PCP writes so a pop-then-retag walk replays in
+// order.
+func applyHeaderPatch(p *pkt.Packet, fields uint16, patch *cachePatch) {
+	f, pt, h := fields, patch, &p.Headers
 	if f&pfVLANPush != 0 {
 		h.Proto |= pkt.ProtoVLAN
 		h.VLANID = pt.vlanID
@@ -474,9 +512,13 @@ func (fc *FlowCache) bump(hits, misses, stale int) {
 // Stats returns this cache's counters (concurrent-read safe).
 func (fc *FlowCache) Stats() FlowCacheStats {
 	return FlowCacheStats{
-		Hits:   fc.hits.Load(),
-		Misses: fc.misses.Load(),
-		Stale:  fc.stale.Load(),
+		Hits:     fc.hits.Load(),
+		Misses:   fc.misses.Load(),
+		Stale:    fc.stale.Load(),
+		Installs: fc.installs.Load(),
+		Fills:    fc.fills.Load(),
+		Victims:  fc.victims.Load(),
+		Capacity: uint64(len(fc.entries)),
 	}
 }
 
@@ -502,6 +544,10 @@ func (r *cacheRegistry) retire(fc *FlowCache) {
 	r.base.Hits += st.Hits
 	r.base.Misses += st.Misses
 	r.base.Stale += st.Stale
+	r.base.Installs += st.Installs
+	r.base.Fills += st.Fills
+	r.base.Victims += st.Victims
+	// Capacity tracks live caches only; a retired worker's entries are gone.
 	kept := r.live[:0]
 	for _, c := range r.live {
 		if c != fc {
@@ -520,6 +566,10 @@ func (r *cacheRegistry) fold() FlowCacheStats {
 		t.Hits += st.Hits
 		t.Misses += st.Misses
 		t.Stale += st.Stale
+		t.Installs += st.Installs
+		t.Fills += st.Fills
+		t.Victims += st.Victims
+		t.Capacity += st.Capacity
 	}
 	r.mu.Unlock()
 	return t

@@ -1,0 +1,445 @@
+package core
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"eswitch/internal/openflow"
+	"eswitch/internal/pkt"
+)
+
+// This file implements the per-worker megaflow second-level cache: a
+// masked-match (OVS-style "megaflow") verdict cache between the microflow
+// cache and the compiled pipeline.  The microflow cache memoizes exact
+// per-5-tuple verdicts, so a wildcard-heavy traffic tail — port sweeps,
+// address scans, spoofed-source floods, anything where every packet is a new
+// microflow over a handful of wildcard rules — blows it out and lands every
+// packet on the full template walk.  The megaflow cache closes that gap: on a
+// double miss the worker runs the pipeline once under a mask accumulator
+// (openflow.MaskAccumulator, shared with the OVS baseline's slow path), which
+// records exactly which header bits the walk examined — compiled templates
+// know their field sets, so observation is tuple-granular:
+//
+//   - direct code observes per rule, with MSB prefix refinement on
+//     mismatches (the bit-granular behaviour of Fig. 3);
+//   - the compound hash observes its full field/mask vector (the key either
+//     matched all of it or missed it);
+//   - LPM observes the matched DIR-24-8 prefix: a depth-1 resolution means
+//     every address in the /stride block shares the result, so only /stride
+//     bits are un-wildcarded (and /stride+8 after a tbl8 descent);
+//   - tuple space search observes the masks of every probed tuple plus their
+//     protocol prerequisites (tss.LookupObserved).
+//
+// The resulting minimal masked match plus the same flattened verdict program
+// the microflow cache memoizes (flags / output port / header patch / TTL
+// decrement) is installed into a per-worker tuple-space-structured cache:
+// entries are grouped by mask signature, each group is a fixed-capacity
+// set-associative exact-match table over the packed masked key.  A probe
+// packs the packet's masked key per group and takes the first hit — sound
+// because every entry was derived from a real walk, so any two entries a
+// packet can match encode the same decisions.  Hits replay the verdict
+// program and are promoted into the microflow cache, exactly the OVS
+// microflow-fronting-megaflow arrangement.  Generation bumps invalidate
+// entries the same way they invalidate the microflow cache: one counter
+// compare per probe, no invalidation walks.
+//
+// Like the microflow cache, the megaflow cache is worker-owned: single
+// writer, no locks, no atomic read-modify-writes; only the stat mirrors are
+// read by other goroutines.  The steady state is allocation-free — groups are
+// created once per mask signature (warmup) and entries live in pre-allocated
+// set-associative arrays.
+
+const (
+	// megaWays is the set associativity of each mask group's entry table.
+	megaWays = 4
+	// megaMaxGroups bounds the number of distinct mask signatures one
+	// worker's cache tracks; a pipeline produces one signature per distinct
+	// set of examined fields (typically a handful), and probes cost one
+	// packed lookup per live group, so the bound caps both probe cost and
+	// memory.  Installs beyond the bound are dropped (the packet still
+	// forwarded correctly — it just keeps taking the full walk).
+	megaMaxGroups = 8
+)
+
+// megaEntry is one memoized masked-match verdict: the packed masked key, the
+// exact protocol-presence set it was derived under (prerequisite checks are
+// presence checks, so presence is part of the identity), the generation
+// guard, and the same flattened verdict program the microflow cache replays.
+type megaEntry struct {
+	key       hashKey
+	proto     pkt.Proto
+	gen       uint64
+	hash      uint32
+	out       uint32
+	fields    uint16
+	flags     uint8
+	tables    uint8
+	ttlDec    uint8
+	puntTable uint16
+	patch     cachePatch
+}
+
+// apply replays the memoized verdict program (shared with the microflow
+// cache's cacheEntry.apply).
+func (e *megaEntry) apply(p *pkt.Packet, v *openflow.Verdict) {
+	applyVerdictProgram(p, v, e.flags, e.out, e.tables, e.ttlDec, e.puntTable, e.fields, &e.patch)
+}
+
+// megaGroup is one mask signature's entry table: the examined fields and
+// their accumulated masks, plus a set-associative exact-match table over the
+// packed masked key.
+type megaGroup struct {
+	fields  []openflow.Field
+	masks   []uint64
+	fset    openflow.FieldSet
+	entries []megaEntry
+	mask    uint32 // numSets - 1
+	rr      uint32
+}
+
+// MegaflowStats are the aggregate megaflow-cache counters folded over all
+// workers of a datapath.  Hits+Misses equals the number of microflow-cache
+// misses processed while the megaflow layer was enabled.
+type MegaflowStats struct {
+	Hits, Misses uint64
+}
+
+// megaCache is one worker's megaflow cache plus the reusable tracked-walk
+// state (mask accumulator and original-packet snapshot), owned outright by
+// the worker.
+type megaCache struct {
+	groups []*megaGroup
+	// budget is the per-group entry capacity target (Options.Megaflow).
+	budget int
+
+	// acc is the worker's reusable mask accumulator; orig is the pre-walk
+	// packet view it captures values from.
+	acc  openflow.MaskAccumulator
+	orig pkt.Packet
+
+	// Owner-local totals and their single-writer atomic mirrors.
+	hitsL, missesL uint64
+	hits, misses   atomic.Uint64
+}
+
+func newMegaCache(budget int) *megaCache {
+	if budget < megaWays {
+		budget = megaWays
+	}
+	mc := &megaCache{budget: budget}
+	mc.acc.PrefixTracking = true
+	return mc
+}
+
+// megaHash mixes the packed key and the protocol-presence set into the probe
+// hash.
+func megaHash(k hashKey, proto pkt.Proto) uint32 {
+	x := k.W0 ^ bits.RotateLeft64(k.W1, 17) ^ bits.RotateLeft64(k.W2, 31) ^
+		bits.RotateLeft64(k.W3, 47) ^ uint64(proto)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return uint32(x)
+}
+
+// lookup probes every mask group for a current-generation entry covering the
+// packet, first hit wins.  The caller guarantees the packet entered with zero
+// metadata (the same canonicalization the microflow probe enforces).
+func (mc *megaCache) lookup(p *pkt.Packet, gen uint64) *megaEntry {
+	for _, g := range mc.groups {
+		key := packKey(p, g.fields, g.masks)
+		h := megaHash(key, p.Headers.Proto)
+		base := (h & g.mask) * megaWays
+		set := g.entries[base : base+megaWays]
+		for i := range set {
+			e := &set[i]
+			if e.hash == h && e.flags&cacheValid != 0 && e.key == key &&
+				e.proto == p.Headers.Proto && e.gen == gen {
+				return e
+			}
+		}
+	}
+	return nil
+}
+
+// install memoizes the verdict program under the mask the worker's
+// accumulator derived from the walk.  Group creation (one per mask
+// signature) is the only allocating step and happens during warmup; a full
+// group table evicts like the microflow cache (invalid slot, then retired
+// generation, then round-robin).
+func (mc *megaCache) install(gen uint64, flags uint8, out uint32, tables, ttlDec uint8, puntTable uint16, pfields uint16, patch *cachePatch) {
+	acc := &mc.acc
+	fset := acc.FieldSet()
+	proto := mc.orig.Headers.Proto
+	var g *megaGroup
+	for _, cand := range mc.groups {
+		if cand.fset != fset {
+			continue
+		}
+		same := true
+		for i, f := range cand.fields {
+			if cand.masks[i] != acc.Mask(f) {
+				same = false
+				break
+			}
+		}
+		if same {
+			g = cand
+			break
+		}
+	}
+	if g == nil {
+		g = mc.newGroup(acc, fset)
+		if g == nil {
+			return
+		}
+	}
+	var kp keyPacker
+	for i, f := range g.fields {
+		kp.add(acc.Value(f)&g.masks[i], int(f.Width()))
+	}
+	key := kp.key()
+	h := megaHash(key, proto)
+	base := (h & g.mask) * megaWays
+	set := g.entries[base : base+megaWays]
+	var victim *megaEntry
+	for i := range set {
+		e := &set[i]
+		if e.flags&cacheValid == 0 {
+			if victim == nil {
+				victim = e
+			}
+			continue
+		}
+		if e.hash == h && e.key == key && e.proto == proto {
+			victim = e
+			break
+		}
+		if e.gen != gen && (victim == nil || victim.flags&cacheValid != 0) {
+			victim = e
+		}
+	}
+	if victim == nil {
+		victim = &set[g.rr%megaWays]
+		g.rr++
+	}
+	victim.key = key
+	victim.proto = proto
+	victim.gen = gen
+	victim.hash = h
+	victim.out = out
+	victim.fields = pfields
+	victim.flags = flags
+	victim.tables = tables
+	victim.ttlDec = ttlDec
+	victim.puntTable = puntTable
+	if pfields != 0 {
+		victim.patch = *patch
+	}
+}
+
+// newGroup creates the entry table for a new mask signature, or returns nil
+// when the signature cannot be cached (group bound reached, or the packed
+// key would overflow the four-word key).
+func (mc *megaCache) newGroup(acc *openflow.MaskAccumulator, fset openflow.FieldSet) *megaGroup {
+	if len(mc.groups) >= megaMaxGroups {
+		return nil
+	}
+	fields := fset.Fields()
+	if keyWidth(fields) > maxKeyBits {
+		return nil
+	}
+	masks := make([]uint64, len(fields))
+	for i, f := range fields {
+		masks[i] = acc.Mask(f)
+	}
+	sets := 64
+	for sets*megaWays < mc.budget {
+		sets <<= 1
+	}
+	g := &megaGroup{
+		fields:  fields,
+		masks:   masks,
+		fset:    fset,
+		entries: make([]megaEntry, sets*megaWays),
+		mask:    uint32(sets - 1),
+	}
+	mc.groups = append(mc.groups, g)
+	return g
+}
+
+// bump folds one burst's megaflow tallies into the owner-local totals and
+// publishes them with plain atomic stores (no RMWs).
+func (mc *megaCache) bump(hits, misses int) {
+	if hits != 0 {
+		mc.hitsL += uint64(hits)
+		mc.hits.Store(mc.hitsL)
+	}
+	if misses != 0 {
+		mc.missesL += uint64(misses)
+		mc.misses.Store(mc.missesL)
+	}
+}
+
+// Stats returns this cache's counters (concurrent-read safe).
+func (mc *megaCache) Stats() MegaflowStats {
+	return MegaflowStats{Hits: mc.hits.Load(), Misses: mc.misses.Load()}
+}
+
+// megaRegistry tracks the live workers' megaflow caches plus the folded
+// totals of retired ones, exactly like cacheRegistry.
+type megaRegistry struct {
+	mu   sync.Mutex
+	live []*megaCache
+	base MegaflowStats
+}
+
+func (r *megaRegistry) register(mc *megaCache) {
+	r.mu.Lock()
+	r.live = append(r.live, mc)
+	r.mu.Unlock()
+}
+
+func (r *megaRegistry) retire(mc *megaCache) {
+	r.mu.Lock()
+	st := mc.Stats()
+	r.base.Hits += st.Hits
+	r.base.Misses += st.Misses
+	kept := r.live[:0]
+	for _, c := range r.live {
+		if c != mc {
+			kept = append(kept, c)
+		}
+	}
+	r.live = kept
+	r.mu.Unlock()
+}
+
+func (r *megaRegistry) fold() MegaflowStats {
+	r.mu.Lock()
+	t := r.base
+	for _, c := range r.live {
+		st := c.Stats()
+		t.Hits += st.Hits
+		t.Misses += st.Misses
+	}
+	r.mu.Unlock()
+	return t
+}
+
+// MegaflowStats folds the megaflow-cache counters of every worker that ever
+// forwarded through this datapath.  All zero when Options.Megaflow is off.
+func (d *Datapath) MegaflowStats() MegaflowStats { return d.megas.fold() }
+
+// MegaflowCounters is MegaflowStats unpacked for the dataplane substrate.
+func (d *Datapath) MegaflowCounters() (hits, misses uint64) {
+	st := d.megas.fold()
+	return st.Hits, st.Misses
+}
+
+// MegaflowEnabled reports whether this datapath's workers carry megaflow
+// caches and the current pipeline is cacheable.  The megaflow layer rides
+// behind the microflow cache (it is probed only on microflow miss), so it
+// additionally requires Options.FlowCache.
+func (d *Datapath) MegaflowEnabled() bool {
+	return d.opts.Megaflow > 0 && d.FlowCacheEnabled()
+}
+
+// walkTracked runs one packet through the compiled pipeline per packet — the
+// double-miss path — with every table lookup reporting the fields/bits it
+// examined to acc (nil acc runs the same walk unobserved, for packets whose
+// verdict cannot be memoized).  It mirrors runWaves' per-slot semantics
+// exactly: same executeEntry, same miss disposition, same depth guard.
+func (d *Datapath) walkTracked(sn *snapshot, p *pkt.Packet, v *openflow.Verdict, set *openflow.ActionList, acc *openflow.MaskAccumulator) {
+	tr := sn.start
+	for depth := 0; depth < openflow.MaxPipelineDepth; depth++ {
+		if tr == nil {
+			break
+		}
+		dp := tr.load()
+		if dp == nil {
+			break
+		}
+		v.Tables++
+		var out lookupOutcome
+		if acc != nil {
+			out = dp.LookupTracked(p, acc)
+		} else {
+			out = dp.LookupFast(p)
+		}
+		ce := out.entry
+		if ce == nil {
+			sn.miss(v, tr.id)
+			return
+		}
+		res := d.executeEntry(sn, ce, p, v, set, tr.id)
+		if acc != nil {
+			// Fields rewritten by this stage are deterministic for every
+			// packet on the path; suppress their later observation.
+			if len(ce.apply.list) > 0 {
+				acc.MarkModifiedActions(ce.apply.list)
+			}
+			if ce.metadataMask != 0 {
+				acc.MarkMetadataWrite(ce.metadataMask)
+			}
+		}
+		if res != stepNext {
+			return
+		}
+		tr = ce.next
+	}
+	v.Dropped = true
+}
+
+// processMissesTracked finishes a cached burst's microflow misses through the
+// megaflow layer: probe the megaflow cache (hits replay their program and are
+// promoted into the microflow cache), and run the remaining double misses
+// through the tracked walk, installing both the exact microflow entry and the
+// derived megaflow entry on the way out.
+func (d *Datapath) processMissesTracked(sc *burstScratch, sn *snapshot, fc *FlowCache, mc *megaCache, ps []*pkt.Packet, vs []openflow.Verdict, missN int) {
+	cs := sc.cache
+	gen := sn.gen
+	megaHits, walks := 0, 0
+	for j := 0; j < missN; j++ {
+		i := int(cs.miss[j])
+		p := ps[i]
+		if cs.cbase[i] != probeSkip {
+			if e := mc.lookup(p, gen); e != nil {
+				e.apply(p, &vs[i])
+				// Promote: the program is valid for every packet matching
+				// the mask, so memoize it for this exact microflow too.
+				fc.install(cs.chash[i], &cs.ckey[i], gen, e.flags, e.out, e.tables, e.ttlDec, e.puntTable, e.fields, &e.patch)
+				megaHits++
+				continue
+			}
+		}
+		walks++
+		v := &vs[i]
+		var acc *openflow.MaskAccumulator
+		if cs.cinstall[i] {
+			// Snapshot the pre-walk view the accumulator captures original
+			// values from (the walk rewrites p in place).
+			mc.orig.InPort = p.InPort
+			mc.orig.Metadata = p.Metadata
+			mc.orig.Headers = p.Headers
+			acc = &mc.acc
+			acc.Reset(&mc.orig)
+		}
+		d.walkTracked(sn, p, v, &sc.sets[i], acc)
+		if acc == nil {
+			continue
+		}
+		flags, out, tables, puntTable, ok := entryFromVerdict(v)
+		if !ok {
+			continue
+		}
+		patch, pfields, ttlDec, ok := diffHeaders(&cs.preH[i], &p.Headers, p.Metadata)
+		if !ok {
+			continue
+		}
+		fc.install(cs.chash[i], &cs.ckey[i], gen, flags, out, tables, ttlDec, puntTable, pfields, &patch)
+		mc.install(gen, flags, out, tables, ttlDec, puntTable, pfields, &patch)
+	}
+	mc.bump(megaHits, walks)
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"eswitch/internal/openflow"
+	"eswitch/internal/pkt"
+)
+
+// Lifecycle-plane acceptance tests: idle and hard timeouts expire lazily on
+// the sweeper's clock (idle activity observed through the per-entry packet
+// counters), soft-limit eviction sheds the least-recently-active entries, and
+// every removal goes through the ordinary generation-bumping update path.
+
+// sweepDatapath compiles a single-table pipeline with per-entry counters on
+// (the sweeper's idle detector reads them) and a drop catch-all.
+func sweepDatapath(t *testing.T) *Datapath {
+	t.Helper()
+	pl := openflow.NewPipeline(4)
+	pl.Table(0).AddFlow(0, openflow.NewMatch(), openflow.Apply(openflow.Drop()))
+	opts := DefaultOptions()
+	opts.UpdateCounters = true
+	dp, err := Compile(pl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dp
+}
+
+func srcEntry(src uint32, out uint32) *openflow.FlowEntry {
+	return openflow.NewEntry(10,
+		openflow.NewMatch().Set(openflow.FieldIPSrc, uint64(src)),
+		openflow.Apply(openflow.Output(out)))
+}
+
+func sendSrc(t *testing.T, dp *Datapath, src uint32) openflow.Verdict {
+	t.Helper()
+	b := pkt.NewBuilder(128)
+	p := pkt.Packet{
+		Data:   pkt.Clone(b.TCPPacket(pkt.EthernetOpts{}, pkt.IPv4Opts{Src: pkt.IPv4(src), Dst: 0x0a000099}, pkt.L4Opts{Src: 1, Dst: 80})),
+		InPort: 1,
+	}
+	var v openflow.Verdict
+	dp.Process(&p, &v)
+	return v
+}
+
+func TestSweeperIdleAndHardTimeouts(t *testing.T) {
+	dp := sweepDatapath(t)
+
+	idle := srcEntry(1, 2)
+	idle.IdleTimeout = 3
+	if err := dp.AddFlow(0, idle); err != nil {
+		t.Fatal(err)
+	}
+	hard := srcEntry(2, 2)
+	hard.HardTimeout = 5
+	if err := dp.AddFlow(0, hard); err != nil {
+		t.Fatal(err)
+	}
+	forever := srcEntry(3, 2)
+	if err := dp.AddFlow(0, forever); err != nil {
+		t.Fatal(err)
+	}
+
+	now := time.Unix(1000, 0)
+	var removed []RemovedFlow
+	s := NewSweeper(dp, SweeperConfig{
+		Now:       func() time.Time { return now },
+		OnRemoved: func(rf RemovedFlow) { removed = append(removed, rf) },
+	})
+
+	// t=0: everything registers, nothing expires.
+	if n := s.SweepOnce(); n != 0 {
+		t.Fatalf("sweep at install time removed %d entries", n)
+	}
+
+	// t=2: traffic on the idle entry refreshes its activity.
+	now = now.Add(2 * time.Second)
+	if v := sendSrc(t, dp, 1); len(v.OutPorts) != 1 || v.OutPorts[0] != 2 {
+		t.Fatalf("idle-timeout entry not forwarding: %s", v.String())
+	}
+	if n := s.SweepOnce(); n != 0 {
+		t.Fatalf("sweep at t=2 removed %d entries", n)
+	}
+
+	// t=4: idle entry last active at t=2 (2s < 3s), hard entry at 4s < 5s.
+	now = now.Add(2 * time.Second)
+	if n := s.SweepOnce(); n != 0 {
+		t.Fatalf("sweep at t=4 removed %d entries", n)
+	}
+
+	// t=6: idle entry idle for 4s >= 3s, hard entry installed 6s >= 5s ago.
+	now = now.Add(2 * time.Second)
+	if n := s.SweepOnce(); n != 2 {
+		t.Fatalf("sweep at t=6 removed %d entries, want 2", n)
+	}
+	if len(removed) != 2 {
+		t.Fatalf("OnRemoved saw %d removals, want 2", len(removed))
+	}
+	reasons := map[uint8]int{}
+	for _, rf := range removed {
+		reasons[rf.Reason]++
+		if rf.Table != 0 {
+			t.Fatalf("removal reported table %d", rf.Table)
+		}
+		if rf.Duration != 6*time.Second {
+			t.Fatalf("removal reported duration %s, want 6s", rf.Duration)
+		}
+	}
+	if reasons[RemovedIdleTimeout] != 1 || reasons[RemovedHardTimeout] != 1 {
+		t.Fatalf("wrong removal reasons: %v", reasons)
+	}
+	for _, rf := range removed {
+		if rf.Reason == RemovedIdleTimeout && rf.Packets != 1 {
+			t.Fatalf("idle removal carried %d packets, want the 1 it forwarded", rf.Packets)
+		}
+	}
+
+	// The expired entries are gone from the datapath (fresh packets drop);
+	// the timeout-free entry survives.
+	if v := sendSrc(t, dp, 1); !v.Dropped {
+		t.Fatalf("expired idle entry still forwarding: %s", v.String())
+	}
+	if v := sendSrc(t, dp, 2); !v.Dropped {
+		t.Fatalf("expired hard entry still forwarding: %s", v.String())
+	}
+	if v := sendSrc(t, dp, 3); len(v.OutPorts) != 1 {
+		t.Fatalf("timeout-free entry expired: %s", v.String())
+	}
+
+	// Idle expiry keeps being driven by activity: a replacement entry starts
+	// a fresh lifecycle clock.
+	idle2 := srcEntry(1, 3)
+	idle2.IdleTimeout = 3
+	if err := dp.AddFlow(0, idle2); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.SweepOnce(); n != 0 {
+		t.Fatalf("fresh replacement expired immediately (%d removed)", n)
+	}
+}
+
+func TestSweeperSoftLimitEviction(t *testing.T) {
+	dp := sweepDatapath(t)
+	now := time.Unix(2000, 0)
+	var removed []RemovedFlow
+	s := NewSweeper(dp, SweeperConfig{
+		SoftLimit: 5, // the catch-all counts too: 4 flows + 1 catch-all
+		Now:       func() time.Time { return now },
+		OnRemoved: func(rf RemovedFlow) { removed = append(removed, rf) },
+	})
+
+	// Four flows fit under the limit.
+	for src := uint32(1); src <= 4; src++ {
+		if err := dp.AddFlow(0, srcEntry(src, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := s.SweepOnce(); n != 0 {
+		t.Fatalf("under-limit sweep evicted %d entries", n)
+	}
+
+	// Later: sources 3 and 4 stay active, 1 and 2 go quiet, and two more
+	// flows arrive, pushing the table two over the soft limit.
+	now = now.Add(10 * time.Second)
+	sendSrc(t, dp, 3)
+	sendSrc(t, dp, 4)
+	sendSrc(t, dp, 99) // unmatched source keeps the catch-all's counter moving
+	for src := uint32(5); src <= 6; src++ {
+		if err := dp.AddFlow(0, srcEntry(src, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := s.SweepOnce(); n != 2 {
+		t.Fatalf("over-limit sweep evicted %d entries, want 2", n)
+	}
+	if len(removed) != 2 {
+		t.Fatalf("OnRemoved saw %d evictions, want 2", len(removed))
+	}
+	evictedSrc := map[uint64]bool{}
+	for _, rf := range removed {
+		if rf.Reason != RemovedEviction {
+			t.Fatalf("eviction reported reason %d", rf.Reason)
+		}
+		v, _, _ := rf.Match.Get(openflow.FieldIPSrc)
+		evictedSrc[v] = true
+	}
+	// The least-recently-active entries — the quiet sources 1 and 2 — go
+	// first; the active and the fresh ones survive.
+	if !evictedSrc[1] || !evictedSrc[2] {
+		t.Fatalf("evicted the wrong entries: %v", evictedSrc)
+	}
+	if v := sendSrc(t, dp, 3); len(v.OutPorts) != 1 {
+		t.Fatal("active entry evicted")
+	}
+	if v := sendSrc(t, dp, 6); len(v.OutPorts) != 1 {
+		t.Fatal("fresh entry evicted")
+	}
+	if got := dp.Pipeline().Table(0).Len(); got != 5 {
+		t.Fatalf("table holds %d entries after eviction, want 5", got)
+	}
+}

@@ -111,6 +111,22 @@ func (d *directCode) LookupBurst(ps []*pkt.Packet, outs []lookupOutcome, _ *burs
 	}
 }
 
+// LookupTracked evaluates the rules in priority order through the mask
+// accumulator: every rule examined until the first match contributes the bits
+// it had to read (the full per-field masks on a match; on a mismatch, only
+// the bits proving it, with MSB prefix refinement on ports and addresses).
+// The retained openflow match of each entry drives the observation; it is
+// semantically identical to the compiled matcher closures.
+func (d *directCode) LookupTracked(p *pkt.Packet, acc *openflow.MaskAccumulator) lookupOutcome {
+	for i := range d.entries {
+		e := &d.entries[i]
+		if acc.ObserveRule(p, e.out.match) {
+			return lookupOutcome{entry: e.out}
+		}
+	}
+	return lookupOutcome{}
+}
+
 func (d *directCode) CanInsert(e *openflow.FlowEntry) bool {
 	// The paper rebuilds the direct-code template unconditionally on
 	// updates; inserting in place is still fine as long as the size
@@ -284,6 +300,24 @@ func (h *hashTable) LookupBurst(ps []*pkt.Packet, outs []lookupOutcome, sc *burs
 		}
 		outs[i] = lookupOutcome{entry: h.values[idx]}
 	}
+}
+
+// LookupTracked observes the template's full field/mask vector plus its
+// protocol prerequisite: a compound-hash lookup compares the entire packed
+// key, so hit or miss, every masked bit of every key field was examined.
+func (h *hashTable) LookupTracked(p *pkt.Packet, acc *openflow.MaskAccumulator) lookupOutcome {
+	acc.ObservePrereq(p, h.proto)
+	if !p.Headers.Has(h.proto) {
+		return lookupOutcome{entry: h.def}
+	}
+	for i, f := range h.fields {
+		acc.Observe(p, f, h.masks[i])
+	}
+	idx, ok := h.table.Lookup(packKey(p, h.fields, h.masks))
+	if !ok {
+		return lookupOutcome{entry: h.def}
+	}
+	return lookupOutcome{entry: h.values[idx]}
 }
 
 // Mirror deep-copies the mutable lookup state (the cuckoo table and the
@@ -498,6 +532,36 @@ func (l *lpmTable) LookupBurst(ps []*pkt.Packet, outs []lookupOutcome, sc *burst
 	}
 }
 
+// LookupTracked observes the matched-prefix mask: a DIR-24-8 resolution that
+// stops at the first level decided on the address's top /stride bits (every
+// address in the block shares the result — hit or miss), and a tbl8 descent
+// on /stride+8.  The derived megaflow therefore wildcards the low address
+// bits at the structure's block granularity, which is at least as specific
+// as the longest matched prefix (over-specific only within a block, never
+// wrong).
+func (l *lpmTable) LookupTracked(p *pkt.Packet, acc *openflow.MaskAccumulator) lookupOutcome {
+	acc.ObservePrereq(p, l.proto)
+	if !p.Headers.Has(l.proto) {
+		return lookupOutcome{entry: l.def}
+	}
+	addr := uint32(openflow.Extract(p, l.field))
+	value, depth, ok := l.table.LookupDepth(addr)
+	plen := l.table.Stride()
+	if depth > 1 {
+		plen += 8
+	}
+	width := int(l.field.Width())
+	mask := l.field.FullMask()
+	if plen < width {
+		mask &^= (uint64(1) << (width - plen)) - 1
+	}
+	acc.Observe(p, l.field, mask)
+	if !ok {
+		return lookupOutcome{entry: l.def}
+	}
+	return lookupOutcome{entry: l.values[value]}
+}
+
 // Mirror deep-copies the DIR-24-8 structure and the value slice.  The copy
 // is expensive (the first level alone is 2^24 slots), but it is paid only on
 // the first incremental update of a table: afterwards the update path
@@ -625,6 +689,18 @@ func (l *listTable) LookupBurst(ps []*pkt.Packet, outs []lookupOutcome, _ *burst
 	for i, p := range ps {
 		outs[i] = l.Lookup(p, m)
 	}
+}
+
+// LookupTracked delegates to the classifier's observing lookup, which reports
+// the field masks of every probed tuple plus their protocol prerequisites
+// (the probe sequence is a function of the observed bits, so tuple priority
+// sorting's early exit stays sound for megaflow derivation).
+func (l *listTable) LookupTracked(p *pkt.Packet, acc *openflow.MaskAccumulator) lookupOutcome {
+	res := l.classifier.LookupObserved(p, acc)
+	if res.Entry == nil {
+		return lookupOutcome{}
+	}
+	return lookupOutcome{entry: res.Entry.Aux.(*compiledEntry)}
 }
 
 // Mirror deep-copies the tuple-space classifier (groups and entry buckets;

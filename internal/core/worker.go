@@ -50,6 +50,10 @@ type Worker struct {
 	// the scratch it is owned outright: one writer, no locks, no shared
 	// mutable state — only its stat mirrors are read by other goroutines.
 	cache *FlowCache
+	// mega is the worker's private megaflow second-level cache (megaflow.go),
+	// nil unless Options.Megaflow is set alongside FlowCache on an unmetered
+	// datapath.  Same ownership discipline as cache.
+	mega *megaCache
 	// scratch is the worker-owned working state of the burst engine.  It
 	// lives inside the Worker (one allocation at registration) so the
 	// steady-state burst path touches no pool and shares no scratch memory
@@ -72,6 +76,10 @@ func (d *Datapath) newWorker() *Worker {
 		// that own a cache; the default cache-off scratch stays lean.
 		w.scratch.cache = new(cacheScratch)
 		d.caches.register(w.cache)
+		if d.opts.Megaflow > 0 {
+			w.mega = newMegaCache(d.opts.Megaflow)
+			d.megas.register(w.mega)
+		}
 	}
 	return w
 }
@@ -86,6 +94,9 @@ func (d *Datapath) releaseWorker(w *Worker) {
 	}
 	if w.cache != nil {
 		d.caches.retire(w.cache)
+	}
+	if w.mega != nil {
+		d.megas.retire(w.mega)
 	}
 }
 
@@ -113,11 +124,11 @@ func (w *Worker) Meter() *cpumodel.Meter { return w.meter }
 func (w *Worker) ProcessBurst(ps []*pkt.Packet, vs []openflow.Verdict) {
 	sn := w.d.snap.Load()
 	for len(ps) > MaxBurst {
-		w.d.processBurst(&w.scratch, w.meter, sn, w.cache, ps[:MaxBurst], vs[:MaxBurst])
+		w.d.processBurst(&w.scratch, w.meter, sn, w.cache, w.mega, ps[:MaxBurst], vs[:MaxBurst])
 		ps, vs = ps[MaxBurst:], vs[MaxBurst:]
 	}
 	if len(ps) > 0 {
-		w.d.processBurst(&w.scratch, w.meter, sn, w.cache, ps, vs)
+		w.d.processBurst(&w.scratch, w.meter, sn, w.cache, w.mega, ps, vs)
 	}
 }
 

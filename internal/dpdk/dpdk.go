@@ -382,6 +382,14 @@ type CacheDatapath interface {
 	FlowCacheCounters() (hits, misses, stale uint64)
 }
 
+// MegaCacheDatapath is the optional megaflow-cache stats extension: a
+// datapath whose workers carry a second-level masked-match cache behind the
+// microflow cache reports the folded hit/miss counters here.  The compiled
+// ESWITCH datapath implements it (core.Datapath.MegaflowCounters).
+type MegaCacheDatapath interface {
+	MegaflowCounters() (hits, misses uint64)
+}
+
 // DatapathFunc adapts a function to the Datapath interface.
 type DatapathFunc func(p *pkt.Packet, v *openflow.Verdict)
 
@@ -430,6 +438,14 @@ type WorkerStats struct {
 	CacheHits   uint64
 	CacheMisses uint64
 	CacheStale  uint64
+	// MegaHits/MegaMisses are the second-level megaflow (masked-match) cache
+	// counters folded over the datapath's workers (zero unless the datapath
+	// implements MegaCacheDatapath and has the megaflow cache enabled).  A
+	// MegaHit is a microflow miss resolved by the masked-match probe without
+	// walking the pipeline; when the megaflow cache is on,
+	// MegaHits+MegaMisses equals CacheMisses.
+	MegaHits   uint64
+	MegaMisses uint64
 }
 
 // workerCounters are one worker's forwarding counters.  They are updated
@@ -459,6 +475,7 @@ type Switch struct {
 	bdp    BurstDatapath
 	wdp    WorkerDatapath
 	cdp    CacheDatapath
+	mdp    MegaCacheDatapath
 	burst  int
 	queues int
 	// txPolicy is what workers do when a TX ring is full (drop | block |
@@ -524,6 +541,9 @@ func NewSwitchQueues(dp Datapath, numPorts, ringSize, queues int) *Switch {
 	}
 	if cdp, ok := dp.(CacheDatapath); ok {
 		s.cdp = cdp
+	}
+	if mdp, ok := dp.(MegaCacheDatapath); ok {
+		s.mdp = mdp
 	}
 	s.pollCounters = s.registerCounters()
 	s.wsPool.New = func() any { return s.newWorkerState(allQueues(queues), 0, s.pollCounters) }
@@ -779,6 +799,9 @@ func (s *Switch) Stats() WorkerStats {
 	// fold them in so one Stats call tells the whole forwarding story.
 	if s.cdp != nil {
 		t.CacheHits, t.CacheMisses, t.CacheStale = s.cdp.FlowCacheCounters()
+	}
+	if s.mdp != nil {
+		t.MegaHits, t.MegaMisses = s.mdp.MegaflowCounters()
 	}
 	// Punt accounting lives in the rings themselves (single-writer mirrors),
 	// so the fold needs no registration churn as workers come and go.

@@ -33,6 +33,8 @@ func seedMessages() [][]byte {
 	}
 	pi := PacketIn{BufferID: 7, InPort: 1, TableID: 0, Reason: PacketInReasonNoMatch,
 		TotalLen: 128, Data: []byte("truncated frame prefix")}
+	fr := FlowRemoved{Reason: FlowRemovedIdleTimeout, TableID: 1, Priority: 10,
+		IdleTimeout: 30, DurationSec: 31, Packets: 5, Bytes: 320, Match: m}
 	po := PacketOut{BufferID: NoBuffer, InPort: 1,
 		Actions: openflow.ActionList{{Type: openflow.ActionOutput, Port: openflow.PortFlood}},
 		Data:    []byte("full frame")}
@@ -44,6 +46,7 @@ func seedMessages() [][]byte {
 		{TypeEchoRequest, []byte("ping")},
 		{TypeEchoReply, []byte("ping")},
 		{TypeFlowMod, EncodeFlowMod(fm)},
+		{TypeFlowRemoved, EncodeFlowRemoved(fr)},
 		{TypePacketIn, EncodePacketIn(pi)},
 		{TypePacketOut, EncodePacketOut(po)},
 		{TypeError, EncodeError(ErrorMsg{Type: ErrTypeFlowModFailed, Code: FlowModFailedTableFull, Data: []byte{1, 2, 3}})},
@@ -110,6 +113,34 @@ func FuzzDecodeFlowMod(f *testing.F) {
 		}
 		if !bytes.Equal(EncodeFlowMod(fm2), enc) {
 			t.Fatalf("FlowMod encoding not a fixed point")
+		}
+	})
+}
+
+// FuzzDecodeFlowRemoved: arbitrary FlowRemoved bodies must error or reach an
+// encode∘decode fixed point — the controller-side decoder faces whatever the
+// switch's lifecycle sweeper (or an adversarial peer) framed.
+func FuzzDecodeFlowRemoved(f *testing.F) {
+	m := openflow.NewMatch()
+	m.Set(openflow.FieldIPSrc, 0x0a000001)
+	f.Add(EncodeFlowRemoved(FlowRemoved{Reason: FlowRemovedIdleTimeout, TableID: 0,
+		Priority: 10, IdleTimeout: 3, DurationSec: 6, Packets: 1, Bytes: 64, Match: m}))
+	f.Add(EncodeFlowRemoved(FlowRemoved{Reason: FlowRemovedEviction, TableID: 2,
+		Priority: -1, Match: openflow.NewMatch()}))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xff}) // claims 255 match fields, has none
+	f.Fuzz(func(t *testing.T, body []byte) {
+		fr, err := DecodeFlowRemoved(body)
+		if err != nil {
+			return
+		}
+		enc := EncodeFlowRemoved(fr)
+		fr2, err := DecodeFlowRemoved(enc)
+		if err != nil {
+			t.Fatalf("accepted FlowRemoved does not re-decode: %v", err)
+		}
+		if !bytes.Equal(EncodeFlowRemoved(fr2), enc) {
+			t.Fatalf("FlowRemoved encoding not a fixed point")
 		}
 	})
 }

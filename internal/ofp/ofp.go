@@ -29,6 +29,7 @@ const (
 	TypeEchoRequest    MsgType = 2
 	TypeEchoReply      MsgType = 3
 	TypePacketIn       MsgType = 10
+	TypeFlowRemoved    MsgType = 11
 	TypePacketOut      MsgType = 13
 	TypeFlowMod        MsgType = 14
 	TypeBarrierRequest MsgType = 20
@@ -70,6 +71,20 @@ const (
 	PacketInReasonNoMatch uint8 = 0
 	// PacketInReasonAction: an explicit output:CONTROLLER action.
 	PacketInReasonAction uint8 = 1
+)
+
+// FlowRemoved reasons (OpenFlow's OFPRR_* values).
+const (
+	// FlowRemovedIdleTimeout: the entry saw no matching packet for
+	// IdleTimeout seconds.
+	FlowRemovedIdleTimeout uint8 = 0
+	// FlowRemovedHardTimeout: HardTimeout seconds elapsed since install.
+	FlowRemovedHardTimeout uint8 = 1
+	// FlowRemovedDelete: the entry was removed by a FlowMod delete.
+	FlowRemovedDelete uint8 = 2
+	// FlowRemovedEviction: the switch evicted the entry to reclaim table
+	// space (the soft-limit LRU-approximate eviction policy).
+	FlowRemovedEviction uint8 = 3
 )
 
 // NoBuffer is the BufferID of a PacketIn/PacketOut that carries the full
@@ -135,6 +150,30 @@ type FlowMod struct {
 	Match    *openflow.Match
 	// Instructions are carried for Add commands.
 	Instructions openflow.Instructions
+	// IdleTimeout/HardTimeout carry the entry's lifecycle (seconds; zero
+	// means never).  They ride at the end of the body so decoders predating
+	// them still parse the rest of the message.
+	IdleTimeout uint16
+	HardTimeout uint16
+}
+
+// FlowRemoved notifies the controller that a flow entry was removed: by the
+// lifecycle sweeper (idle/hard timeout, soft-limit eviction) or by an
+// explicit delete.  It identifies the entry by table, priority and match, and
+// carries the entry's final counters plus its time since installation.
+type FlowRemoved struct {
+	Reason      uint8
+	TableID     openflow.TableID
+	Priority    int32
+	IdleTimeout uint16
+	HardTimeout uint16
+	// DurationSec is the whole seconds the entry was installed.
+	DurationSec uint32
+	// Packets/Bytes are the entry's final counters (zero when the datapath
+	// runs with per-entry counters disabled).
+	Packets uint64
+	Bytes   uint64
+	Match   *openflow.Match
 }
 
 // PacketIn is a packet punted to the controller.
@@ -330,6 +369,9 @@ func EncodeFlowMod(fm FlowMod) []byte {
 	e.u16(uint16(fm.Instructions.GotoTable))
 	e.u64(fm.Instructions.WriteMetadata)
 	e.u64(fm.Instructions.MetadataMask)
+	// Lifecycle timeouts ride at the end of the body (see FlowMod).
+	e.u16(fm.IdleTimeout)
+	e.u16(fm.HardTimeout)
 	return e.buf
 }
 
@@ -350,6 +392,12 @@ func DecodeFlowMod(body []byte) (FlowMod, error) {
 	fm.Instructions.GotoTable = openflow.TableID(d.u16())
 	fm.Instructions.WriteMetadata = d.u64()
 	fm.Instructions.MetadataMask = d.u64()
+	if d.err == nil && d.off < len(d.buf) {
+		// Trailing lifecycle timeouts; absent in bodies from encoders that
+		// predate them, which decode as zero (never expire).
+		fm.IdleTimeout = d.u16()
+		fm.HardTimeout = d.u16()
+	}
 	if len(fm.Instructions.ApplyActions) == 0 {
 		fm.Instructions.ApplyActions = nil
 	}
@@ -357,6 +405,38 @@ func DecodeFlowMod(body []byte) (FlowMod, error) {
 		fm.Instructions.WriteActions = nil
 	}
 	return fm, d.err
+}
+
+// EncodeFlowRemoved serializes a FlowRemoved message body.
+func EncodeFlowRemoved(fr FlowRemoved) []byte {
+	e := &encoder{}
+	e.u8(fr.Reason)
+	e.u16(uint16(fr.TableID))
+	e.u32(uint32(fr.Priority))
+	e.u16(fr.IdleTimeout)
+	e.u16(fr.HardTimeout)
+	e.u32(fr.DurationSec)
+	e.u64(fr.Packets)
+	e.u64(fr.Bytes)
+	encodeMatch(e, fr.Match)
+	return e.buf
+}
+
+// DecodeFlowRemoved parses a FlowRemoved message body.
+func DecodeFlowRemoved(body []byte) (FlowRemoved, error) {
+	d := &decoder{buf: body}
+	fr := FlowRemoved{
+		Reason:      d.u8(),
+		TableID:     openflow.TableID(d.u16()),
+		Priority:    int32(d.u32()),
+		IdleTimeout: d.u16(),
+		HardTimeout: d.u16(),
+		DurationSec: d.u32(),
+		Packets:     d.u64(),
+		Bytes:       d.u64(),
+	}
+	fr.Match = decodeMatch(d)
+	return fr, d.err
 }
 
 // EncodePacketIn serializes a PacketIn message body.  A zero TotalLen is

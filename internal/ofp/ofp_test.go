@@ -89,6 +89,75 @@ func TestFlowModRoundTrip(t *testing.T) {
 	}
 }
 
+func TestFlowModTimeoutsRoundTrip(t *testing.T) {
+	fm := FlowMod{
+		Command:      FlowModAdd,
+		TableID:      2,
+		Priority:     10,
+		Match:        openflow.NewMatch().Set(openflow.FieldIPSrc, 0x0a000001),
+		Instructions: openflow.Apply(openflow.Output(3)),
+		IdleTimeout:  30,
+		HardTimeout:  300,
+	}
+	body := EncodeFlowMod(fm)
+	got, err := DecodeFlowMod(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.IdleTimeout != 30 || got.HardTimeout != 300 {
+		t.Fatalf("timeouts did not survive the round trip: %+v", got)
+	}
+	// Bodies from encoders that predate the timeout tail decode with zero
+	// timeouts (never expire) and nothing else disturbed.
+	legacy, err := DecodeFlowMod(body[:len(body)-4])
+	if err != nil {
+		t.Fatalf("timeout-free body must still decode: %v", err)
+	}
+	if legacy.IdleTimeout != 0 || legacy.HardTimeout != 0 {
+		t.Fatalf("timeout-free body decoded timeouts: %+v", legacy)
+	}
+	if !legacy.Match.Equal(fm.Match) || !legacy.Instructions.Equal(fm.Instructions) {
+		t.Fatalf("timeout-free decode disturbed the rest of the message: %+v", legacy)
+	}
+}
+
+func TestFlowRemovedRoundTrip(t *testing.T) {
+	fr := FlowRemoved{
+		Reason:      FlowRemovedIdleTimeout,
+		TableID:     5,
+		Priority:    777,
+		IdleTimeout: 10,
+		HardTimeout: 60,
+		DurationSec: 42,
+		Packets:     123456789,
+		Bytes:       987654321,
+		Match: openflow.NewMatch().
+			SetPrefix(openflow.FieldIPSrc, 0xc0a80000, 16).
+			Set(openflow.FieldTCPDst, 22),
+	}
+	got, err := DecodeFlowRemoved(EncodeFlowRemoved(fr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Reason != fr.Reason || got.TableID != fr.TableID || got.Priority != fr.Priority {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if got.IdleTimeout != fr.IdleTimeout || got.HardTimeout != fr.HardTimeout || got.DurationSec != fr.DurationSec {
+		t.Fatalf("lifecycle mismatch: %+v", got)
+	}
+	if got.Packets != fr.Packets || got.Bytes != fr.Bytes {
+		t.Fatalf("counter mismatch: %+v", got)
+	}
+	if !got.Match.Equal(fr.Match) {
+		t.Fatalf("match mismatch: %v vs %v", got.Match, fr.Match)
+	}
+	// Truncated bodies error, never panic.
+	full := EncodeFlowRemoved(fr)
+	for cut := 0; cut < len(full)-1; cut++ {
+		DecodeFlowRemoved(full[:cut])
+	}
+}
+
 func TestFlowModDeleteRoundTrip(t *testing.T) {
 	fm := FlowMod{Command: FlowModDelete, TableID: 1, Priority: -1, Match: openflow.NewMatch().Set(openflow.FieldTCPDst, 80)}
 	got, err := DecodeFlowMod(EncodeFlowMod(fm))

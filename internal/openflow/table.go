@@ -112,6 +112,14 @@ type FlowEntry struct {
 	Instructions Instructions
 	// Cookie is an opaque controller-assigned identifier.
 	Cookie uint64
+	// IdleTimeout, when non-zero, is the number of seconds of inactivity
+	// (no packet matching the entry) after which the entry expires; the
+	// lifecycle sweeper (core.Sweeper) removes it lazily off the hot path
+	// and emits a FlowRemoved with reason "idle timeout".  Zero means never.
+	IdleTimeout uint16
+	// HardTimeout, when non-zero, is the number of seconds after
+	// installation at which the entry expires regardless of activity.
+	HardTimeout uint16
 	// Counters accumulate per-entry statistics.
 	Counters Counters
 
@@ -140,6 +148,8 @@ func (e *FlowEntry) Clone() *FlowEntry {
 		Match:        e.Match.Clone(),
 		Instructions: e.Instructions.Clone(),
 		Cookie:       e.Cookie,
+		IdleTimeout:  e.IdleTimeout,
+		HardTimeout:  e.HardTimeout,
 	}
 }
 

@@ -1,8 +1,6 @@
 package ovs
 
 import (
-	"math/bits"
-
 	"eswitch/internal/cpumodel"
 	"eswitch/internal/openflow"
 	"eswitch/internal/pkt"
@@ -22,15 +20,17 @@ import (
 // and IPv4 addresses is only the most-significant bits up to the first
 // divergent bit (OVS's staged-lookup/prefix-tracking behaviour, which is what
 // makes megaflow generation arrival-order dependent, Fig. 3); otherwise the
-// rule's full mask is un-wildcarded.
+// rule's full mask is un-wildcarded.  The observation rules themselves live
+// in openflow.MaskAccumulator, shared with the compiled datapath's megaflow
+// cache (internal/core) so the two layers derive identical masks.
 func (s *Switch) slowPath(p *pkt.Packet, v *openflow.Verdict) *megaflow {
-	acc := newMaskAccumulator(s.opts.PortPrefixTracking)
+	acc := &openflow.MaskAccumulator{PrefixTracking: s.opts.PortPrefixTracking}
 	// Megaflow keys are built from the packet's original header values:
 	// header rewrites applied along the walk must not leak into the cache
 	// key (two packets that agree on all originally-observed fields follow
 	// the same path and receive the same rewrites, so this is sound).
 	orig := &pkt.Packet{Data: p.Data, InPort: p.InPort, Metadata: p.Metadata, Headers: p.Headers}
-	acc.orig = orig
+	acc.Reset(orig)
 	var flat openflow.ActionList
 	var actionSet openflow.ActionList
 
@@ -52,7 +52,7 @@ func (s *Switch) slowPath(p *pkt.Packet, v *openflow.Verdict) *megaflow {
 			default:
 				v.Dropped = true
 			}
-			return s.finishMegaflow(p, acc, flat)
+			return s.finishMegaflow(acc, flat)
 		}
 		if s.opts.UpdateCounters {
 			matched.Counters.Add(len(p.Data))
@@ -60,10 +60,14 @@ func (s *Switch) slowPath(p *pkt.Packet, v *openflow.Verdict) *megaflow {
 		ins := &matched.Instructions
 		if len(ins.ApplyActions) > 0 {
 			openflow.ApplyActions(ins.ApplyActions, p, v, pl.NumPorts)
+			// Fields rewritten here are deterministic for every packet on
+			// this path: suppress their later observation so the megaflow
+			// never pairs an original value with a post-rewrite mask.
+			acc.MarkModifiedActions(ins.ApplyActions)
 			flat = append(flat, ins.ApplyActions...)
 			if v.Dropped && !v.Forwarded() && !v.ToController {
 				if hasExplicitDrop(ins.ApplyActions) {
-					return s.finishMegaflow(p, acc, flat)
+					return s.finishMegaflow(acc, flat)
 				}
 				v.Dropped = false
 			}
@@ -76,6 +80,7 @@ func (s *Switch) slowPath(p *pkt.Packet, v *openflow.Verdict) *megaflow {
 		}
 		if ins.MetadataMask != 0 {
 			p.Metadata = (p.Metadata &^ ins.MetadataMask) | (ins.WriteMetadata & ins.MetadataMask)
+			acc.MarkMetadataWrite(ins.MetadataMask)
 		}
 		if !ins.HasGoto {
 			if len(actionSet) > 0 {
@@ -85,12 +90,12 @@ func (s *Switch) slowPath(p *pkt.Packet, v *openflow.Verdict) *megaflow {
 			if !v.Forwarded() && !v.ToController {
 				v.Dropped = true
 			}
-			return s.finishMegaflow(p, acc, flat)
+			return s.finishMegaflow(acc, flat)
 		}
 		tableID = ins.GotoTable
 	}
 	v.Dropped = true
-	return s.finishMegaflow(p, acc, flat)
+	return s.finishMegaflow(acc, flat)
 }
 
 // slowPathLinearThreshold is the table size up to which the slow path
@@ -102,13 +107,13 @@ const slowPathLinearThreshold = 64
 
 // classifyTable returns the highest-priority entry of the table matching p,
 // accumulating the examined fields/bits into acc.
-func (s *Switch) classifyTable(table *openflow.FlowTable, p *pkt.Packet, acc *maskAccumulator) *openflow.FlowEntry {
+func (s *Switch) classifyTable(table *openflow.FlowTable, p *pkt.Packet, acc *openflow.MaskAccumulator) *openflow.FlowEntry {
 	m := s.meter
 	if table.Len() <= slowPathLinearThreshold {
 		for _, e := range table.Entries() {
 			m.AddCycles(cpumodel.CostSlowPathPerEntry)
 			m.RegionAccess(s.slowRegion, uint64(table.ID)<<20^uint64(e.Priority)<<8^uint64(p.Headers.IPDst))
-			if acc.observeRule(p, e.Match) {
+			if acc.ObserveRule(p, e.Match) {
 				return e
 			}
 		}
@@ -122,7 +127,7 @@ func (s *Switch) classifyTable(table *openflow.FlowTable, p *pkt.Packet, acc *ma
 		}
 		s.slowClassifiers[table.ID] = cls
 	}
-	res := cls.Lookup(p, &accTracker{acc: acc, p: p})
+	res := cls.LookupObserved(p, acc)
 	m.AddCycles(cpumodel.CostSlowPathPerEntry * maxInt(res.GroupsProbed, 1))
 	for g := 0; g < maxInt(res.GroupsProbed, 1); g++ {
 		m.RegionAccess(s.slowRegion, uint64(table.ID)<<20^uint64(g)<<9^uint64(p.Headers.IPDst))
@@ -133,129 +138,33 @@ func (s *Switch) classifyTable(table *openflow.FlowTable, p *pkt.Packet, acc *ma
 	return res.Entry.Aux.(*openflow.FlowEntry)
 }
 
-// accTracker adapts the mask accumulator to the classifier's FieldTracker
-// interface (tuple-granular mask observation).
-type accTracker struct {
-	acc *maskAccumulator
-	p   *pkt.Packet
-}
-
-func (t *accTracker) ObserveField(f openflow.Field, mask uint64) {
-	t.acc.observe(t.p, f, mask)
-}
-
 // finishMegaflow builds the megaflow entry from the accumulated masks.  The
 // field values are taken from the original packet header values captured when
 // the accumulator first observed each field, so header rewrites performed by
 // earlier stages do not corrupt the cache key.
-func (s *Switch) finishMegaflow(p *pkt.Packet, acc *maskAccumulator, flat openflow.ActionList) *megaflow {
-	if s.opts.ConservativeTransportMask && acc.orig != nil {
+func (s *Switch) finishMegaflow(acc *openflow.MaskAccumulator, flat openflow.ActionList) *megaflow {
+	if s.opts.ConservativeTransportMask && acc.Orig() != nil {
+		orig := acc.Orig()
 		switch {
-		case acc.orig.Headers.Has(pkt.ProtoTCP):
-			acc.observe(acc.orig, openflow.FieldTCPSrc, openflow.FieldTCPSrc.FullMask())
-			acc.observe(acc.orig, openflow.FieldTCPDst, openflow.FieldTCPDst.FullMask())
-		case acc.orig.Headers.Has(pkt.ProtoUDP):
-			acc.observe(acc.orig, openflow.FieldUDPSrc, openflow.FieldUDPSrc.FullMask())
-			acc.observe(acc.orig, openflow.FieldUDPDst, openflow.FieldUDPDst.FullMask())
-		case acc.orig.Headers.Has(pkt.ProtoSCTP):
-			acc.observe(acc.orig, openflow.FieldSCTPSrc, openflow.FieldSCTPSrc.FullMask())
-			acc.observe(acc.orig, openflow.FieldSCTPDst, openflow.FieldSCTPDst.FullMask())
+		case orig.Headers.Has(pkt.ProtoTCP):
+			acc.Observe(orig, openflow.FieldTCPSrc, openflow.FieldTCPSrc.FullMask())
+			acc.Observe(orig, openflow.FieldTCPDst, openflow.FieldTCPDst.FullMask())
+		case orig.Headers.Has(pkt.ProtoUDP):
+			acc.Observe(orig, openflow.FieldUDPSrc, openflow.FieldUDPSrc.FullMask())
+			acc.Observe(orig, openflow.FieldUDPDst, openflow.FieldUDPDst.FullMask())
+		case orig.Headers.Has(pkt.ProtoSCTP):
+			acc.Observe(orig, openflow.FieldSCTPSrc, openflow.FieldSCTPSrc.FullMask())
+			acc.Observe(orig, openflow.FieldSCTPDst, openflow.FieldSCTPDst.FullMask())
 		}
 	}
 	match := openflow.NewMatch()
-	for f := openflow.Field(0); f < openflow.NumFields; f++ {
-		if acc.masks[f] == 0 {
-			continue
-		}
-		match.SetMasked(f, acc.values[f], acc.masks[f])
-	}
+	acc.ForEach(func(f openflow.Field, value, mask uint64) {
+		match.SetMasked(f, value, mask)
+	})
 	if len(flat) == 0 {
 		flat = openflow.ActionList{openflow.Drop()}
 	}
 	return &megaflow{match: match, actions: flat}
-}
-
-// maskAccumulator tracks which bits of which fields the classification has
-// examined; values are always read from the original (pre-rewrite) packet.
-type maskAccumulator struct {
-	prefixTracking bool
-	orig           *pkt.Packet
-	masks          [openflow.NumFields]uint64
-	values         [openflow.NumFields]uint64
-	seen           [openflow.NumFields]bool
-}
-
-func newMaskAccumulator(prefixTracking bool) *maskAccumulator {
-	return &maskAccumulator{prefixTracking: prefixTracking}
-}
-
-func (a *maskAccumulator) observe(p *pkt.Packet, f openflow.Field, mask uint64) {
-	if !a.seen[f] {
-		src := a.orig
-		if src == nil {
-			src = p
-		}
-		a.values[f] = openflow.Extract(src, f)
-		a.seen[f] = true
-	}
-	a.masks[f] |= mask
-}
-
-// prefixRefinable reports whether mismatches on the field can be proven with
-// an MSB prefix (ports and IPv4 addresses).
-func prefixRefinable(f openflow.Field) bool {
-	switch f {
-	case openflow.FieldTCPSrc, openflow.FieldTCPDst, openflow.FieldUDPSrc, openflow.FieldUDPDst,
-		openflow.FieldSCTPSrc, openflow.FieldSCTPDst, openflow.FieldIPSrc, openflow.FieldIPDst:
-		return true
-	default:
-		return false
-	}
-}
-
-// observeRule examines one rule against the packet, accumulating the examined
-// bits, and reports whether the rule matched.
-func (a *maskAccumulator) observeRule(p *pkt.Packet, m *openflow.Match) bool {
-	if m.IsEmpty() {
-		return true
-	}
-	proto := m.RequiredProto()
-	if proto&(pkt.ProtoIPv4|pkt.ProtoARP) != 0 {
-		a.observe(p, openflow.FieldEthType, openflow.FieldEthType.FullMask())
-	}
-	if proto&(pkt.ProtoTCP|pkt.ProtoUDP|pkt.ProtoICMP|pkt.ProtoSCTP) != 0 {
-		a.observe(p, openflow.FieldIPProto, openflow.FieldIPProto.FullMask())
-	}
-	if proto&pkt.ProtoVLAN != 0 {
-		a.observe(p, openflow.FieldVLANID, openflow.FieldVLANID.FullMask())
-	}
-	if !p.Headers.Has(proto) {
-		// The prerequisite check alone rejected the rule; only the
-		// protocol-identifying fields were examined.
-		return false
-	}
-	for _, f := range m.Fields().Fields() {
-		want, mask, _ := m.Get(f)
-		got := openflow.Extract(p, f)
-		diff := (got ^ want) & mask
-		if diff == 0 {
-			a.observe(p, f, mask)
-			continue
-		}
-		// Mismatch: un-wildcard only what was needed to prove it.
-		if a.prefixTracking && prefixRefinable(f) && mask == f.FullMask() {
-			width := int(f.Width())
-			// The first divergent bit, counted from the MSB of the field.
-			firstDiff := width - (63 - bits.LeadingZeros64(diff)) - 1
-			prefixLen := firstDiff + 1
-			prefixMask := f.FullMask() &^ ((uint64(1) << (width - prefixLen)) - 1)
-			a.observe(p, f, prefixMask)
-		} else {
-			a.observe(p, f, mask)
-		}
-		return false
-	}
-	return true
 }
 
 func hasExplicitDrop(actions openflow.ActionList) bool {

@@ -177,3 +177,114 @@ func (t *Trace) Reset() { t.cursor = 0 }
 func (t *Trace) Frame(idx int) ([]byte, uint32) {
 	return t.frames[idx%len(t.frames)], t.inPorts[idx%len(t.frames)]
 }
+
+// SweepTrace is the adversarial counterpart of Trace: a port-scan /
+// address-sweep generator.  Every emitted packet is one template flow's frame
+// with the IPv4 source address and L4 source port stepped through a
+// configurable window, so the generator produces width*ports distinct
+// microflows — each seen essentially once — while the fields a typical
+// forwarding pipeline examines (destination address, destination port) stay
+// fixed.  This is the worst case for an exact-match microflow cache (every
+// packet is a miss) and the best case for a masked-match megaflow cache
+// (every packet falls under one wildcard entry), mirroring the scan traffic
+// that drove OVS from a microflow-only to a megaflow cache design.
+//
+// Frames are mutated in a ring of private slot buffers, so packets of the
+// same burst never alias each other's Data.  The IPv4 header checksum is not
+// recomputed after the source-address patch; the datapaths classify on
+// parsed fields and never verify it.
+type SweepTrace struct {
+	slots    [][]byte
+	inPort   uint32
+	ipOff    int
+	portOff  int
+	baseIP   uint32
+	basePort uint32
+	width    uint32
+	ports    uint32
+	cursor   uint32
+	slot     int
+}
+
+// NewSweepTrace builds a sweep generator over the template flow f, stepping
+// the source address through width consecutive addresses and the source port
+// through ports consecutive ports (minimums of 1; the defaults width=1<<20,
+// ports=1 when zero emulate a /12 address scan).  slots is the size of the
+// private frame ring and must cover at least one RX burst (default 256).
+// The template must be an IPv4 flow (L2Only sweeps have no fields to step).
+func NewSweepTrace(f Flow, width, ports, slots int) (*SweepTrace, error) {
+	if f.L2Only {
+		return nil, fmt.Errorf("pktgen: sweep trace needs an IPv4 template flow")
+	}
+	if width <= 0 {
+		width = 1 << 20
+	}
+	if ports <= 0 {
+		ports = 1
+	}
+	if slots <= 0 {
+		slots = 256
+	}
+	base := NewTrace([]Flow{f}, 0)
+	frame, inPort := base.Frame(0)
+	// Locate the fields to step: Ethernet (plus one optional 802.1Q tag),
+	// then the IPv4 source address and the first L4 port field (source port
+	// for both TCP and UDP).
+	l3 := 14
+	if len(frame) >= 14 && frame[12] == 0x81 && frame[13] == 0x00 {
+		l3 = 18
+	}
+	if len(frame) < l3+20 {
+		return nil, fmt.Errorf("pktgen: sweep template frame too short for IPv4")
+	}
+	ihl := int(frame[l3]&0x0f) * 4
+	t := &SweepTrace{
+		inPort:   inPort,
+		ipOff:    l3 + 12,
+		portOff:  l3 + ihl,
+		baseIP:   uint32(f.SrcIP),
+		basePort: uint32(f.SrcPort),
+		width:    uint32(width),
+		ports:    uint32(ports),
+	}
+	if len(frame) < t.portOff+4 {
+		return nil, fmt.Errorf("pktgen: sweep template frame too short for L4 ports")
+	}
+	t.slots = make([][]byte, slots)
+	for i := range t.slots {
+		t.slots[i] = pkt.Clone(frame)
+	}
+	return t, nil
+}
+
+// NumFlows returns the number of distinct microflows the sweep emits before
+// wrapping.
+func (t *SweepTrace) NumFlows() int { return int(t.width) * int(t.ports) }
+
+// Next fills p with the next packet of the sweep.  The packet's Data is a
+// private slot buffer valid until slots more packets have been emitted.
+func (t *SweepTrace) Next(p *pkt.Packet) {
+	frame := t.slots[t.slot]
+	t.slot++
+	if t.slot == len(t.slots) {
+		t.slot = 0
+	}
+	step := t.cursor
+	t.cursor++
+	ip := t.baseIP + step%t.width
+	port := uint16(t.basePort + (step/t.width)%t.ports)
+	frame[t.ipOff] = byte(ip >> 24)
+	frame[t.ipOff+1] = byte(ip >> 16)
+	frame[t.ipOff+2] = byte(ip >> 8)
+	frame[t.ipOff+3] = byte(ip)
+	frame[t.portOff] = byte(port >> 8)
+	frame[t.portOff+1] = byte(port)
+	p.Data = frame
+	p.InPort = t.inPort
+	p.Metadata = 0
+	p.Headers = pkt.Headers{}
+	p.SetFlowHash(pkt.RSSHash(frame))
+}
+
+// Reset rewinds the sweep to its first microflow.
+func (t *SweepTrace) Reset() { t.cursor = 0 }

@@ -303,6 +303,45 @@ func (c *Classifier) Lookup(p *pkt.Packet, tracker openflow.FieldTracker) Lookup
 	return res
 }
 
+// LookupObserved is Lookup with complete mask observation: on top of the
+// per-group field/mask reports, it observes the protocol prerequisites of
+// every probed group's fields — proving (or disproving) that a group's
+// prerequisite protocols are present reads the protocol-identifying header
+// fields, and a megaflow mask derived from the probe must cover them.  The
+// megaflow generators (the OVS baseline's slow path and the compiled
+// datapath's second-level cache) use this variant; plain forwarding lookups
+// keep the cheaper Lookup.
+func (c *Classifier) LookupObserved(p *pkt.Packet, acc *openflow.MaskAccumulator) LookupResult {
+	var best *Entry
+	var res LookupResult
+	var keyBuf [8 * 8]byte
+	for _, g := range c.groups {
+		if best != nil && best.Priority >= g.maxPrio {
+			break // tuple priority sorting early exit
+		}
+		res.GroupsProbed++
+		var proto pkt.Proto
+		for i, f := range g.fields {
+			acc.Observe(p, f, g.masks[i])
+			proto |= f.Prerequisite()
+		}
+		acc.ObservePrereq(p, proto)
+		key := keyOfPacket(g, p, keyBuf[:])
+		for _, e := range g.entries[key] {
+			res.EntriesTested++
+			// The group key only covers masked bits; verify the full
+			// match to honour prerequisites.
+			if e.Match.Matches(p, nil) {
+				if best == nil || e.Priority > best.Priority {
+					best = e
+				}
+			}
+		}
+	}
+	res.Entry = best
+	return res
+}
+
 // Entries returns all entries (unspecified order).
 func (c *Classifier) Entries() []*Entry {
 	out := make([]*Entry, 0, c.count)

@@ -2,8 +2,10 @@
 # bench_burst.sh records the Fig. 10-13 packet-rate benchmarks — per-packet
 # (eswitch), burst (eswitch-burst) and the flow-caching baseline (ovs) — plus
 # the microflow verdict cache rows (BenchmarkFlowCache_*: cache on vs off at
-# flows=100 and flows=100000, uniform and Zipf popularity) and the slow-path
-# rows (BenchmarkSlowPath_*: punt-ring and punt-delivery throughput, the
+# flows=100 and flows=100000, uniform and Zipf popularity), the megaflow
+# second-level cache rows (BenchmarkMegaflow_*: megaflow on vs off under
+# uniform, Zipf and the adversarial ~1M-microflow source sweep) and the
+# slow-path rows (BenchmarkSlowPath_*: punt-ring and punt-delivery throughput, the
 # reactive learning-switch flow-setup rate over TCP, and post-convergence
 # fast-path Mpps with punt rings armed) to BENCH_burst.json so the
 # performance trajectory is tracked from PR to PR.
@@ -42,11 +44,14 @@ GMP="$(go run ./cmd/eswitch-benchcheck -gomaxprocs)"
 TMP="$OUT.tmp.$$"
 trap 'rm -f "$TMP"' EXIT
 
-go test -run '^$' -bench 'BenchmarkFig1[0123]|BenchmarkFlowCache|BenchmarkSlowPath' -benchtime "$BENCHTIME" -count "$COUNT" -timeout 60m . | tee /dev/stderr |
+go test -run '^$' -bench 'BenchmarkFig1[0123]|BenchmarkFlowCache|BenchmarkMegaflow|BenchmarkSlowPath' -benchtime "$BENCHTIME" -count "$COUNT" -timeout 60m . | tee /dev/stderr |
 	awk -v gmp="$GMP" -f scripts/bench_lib.awk | awk -F'\t' -v gmp="$GMP" '
 	BEGIN { printf "[" }
 	{
-		printf "%s\n  {\"benchmark\": \"%s\", \"ns_per_op\": %s, \"mpps\": %s, \"gomaxprocs\": %d}", sep, $1, $2, $3, gmp
+		extra = ""
+		if ($4 != "null") extra = extra sprintf(", \"hit_pct\": %s", $4)
+		if ($5 != "null") extra = extra sprintf(", \"megahit_pct\": %s", $5)
+		printf "%s\n  {\"benchmark\": \"%s\", \"ns_per_op\": %s, \"mpps\": %s%s, \"gomaxprocs\": %d}", sep, $1, $2, $3, extra, gmp
 		sep = ","
 	}
 	END { printf "\n]\n" }

@@ -5,10 +5,13 @@
 # regression gate needs — and emits one TSV row per benchmark in first-seen
 # order:
 #
-#   name <TAB> ns_per_op <TAB> mpps
+#   name <TAB> ns_per_op <TAB> mpps <TAB> hit_pct <TAB> megahit_pct
 #
-# with "null" where a value never appeared.  The per-script wrappers format
-# these rows into their JSON schemas.
+# with "null" where a value never appeared.  The hit-rate columns carry the
+# "hit%" / "megahit%" custom metrics of the cache benchmarks (taken from the
+# same best run as the Mpps value — they are deterministic per run, but
+# keeping the row self-consistent costs nothing).  The per-script wrappers
+# format these rows into their JSON schemas and may ignore trailing columns.
 #
 # go test appends a -N GOMAXPROCS suffix to benchmark names whenever
 # GOMAXPROCS > 1, so the same benchmark records under different names on
@@ -19,16 +22,19 @@
 # gomaxprocs JSON field instead.  When gmp is unknown (0), any trailing
 # -digits are stripped as a best effort.
 /^Benchmark/ {
-	name = $1; nsop = ""; mpps = ""
+	name = $1; nsop = ""; mpps = ""; hitp = ""; mhitp = ""
 	if (gmp > 1) sub("-" gmp "$", "", name)
 	else if (gmp == 0) sub(/-[0-9]+$/, "", name)
 	for (i = 2; i < NF; i++) {
 		if ($(i+1) == "ns/op") nsop = $i
 		if ($(i+1) == "Mpps") mpps = $i
+		if ($(i+1) == "hit%") hitp = $i
+		if ($(i+1) == "megahit%") mhitp = $i
 	}
 	if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
 	if (mpps != "" && (best[name] == "" || mpps + 0 > best[name] + 0)) {
 		best[name] = mpps; bestns[name] = nsop
+		besthit[name] = hitp; bestmhit[name] = mhitp
 	}
 }
 END {
@@ -36,6 +42,8 @@ END {
 		name = order[i]
 		m = (best[name] == "") ? "null" : best[name]
 		ns = (name in bestns && bestns[name] != "") ? bestns[name] : "null"
-		printf "%s\t%s\t%s\n", name, ns, m
+		h = (name in besthit && besthit[name] != "") ? besthit[name] : "null"
+		mh = (name in bestmhit && bestmhit[name] != "") ? bestmhit[name] : "null"
+		printf "%s\t%s\t%s\t%s\t%s\n", name, ns, m, h, mh
 	}
 }
