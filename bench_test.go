@@ -385,7 +385,7 @@ func BenchmarkFig19_MultiCore(b *testing.B) {
 			}
 			// Passing the compiled datapath itself (not a func adapter)
 			// lets the workers drive RX burst → ProcessBurst → TX burst.
-			sw := dpdk.NewSwitch(dp, uc.Pipeline.NumPorts, 8192)
+			sw := dpdk.NewSwitchWithConfig(dp, dpdk.SwitchConfig{NumPorts: uc.Pipeline.NumPorts, RingSize: 8192, Queues: dpdk.DefaultQueues})
 			stop := sw.RunWorkers(cores)
 			defer stop()
 			b.SetParallelism(1)
@@ -394,7 +394,7 @@ func BenchmarkFig19_MultiCore(b *testing.B) {
 			for injected < b.N {
 				for pi := 0; pi < len(frames) && injected < b.N; pi++ {
 					port, _ := sw.Port(1 + uint32(injected%uc.Pipeline.NumPorts))
-					if port.Inject(frames[pi]) {
+					if port.InjectOn(dpdk.AutoQueue, frames[pi]) {
 						injected++
 					}
 				}
@@ -801,7 +801,7 @@ func BenchmarkSlowPath_PuntDeliver(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	sw := dpdk.NewSwitch(dp, 4, 8192)
+	sw := dpdk.NewSwitchWithConfig(dp, dpdk.SwitchConfig{NumPorts: 4, RingSize: 8192, Queues: dpdk.DefaultQueues})
 	rings, err := sw.ArmPuntRings(4096, 0)
 	if err != nil {
 		b.Fatal(err)
@@ -827,7 +827,7 @@ func BenchmarkSlowPath_PuntDeliver(b *testing.B) {
 	for injected < b.N {
 		for i := 0; i < len(frames) && injected < b.N; i++ {
 			port, _ := sw.Port(inPorts[i])
-			if port.Inject(frames[i]) {
+			if port.InjectOn(dpdk.AutoQueue, frames[i]) {
 				injected++
 			}
 		}
@@ -895,4 +895,49 @@ func BenchmarkSlowPath_PostConvergence(b *testing.B) {
 		b.Fatalf("post-convergence traffic still punted %d packets", punts)
 	}
 	b.ReportMetric(mpps, "Mpps")
+}
+
+// benchTraceReplay replays a checked-in pcap capture through the full
+// switch: the pcap backend on port 1 demultiplexes trace frames over its RX
+// queues by RSS hash exactly as a multi-queue NIC would, the remaining ports
+// are counted sinks, and PollOnce runs the run-to-completion worker loop.
+// The packet-rate rows therefore reflect the capture's real byte and flow
+// distributions rather than pktgen synthetics.  Replay loops flat-out —
+// pacing would measure the trace's own cadence, not the switch.
+func benchTraceReplay(b *testing.B, trace string, uc *workload.UseCase) {
+	ingress, err := dpdk.OpenPcapBackend(trace, dpdk.PcapConfig{Queues: dpdk.DefaultQueues, Loop: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	backends := []dpdk.PortBackend{ingress}
+	for len(backends) < uc.Pipeline.NumPorts {
+		backends = append(backends, dpdk.NewNullBackend(dpdk.DefaultQueues))
+	}
+	opts := core.DefaultOptions()
+	opts.Decompose = uc.WantsDecomposition
+	dp, err := core.Compile(uc.Pipeline, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sw := dpdk.NewSwitchWithConfig(dp, dpdk.SwitchConfig{Backends: backends})
+	defer sw.Close()
+	b.ResetTimer()
+	for processed := 0; processed < b.N; {
+		processed += sw.PollOnce(nil)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Mpps")
+}
+
+// BenchmarkTraceReplay_L2 replays testdata/l2_min.pcap (256 flows of the L2
+// use case's traffic, 64-byte frames) against the matching L2 pipeline.
+func BenchmarkTraceReplay_L2(b *testing.B) {
+	benchTraceReplay(b, "testdata/l2_min.pcap", workload.L2UseCase(1000, 4))
+}
+
+// BenchmarkTraceReplay_L3IMIX replays testdata/l3_imix.pcap (the L3 use
+// case's traffic zero-padded to the 7:4:1 IMIX size mix) against the
+// matching L3 pipeline — the realistic-sizes row of the replay family.
+func BenchmarkTraceReplay_L3IMIX(b *testing.B) {
+	benchTraceReplay(b, "testdata/l3_imix.pcap", workload.L3UseCase(10000, 8, 2016))
 }

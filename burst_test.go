@@ -380,7 +380,7 @@ func testWorkerPathZeroLocksZeroAllocs(t *testing.T, flowCache, megaflow int) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sw := dpdk.NewSwitch(dp, uc.Pipeline.NumPorts, 4096)
+	sw := dpdk.NewSwitchWithConfig(dp, dpdk.SwitchConfig{NumPorts: uc.Pipeline.NumPorts, RingSize: 4096, Queues: dpdk.DefaultQueues})
 	// The slow path must stay off the hot path: with the punt rings armed
 	// but no punting traffic (the L3 workload never punts), the worker loop
 	// below must remain zero-lock and zero-alloc.
@@ -401,7 +401,7 @@ func testWorkerPathZeroLocksZeroAllocs(t *testing.T, flowCache, megaflow int) {
 	port, _ := sw.Port(1)
 	run := func() {
 		for _, f := range frames {
-			port.Inject(f)
+			port.InjectOn(dpdk.AutoQueue, f)
 		}
 		for sw.PollOnce(nil) > 0 {
 		}
@@ -518,7 +518,7 @@ func TestSwitchStatsFoldFlowCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sw := dpdk.NewSwitch(dp, uc.Pipeline.NumPorts, 4096)
+	sw := dpdk.NewSwitchWithConfig(dp, dpdk.SwitchConfig{NumPorts: uc.Pipeline.NumPorts, RingSize: 4096, Queues: dpdk.DefaultQueues})
 	trace := uc.Trace(256)
 	frames := make([][]byte, 256)
 	for i := range frames {
@@ -527,7 +527,7 @@ func TestSwitchStatsFoldFlowCache(t *testing.T) {
 	port, _ := sw.Port(1)
 	for pass := 0; pass < 3; pass++ {
 		for _, f := range frames {
-			port.Inject(f)
+			port.InjectOn(dpdk.AutoQueue, f)
 		}
 		for sw.PollOnce(nil) > 0 {
 		}
@@ -588,7 +588,7 @@ func TestMeterShardsOffHotPath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sw := dpdk.NewSwitch(dp, uc.Pipeline.NumPorts, 4096)
+	sw := dpdk.NewSwitchWithConfig(dp, dpdk.SwitchConfig{NumPorts: uc.Pipeline.NumPorts, RingSize: 4096, Queues: dpdk.DefaultQueues})
 	trace := uc.Trace(512)
 	frames := make([][]byte, 256)
 	for i := range frames {
@@ -597,7 +597,7 @@ func TestMeterShardsOffHotPath(t *testing.T) {
 	port, _ := sw.Port(1)
 	run := func() {
 		for _, f := range frames {
-			port.Inject(f)
+			port.InjectOn(dpdk.AutoQueue, f)
 		}
 		for sw.PollOnce(nil) > 0 {
 		}

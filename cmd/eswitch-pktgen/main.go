@@ -7,11 +7,18 @@
 //
 //	eswitch-pktgen [-usecase gateway] [-flows 10000] [-packets 1000000]
 //	               [-dist uniform|zipf] [-s 1.1] [-seed 1] [-loopback]
+//	               [-pcap out.pcap] [-pcap-imix] [-pcap-mean-gap 1us]
 //
 // -dist selects the flow-popularity model: "uniform" sweeps the active flow
 // set round-robin (the paper's worst-case locality), "zipf" draws flows from
 // a seeded Zipf(s) distribution — the realistic regime where a small head of
 // flows carries most of the traffic.
+//
+// -pcap exports the generated stream as a classic libpcap capture instead of
+// rate-measuring it: -packets records, timestamps drawn from a seeded
+// exponential inter-arrival model with mean -pcap-mean-gap, and -pcap-imix
+// zero-pads frames to the classic 7:4:1 IMIX size mix.  The result feeds the
+// trace-replay backend (eswitchd -backend pcap:out.pcap) or any pcap tool.
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"eswitch/internal/core"
 	"eswitch/internal/openflow"
 	"eswitch/internal/pkt"
+	"eswitch/internal/pktgen"
 	"eswitch/internal/workload"
 )
 
@@ -34,6 +42,9 @@ func main() {
 	zipfS := flag.Float64("s", 1.1, "Zipf exponent for -dist zipf (must be > 1)")
 	seed := flag.Int64("seed", 1, "seed for the Zipf popularity schedule")
 	loopback := flag.Bool("loopback", true, "process the generated packets through a compiled ESWITCH datapath")
+	pcapOut := flag.String("pcap", "", "export the generated stream to this classic libpcap file instead of rate-measuring")
+	pcapIMIX := flag.Bool("pcap-imix", false, "zero-pad exported frames to the 7:4:1 IMIX size mix (64/594/1518 on-wire)")
+	pcapMeanGap := flag.Duration("pcap-mean-gap", time.Microsecond, "mean exponential inter-arrival gap stamped into the export")
 	flag.Parse()
 
 	var uc *workload.UseCase
@@ -65,6 +76,29 @@ func main() {
 	}
 	fmt.Printf("pktgen: %q traffic, %d active flows (%s popularity), %d packets\n",
 		*useCase, trace.NumFlows(), *dist, *packets)
+
+	if *pcapOut != "" {
+		f, err := os.Create(*pcapOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pcap export: %v\n", err)
+			os.Exit(1)
+		}
+		err = pktgen.ExportPcap(f, trace, pktgen.PcapExportConfig{
+			Packets: *packets,
+			MeanGap: *pcapMeanGap,
+			IMIX:    *pcapIMIX,
+			Seed:    *seed,
+		})
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pcap export: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("exported %d packets to %s (imix=%v, mean gap %s)\n", *packets, *pcapOut, *pcapIMIX, *pcapMeanGap)
+		return
+	}
 
 	var process func(*pkt.Packet, *openflow.Verdict)
 	if *loopback {

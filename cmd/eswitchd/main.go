@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	eswitchd [-usecase l2|l3|loadbalancer|gateway|l2learn] [-datapath eswitch|ovs]
+//	eswitchd [-usecase l2|l3|loadbalancer|gateway|l2learn|xconnect] [-datapath eswitch|ovs]
+//	         [-backend ring|pcap:<file>|afpacket:<iface>,...]
 //	         [-flows 10000] [-duration 5s] [-cores 1] [-flowcache 262144|off]
 //	         [-megaflow 65536] [-flow-sweep-interval 1s] [-soft-table-entries 0]
 //	         [-listen :6653] [-punt-ring 1024] [-punt-rate 10000]
@@ -14,6 +15,21 @@
 //
 // When -listen is given, an OpenFlow agent accepts controller connections
 // and applies FlowMods to the running switch.
+//
+// -backend selects the packet I/O behind each port, one comma-separated item
+// per port in port-ID order (a shorter list is padded with "null" TX sinks):
+//
+//	ring              simulated SPSC rings fed by the built-in generator (default)
+//	pcap:<file>       replay a classic libpcap capture as the port's RX stream
+//	                  (-pcap-loop, -pcap-pace, -pcap-speed shape the replay)
+//	afpacket:<iface>  raw AF_PACKET socket on a Linux interface (CAP_NET_RAW;
+//	                  forwards real frames, e.g. between veth pairs)
+//	null              TX sink (never receives, counts and discards sends)
+//
+// With real backends the built-in traffic generator is idle — packets come
+// from the trace or the wire — and the -usecase xconnect pipeline
+// cross-connects port pairs (1<->2, 3<->4) purely by ingress port, the
+// natural pipeline for AF_PACKET forwarding.
 //
 // -flowcache gives every forwarding worker a private microflow verdict cache
 // of the given number of entries in front of the compiled pipeline (eswitch
@@ -55,6 +71,7 @@ import (
 	"net"
 	"os"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -69,6 +86,40 @@ import (
 	"eswitch/internal/workload"
 )
 
+// replayDone reports whether every trace-replay ingress has been fully
+// delivered (and none of the ports is live I/O that could still receive).
+func replayDone(sw *dpdk.Switch) bool {
+	sawPcap := false
+	for _, port := range sw.Ports() {
+		switch be := port.Backend().(type) {
+		case *dpdk.PcapBackend:
+			sawPcap = true
+			if !be.Exhausted() {
+				return false
+			}
+		case *dpdk.AFPacketBackend:
+			return false
+		}
+	}
+	return sawPcap
+}
+
+// backendName renders a port's backend kind for the stats footer.
+func backendName(be dpdk.PortBackend) string {
+	switch b := be.(type) {
+	case *dpdk.RingBackend:
+		return "ring"
+	case *dpdk.NullBackend:
+		return "null"
+	case *dpdk.PcapBackend:
+		return "pcap"
+	case *dpdk.AFPacketBackend:
+		return "afpacket:" + b.Interface()
+	default:
+		return fmt.Sprintf("%T", be)
+	}
+}
+
 // rateString renders a pps cap for the startup banner.
 func rateString(pps int) string {
 	if pps <= 0 {
@@ -77,7 +128,7 @@ func rateString(pps int) string {
 	return fmt.Sprintf("%d pps", pps)
 }
 
-func buildUseCase(name string, flows int) *workload.UseCase {
+func buildUseCase(name string, flows, backendPorts int) *workload.UseCase {
 	switch name {
 	case "l2":
 		return workload.L2UseCase(1000, 4)
@@ -89,14 +140,22 @@ func buildUseCase(name string, flows int) *workload.UseCase {
 		return workload.GatewayUseCase(workload.DefaultGatewayConfig())
 	case "l2learn":
 		return workload.L2LearningUseCase(1000, 4)
+	case "xconnect":
+		// Size the cross-connect to the -backend list so two AF_PACKET
+		// interfaces make a two-port patch, four make two patches, and so on.
+		return workload.XConnectUseCase(backendPorts)
 	default:
 		return nil
 	}
 }
 
 func main() {
-	useCase := flag.String("usecase", "gateway", "use case: l2, l3, loadbalancer, gateway")
+	useCase := flag.String("usecase", "gateway", "use case: l2, l3, loadbalancer, gateway, l2learn, xconnect")
 	datapath := flag.String("datapath", "eswitch", "datapath: eswitch or ovs")
+	backendSpec := flag.String("backend", "ring", "per-port packet I/O backends, comma-separated: ring, null, pcap:<file>, afpacket:<iface>")
+	pcapLoop := flag.Bool("pcap-loop", true, "restart pcap replay when the trace runs out")
+	pcapPace := flag.Bool("pcap-pace", false, "pace pcap replay by capture timestamps instead of flat-out")
+	pcapSpeed := flag.Float64("pcap-speed", 1.0, "paced pcap replay time-dilation factor (1.0 = capture rate)")
 	flows := flag.Int("flows", 10000, "number of active flows in the generated traffic")
 	duration := flag.Duration("duration", 5*time.Second, "how long to forward traffic")
 	cores := flag.Int("cores", 1, "number of forwarding worker goroutines")
@@ -136,7 +195,13 @@ func main() {
 		}
 	}
 
-	uc := buildUseCase(*useCase, *flows)
+	// The backend item count sizes port-count-flexible pipelines (xconnect)
+	// before the spec is actually opened.
+	backendPorts := 0
+	if !dpdk.IsRingSpec(*backendSpec) {
+		backendPorts = len(strings.Split(*backendSpec, ","))
+	}
+	uc := buildUseCase(*useCase, *flows, backendPorts)
 	if uc == nil {
 		fmt.Fprintf(os.Stderr, "unknown use case %q\n", *useCase)
 		os.Exit(2)
@@ -209,8 +274,30 @@ func main() {
 	// Drive the switch through the dataplane substrate: RSS-steered
 	// multi-queue ports, one burst worker per core over its own queue
 	// subset (lock-free against the compiled datapath via worker epochs),
-	// batched TX.
-	sw := dpdk.NewSwitchQueues(fastpath, uc.Pipeline.NumPorts, 4096, *queues)
+	// batched TX.  -backend swaps the simulated rings for real packet I/O
+	// (pcap replay, AF_PACKET) behind the same Port API.
+	backends, err := dpdk.ParseBackendSpec(*backendSpec, uc.Pipeline.NumPorts, dpdk.BackendSpecConfig{
+		RingSize: 4096,
+		Queues:   *queues,
+		Pcap:     dpdk.PcapConfig{Loop: *pcapLoop, Pace: *pcapPace, Speed: *pcapSpeed},
+	})
+	if err != nil {
+		log.Fatalf("backend: %v", err)
+	}
+	realIO := backends != nil
+	if realIO && txPol == dpdk.TxSpill {
+		// Real backends recycle their receive buffers every poll; the spill
+		// policy holds frames across polls, which would alias them.
+		fmt.Fprintln(os.Stderr, "eswitchd: -txpolicy spill is incompatible with real I/O backends (received frames are recycled per poll); use drop or block")
+		os.Exit(2)
+	}
+	sw := dpdk.NewSwitchWithConfig(fastpath, dpdk.SwitchConfig{
+		Backends: backends,
+		NumPorts: uc.Pipeline.NumPorts,
+		RingSize: 4096,
+		Queues:   *queues,
+	})
+	defer sw.Close()
 	sw.SetTxPolicy(txPol)
 	if *puntFilter > 0 {
 		sw.SetPuntFilter(*puntFilter, *puntFilterWindow)
@@ -333,34 +420,47 @@ func main() {
 		}()
 		fmt.Printf("eswitchd: OpenFlow agent listening on %s\n", ln.Addr())
 	}
-	trace := uc.Trace(*flows)
 	workers := sw.ClampWorkers(*cores) // report what actually runs
 	stop := sw.RunWorkers(workers)
-
-	fmt.Printf("eswitchd: forwarding %d active flows for %s on %d worker(s), %d RX/TX queues per port, TX policy %s\n",
-		*flows, *duration, workers, sw.NumQueues(), txPol)
 	deadline := time.Now().Add(*duration)
-	var p pkt.Packet
 	injected := uint64(0)
-	nq := uint32(sw.NumQueues())
-	for time.Now().Before(deadline) {
-		for burst := 0; burst < 4096; burst++ {
-			trace.Next(&p)
-			port, err := sw.Port(p.InPort)
-			if err != nil {
-				continue
-			}
-			// The trace pre-computed each flow's RSS hash, so steering
-			// through it keeps the producer path to a bare ring enqueue
-			// (Inject would rehash the frame per call).  The ring carries
-			// raw frames only, so the workers' microflow-cache probes
-			// recompute the same hash on their side — once per packet.
-			if port.InjectQueue(int(p.FlowHash()%nq), p.Data) {
-				injected++
+	if realIO {
+		// Packets come from the trace replay or the wire; the generator
+		// stays idle and the main goroutine just minds the clock (cutting
+		// the run short once a non-looping replay is spent).
+		fmt.Printf("eswitchd: forwarding real I/O for %s on %d worker(s), TX policy %s\n",
+			*duration, workers, txPol)
+		for time.Now().Before(deadline) {
+			time.Sleep(50 * time.Millisecond)
+			if replayDone(sw) {
+				break
 			}
 		}
-		for _, port := range sw.Ports() {
-			port.DrainTx()
+	} else {
+		trace := uc.Trace(*flows)
+		fmt.Printf("eswitchd: forwarding %d active flows for %s on %d worker(s), %d RX/TX queues per port, TX policy %s\n",
+			*flows, *duration, workers, sw.NumQueues(), txPol)
+		var p pkt.Packet
+		nq := uint32(sw.NumQueues())
+		for time.Now().Before(deadline) {
+			for burst := 0; burst < 4096; burst++ {
+				trace.Next(&p)
+				port, err := sw.Port(p.InPort)
+				if err != nil {
+					continue
+				}
+				// The trace pre-computed each flow's RSS hash, so steering
+				// through it keeps the producer path to a bare ring enqueue
+				// (Inject would rehash the frame per call).  The ring carries
+				// raw frames only, so the workers' microflow-cache probes
+				// recompute the same hash on their side — once per packet.
+				if port.InjectOn(int(p.FlowHash()%nq), p.Data) {
+					injected++
+				}
+			}
+			for _, port := range sw.Ports() {
+				port.DrainTx()
+			}
 		}
 	}
 	stop()
@@ -372,7 +472,16 @@ func main() {
 		ps.RxDrops += pst.RxDrops
 		ps.TxDrops += pst.TxDrops
 	}
-	fmt.Printf("\ninjected:  %d packets (%d rx drops, %d tx drops)\n", injected, ps.RxDrops, ps.TxDrops)
+	if realIO {
+		fmt.Println()
+		for _, port := range sw.Ports() {
+			pst := port.Stats()
+			fmt.Printf("port %d:    %d rx, %d tx (%d rx drops, %d tx drops) [%s]\n",
+				port.ID, pst.RxPackets, pst.TxPackets, pst.RxDrops, pst.TxDrops, backendName(port.Backend()))
+		}
+	} else {
+		fmt.Printf("\ninjected:  %d packets (%d rx drops, %d tx drops)\n", injected, ps.RxDrops, ps.TxDrops)
+	}
 	fmt.Printf("processed: %d packets (%d forwarded, %d dropped, %d to controller)\n",
 		st.Processed, st.Forwarded, st.Dropped, st.ToCtrl)
 	fmt.Printf("tx:        policy %s, %d retries, %d backpressure drops\n", txPol, st.TxRetries, st.TxDrops)

@@ -1,0 +1,226 @@
+//go:build linux
+
+package dpdk
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"syscall"
+	"unsafe"
+)
+
+// AFPacketBackend is real packet I/O: a raw AF_PACKET socket bound to one
+// Linux network interface, so the switch forwards actual frames between veth
+// pairs or physical NICs instead of simulated rings.  This is the
+// PACKET_MMAP-free first cut — one recvfrom/write syscall per frame, batched
+// at the burst level by non-blocking reads — which is plenty to carry the
+// end-to-end story; a shared-ring PACKET_RX_RING upgrade can slot in behind
+// the same PortBackend contract later.
+//
+// The backend is single-queue (Queues() == 1): the kernel does not shard one
+// packet socket, so worker 0 owns the interface.  Received frames are
+// delivered in recycled slot buffers, valid until the next RxBurst, exactly
+// like the pcap backend.  Per-syscall cost makes this backend's ceiling far
+// below the ring backend's — it exists for real-traffic correctness, not for
+// Mpps records.
+type AFPacketBackend struct {
+	fd    int
+	iface string
+	// slots are the recycled receive buffers (grown to the burst size on
+	// first use).
+	slots   [][]byte
+	slotCap int
+
+	rxPackets atomic.Uint64
+	txPackets atomic.Uint64
+	rxDrops   atomic.Uint64
+	txDrops   atomic.Uint64
+	closed    atomic.Bool
+}
+
+// ethPAll is ETH_P_ALL: receive every protocol the interface sees.
+const ethPAll = 0x0003
+
+// packetIgnoreOutgoing is the PACKET_IGNORE_OUTGOING socket option (Linux >=
+// 4.20): tell the kernel not to loop our own transmissions back to the
+// socket.  Older kernels reject it, and RxBurst filters PACKET_OUTGOING
+// frames itself, so setting it is best-effort.
+const packetIgnoreOutgoing = 23
+
+// htons converts a short to network byte order (AF_PACKET protocol numbers
+// are passed big-endian even through the host-endian syscall ABI).
+func htons(v uint16) uint16 {
+	var b [2]byte
+	binary.BigEndian.PutUint16(b[:], v)
+	return binary.NativeEndian.Uint16(b[:])
+}
+
+// NewAFPacketBackend opens a raw packet socket bound to the named interface.
+// Requires CAP_NET_RAW (typically root).
+func NewAFPacketBackend(iface string) (*AFPacketBackend, error) {
+	ifi, err := net.InterfaceByName(iface)
+	if err != nil {
+		return nil, fmt.Errorf("dpdk: afpacket %s: %w", iface, err)
+	}
+	fd, err := syscall.Socket(syscall.AF_PACKET, syscall.SOCK_RAW, int(htons(ethPAll)))
+	if err != nil {
+		return nil, fmt.Errorf("dpdk: afpacket %s: socket: %w (CAP_NET_RAW required)", iface, err)
+	}
+	if err := syscall.Bind(fd, &syscall.SockaddrLinklayer{
+		Protocol: htons(ethPAll),
+		Ifindex:  ifi.Index,
+	}); err != nil {
+		syscall.Close(fd)
+		return nil, fmt.Errorf("dpdk: afpacket %s: bind: %w", iface, err)
+	}
+	if err := syscall.SetNonblock(fd, true); err != nil {
+		syscall.Close(fd)
+		return nil, fmt.Errorf("dpdk: afpacket %s: nonblock: %w", iface, err)
+	}
+	// Best-effort niceties: don't deliver our own transmissions (newer
+	// kernels), and see frames addressed to anyone (physical NICs; veth
+	// taps see everything regardless).
+	_ = syscall.SetsockoptInt(fd, syscall.SOL_PACKET, packetIgnoreOutgoing, 1)
+	setPromisc(fd, ifi.Index)
+
+	slotCap := ifi.MTU + 18 // L2 header + VLAN tag headroom
+	if slotCap < 2048 {
+		slotCap = 2048
+	}
+	return &AFPacketBackend{fd: fd, iface: iface, slotCap: slotCap}, nil
+}
+
+// packetMreq mirrors the kernel's struct packet_mreq (the syscall package
+// has the constants but not the setsockopt wrapper).
+type packetMreq struct {
+	ifindex int32
+	typ     uint16
+	alen    uint16
+	address [8]byte
+}
+
+// setPromisc joins the interface's promiscuous membership so physical NICs
+// deliver frames addressed to anyone.  Best-effort: veth taps see everything
+// anyway, and a failure only narrows what a physical NIC hands up.
+func setPromisc(fd, ifindex int) {
+	mreq := packetMreq{ifindex: int32(ifindex), typ: syscall.PACKET_MR_PROMISC}
+	_, _, _ = syscall.Syscall6(syscall.SYS_SETSOCKOPT, uintptr(fd),
+		uintptr(syscall.SOL_PACKET), uintptr(syscall.PACKET_ADD_MEMBERSHIP),
+		uintptr(unsafe.Pointer(&mreq)), unsafe.Sizeof(mreq), 0)
+}
+
+// Interface returns the bound interface name.
+func (b *AFPacketBackend) Interface() string { return b.iface }
+
+// Queues implements PortBackend: one packet socket is one queue.
+func (b *AFPacketBackend) Queues() int { return 1 }
+
+// RxBurst implements PortBackend: drain up to len(out) frames with
+// non-blocking recvfrom calls into recycled slot buffers, skipping
+// PACKET_OUTGOING frames (our own transmissions looped back by kernels
+// without PACKET_IGNORE_OUTGOING).
+func (b *AFPacketBackend) RxBurst(q int, out [][]byte) int {
+	if b.closed.Load() {
+		return 0
+	}
+	n := 0
+	for n < len(out) {
+		if n >= len(b.slots) {
+			b.slots = append(b.slots, make([]byte, b.slotCap))
+		}
+		ln, from, err := syscall.Recvfrom(b.fd, b.slots[n], syscall.MSG_DONTWAIT)
+		if err != nil {
+			if err == syscall.EINTR {
+				continue
+			}
+			// EAGAIN means drained; anything else (including EBADF after a
+			// concurrent Close) ends the burst too.
+			break
+		}
+		if ln <= 0 {
+			break
+		}
+		if sll, ok := from.(*syscall.SockaddrLinklayer); ok && sll.Pkttype == syscall.PACKET_OUTGOING {
+			continue
+		}
+		if ln > len(b.slots[n]) {
+			ln = len(b.slots[n]) // oversized frame truncated to the slot
+		}
+		out[n] = b.slots[n][:ln]
+		n++
+	}
+	if n > 0 {
+		b.rxPackets.Add(uint64(n))
+	}
+	return n
+}
+
+// TxBurst implements PortBackend: one write per frame, stopping at the
+// first frame the kernel will not take right now (EAGAIN/ENOBUFS), which the
+// caller's TX policy may retry.
+func (b *AFPacketBackend) TxBurst(q int, frames [][]byte) int {
+	if b.closed.Load() {
+		return 0
+	}
+	n := 0
+	for _, f := range frames {
+		if !b.send(f) {
+			break
+		}
+		n++
+	}
+	if n > 0 {
+		b.txPackets.Add(uint64(n))
+	}
+	return n
+}
+
+// send writes one frame, reporting false when the kernel queue is full.
+func (b *AFPacketBackend) send(frame []byte) bool {
+	for {
+		_, err := syscall.Write(b.fd, frame)
+		switch err {
+		case nil:
+			return true
+		case syscall.EINTR:
+			continue
+		default:
+			return false
+		}
+	}
+}
+
+// TransmitSlow implements SlowPathTransmitter by sending directly: the
+// kernel serializes writes on one socket, so controller-originated frames
+// need no dedicated lane.
+func (b *AFPacketBackend) TransmitSlow(frame []byte) bool {
+	if b.closed.Load() {
+		return false
+	}
+	if b.send(frame) {
+		b.txPackets.Add(1)
+		return true
+	}
+	b.txDrops.Add(1)
+	return false
+}
+
+// Stats implements PortBackend.
+func (b *AFPacketBackend) Stats() PortStats {
+	return PortStats{
+		RxPackets: b.rxPackets.Load(),
+		TxPackets: b.txPackets.Load(),
+		RxDrops:   b.rxDrops.Load(),
+		TxDrops:   b.txDrops.Load(),
+	}
+}
+
+// Close implements PortBackend (idempotent).
+func (b *AFPacketBackend) Close() error {
+	if b.closed.Swap(true) {
+		return nil
+	}
+	return syscall.Close(b.fd)
+}

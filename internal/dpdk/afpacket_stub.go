@@ -1,0 +1,32 @@
+//go:build !linux
+
+package dpdk
+
+import "fmt"
+
+// AFPacketBackend requires Linux packet sockets; this stub keeps the API
+// present (and the -backend flag parseable) on other platforms.
+type AFPacketBackend struct{}
+
+// NewAFPacketBackend always fails off Linux.
+func NewAFPacketBackend(iface string) (*AFPacketBackend, error) {
+	return nil, fmt.Errorf("dpdk: afpacket backend requires Linux (AF_PACKET sockets)")
+}
+
+// Interface implements the Linux backend's accessor.
+func (b *AFPacketBackend) Interface() string { return "" }
+
+// Queues implements PortBackend.
+func (b *AFPacketBackend) Queues() int { return 1 }
+
+// RxBurst implements PortBackend.
+func (b *AFPacketBackend) RxBurst(q int, out [][]byte) int { return 0 }
+
+// TxBurst implements PortBackend.
+func (b *AFPacketBackend) TxBurst(q int, frames [][]byte) int { return 0 }
+
+// Stats implements PortBackend.
+func (b *AFPacketBackend) Stats() PortStats { return PortStats{} }
+
+// Close implements PortBackend.
+func (b *AFPacketBackend) Close() error { return nil }

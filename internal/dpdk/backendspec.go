@@ -1,0 +1,103 @@
+package dpdk
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file parses the textual backend specification shared by eswitchd's
+// -backend flag and the e2e harnesses, so the command line and the tests
+// exercise the same construction path.
+//
+// The specification is a comma-separated list, one item per port in port-ID
+// order:
+//
+//	ring                 simulated SPSC rings (the default)
+//	null                 TX sink (never receives, discards and counts sends)
+//	pcap:<file>          replay the capture file's frames as this port's RX
+//	afpacket:<iface>     raw AF_PACKET socket on a Linux interface
+//
+// A list shorter than the pipeline's port count is padded with null sinks —
+// the natural companion of a single pcap ingress — and the single word
+// "ring" (or an empty spec) selects the all-ring default construction.
+
+// BackendSpecConfig carries the knobs backend items inherit from the
+// surrounding command line.
+type BackendSpecConfig struct {
+	// RingSize is the frame capacity of ring items (<= 0 selects 4096).
+	RingSize int
+	// Queues is the queue-pair count of ring and null items (<= 0 selects 1).
+	Queues int
+	// Pcap configures pcap items (its Queues field falls back to Queues).
+	Pcap PcapConfig
+}
+
+// IsRingSpec reports whether the specification selects the default all-ring
+// construction (empty or the single word "ring").
+func IsRingSpec(spec string) bool {
+	spec = strings.TrimSpace(spec)
+	return spec == "" || spec == "ring"
+}
+
+// ParseBackendSpec builds one backend per item of spec, padding with null
+// sinks up to numPorts.  It returns nil (and no error) for the all-ring
+// default, and closes any backends it already opened when a later item
+// fails.
+func ParseBackendSpec(spec string, numPorts int, cfg BackendSpecConfig) ([]PortBackend, error) {
+	if IsRingSpec(spec) {
+		return nil, nil
+	}
+	items := strings.Split(spec, ",")
+	if len(items) > numPorts {
+		return nil, fmt.Errorf("dpdk: backend spec has %d items but the pipeline has %d ports", len(items), numPorts)
+	}
+	queues := cfg.Queues
+	if queues < 1 {
+		queues = 1
+	}
+	pcapCfg := cfg.Pcap
+	if pcapCfg.Queues <= 0 {
+		pcapCfg.Queues = queues
+	}
+	var backends []PortBackend
+	fail := func(err error) ([]PortBackend, error) {
+		for _, be := range backends {
+			be.Close()
+		}
+		return nil, err
+	}
+	for i, raw := range items {
+		item := strings.TrimSpace(raw)
+		kind, arg, _ := strings.Cut(item, ":")
+		switch kind {
+		case "ring":
+			backends = append(backends, NewRingBackend(cfg.RingSize, queues))
+		case "null":
+			backends = append(backends, NewNullBackend(queues))
+		case "pcap":
+			if arg == "" {
+				return fail(fmt.Errorf("dpdk: backend item %d: pcap wants a file (pcap:<file>)", i+1))
+			}
+			be, err := OpenPcapBackend(arg, pcapCfg)
+			if err != nil {
+				return fail(err)
+			}
+			backends = append(backends, be)
+		case "afpacket":
+			if arg == "" {
+				return fail(fmt.Errorf("dpdk: backend item %d: afpacket wants an interface (afpacket:<iface>)", i+1))
+			}
+			be, err := NewAFPacketBackend(arg)
+			if err != nil {
+				return fail(err)
+			}
+			backends = append(backends, be)
+		default:
+			return fail(fmt.Errorf("dpdk: backend item %d: unknown backend %q (want ring, null, pcap:<file> or afpacket:<iface>)", i+1, item))
+		}
+	}
+	for len(backends) < numPorts {
+		backends = append(backends, NewNullBackend(queues))
+	}
+	return backends, nil
+}

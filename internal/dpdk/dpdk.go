@@ -185,136 +185,179 @@ type PortStats struct {
 	TxDrops   uint64
 }
 
-// Port is a switch port with N RX/TX queue pairs: the traffic source fills
-// the RX queues (RSS-steered), the datapath workers fill the TX queues.  A
-// dedicated slow-path TX ring (spq) carries controller-originated PacketOut
-// frames, so the slow-path service never shares a worker-owned TX queue (the
-// TX queues are single-producer by contract).
+// Port is a switch port: a thin accounting-and-policy shell around a
+// PortBackend, which owns the actual frame I/O (simulated rings by default;
+// pcap replay and AF_PACKET sockets for real traffic).  The switch-facing
+// queue contract is the backend's: queue q has one consumer (the owning
+// worker's RxBurst) and one producer (that worker's TxBurst) at a time.
 type Port struct {
-	ID  uint32
-	rxq []*Ring
-	txq []*Ring
-	spq *Ring
+	ID uint32
+	be PortBackend
+	// nq caches be.Queues() so the poll loop's per-queue bound check never
+	// makes an interface call.
+	nq int
+	// inj/slow are the backend's optional extensions, resolved once at
+	// construction so the hot paths do plain nil checks instead of type
+	// asserts.
+	inj  InjectableBackend
+	slow SlowPathTransmitter
 
-	rxPackets atomic.Uint64
-	txPackets atomic.Uint64
-	rxDrops   atomic.Uint64
-	txDrops   atomic.Uint64
+	// policyDrops counts frames abandoned above the backend — TX-policy
+	// overflow, slow-path transmission without a SlowPathTransmitter — and
+	// folds into Stats().TxDrops.
+	policyDrops atomic.Uint64
 }
 
-// NewPort creates a single-queue port with the given ring sizes.
-func NewPort(id uint32, ringSize int) *Port { return NewPortQueues(id, ringSize, 1) }
+// PortConfig configures NewPortWithConfig.  The zero value (plus an ID)
+// means a single-queue simulated ring port of default ring size.
+type PortConfig struct {
+	// ID is the 1-based OpenFlow port number.
+	ID uint32
+	// Backend supplies the packet I/O implementation.  Nil selects a
+	// RingBackend built from RingSize and Queues.
+	Backend PortBackend
+	// RingSize is the per-ring frame capacity of the default ring backend
+	// (<= 0 selects 4096); ignored when Backend is set.
+	RingSize int
+	// Queues is the RX/TX queue-pair count of the default ring backend
+	// (<= 0 selects 1); ignored when Backend is set.
+	Queues int
+}
 
-// NewPortQueues creates a port with the given number of RX/TX queue pairs,
-// each backed by rings of the given size.
-func NewPortQueues(id uint32, ringSize, queues int) *Port {
-	if queues < 1 {
-		queues = 1
+// defaultRingSize is the ring capacity PortConfig/SwitchConfig fall back to.
+const defaultRingSize = 4096
+
+// NewPortWithConfig creates a port driving the configured backend.
+func NewPortWithConfig(cfg PortConfig) *Port {
+	be := cfg.Backend
+	if be == nil {
+		size := cfg.RingSize
+		if size <= 0 {
+			size = defaultRingSize
+		}
+		be = NewRingBackend(size, cfg.Queues)
 	}
-	p := &Port{ID: id}
-	for q := 0; q < queues; q++ {
-		p.rxq = append(p.rxq, NewRing(ringSize))
-		p.txq = append(p.txq, NewRing(ringSize))
+	p := &Port{ID: cfg.ID, be: be, nq: be.Queues()}
+	if inj, ok := be.(InjectableBackend); ok {
+		p.inj = inj
 	}
-	p.spq = NewRing(ringSize)
+	if slow, ok := be.(SlowPathTransmitter); ok {
+		p.slow = slow
+	}
 	return p
 }
 
+// NewPort creates a single-queue simulated-ring port.
+//
+// Deprecated: use NewPortWithConfig.
+func NewPort(id uint32, ringSize int) *Port {
+	return NewPortWithConfig(PortConfig{ID: id, RingSize: ringSize, Queues: 1})
+}
+
+// NewPortQueues creates a simulated-ring port with the given number of RX/TX
+// queue pairs.
+//
+// Deprecated: use NewPortWithConfig.
+func NewPortQueues(id uint32, ringSize, queues int) *Port {
+	return NewPortWithConfig(PortConfig{ID: id, RingSize: ringSize, Queues: queues})
+}
+
+// Backend returns the port's packet I/O backend.
+func (p *Port) Backend() PortBackend { return p.be }
+
 // NumQueues returns the number of RX/TX queue pairs.
-func (p *Port) NumQueues() int { return len(p.rxq) }
+func (p *Port) NumQueues() int { return p.nq }
 
-// Inject places a frame on one of the port's RX queues, steered by the
-// symmetric RSS hash of the frame (what a multi-queue NIC does in hardware).
-// Each queue is single-producer, so one goroutine at a time may inject into
-// a given port unless producers pre-partition queues via InjectQueue.
-func (p *Port) Inject(frame []byte) bool {
-	q := 0
-	if len(p.rxq) > 1 {
-		q = int(pkt.RSSHash(frame) % uint32(len(p.rxq)))
+// Injectable reports whether the port's backend accepts injected frames
+// (simulated backends; real-I/O backends receive from the outside world).
+func (p *Port) Injectable() bool { return p.inj != nil }
+
+// InjectOn places a frame on RX queue q of an injectable backend; q ==
+// AutoQueue steers by the frame's symmetric RSS hash, the way a multi-queue
+// NIC's RSS does in hardware.  Each queue is single-producer, so one
+// goroutine at a time may inject into a given queue; producers that
+// precompute the steering pass explicit disjoint queues to shard injection.
+// Ports whose backend does not accept injection (real I/O) report false.
+func (p *Port) InjectOn(q int, frame []byte) bool {
+	if p.inj == nil {
+		return false
 	}
-	return p.InjectQueue(q, frame)
+	return p.inj.InjectOn(q, frame)
 }
 
-// InjectQueue places a frame on a specific RX queue.  Traffic generators
-// that precompute the RSS steering use it to keep the producer path to a
-// bare ring enqueue (and to shard injection across producer goroutines, one
-// per queue subset).
-func (p *Port) InjectQueue(q int, frame []byte) bool {
-	if p.rxq[q].Enqueue(frame) {
-		p.rxPackets.Add(1)
-		return true
-	}
-	p.rxDrops.Add(1)
-	return false
-}
+// Inject places a frame on an RX queue steered by its RSS hash.
+//
+// Deprecated: use InjectOn with AutoQueue.
+func (p *Port) Inject(frame []byte) bool { return p.InjectOn(AutoQueue, frame) }
 
-// RxQueueLen returns the number of frames waiting in RX queue q.
-func (p *Port) RxQueueLen(q int) int { return p.rxq[q].Len() }
+// InjectQueue places a frame on a specific RX queue.
+//
+// Deprecated: use InjectOn.
+func (p *Port) InjectQueue(q int, frame []byte) bool { return p.InjectOn(q, frame) }
+
+// RxQueueLen returns the number of frames waiting in RX queue q of an
+// injectable backend (0 for real-I/O backends, whose queues live outside the
+// process).
+func (p *Port) RxQueueLen(q int) int {
+	if p.inj == nil {
+		return 0
+	}
+	return p.inj.RxQueueLen(q)
+}
 
 // Transmit places one frame on TX queue 0 (the single-frame slow path; the
 // worker loops use TxBurst instead).
 func (p *Port) Transmit(frame []byte) bool {
-	if p.txq[0].Enqueue(frame) {
-		p.txPackets.Add(1)
+	one := [1][]byte{frame}
+	if p.be.TxBurst(0, one[:]) == 1 {
 		return true
 	}
-	p.txDrops.Add(1)
+	p.policyDrops.Add(1)
 	return false
 }
 
-// TxBurst enqueues a staged burst of frames on TX queue q, counting frames
-// that did not fit as TX drops (what a NIC does when the descriptor ring is
-// full).  It returns how many frames were enqueued.
+// TxBurst transmits a staged burst of frames on TX queue q, counting frames
+// the backend did not accept as TX drops (what a NIC does when the
+// descriptor ring is full).  It returns how many frames were accepted.
+// Worker loops with a backpressure policy use the policy layer instead,
+// which retries or spills before counting drops.
 func (p *Port) TxBurst(q int, frames [][]byte) int {
-	n := p.txq[q].EnqueueBurst(frames)
-	if n > 0 {
-		p.txPackets.Add(uint64(n))
-	}
+	n := p.be.TxBurst(q, frames)
 	if n < len(frames) {
-		p.txDrops.Add(uint64(len(frames) - n))
+		p.policyDrops.Add(uint64(len(frames) - n))
 	}
 	return n
 }
 
-// TransmitSlow places a controller-originated (PacketOut) frame on the
-// port's dedicated slow-path TX ring, keeping the worker-owned TX queues
-// single-producer.  One slow-path service at a time may transmit.
+// TransmitSlow transmits a controller-originated (PacketOut) frame outside
+// the worker-owned TX queues, keeping those single-producer.  One slow-path
+// service at a time may transmit.  Backends without a slow-path lane count
+// the frame as a drop.
 func (p *Port) TransmitSlow(frame []byte) bool {
-	if p.spq.Enqueue(frame) {
-		p.txPackets.Add(1)
-		return true
+	if p.slow == nil {
+		p.policyDrops.Add(1)
+		return false
 	}
-	p.txDrops.Add(1)
-	return false
+	return p.slow.TransmitSlow(frame)
 }
 
-// DrainTx empties all TX queues (including the slow-path ring), returning
-// the number of frames drained (a traffic sink / loopback tester).
+// DrainTx empties an injectable backend's TX queues (including the
+// slow-path ring), returning the number of frames drained (a traffic sink /
+// loopback tester).  Real-I/O backends transmit for real; there is nothing
+// to drain and DrainTx returns 0.
 func (p *Port) DrainTx() int {
-	n := 0
-	for _, q := range p.txq {
-		for {
-			if _, ok := q.Dequeue(); !ok {
-				break
-			}
-			n++
-		}
+	if p.inj == nil {
+		return 0
 	}
-	for {
-		if _, ok := p.spq.Dequeue(); !ok {
-			break
-		}
-		n++
-	}
-	return n
+	return p.inj.DrainTx()
 }
 
 // RxBurst receives up to len(out) frames from the port's RX queues in queue
 // order (single-threaded harnesses; the workers poll their own queues).
 func (p *Port) RxBurst(out [][]byte) int {
 	n := 0
-	for _, q := range p.rxq {
-		n += q.DequeueBurst(out[n:])
+	for q := 0; q < p.nq; q++ {
+		n += p.be.RxBurst(q, out[n:])
 		if n == len(out) {
 			break
 		}
@@ -322,14 +365,15 @@ func (p *Port) RxBurst(out [][]byte) int {
 	return n
 }
 
-// Stats returns a snapshot of the port counters.
+// Close releases the backend's resources (idempotent).
+func (p *Port) Close() error { return p.be.Close() }
+
+// Stats returns a snapshot of the port counters: the backend's I/O counters
+// with the switch-side policy drops folded into TxDrops.
 func (p *Port) Stats() PortStats {
-	return PortStats{
-		RxPackets: p.rxPackets.Load(),
-		TxPackets: p.txPackets.Load(),
-		RxDrops:   p.rxDrops.Load(),
-		TxDrops:   p.txDrops.Load(),
-	}
+	st := p.be.Stats()
+	st.TxDrops += p.policyDrops.Load()
+	return st
 }
 
 // Datapath is the interface the workers drive; both the ESWITCH compiled
@@ -472,12 +516,18 @@ type Switch struct {
 	// bdp/wdp/cdp are non-nil when the datapath supports native burst
 	// processing / registered worker handles / microflow-cache stats; the
 	// workers then use the fastest available path.
-	bdp    BurstDatapath
-	wdp    WorkerDatapath
-	cdp    CacheDatapath
-	mdp    MegaCacheDatapath
-	burst  int
-	queues int
+	bdp   BurstDatapath
+	wdp   WorkerDatapath
+	cdp   CacheDatapath
+	mdp   MegaCacheDatapath
+	burst int
+	// queues is the widest port's RX/TX queue-pair count (the RX sharding
+	// width: workers poll queue indices up to it, skipping narrower ports);
+	// minQueues is the narrowest port's, and bounds the worker count so
+	// every worker's TX queue index is valid on every port.  Equal unless
+	// the backend set is heterogeneous.
+	queues    int
+	minQueues int
 	// txPolicy is what workers do when a TX ring is full (drop | block |
 	// spill).  Set it before the first poll; workers read it un-synchronized.
 	txPolicy TxPolicy
@@ -516,23 +566,35 @@ type Switch struct {
 	wsPool sync.Pool
 }
 
-// NewSwitch creates a switch with numPorts ports of DefaultQueues RX/TX
-// queue pairs each.  When dp also implements BurstDatapath (the compiled
-// ESWITCH datapath does), the worker loops use the burst fast path
-// automatically; when it implements WorkerDatapath they additionally run the
-// zero-lock path on registered per-worker resources (epoch, meter shard,
-// burst scratch).
-func NewSwitch(dp Datapath, numPorts, ringSize int) *Switch {
-	return NewSwitchQueues(dp, numPorts, ringSize, DefaultQueues)
+// SwitchConfig configures NewSwitchWithConfig.
+type SwitchConfig struct {
+	// Backends, when non-empty, supplies one packet I/O backend per port
+	// (port IDs 1..len(Backends) in order) and NumPorts/RingSize/Queues are
+	// ignored.  When empty, the switch gets NumPorts simulated-ring ports.
+	Backends []PortBackend
+	// NumPorts is the simulated-ring port count when Backends is empty.
+	NumPorts int
+	// RingSize is the simulated ring capacity (<= 0 selects 4096).
+	RingSize int
+	// Queues is the RX/TX queue-pair count per simulated port (<= 0 selects
+	// DefaultQueues) — the maximum worker count that still scales one hot
+	// port.
+	Queues int
+	// Burst is the RX/TX burst size (<= 0 selects DefaultBurst).
+	Burst int
 }
 
-// NewSwitchQueues is NewSwitch with an explicit number of RX/TX queue pairs
-// per port (the maximum worker count that still scales one hot port).
-func NewSwitchQueues(dp Datapath, numPorts, ringSize, queues int) *Switch {
-	if queues < 1 {
-		queues = 1
+// NewSwitchWithConfig creates a switch over the configured ports.  When dp
+// also implements BurstDatapath (the compiled ESWITCH datapath does), the
+// worker loops use the burst fast path automatically; when it implements
+// WorkerDatapath they additionally run the zero-lock path on registered
+// per-worker resources (epoch, meter shard, burst scratch).
+func NewSwitchWithConfig(dp Datapath, cfg SwitchConfig) *Switch {
+	burst := cfg.Burst
+	if burst <= 0 {
+		burst = DefaultBurst
 	}
-	s := &Switch{dp: dp, burst: DefaultBurst, queues: queues}
+	s := &Switch{dp: dp, burst: burst}
 	if bdp, ok := dp.(BurstDatapath); ok {
 		s.bdp = bdp
 	}
@@ -545,12 +607,75 @@ func NewSwitchQueues(dp Datapath, numPorts, ringSize, queues int) *Switch {
 	if mdp, ok := dp.(MegaCacheDatapath); ok {
 		s.mdp = mdp
 	}
-	s.pollCounters = s.registerCounters()
-	s.wsPool.New = func() any { return s.newWorkerState(allQueues(queues), 0, s.pollCounters) }
-	for i := 0; i < numPorts; i++ {
-		s.ports = append(s.ports, NewPortQueues(uint32(i+1), ringSize, queues))
+	if len(cfg.Backends) > 0 {
+		for i, be := range cfg.Backends {
+			s.ports = append(s.ports, NewPortWithConfig(PortConfig{ID: uint32(i + 1), Backend: be}))
+		}
+	} else {
+		queues := cfg.Queues
+		if queues < 1 {
+			queues = DefaultQueues
+		}
+		for i := 0; i < cfg.NumPorts; i++ {
+			s.ports = append(s.ports, NewPortWithConfig(PortConfig{
+				ID: uint32(i + 1), RingSize: cfg.RingSize, Queues: queues,
+			}))
+		}
 	}
+	// The RX sharding width is the widest port (narrower ports are skipped
+	// per queue); the worker clamp is the narrowest, so every worker's TX
+	// queue exists on every port.  A port-less switch keeps the configured
+	// width so punt-ring geometry still matches later expectations.
+	s.queues, s.minQueues = cfg.Queues, cfg.Queues
+	if s.queues < 1 {
+		s.queues, s.minQueues = 1, 1
+	}
+	for i, p := range s.ports {
+		if i == 0 {
+			s.queues, s.minQueues = p.nq, p.nq
+			continue
+		}
+		if p.nq > s.queues {
+			s.queues = p.nq
+		}
+		if p.nq < s.minQueues {
+			s.minQueues = p.nq
+		}
+	}
+	s.pollCounters = s.registerCounters()
+	s.wsPool.New = func() any { return s.newWorkerState(allQueues(s.queues), 0, s.pollCounters) }
 	return s
+}
+
+// NewSwitch creates a switch with numPorts simulated-ring ports of
+// DefaultQueues RX/TX queue pairs each.
+//
+// Deprecated: use NewSwitchWithConfig.
+func NewSwitch(dp Datapath, numPorts, ringSize int) *Switch {
+	return NewSwitchWithConfig(dp, SwitchConfig{NumPorts: numPorts, RingSize: ringSize, Queues: DefaultQueues})
+}
+
+// NewSwitchQueues is NewSwitch with an explicit number of RX/TX queue pairs
+// per port.
+//
+// Deprecated: use NewSwitchWithConfig.
+func NewSwitchQueues(dp Datapath, numPorts, ringSize, queues int) *Switch {
+	if queues < 1 {
+		queues = 1
+	}
+	return NewSwitchWithConfig(dp, SwitchConfig{NumPorts: numPorts, RingSize: ringSize, Queues: queues})
+}
+
+// Close closes every port's backend, returning the first error.  Safe to
+// call after stopping the workers; backends are idempotent under Close.
+func (s *Switch) Close() error {
+	var first error
+	for _, p := range s.ports {
+		if err := p.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 func allQueues(n int) []int {
@@ -689,13 +814,14 @@ func (s *Switch) Ports() []*Port { return s.ports }
 func (s *Switch) NumQueues() int { return s.queues }
 
 // ClampWorkers returns the worker count RunWorkers will actually start for a
-// requested count: at least one, at most the per-port queue count.
+// requested count: at least one, at most the narrowest port's queue count
+// (so every worker's TX queue index exists on every port).
 func (s *Switch) ClampWorkers(n int) int {
 	if n < 1 {
 		n = 1
 	}
-	if n > s.queues {
-		n = s.queues
+	if n > s.minQueues {
+		n = s.minQueues
 	}
 	return n
 }
@@ -862,10 +988,10 @@ func (s *Switch) pollPorts(ws *workerState, ports []*Port) int {
 	var tal stageTallies
 	for _, port := range ports {
 		for _, q := range ws.queues {
-			if q >= len(port.rxq) {
+			if q >= port.nq {
 				continue
 			}
-			n := port.rxq[q].DequeueBurst(ws.frames)
+			n := port.be.RxBurst(q, ws.frames)
 			if n == 0 {
 				continue
 			}

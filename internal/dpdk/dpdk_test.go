@@ -74,12 +74,12 @@ func TestBurstOperations(t *testing.T) {
 }
 
 func TestPortCounters(t *testing.T) {
-	p := NewPort(1, 4)
-	if !p.Inject([]byte{1}) || !p.Inject([]byte{2}) || !p.Inject([]byte{3}) {
+	p := NewPortWithConfig(PortConfig{ID: 1, RingSize: 4, Queues: 1})
+	if !p.InjectOn(AutoQueue, []byte{1}) || !p.InjectOn(AutoQueue, []byte{2}) || !p.InjectOn(AutoQueue, []byte{3}) {
 		t.Fatal("inject failed")
 	}
 	// Ring of size 4 has capacity 3.
-	if p.Inject([]byte{4}) {
+	if p.InjectOn(AutoQueue, []byte{4}) {
 		t.Fatal("inject should fail when the RX ring is full")
 	}
 	st := p.Stats()
@@ -107,7 +107,7 @@ func dropDatapath(p *pkt.Packet, v *openflow.Verdict) {
 }
 
 func TestSwitchPollOnce(t *testing.T) {
-	sw := NewSwitch(DatapathFunc(echoDatapath), 4, 1024)
+	sw := NewSwitchWithConfig(DatapathFunc(echoDatapath), SwitchConfig{NumPorts: 4, RingSize: 1024, Queues: DefaultQueues})
 	p1, err := sw.Port(1)
 	if err != nil {
 		t.Fatal(err)
@@ -120,7 +120,7 @@ func TestSwitchPollOnce(t *testing.T) {
 	}
 	frame := make([]byte, pkt.MinPacketLen)
 	for i := 0; i < 100; i++ {
-		p1.Inject(frame)
+		p1.InjectOn(AutoQueue, frame)
 	}
 	processed := 0
 	for processed < 100 {
@@ -144,10 +144,10 @@ func TestSwitchPollOnce(t *testing.T) {
 }
 
 func TestSwitchDropAccounting(t *testing.T) {
-	sw := NewSwitch(DatapathFunc(dropDatapath), 2, 64)
+	sw := NewSwitchWithConfig(DatapathFunc(dropDatapath), SwitchConfig{NumPorts: 2, RingSize: 64, Queues: DefaultQueues})
 	p1, _ := sw.Port(1)
 	for i := 0; i < 10; i++ {
-		p1.Inject(make([]byte, 60))
+		p1.InjectOn(AutoQueue, make([]byte, 60))
 	}
 	sw.PollOnce(nil)
 	if st := sw.Stats(); st.Dropped != 10 || st.Forwarded != 0 {
@@ -156,7 +156,7 @@ func TestSwitchDropAccounting(t *testing.T) {
 }
 
 func TestRunWorkersParallel(t *testing.T) {
-	sw := NewSwitch(DatapathFunc(echoDatapath), 4, 4096)
+	sw := NewSwitchWithConfig(DatapathFunc(echoDatapath), SwitchConfig{NumPorts: 4, RingSize: 4096, Queues: DefaultQueues})
 	stop := sw.RunWorkers(2)
 	defer stop()
 	frame := make([]byte, 60)
@@ -170,7 +170,7 @@ func TestRunWorkersParallel(t *testing.T) {
 	for portID := uint32(1); portID <= 4; portID++ {
 		port, _ := sw.Port(portID)
 		for i := 0; i < per; i++ {
-			for !port.Inject(frame) {
+			for !port.InjectOn(AutoQueue, frame) {
 				drainAll()
 				time.Sleep(100 * time.Microsecond)
 			}
@@ -238,11 +238,11 @@ func TestRingWraparoundBurst(t *testing.T) {
 // the worker stages and burst-flushes them (single queue so the stream is
 // totally ordered).
 func TestTxFlushOrdering(t *testing.T) {
-	sw := NewSwitchQueues(DatapathFunc(echoDatapath), 2, 1024, 1)
+	sw := NewSwitchWithConfig(DatapathFunc(echoDatapath), SwitchConfig{NumPorts: 2, RingSize: 1024, Queues: 1})
 	p1, _ := sw.Port(1)
 	const n = 300
 	for i := 0; i < n; i++ {
-		if !p1.Inject([]byte{byte(i), byte(i >> 8)}) {
+		if !p1.InjectOn(AutoQueue, []byte{byte(i), byte(i >> 8)}) {
 			t.Fatalf("inject %d failed", i)
 		}
 	}
@@ -255,7 +255,7 @@ func TestTxFlushOrdering(t *testing.T) {
 	}
 	p2, _ := sw.Port(2)
 	for i := 0; i < n; i++ {
-		f, ok := p2.txq[0].Dequeue()
+		f, ok := p2.be.(*RingBackend).TxDequeue(0)
 		if !ok {
 			t.Fatalf("tx queue ran dry at %d", i)
 		}
@@ -269,14 +269,14 @@ func TestTxFlushOrdering(t *testing.T) {
 // into ONE port and asserts the RSS hash spreads them over multiple RX
 // queues — the property that lets one hot port scale across workers.
 func TestRSSSteeringSpreadsAcrossQueues(t *testing.T) {
-	sw := NewSwitchQueues(DatapathFunc(echoDatapath), 2, 4096, 4)
+	sw := NewSwitchWithConfig(DatapathFunc(echoDatapath), SwitchConfig{NumPorts: 2, RingSize: 4096, Queues: 4})
 	p1, _ := sw.Port(1)
 	bld := pkt.NewBuilder(128)
 	for i := 0; i < 128; i++ {
 		f := pkt.Clone(bld.TCPPacket(pkt.EthernetOpts{},
 			pkt.IPv4Opts{Src: pkt.IPv4FromOctets(10, 0, 0, byte(i)), Dst: pkt.IPv4FromOctets(192, 168, 0, 1)},
 			pkt.L4Opts{Src: uint16(1000 + i), Dst: 80}))
-		if !p1.Inject(f) {
+		if !p1.InjectOn(AutoQueue, f) {
 			t.Fatalf("inject %d failed", i)
 		}
 	}
@@ -306,7 +306,7 @@ func TestRSSSteeringSpreadsAcrossQueues(t *testing.T) {
 // TestWorkerStatsAggregation checks that the padded per-worker counters fold
 // into the same aggregate totals the shared counters used to produce.
 func TestWorkerStatsAggregation(t *testing.T) {
-	sw := NewSwitchQueues(DatapathFunc(echoDatapath), 2, 4096, 4)
+	sw := NewSwitchWithConfig(DatapathFunc(echoDatapath), SwitchConfig{NumPorts: 2, RingSize: 4096, Queues: 4})
 	stop := sw.RunWorkers(4)
 	p1, _ := sw.Port(1)
 	bld := pkt.NewBuilder(128)
@@ -316,7 +316,7 @@ func TestWorkerStatsAggregation(t *testing.T) {
 		f := pkt.Clone(bld.UDPPacket(pkt.EthernetOpts{},
 			pkt.IPv4Opts{Src: pkt.IPv4FromOctets(10, 0, byte(i>>8), byte(i)), Dst: pkt.IPv4FromOctets(10, 9, 9, 9)},
 			pkt.L4Opts{Src: uint16(i), Dst: 53}))
-		for !p1.Inject(f) {
+		for !p1.InjectOn(AutoQueue, f) {
 			for _, port := range sw.Ports() {
 				port.DrainTx()
 			}

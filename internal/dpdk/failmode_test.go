@@ -20,15 +20,15 @@ func checkPuntInvariant(t *testing.T, sw *Switch, phase string) {
 // pure punt is suppressed (not queued, not dropped-counted) and the
 // forwarding half of a dual verdict keeps transmitting.
 func TestFailStandaloneSuppressesPuntsKeepsForwarding(t *testing.T) {
-	sw := NewSwitchQueues(puntingDatapath{}, 2, 64, 1)
+	sw := NewSwitchWithConfig(puntingDatapath{}, SwitchConfig{NumPorts: 2, RingSize: 64, Queues: 1})
 	rings := sw.armPuntRings(16, 0)
 	sw.SetFailMode(FailStandalone)
 	port1, _ := sw.Port(1)
 	port2, _ := sw.Port(2)
 
-	port1.Inject([]byte{0x01}) // pure forward
-	port1.Inject([]byte{0x02}) // pure punt
-	port1.Inject([]byte{0x03}) // forward AND punt
+	port1.InjectOn(AutoQueue, []byte{0x01}) // pure forward
+	port1.InjectOn(AutoQueue, []byte{0x02}) // pure punt
+	port1.InjectOn(AutoQueue, []byte{0x03}) // forward AND punt
 	sw.PollOnce(nil)
 
 	st := sw.Stats()
@@ -55,7 +55,7 @@ func TestFailStandaloneSuppressesPuntsKeepsForwarding(t *testing.T) {
 
 	// Back to normal: the same traffic punts again.
 	sw.SetFailMode(FailNormal)
-	port1.Inject([]byte{0x02})
+	port1.InjectOn(AutoQueue, []byte{0x02})
 	sw.PollOnce(nil)
 	if st := sw.Stats(); st.Punts != 1 {
 		t.Fatalf("punt after recovery not queued: %+v", st)
@@ -71,15 +71,15 @@ func TestFailStandaloneSuppressesPuntsKeepsForwarding(t *testing.T) {
 // counted in both PuntSuppressed and Dropped; purely local verdicts are
 // untouched.
 func TestFailSecureDropsControllerDependentPackets(t *testing.T) {
-	sw := NewSwitchQueues(puntingDatapath{}, 2, 64, 1)
+	sw := NewSwitchWithConfig(puntingDatapath{}, SwitchConfig{NumPorts: 2, RingSize: 64, Queues: 1})
 	sw.armPuntRings(16, 0)
 	sw.SetFailMode(FailSecure)
 	port1, _ := sw.Port(1)
 	port2, _ := sw.Port(2)
 
-	port1.Inject([]byte{0x01}) // pure forward: unaffected
-	port1.Inject([]byte{0x02}) // pure punt: dropped
-	port1.Inject([]byte{0x03}) // dual verdict: dropped whole, output half included
+	port1.InjectOn(AutoQueue, []byte{0x01}) // pure forward: unaffected
+	port1.InjectOn(AutoQueue, []byte{0x02}) // pure punt: dropped
+	port1.InjectOn(AutoQueue, []byte{0x03}) // dual verdict: dropped whole, output half included
 	sw.PollOnce(nil)
 
 	st := sw.Stats()
@@ -105,7 +105,7 @@ func TestFailSecureDropsControllerDependentPackets(t *testing.T) {
 // after `window` idle polls.
 func TestPuntStormFilter(t *testing.T) {
 	const window = 3
-	sw := NewSwitchQueues(puntingDatapath{}, 2, 64, 1)
+	sw := NewSwitchWithConfig(puntingDatapath{}, SwitchConfig{NumPorts: 2, RingSize: 64, Queues: 1})
 	rings := sw.armPuntRings(64, 0)
 	sw.SetPuntFilter(64, window)
 	port1, _ := sw.Port(1)
@@ -122,9 +122,9 @@ func TestPuntStormFilter(t *testing.T) {
 	mouse := []byte{0x02, 0x11, 0x22, 0x33}
 
 	// First punt passes; the repeat in the very next poll is filtered.
-	port1.Inject(elephant)
+	port1.InjectOn(AutoQueue, elephant)
 	poll()
-	port1.Inject(elephant)
+	port1.InjectOn(AutoQueue, elephant)
 	poll()
 	st := sw.Stats()
 	if st.Punts != 1 || st.PuntFiltered != 1 {
@@ -132,7 +132,7 @@ func TestPuntStormFilter(t *testing.T) {
 	}
 
 	// A distinct microflow still punts — the filter is per-flow, not global.
-	port1.Inject(mouse)
+	port1.InjectOn(AutoQueue, mouse)
 	poll()
 	if st := sw.Stats(); st.Punts != 2 {
 		t.Fatalf("distinct flow was filtered: %+v", st)
@@ -143,7 +143,7 @@ func TestPuntStormFilter(t *testing.T) {
 	for i := 0; i <= window; i++ {
 		poll()
 	}
-	port1.Inject(elephant)
+	port1.InjectOn(AutoQueue, elephant)
 	poll()
 	st = sw.Stats()
 	if st.Punts != 3 {
@@ -169,11 +169,11 @@ func TestPuntStormFilter(t *testing.T) {
 // TestPuntFilterOffByDefault: without SetPuntFilter every repeat punts — the
 // filter must be strictly opt-in.
 func TestPuntFilterOffByDefault(t *testing.T) {
-	sw := NewSwitchQueues(puntingDatapath{}, 2, 64, 1)
+	sw := NewSwitchWithConfig(puntingDatapath{}, SwitchConfig{NumPorts: 2, RingSize: 64, Queues: 1})
 	sw.armPuntRings(64, 0)
 	port1, _ := sw.Port(1)
 	for i := 0; i < 5; i++ {
-		port1.Inject([]byte{0x02, 0xaa})
+		port1.InjectOn(AutoQueue, []byte{0x02, 0xaa})
 		sw.PollOnce(nil)
 	}
 	st := sw.Stats()

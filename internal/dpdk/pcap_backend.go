@@ -1,0 +1,260 @@
+package dpdk
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"eswitch/internal/pcap"
+	"eswitch/internal/pkt"
+)
+
+// PcapBackend replays a captured trace through the switch: every record of a
+// classic libpcap file becomes an RX frame, demultiplexed across the
+// configured queues by the same symmetric RSS hash a multi-queue NIC would
+// use, so a real capture exercises the pipeline with its true packet-size
+// and flow-arrival distributions instead of pktgen synthetics.
+//
+// The whole trace is preloaded at open (like a warmed page cache) and
+// delivery recycles per-queue slot buffers the way NIC DMA rings recycle
+// descriptors: a frame returned by RxBurst is valid only until the next
+// RxBurst on that queue, and the steady-state replay path allocates nothing
+// and takes no locks.  Transmission is a counted sink — replay measures the
+// pipeline, not a wire — so pair pcap ingress ports with NullBackend egress
+// ports.
+//
+// Replay is flat-out by default (benchmarks); Pace schedules each frame at
+// its capture timestamp scaled by Speed, each queue keeping its own replay
+// clock started at its first poll.
+type PcapBackend struct {
+	queues []pcapQueue
+	loop   bool
+	pace   bool
+	speed  float64
+	// traceDur spaces successive loops of a paced replay: the capture's
+	// first-to-last span, added to every frame's due time per completed
+	// loop.
+	traceDur time.Duration
+
+	rxPackets atomic.Uint64
+	txPackets atomic.Uint64
+	closed    atomic.Bool
+}
+
+// pcapQueue is one RX queue's share of the trace.  Each queue has exactly
+// one polling worker, so none of this needs synchronization.
+type pcapQueue struct {
+	frames [][]byte
+	// rel holds each frame's capture timestamp relative to the trace start
+	// (the paced replay schedule; unused flat-out).
+	rel    []time.Duration
+	cursor int
+	// wrapBase accumulates traceDur per completed loop so paced replay
+	// keeps its cadence across wraps.
+	wrapBase time.Duration
+	started  bool
+	start    time.Time
+	// slots are the recycled delivery buffers (grown to the caller's burst
+	// size on first use, then steady-state zero-alloc).
+	slots   [][]byte
+	slotCap int
+}
+
+// PcapConfig configures OpenPcapBackend.
+type PcapConfig struct {
+	// Queues is the RX queue count frames are RSS-demultiplexed over
+	// (<= 0 selects 1).
+	Queues int
+	// Loop restarts the trace when it runs out instead of going quiet.
+	Loop bool
+	// Pace delivers each frame at its capture timestamp (scaled by Speed)
+	// instead of flat-out.
+	Pace bool
+	// Speed is the paced-replay time-dilation factor: 1.0 replays at
+	// capture rate, 10 at ten times it (<= 0 selects 1.0).  Ignored
+	// flat-out.
+	Speed float64
+	// SnapLen truncates frames longer than this many bytes at load
+	// (<= 0 keeps full captured length).
+	SnapLen int
+}
+
+// OpenPcapBackend preloads a classic libpcap capture file into a replay
+// backend.
+func OpenPcapBackend(path string, cfg PcapConfig) (*PcapBackend, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dpdk: pcap backend: %w", err)
+	}
+	defer f.Close()
+	records, err := pcap.ReadAll(f)
+	if err != nil {
+		return nil, fmt.Errorf("dpdk: pcap backend %s: %w", path, err)
+	}
+	return NewPcapBackend(records, cfg)
+}
+
+// NewPcapBackend builds a replay backend from already-decoded capture
+// records (what OpenPcapBackend does after reading the file; tests and
+// generators use it directly).
+func NewPcapBackend(records []pcap.Packet, cfg PcapConfig) (*PcapBackend, error) {
+	if len(records) == 0 {
+		return nil, fmt.Errorf("dpdk: pcap backend: empty trace")
+	}
+	nq := cfg.Queues
+	if nq < 1 {
+		nq = 1
+	}
+	speed := cfg.Speed
+	if speed <= 0 {
+		speed = 1.0
+	}
+	b := &PcapBackend{
+		queues: make([]pcapQueue, nq),
+		loop:   cfg.Loop,
+		pace:   cfg.Pace,
+		speed:  speed,
+	}
+	t0 := records[0].Ts
+	maxLen := 0
+	for _, rec := range records {
+		data := rec.Data
+		if cfg.SnapLen > 0 && len(data) > cfg.SnapLen {
+			data = data[:cfg.SnapLen]
+		}
+		// Copy out of the decoder's buffers so the trace owns its frames.
+		frame := append([]byte(nil), data...)
+		if len(frame) > maxLen {
+			maxLen = len(frame)
+		}
+		q := 0
+		if nq > 1 {
+			q = int(pkt.RSSHash(frame) % uint32(nq))
+		}
+		pq := &b.queues[q]
+		pq.frames = append(pq.frames, frame)
+		rel := rec.Ts.Sub(t0)
+		if rel < 0 {
+			rel = 0 // out-of-order capture timestamps deliver immediately
+		}
+		pq.rel = append(pq.rel, rel)
+		if rel > b.traceDur {
+			b.traceDur = rel
+		}
+	}
+	for i := range b.queues {
+		b.queues[i].slotCap = maxLen
+	}
+	return b, nil
+}
+
+// Queues implements PortBackend.
+func (b *PcapBackend) Queues() int { return len(b.queues) }
+
+// RxBurst implements PortBackend: deliver the next due frames of queue q
+// into recycled slot buffers.  Flat-out replay is bounded only by the
+// caller's burst size; paced replay delivers frames whose scaled capture
+// timestamp has elapsed on this queue's clock (one time.Now per poll, never
+// per frame).
+func (b *PcapBackend) RxBurst(q int, out [][]byte) int {
+	if b.closed.Load() {
+		return 0
+	}
+	pq := &b.queues[q]
+	if pq.cursor >= len(pq.frames) {
+		if !b.loop || len(pq.frames) == 0 {
+			return 0
+		}
+		pq.cursor = 0
+		pq.wrapBase += b.traceDur
+	}
+	n := len(pq.frames) - pq.cursor
+	if n > len(out) {
+		n = len(out)
+	}
+	if b.pace && n > 0 {
+		if !pq.started {
+			pq.started = true
+			pq.start = time.Now()
+		}
+		budget := time.Duration(float64(time.Since(pq.start)) * b.speed)
+		due := 0
+		for due < n && pq.wrapBase+pq.rel[pq.cursor+due] <= budget {
+			due++
+		}
+		n = due
+	}
+	for i := 0; i < n; i++ {
+		src := pq.frames[pq.cursor+i]
+		if i >= len(pq.slots) {
+			pq.slots = append(pq.slots, make([]byte, pq.slotCap))
+		}
+		slot := pq.slots[i][:len(src)]
+		copy(slot, src)
+		out[i] = slot
+	}
+	if n > 0 {
+		pq.cursor += n
+		b.rxPackets.Add(uint64(n))
+	}
+	return n
+}
+
+// TxBurst implements PortBackend: replay transmission is a counted sink.
+func (b *PcapBackend) TxBurst(q int, frames [][]byte) int {
+	if b.closed.Load() {
+		return 0
+	}
+	if len(frames) > 0 {
+		b.txPackets.Add(uint64(len(frames)))
+	}
+	return len(frames)
+}
+
+// TransmitSlow implements SlowPathTransmitter (counted and discarded).
+func (b *PcapBackend) TransmitSlow(frame []byte) bool {
+	if b.closed.Load() {
+		return false
+	}
+	b.txPackets.Add(1)
+	return true
+}
+
+// Exhausted reports whether a non-looping replay has delivered every frame
+// of every queue (always false with Loop).
+func (b *PcapBackend) Exhausted() bool {
+	if b.loop {
+		return false
+	}
+	for i := range b.queues {
+		if b.queues[i].cursor < len(b.queues[i].frames) {
+			return false
+		}
+	}
+	return true
+}
+
+// TotalFrames returns the number of frames loaded from the trace.
+func (b *PcapBackend) TotalFrames() int {
+	n := 0
+	for i := range b.queues {
+		n += len(b.queues[i].frames)
+	}
+	return n
+}
+
+// Stats implements PortBackend.
+func (b *PcapBackend) Stats() PortStats {
+	return PortStats{
+		RxPackets: b.rxPackets.Load(),
+		TxPackets: b.txPackets.Load(),
+	}
+}
+
+// Close implements PortBackend (idempotent; the file was fully read at
+// open, so Close only quiesces delivery).
+func (b *PcapBackend) Close() error {
+	b.closed.Store(true)
+	return nil
+}

@@ -39,12 +39,12 @@ func (puntingDatapath) Process(p *pkt.Packet, v *openflow.Verdict) {
 // counting once in each of forwarded and toCtrl (previously the punt was
 // silently lost to the Forwarded branch).
 func TestStageForwardAndPunt(t *testing.T) {
-	sw := NewSwitchQueues(puntingDatapath{}, 2, 64, 1)
+	sw := NewSwitchWithConfig(puntingDatapath{}, SwitchConfig{NumPorts: 2, RingSize: 64, Queues: 1})
 	rings := sw.armPuntRings(16, 0) // unchecked: below-burst ring is fine in-package
 	port1, _ := sw.Port(1)
 	port2, _ := sw.Port(2)
 
-	port1.Inject([]byte{0x03, 0xaa})
+	port1.InjectOn(AutoQueue, []byte{0x03, 0xaa})
 	sw.PollOnce(nil)
 
 	st := sw.Stats()
@@ -67,8 +67,8 @@ func TestStageForwardAndPunt(t *testing.T) {
 	}
 
 	// Pure punt and pure forward still behave.
-	port1.Inject([]byte{0x02})
-	port1.Inject([]byte{0x01})
+	port1.InjectOn(AutoQueue, []byte{0x02})
+	port1.InjectOn(AutoQueue, []byte{0x01})
 	sw.PollOnce(nil)
 	st = sw.Stats()
 	if st.Forwarded != 2 || st.ToCtrl != 2 || st.Dropped != 0 {
@@ -83,9 +83,9 @@ func TestStageForwardAndPunt(t *testing.T) {
 // pre-slow-path behaviour — ToController verdicts are counted and the frame
 // is discarded — and the punt counters stay zero.
 func TestPuntDisarmedCountsOnly(t *testing.T) {
-	sw := NewSwitchQueues(puntingDatapath{}, 2, 64, 1)
+	sw := NewSwitchWithConfig(puntingDatapath{}, SwitchConfig{NumPorts: 2, RingSize: 64, Queues: 1})
 	port1, _ := sw.Port(1)
-	port1.Inject([]byte{0x02})
+	port1.InjectOn(AutoQueue, []byte{0x02})
 	sw.PollOnce(nil)
 	st := sw.Stats()
 	if st.ToCtrl != 1 || st.Punts != 0 || st.PuntDrops != 0 {
@@ -96,12 +96,12 @@ func TestPuntDisarmedCountsOnly(t *testing.T) {
 // TestPuntOverflowAccounting: a full punt ring drops (never blocks the
 // worker), and Punts+PuntDrops == ToCtrl exactly.
 func TestPuntOverflowAccounting(t *testing.T) {
-	sw := NewSwitchQueues(puntingDatapath{}, 2, 256, 1)
+	sw := NewSwitchWithConfig(puntingDatapath{}, SwitchConfig{NumPorts: 2, RingSize: 256, Queues: 1})
 	rings := sw.armPuntRings(4, 0) // capacity 3, deliberately below burst to force overflow
 	port1, _ := sw.Port(1)
 	const total = 50
 	for i := 0; i < total; i++ {
-		port1.Inject([]byte{0x02, byte(i)})
+		port1.InjectOn(AutoQueue, []byte{0x02, byte(i)})
 	}
 	for sw.PollOnce(nil) > 0 {
 	}
@@ -135,7 +135,7 @@ func (tableDP) Process(p *pkt.Packet, v *openflow.Verdict) {
 }
 
 func TestSwitchPacketOut(t *testing.T) {
-	sw := NewSwitchQueues(tableDP{}, 4, 64, 1)
+	sw := NewSwitchWithConfig(tableDP{}, SwitchConfig{NumPorts: 4, RingSize: 64, Queues: 1})
 	frame := []byte{0xde, 0xad}
 
 	// Plain physical output.

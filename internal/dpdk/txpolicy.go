@@ -101,22 +101,20 @@ func (s *Switch) SetTxPolicy(p TxPolicy) { s.txPolicy = p }
 // TxPolicy returns the switch's backpressure policy.
 func (s *Switch) TxPolicy() TxPolicy { return s.txPolicy }
 
-// txEnqueue enqueues the longest prefix of frames that fits on TX queue q,
-// counting transmitted frames but leaving overflow accounting to the policy
-// layer (unlike TxBurst, which drop-counts immediately).
+// txEnqueue transmits the longest prefix of frames the backend accepts on TX
+// queue q, leaving overflow accounting to the policy layer (unlike the
+// public TxBurst, which drop-counts immediately).  This is exactly the
+// PortBackend.TxBurst contract, so the policy layer works unchanged against
+// every backend.
 func (p *Port) txEnqueue(q int, frames [][]byte) int {
-	n := p.txq[q].EnqueueBurst(frames)
-	if n > 0 {
-		p.txPackets.Add(uint64(n))
-	}
-	return n
+	return p.be.TxBurst(q, frames)
 }
 
 // countTxDrops records n frames abandoned by the backpressure policy in the
 // port counters (the worker keeps its own per-worker tally too).
 func (p *Port) countTxDrops(n int) {
 	if n > 0 {
-		p.txDrops.Add(uint64(n))
+		p.policyDrops.Add(uint64(n))
 	}
 }
 

@@ -27,7 +27,7 @@ func TestParseTxPolicy(t *testing.T) {
 func fillTxViaPoll(t *testing.T, sw *Switch, ws *workerState, p1 *Port, start, n int) {
 	t.Helper()
 	for i := start; i < start+n; i++ {
-		if !p1.Inject([]byte{byte(i), byte(i >> 8)}) {
+		if !p1.InjectOn(AutoQueue, []byte{byte(i), byte(i >> 8)}) {
 			t.Fatalf("inject %d failed (RX ring full)", i)
 		}
 	}
@@ -37,7 +37,7 @@ func fillTxViaPoll(t *testing.T, sw *Switch, ws *workerState, p1 *Port, start, n
 // TestTxPolicyDrop asserts the NIC-like default: overflow frames are dropped
 // immediately, with no retries.
 func TestTxPolicyDrop(t *testing.T) {
-	sw := NewSwitchQueues(DatapathFunc(echoDatapath), 2, 8, 1) // TX capacity 7
+	sw := NewSwitchWithConfig(DatapathFunc(echoDatapath), SwitchConfig{NumPorts: 2, RingSize: 8, Queues: 1}) // TX capacity 7
 	ws := sw.newWorkerState(allQueues(1), 0, nil)
 	p1, _ := sw.Port(1)
 	p2, _ := sw.Port(2)
@@ -53,7 +53,7 @@ func TestTxPolicyDrop(t *testing.T) {
 	}
 	// The frames that made it are the first 7, in receive order.
 	for i := 0; i < 7; i++ {
-		f, ok := p2.txq[0].Dequeue()
+		f, ok := p2.be.(*RingBackend).TxDequeue(0)
 		if !ok || f[0] != byte(i) {
 			t.Fatalf("tx slot %d: got %v ok=%v", i, f, ok)
 		}
@@ -64,7 +64,7 @@ func TestTxPolicyDrop(t *testing.T) {
 // accounting with no consumer: every remaining frame is re-attempted once
 // per round for txRetryLimit rounds, then dropped.
 func TestTxPolicyBlockGivesUpAfterBoundedRetries(t *testing.T) {
-	sw := NewSwitchQueues(DatapathFunc(echoDatapath), 2, 8, 1)
+	sw := NewSwitchWithConfig(DatapathFunc(echoDatapath), SwitchConfig{NumPorts: 2, RingSize: 8, Queues: 1})
 	sw.SetTxPolicy(TxBlock)
 	ws := sw.newWorkerState(allQueues(1), 0, nil)
 	p1, _ := sw.Port(1)
@@ -83,7 +83,7 @@ func TestTxPolicyBlockGivesUpAfterBoundedRetries(t *testing.T) {
 // TestTxPolicyBlockDeliversUnderDrain asserts that with a live consumer the
 // block policy delivers every frame in receive order and counts zero drops.
 func TestTxPolicyBlockDeliversUnderDrain(t *testing.T) {
-	sw := NewSwitchQueues(DatapathFunc(echoDatapath), 2, 8, 1)
+	sw := NewSwitchWithConfig(DatapathFunc(echoDatapath), SwitchConfig{NumPorts: 2, RingSize: 8, Queues: 1})
 	sw.SetTxPolicy(TxBlock)
 	ws := sw.newWorkerState(allQueues(1), 0, nil)
 	p1, _ := sw.Port(1)
@@ -95,7 +95,7 @@ func TestTxPolicyBlockDeliversUnderDrain(t *testing.T) {
 	go func() {
 		defer close(done)
 		for received := 0; received < n; {
-			f, ok := p2.txq[0].Dequeue()
+			f, ok := p2.be.(*RingBackend).TxDequeue(0)
 			if !ok {
 				time.Sleep(10 * time.Microsecond)
 				continue
@@ -130,7 +130,7 @@ func TestTxPolicyBlockDeliversUnderDrain(t *testing.T) {
 // staged frames on later polls, counts the documented retries, and keeps the
 // whole TX stream in receive order.
 func TestTxPolicySpillPreservesOrderAcrossRetries(t *testing.T) {
-	sw := NewSwitchQueues(DatapathFunc(echoDatapath), 2, 8, 1) // TX capacity 7
+	sw := NewSwitchWithConfig(DatapathFunc(echoDatapath), SwitchConfig{NumPorts: 2, RingSize: 8, Queues: 1}) // TX capacity 7
 	sw.SetTxPolicy(TxSpill)
 	ws := sw.newWorkerState(allQueues(1), 0, nil)
 	p1, _ := sw.Port(1)
@@ -148,7 +148,7 @@ func TestTxPolicySpillPreservesOrderAcrossRetries(t *testing.T) {
 	// Drain 3 slots and poll with no new traffic: 3 spilled frames move,
 	// all 7 count one retry each.
 	for i := 0; i < 3; i++ {
-		if f, ok := p2.txq[0].Dequeue(); !ok || f[0] != byte(i) {
+		if f, ok := p2.be.(*RingBackend).TxDequeue(0); !ok || f[0] != byte(i) {
 			t.Fatalf("drain %d: got %v ok=%v", i, f, ok)
 		}
 	}
@@ -163,7 +163,7 @@ func TestTxPolicySpillPreservesOrderAcrossRetries(t *testing.T) {
 	// Drain what is in the ring — frames 3..9, still in receive order —
 	// then poll again: the last 4 spilled frames flush (4 more retries).
 	for i := 3; i <= 9; i++ {
-		f, ok := p2.txq[0].Dequeue()
+		f, ok := p2.be.(*RingBackend).TxDequeue(0)
 		if !ok || f[0] != byte(i) {
 			t.Fatalf("drain %d: got %v ok=%v", i, f, ok)
 		}
@@ -177,7 +177,7 @@ func TestTxPolicySpillPreservesOrderAcrossRetries(t *testing.T) {
 	}
 	// The last 4 frames (10..13) must come out in receive order.
 	for i := 10; i < 14; i++ {
-		f, ok := p2.txq[0].Dequeue()
+		f, ok := p2.be.(*RingBackend).TxDequeue(0)
 		if !ok || f[0] != byte(i) {
 			t.Fatalf("tx order broken at %d: got %v ok=%v", i, f, ok)
 		}
@@ -187,7 +187,7 @@ func TestTxPolicySpillPreservesOrderAcrossRetries(t *testing.T) {
 // TestTxPolicySpillBacklogBounded asserts the spill backlog caps at spillCap
 // frames per port and overflow beyond it is dropped.
 func TestTxPolicySpillBacklogBounded(t *testing.T) {
-	sw := NewSwitchQueues(DatapathFunc(echoDatapath), 2, 8, 1) // TX capacity 7
+	sw := NewSwitchWithConfig(DatapathFunc(echoDatapath), SwitchConfig{NumPorts: 2, RingSize: 8, Queues: 1}) // TX capacity 7
 	sw.SetTxPolicy(TxSpill)
 	ws := sw.newWorkerState(allQueues(1), 0, nil)
 	p1, _ := sw.Port(1)
@@ -210,14 +210,14 @@ func TestTxPolicySpillBacklogBounded(t *testing.T) {
 // TestRunWorkersAbandonSpillOnStop asserts a stopping worker accounts its
 // undeliverable backlog as drops, so Stats stays truthful after stop().
 func TestRunWorkersAbandonSpillOnStop(t *testing.T) {
-	sw := NewSwitchQueues(DatapathFunc(echoDatapath), 2, 8, 1)
+	sw := NewSwitchWithConfig(DatapathFunc(echoDatapath), SwitchConfig{NumPorts: 2, RingSize: 8, Queues: 1})
 	sw.SetTxPolicy(TxSpill)
 	p1, _ := sw.Port(1)
 	stop := sw.RunWorkers(1)
 	const n = 14 // 7 fill the TX ring, 7 spill
 	injected := 0
 	for i := 0; injected < n && i < 10*n; i++ {
-		if p1.Inject([]byte{byte(injected)}) {
+		if p1.InjectOn(AutoQueue, []byte{byte(injected)}) {
 			injected++
 		} else {
 			time.Sleep(100 * time.Microsecond)
@@ -242,7 +242,7 @@ func TestRunWorkersAbandonSpillOnStop(t *testing.T) {
 
 func TestWorkerStatsStringsAndFold(t *testing.T) {
 	// Sanity: the TX counters surface through the folded WorkerStats.
-	sw := NewSwitchQueues(DatapathFunc(echoDatapath), 2, 8, 1)
+	sw := NewSwitchWithConfig(DatapathFunc(echoDatapath), SwitchConfig{NumPorts: 2, RingSize: 8, Queues: 1})
 	ws := sw.newWorkerState(allQueues(1), 0, nil)
 	p1, _ := sw.Port(1)
 	fillTxViaPoll(t, sw, ws, p1, 0, 7)
@@ -261,17 +261,17 @@ func TestWorkerStatsStringsAndFold(t *testing.T) {
 // cannot strand frames in a pooled state's spill backlog: any backlog left
 // after the poll is final-attempted and the remainder accounted as drops.
 func TestPollOnceResolvesSpillBeforePooling(t *testing.T) {
-	sw := NewSwitchQueues(DatapathFunc(echoDatapath), 2, 8, 1) // TX capacity 7
+	sw := NewSwitchWithConfig(DatapathFunc(echoDatapath), SwitchConfig{NumPorts: 2, RingSize: 8, Queues: 1}) // TX capacity 7
 	sw.SetTxPolicy(TxSpill)
 	p1, _ := sw.Port(1)
 	for i := 0; i < 7; i++ {
-		if !p1.Inject([]byte{byte(i)}) {
+		if !p1.InjectOn(AutoQueue, []byte{byte(i)}) {
 			t.Fatalf("inject %d", i)
 		}
 	}
 	sw.PollOnce(nil) // fills the TX ring exactly
 	for i := 7; i < 14; i++ {
-		if !p1.Inject([]byte{byte(i)}) {
+		if !p1.InjectOn(AutoQueue, []byte{byte(i)}) {
 			t.Fatalf("inject %d", i)
 		}
 	}

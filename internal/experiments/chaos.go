@@ -130,7 +130,7 @@ func NewChaosHarness(cfg ChaosConfig) (*ChaosHarness, error) {
 		return nil, err
 	}
 	h.DP = dp
-	h.SW = dpdk.NewSwitch(dp, cfg.NumPorts, 8192)
+	h.SW = dpdk.NewSwitchWithConfig(dp, dpdk.SwitchConfig{NumPorts: cfg.NumPorts, RingSize: 8192, Queues: dpdk.DefaultQueues})
 	h.Rings, err = h.SW.ArmPuntRings(cfg.PuntRing, 0)
 	if err != nil {
 		return nil, err
@@ -318,7 +318,7 @@ func (h *ChaosHarness) InjectAll() int {
 		if err != nil {
 			continue
 		}
-		if port.Inject(h.frames[i]) {
+		if port.InjectOn(dpdk.AutoQueue, h.frames[i]) {
 			ok++
 		}
 	}
@@ -337,7 +337,7 @@ func (h *ChaosHarness) InjectStorm(times int) int {
 	}
 	ok := 0
 	for k := 0; k < times; k++ {
-		if port.Inject(frame) {
+		if port.InjectOn(dpdk.AutoQueue, frame) {
 			ok++
 		}
 	}
@@ -446,7 +446,7 @@ func (h *ChaosHarness) MeasureForwarding(packets int) (forwarded, toCtrl uint64)
 			if err != nil {
 				continue
 			}
-			if port.Inject(h.frames[i]) {
+			if port.InjectOn(dpdk.AutoQueue, h.frames[i]) {
 				done++
 			}
 		}

@@ -77,7 +77,7 @@ func newScalingHarness(flows int, metered bool) (*ScalingHarness, error) {
 	if err != nil {
 		return nil, err
 	}
-	sw := dpdk.NewSwitch(dp, uc.Pipeline.NumPorts, 8192)
+	sw := dpdk.NewSwitchWithConfig(dp, dpdk.SwitchConfig{NumPorts: uc.Pipeline.NumPorts, RingSize: 8192, Queues: dpdk.DefaultQueues})
 	trace := uc.Trace(flows)
 	frames := make([][]byte, 4096)
 	queueOf := make([]int, len(frames))
@@ -113,7 +113,7 @@ func (h *ScalingHarness) Run(workers, packets int) ScalingPoint {
 	for injected < packets {
 		before := injected
 		for pi := 0; pi < len(h.frames) && injected < packets; pi++ {
-			if h.hot.InjectQueue(h.queueOf[pi], h.frames[pi]) {
+			if h.hot.InjectOn(h.queueOf[pi], h.frames[pi]) {
 				injected++
 			}
 		}
@@ -178,7 +178,7 @@ func Fig19Measured(cfg Config) Result {
 	}
 	res.Notes = append(res.Notes,
 		fmt.Sprintf("wall-clock rates with GOMAXPROCS=%d on %d CPUs — worker counts beyond the CPU count time-share and cannot speed up;", runtime.GOMAXPROCS(0), runtime.NumCPU()),
-		"  the producer pre-computes RSS steering (Port.InjectQueue) so injection is a bare ring enqueue;",
+		"  the producer pre-computes RSS steering (Port.InjectOn) so injection is a bare ring enqueue;",
 		"  scripts/bench_scaling.sh records this sweep to BENCH_scaling.json via BenchmarkFig19_ScalingHotPort")
 	return res
 }

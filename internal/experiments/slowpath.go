@@ -91,7 +91,7 @@ func NewSlowPathHarness(cfg SlowPathConfig) (*SlowPathHarness, error) {
 		return nil, err
 	}
 	h.DP = dp
-	h.SW = dpdk.NewSwitch(dp, cfg.NumPorts, 8192)
+	h.SW = dpdk.NewSwitchWithConfig(dp, dpdk.SwitchConfig{NumPorts: cfg.NumPorts, RingSize: 8192, Queues: dpdk.DefaultQueues})
 	h.Rings, err = h.SW.ArmPuntRings(cfg.PuntRing, 0)
 	if err != nil {
 		return nil, err
@@ -197,7 +197,7 @@ func (h *SlowPathHarness) InjectStorm(times int) int {
 	}
 	ok := 0
 	for k := 0; k < times; k++ {
-		if port.Inject(frame) {
+		if port.InjectOn(dpdk.AutoQueue, frame) {
 			ok++
 		}
 	}
@@ -213,7 +213,7 @@ func (h *SlowPathHarness) injectRange(start, n int) int {
 		if err != nil {
 			continue
 		}
-		if port.Inject(h.frames[i]) {
+		if port.InjectOn(dpdk.AutoQueue, h.frames[i]) {
 			ok++
 		}
 	}
@@ -332,7 +332,7 @@ func (h *SlowPathHarness) MeasureForwarding(packets int) (mpps float64, punts ui
 			if err != nil {
 				continue
 			}
-			if port.Inject(h.frames[i]) {
+			if port.InjectOn(dpdk.AutoQueue, h.frames[i]) {
 				done++
 			}
 		}

@@ -1,0 +1,102 @@
+package pktgen
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"eswitch/internal/pcap"
+	"eswitch/internal/pkt"
+)
+
+// This file exports generator traffic as classic libpcap capture files, the
+// bridge between the synthetic workloads and the replay backend (and any
+// external tool — tcpreplay, Wireshark — that speaks pcap).  Exported
+// captures carry two kinds of realism the in-memory traces do not: arrival
+// times (seeded exponential inter-arrival gaps, the Poisson model benchmark
+// methodology expects) and, optionally, an IMIX packet-size mix obtained by
+// zero-padding frames — trailing padding is legal Ethernet, so the 5-tuples,
+// checksums and flow hashes of the original trace are untouched.
+
+// Source is any packet stream with pktgen's Next contract (Trace and
+// SweepTrace both qualify).
+type Source interface {
+	Next(p *pkt.Packet)
+}
+
+// imixTargets are the classic 64/594/1518-byte IMIX frame sizes less the
+// 4-byte FCS (captures store frames without it), drawn 7:4:1.
+var imixTargets = []int{60, 590, 1514}
+
+// imixWeights are the cumulative draw thresholds of the 7:4:1 mix over 12.
+var imixWeights = []int{7, 11, 12}
+
+// PcapExportConfig configures ExportPcap.
+type PcapExportConfig struct {
+	// Packets is how many packets to export (must be > 0).
+	Packets int
+	// MeanGap is the mean of the exponential inter-arrival gaps stamped
+	// into the capture (<= 0 selects 1µs — a ~1 Mpps Poisson stream).
+	MeanGap time.Duration
+	// IMIX zero-pads each frame to a 7:4:1 draw of 64/594/1518-byte
+	// on-wire sizes (never shrinks a frame).
+	IMIX bool
+	// Seed drives both the gap and size draws, so equal configs export
+	// byte-identical captures.
+	Seed int64
+	// Start is the capture timestamp of the first packet (zero value
+	// selects a fixed epoch, keeping exports reproducible).
+	Start time.Time
+}
+
+// ExportPcap draws cfg.Packets packets from src and writes them as a classic
+// pcap capture.
+func ExportPcap(w io.Writer, src Source, cfg PcapExportConfig) error {
+	if cfg.Packets <= 0 {
+		return fmt.Errorf("pktgen: pcap export needs a positive packet count")
+	}
+	mean := cfg.MeanGap
+	if mean <= 0 {
+		mean = time.Microsecond
+	}
+	start := cfg.Start
+	if start.IsZero() {
+		start = time.Unix(1700000000, 0)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pw, err := pcap.NewWriter(w, 0)
+	if err != nil {
+		return err
+	}
+	var p pkt.Packet
+	pad := make([]byte, imixTargets[len(imixTargets)-1])
+	ts := start
+	for i := 0; i < cfg.Packets; i++ {
+		src.Next(&p)
+		data := p.Data
+		if cfg.IMIX {
+			if target := imixDraw(rng); target > len(data) {
+				// The export owns its padded copy; p.Data aliases the
+				// trace's pre-built frame and must stay pristine.
+				data = append(append(make([]byte, 0, target), data...), pad[:target-len(data)]...)
+			}
+		}
+		if err := pw.WritePacket(pcap.Packet{Ts: ts, Data: data}); err != nil {
+			return err
+		}
+		ts = ts.Add(time.Duration(rng.ExpFloat64() * float64(mean)))
+	}
+	return pw.Flush()
+}
+
+// imixDraw picks an IMIX target size with 7:4:1 weights.
+func imixDraw(rng *rand.Rand) int {
+	d := rng.Intn(imixWeights[len(imixWeights)-1])
+	for i, w := range imixWeights {
+		if d < w {
+			return imixTargets[i]
+		}
+	}
+	return imixTargets[len(imixTargets)-1]
+}

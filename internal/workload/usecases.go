@@ -521,3 +521,54 @@ func GatewayTrace(cfg GatewayConfig, routes []Route, activeFlows int) *pktgen.Tr
 	}
 	return pktgen.NewTrace(flows, cfg.Seed+int64(activeFlows))
 }
+
+// ---------------------------------------------------------------------------
+// Cross-connect: pure port-to-port forwarding, the real-I/O smoke topology.
+// ---------------------------------------------------------------------------
+
+// XConnectUseCase builds the cross-connect use case: ports are patched in
+// pairs (1<->2, 3<->4, ...) purely by ingress port, with no addressing or
+// learning involved.  It is the canonical pipeline for real packet I/O — an
+// eswitchd with two AF_PACKET ports forwards every frame arriving on one
+// interface out the other, like a bump-in-the-wire — and the simplest
+// possible single-table workload everywhere else.  numPorts is rounded up to
+// an even count of at least two; frames from unpatched ports (there are none
+// after rounding) and port 0 drop via the table-miss entry.
+func XConnectUseCase(numPorts int) *UseCase {
+	if numPorts < 2 {
+		numPorts = 2
+	}
+	if numPorts%2 == 1 {
+		numPorts++
+	}
+	pl := openflow.NewPipeline(numPorts)
+	t0 := pl.Table(0)
+	t0.Name = "xconnect"
+	for p := 1; p <= numPorts; p += 2 {
+		t0.AddFlow(100, openflow.NewMatch().Set(openflow.FieldInPort, uint64(p)),
+			openflow.Apply(openflow.Output(uint32(p+1))))
+		t0.AddFlow(100, openflow.NewMatch().Set(openflow.FieldInPort, uint64(p+1)),
+			openflow.Apply(openflow.Output(uint32(p))))
+	}
+	t0.AddFlow(0, openflow.NewMatch(), openflow.Apply(openflow.Drop()))
+
+	return &UseCase{
+		Name:     "xconnect",
+		Pipeline: pl,
+		Trace: func(activeFlows int) *pktgen.Trace {
+			if activeFlows < 1 {
+				activeFlows = 1
+			}
+			flows := make([]pktgen.Flow, 0, activeFlows)
+			for f := 0; f < activeFlows; f++ {
+				flows = append(flows, pktgen.Flow{
+					InPort: uint32(1 + f%numPorts),
+					SrcMAC: pkt.MACFromUint64(0x0c0000000000 + uint64(f)),
+					DstMAC: pkt.MACFromUint64(0x0c0000010000 + uint64(f)),
+					L2Only: true,
+				})
+			}
+			return pktgen.NewTrace(flows, int64(activeFlows)+7)
+		},
+	}
+}

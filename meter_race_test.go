@@ -26,7 +26,7 @@ func TestMeteredMultiWorkerIsRaceFreeAndExact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sw := dpdk.NewSwitchQueues(dp, uc.Pipeline.NumPorts, 4096, 4)
+	sw := dpdk.NewSwitchWithConfig(dp, dpdk.SwitchConfig{NumPorts: uc.Pipeline.NumPorts, RingSize: 4096, Queues: 4})
 	stop := sync.OnceFunc(sw.RunWorkers(2)) // both workers poll RSS queue subsets of every port
 	defer stop()
 
@@ -48,7 +48,7 @@ func TestMeteredMultiWorkerIsRaceFreeAndExact(t *testing.T) {
 			if injected == want {
 				break
 			}
-			if port.Inject(f) {
+			if port.InjectOn(dpdk.AutoQueue, f) {
 				injected++
 			}
 		}

@@ -7,8 +7,10 @@
 # uniform, Zipf and the adversarial ~1M-microflow source sweep) and the
 # slow-path rows (BenchmarkSlowPath_*: punt-ring and punt-delivery throughput, the
 # reactive learning-switch flow-setup rate over TCP, and post-convergence
-# fast-path Mpps with punt rings armed) to BENCH_burst.json so the
-# performance trajectory is tracked from PR to PR.
+# fast-path Mpps with punt rings armed) and the trace-replay rows
+# (BenchmarkTraceReplay_*: checked-in pcap captures replayed flat-out through
+# the pcap packet I/O backend into the full switch) to BENCH_burst.json so
+# the performance trajectory is tracked from PR to PR.
 #
 # Each benchmark runs COUNT times and the best Mpps per row is recorded:
 # scheduling/co-tenancy interference only ever slows a run down, so max-of-N
@@ -41,10 +43,13 @@ GMP="$(go run ./cmd/eswitch-benchcheck -gomaxprocs)"
 
 # Record to a temporary file and validate it before moving it into place, so
 # a crashed or truncated bench run can never clobber the committed baseline.
+# The signal traps matter as much as the EXIT trap: a ^C or a CI timeout must
+# not leave $OUT.tmp.* strays behind (one was once committed by accident).
 TMP="$OUT.tmp.$$"
 trap 'rm -f "$TMP"' EXIT
+trap 'rm -f "$TMP"; trap - INT TERM HUP; kill -s INT $$' INT TERM HUP
 
-go test -run '^$' -bench 'BenchmarkFig1[0123]|BenchmarkFlowCache|BenchmarkMegaflow|BenchmarkSlowPath' -benchtime "$BENCHTIME" -count "$COUNT" -timeout 60m . | tee /dev/stderr |
+go test -run '^$' -bench 'BenchmarkFig1[0123]|BenchmarkFlowCache|BenchmarkMegaflow|BenchmarkSlowPath|BenchmarkTraceReplay' -benchtime "$BENCHTIME" -count "$COUNT" -timeout 60m . | tee /dev/stderr |
 	awk -v gmp="$GMP" -f scripts/bench_lib.awk | awk -F'\t' -v gmp="$GMP" '
 	BEGIN { printf "[" }
 	{

@@ -40,8 +40,11 @@ GMP="$(go run ./cmd/eswitch-benchcheck -gomaxprocs)"
 
 # Record to a temporary file and validate it before moving it into place, so
 # a crashed or truncated bench run can never clobber the committed baseline.
+# The signal traps matter as much as the EXIT trap: a ^C or a CI timeout must
+# not leave $OUT.tmp.* strays behind.
 TMP="$OUT.tmp.$$"
 trap 'rm -f "$TMP"' EXIT
+trap 'rm -f "$TMP"; trap - INT TERM HUP; kill -s INT $$' INT TERM HUP
 
 go test -run '^$' -bench 'BenchmarkFig19_ScalingHotPort' -benchtime "$BENCHTIME" -count "$COUNT" . | tee /dev/stderr |
 	awk -v gmp="$GMP" -f scripts/bench_lib.awk | awk -F'\t' -v gmp="$GMP" '

@@ -200,7 +200,7 @@ func collectPuntSequence(t *testing.T, flowCache int, pl *openflow.Pipeline, tra
 	if flowCache > 0 && !dp.FlowCacheEnabled() {
 		t.Fatal("differential pipeline must be cacheable")
 	}
-	sw := dpdk.NewSwitch(dp, pl.NumPorts, 8192)
+	sw := dpdk.NewSwitchWithConfig(dp, dpdk.SwitchConfig{NumPorts: pl.NumPorts, RingSize: 8192, Queues: dpdk.DefaultQueues})
 	rings, err := sw.ArmPuntRings(1<<16, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -227,7 +227,7 @@ func collectPuntSequence(t *testing.T, flowCache int, pl *openflow.Pipeline, tra
 			if err != nil {
 				t.Fatal(err)
 			}
-			port.Inject(p.Data)
+			port.InjectOn(dpdk.AutoQueue, p.Data)
 		}
 		for sw.PollOnce(nil) > 0 {
 		}
@@ -464,7 +464,7 @@ func TestMissSendLenTruncationAcrossPaths(t *testing.T) {
 		t.Helper()
 		// A single RX queue keeps delivery order equal to injection order
 		// (Inject RSS-shards across queues otherwise).
-		sw := dpdk.NewSwitchQueues(dp, 4, 1024, 1)
+		sw := dpdk.NewSwitchWithConfig(dp, dpdk.SwitchConfig{NumPorts: 4, RingSize: 1024, Queues: 1})
 		rings, err := sw.ArmPuntRings(256, 0)
 		if err != nil {
 			t.Fatal(err)
@@ -487,7 +487,7 @@ func TestMissSendLenTruncationAcrossPaths(t *testing.T) {
 		port, _ := sw.Port(1)
 		for pass := 0; pass < passes; pass++ {
 			for _, f := range inputs {
-				port.Inject(f)
+				port.InjectOn(dpdk.AutoQueue, f)
 			}
 			for sw.PollOnce(nil) > 0 {
 			}
