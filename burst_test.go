@@ -393,6 +393,13 @@ func testWorkerPathZeroLocksZeroAllocs(t *testing.T, flowCache, megaflow int) {
 	sw.SetPuntFilter(1024, 64)
 	sw.SetFailMode(dpdk.FailNormal)
 	idleSupervisor(t, dp)
+	// The port fault domain rides along at full cadence: the supervisor
+	// scans every queue's error slot and the heartbeat registry once per
+	// millisecond throughout the measured window.  Its scan reads only
+	// atomics, so it must cost the worker path nothing — no lock on the
+	// switch's counted mutex, no allocation.
+	psup := sw.StartPortSupervisor(dpdk.PortSupervisorConfig{Interval: time.Millisecond, Seed: 1})
+	t.Cleanup(psup.Stop)
 	trace := uc.Trace(512)
 	frames := make([][]byte, 256)
 	for i := range frames {

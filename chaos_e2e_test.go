@@ -65,9 +65,17 @@ func TestChaosControllerLossFailStandalone(t *testing.T) {
 	if err := h.WaitQuiet(10 * time.Second); err != nil {
 		t.Fatalf("phase 1: %v", err)
 	}
-	if h.Learner.PacketIns() == 0 || h.Agent.FlowMods() == 0 {
-		t.Fatalf("phase 1: learning never started (packetIns %d, flowMods %d)",
-			h.Learner.PacketIns(), h.Agent.FlowMods())
+	// WaitQuiet sees ring/counter stability, not the TCP pipe: a sweep's
+	// PacketIns can still be in flight toward the controller when it
+	// returns.  Learning has started once at least one punt came back as a
+	// FlowMod; give the in-flight tail a moment to land.
+	learnDeadline := time.Now().Add(5 * time.Second)
+	for h.Learner.PacketIns() == 0 || h.Agent.FlowMods() == 0 {
+		if time.Now().After(learnDeadline) {
+			t.Fatalf("phase 1: learning never started (packetIns %d, flowMods %d)",
+				h.Learner.PacketIns(), h.Agent.FlowMods())
+		}
+		time.Sleep(time.Millisecond)
 	}
 	assertPuntInvariant(t, h, "phase 1 (mid-learning)")
 

@@ -1,0 +1,209 @@
+package eswitch
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"eswitch/internal/dpdk"
+	"eswitch/internal/experiments"
+	"eswitch/internal/faultinject"
+	"eswitch/internal/ofp"
+)
+
+// These are the chaos acceptance tests of the PORT fault domain: the same
+// full reactive stack as chaos_e2e_test.go, but with the packet I/O backends
+// as the mortal party.  Each port's rings sit behind a faultinject wrapper
+// the test can kill and revive; the port supervisor must take the cut port
+// Down (announcing OFPT_PORT_STATUS over the live TCP control channel),
+// keep the surviving ports forwarding, retry the reopen under exactly the
+// seeded backoff schedule, and bring the port back once the backend heals.
+
+// TestChaosPortFaultKillReviveHeals kills one port's backend mid-traffic and
+// audits the whole detection → isolation → announcement → self-healing loop.
+func TestChaosPortFaultKillReviveHeals(t *testing.T) {
+	const hosts = 64
+	const victim = uint32(2)
+	cfg := experiments.ChaosConfig{
+		Hosts: hosts,
+		Seed:  7,
+	}
+	h, err := experiments.NewChaosHarness(cfg)
+	if err != nil {
+		t.Fatalf("harness: %v", err)
+	}
+	defer h.Close()
+
+	// Phase 1 — converge with every port healthy: discovery reaches zero
+	// punts, all links Up.
+	if _, err := h.Converge(8, 10*time.Second); err != nil {
+		t.Fatalf("phase 1: %v", err)
+	}
+	if st := h.SW.Stats(); st.PortsDown != 0 || st.PortsFlapping != 0 {
+		t.Fatalf("phase 1: ports unhealthy before any fault: %+v", st)
+	}
+
+	// Phase 2 — kill the victim port's backend mid-traffic.  The supervisor
+	// must detect the fatal queue error, park the port Down, and announce
+	// the transition to the controller over the live session.
+	cut := errors.New("simulated cable pull")
+	if err := h.KillPort(victim, cut); err != nil {
+		t.Fatalf("phase 2: %v", err)
+	}
+	h.InjectAll() // traffic keeps flowing while the port dies
+	h.PollDrain()
+	if err := h.WaitLink(victim, dpdk.LinkDown, 5*time.Second); err != nil {
+		t.Fatalf("phase 2: %v", err)
+	}
+	ps, err := h.WaitPortStatus(func(ps ofp.PortStatus) bool {
+		return ps.PortNo == victim && ps.State&ofp.PortStateLinkDown != 0
+	}, 5*time.Second)
+	if err != nil {
+		t.Fatalf("phase 2: controller never saw the Down PortStatus: %v", err)
+	}
+	if ps.Reason != ofp.PortStatusModify {
+		t.Fatalf("phase 2: PortStatus reason %d, want modify", ps.Reason)
+	}
+	if st := h.SW.Stats(); st.PortsDown != 1 {
+		t.Fatalf("phase 2: Stats().PortsDown = %d, want 1", st.PortsDown)
+	}
+
+	// Phase 3 — survivors keep forwarding: a full sweep is injected on every
+	// port; the victim's injections fail (dead backend) while the rest of
+	// the fabric forwards normally.
+	before := h.SW.Stats()
+	accepted := h.InjectAll()
+	if accepted == 0 || accepted >= hosts {
+		t.Fatalf("phase 3: %d/%d frames accepted, want a partial sweep (victim dead, survivors alive)",
+			accepted, hosts)
+	}
+	h.PollDrain()
+	after := h.SW.Stats()
+	if after.Forwarded == before.Forwarded {
+		t.Fatalf("phase 3: surviving ports forwarded nothing while port %d was down", victim)
+	}
+	assertPuntInvariant(t, h, "phase 3 (port down)")
+
+	// Phase 4 — while the backend stays dead, every reopen attempt fails
+	// and schedules exactly the seeded backoff sequence (each port owns an
+	// independent generator, so the recorded delays align with the oracle
+	// from index 0).
+	deadline := time.Now().Add(5 * time.Second)
+	for len(h.PSup.Backoffs(victim)) < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("phase 4: only %d reopen backoffs recorded", len(h.PSup.Backoffs(victim)))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	got := h.PSup.Backoffs(victim)
+	want := dpdk.PortBackoffSchedule(h.PortCfg, len(got))
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("phase 4: backoff[%d] = %v, schedule says %v (full: got %v want %v)",
+				i, got[i], want[i], got, want)
+		}
+	}
+	if h.PSup.ReopenFails() == 0 {
+		t.Fatal("phase 4: no failed reopen recorded while the backend was dead")
+	}
+
+	// Phase 5 — revive the backend: the supervisor's next reopen succeeds,
+	// the link comes back, and the controller hears about it.
+	if err := h.RevivePort(victim); err != nil {
+		t.Fatalf("phase 5: %v", err)
+	}
+	if err := h.WaitLink(victim, dpdk.LinkUp, 5*time.Second); err != nil {
+		t.Fatalf("phase 5: %v", err)
+	}
+	if _, err := h.WaitPortStatus(func(ps ofp.PortStatus) bool {
+		return ps.PortNo == victim && ps.State == 0
+	}, 5*time.Second); err != nil {
+		t.Fatalf("phase 5: controller never saw the recovery PortStatus: %v", err)
+	}
+
+	// Phase 6 — traffic resumes through the recovered port: a full sweep is
+	// accepted everywhere again and forwarding covers it (the flow table
+	// survived the outage untouched).
+	if acc := h.InjectAll(); acc != hosts {
+		t.Fatalf("phase 6: %d/%d frames accepted after revival", acc, hosts)
+	}
+	h.PollDrain()
+	fwd, _ := h.MeasureForwarding(2_000)
+	if fwd < 2_000 {
+		t.Fatalf("phase 6: only %d/2000 forwarded after the port healed", fwd)
+	}
+	if st := h.SW.Stats(); st.PortsDown != 0 {
+		t.Fatalf("phase 6: %d ports still down after healing", st.PortsDown)
+	}
+	assertPuntInvariant(t, h, "phase 6 (healed)")
+	t.Logf("events %v, reopens %d (failed %d), backoffs %v",
+		len(h.LinkEvents()), h.PSup.Reopens(), h.PSup.ReopenFails(), got)
+}
+
+// TestChaosPortFaultTransientRxError drives a rule-injected one-shot RX
+// error: the afflicted port must bounce Down and self-heal immediately (the
+// wrapper's Reopen clears the recorded error on the first attempt), ending
+// with every port Up and zero lasting damage.
+func TestChaosPortFaultTransientRxError(t *testing.T) {
+	inj := faultinject.New(13)
+	h, err := experiments.NewChaosHarness(experiments.ChaosConfig{
+		Hosts:    32,
+		Seed:     13,
+		Injector: inj,
+	})
+	if err != nil {
+		t.Fatalf("harness: %v", err)
+	}
+	defer h.Close()
+
+	if _, err := h.Converge(8, 10*time.Second); err != nil {
+		t.Fatalf("converge: %v", err)
+	}
+
+	// One RX burst somewhere fails fatally; the supervisor must notice,
+	// park that port, reopen it (the fault was transient), and return the
+	// fabric to all-Up.
+	inj.Set("backend.rx", faultinject.Rule{Err: errors.New("transient rx fault"), Count: 1})
+	deadline := time.Now().Add(5 * time.Second)
+	for inj.Fired("backend.rx") == 0 {
+		h.InjectAll()
+		h.PollDrain()
+		if time.Now().After(deadline) {
+			t.Fatal("rx fault never fired")
+		}
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		evs := h.LinkEvents()
+		var sawDown bool
+		for _, ev := range evs {
+			if ev.State == dpdk.LinkDown {
+				sawDown = true
+			}
+		}
+		if sawDown {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("supervisor never recorded the Down transition")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for h.SW.Stats().PortsDown != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("port never self-healed from the transient fault (stats %+v)", h.SW.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The healed fabric still forwards a full sweep.
+	if _, err := h.Converge(8, 10*time.Second); err != nil {
+		t.Fatalf("post-heal converge: %v", err)
+	}
+	fwd, _ := h.MeasureForwarding(1_000)
+	if fwd < 1_000 {
+		t.Fatalf("only %d/1000 forwarded after healing", fwd)
+	}
+	assertPuntInvariant(t, h, "healed")
+}

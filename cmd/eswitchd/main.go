@@ -70,9 +70,11 @@ import (
 	"log"
 	"net"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"eswitch/internal/controller"
@@ -88,13 +90,17 @@ import (
 
 // replayDone reports whether every trace-replay ingress has been fully
 // delivered (and none of the ports is live I/O that could still receive).
+// Exhaustion surfaces through the port fault domain: a spent non-looping
+// trace reports a fatal queue error, the port supervisor parks the port
+// Down (pcap has no Reopen, so it stays there), and this just reads the
+// link states.
 func replayDone(sw *dpdk.Switch) bool {
 	sawPcap := false
 	for _, port := range sw.Ports() {
-		switch be := port.Backend().(type) {
+		switch port.Backend().(type) {
 		case *dpdk.PcapBackend:
 			sawPcap = true
-			if !be.Exhausted() {
+			if port.LinkState() != dpdk.LinkDown {
 				return false
 			}
 		case *dpdk.AFPacketBackend:
@@ -357,6 +363,39 @@ func main() {
 			sweeper.Interval(), *softTable)
 	}
 
+	// The port supervisor is the port fault domain: it watches backend queue
+	// errors and worker heartbeats, parks failing ports Down (workers skip
+	// them), re-dials reopenable backends under a deterministic backoff, and
+	// announces every link transition — to the log, and to whichever
+	// controller connection is current as OFPT_PORT_STATUS.
+	psup := sw.StartPortSupervisor(dpdk.PortSupervisorConfig{
+		OnTransition: func(ev dpdk.PortLinkEvent) {
+			if ev.Err != nil {
+				log.Printf("eswitchd: port %d link %s: %s (%v)", ev.Port, ev.State, ev.Reason, ev.Err)
+			} else {
+				log.Printf("eswitchd: port %d link %s: %s", ev.Port, ev.State, ev.Reason)
+			}
+			out := frOut.Load()
+			if out == nil {
+				return
+			}
+			var state uint32
+			switch ev.State {
+			case dpdk.LinkDown:
+				state = ofp.PortStateLinkDown
+			case dpdk.LinkFlapping:
+				state = ofp.PortStateFlapping
+			}
+			ofp.WriteMessage(out, ofp.Message{Type: ofp.TypePortStatus, Body: ofp.EncodePortStatus(ofp.PortStatus{
+				Reason: ofp.PortStatusModify,
+				PortNo: ev.Port,
+				State:  state,
+				Desc:   ev.Reason,
+			})})
+		},
+	})
+	defer psup.Stop()
+
 	if *listen != "" {
 		ln, err := net.Listen("tcp", *listen)
 		if err != nil {
@@ -420,6 +459,15 @@ func main() {
 		}()
 		fmt.Printf("eswitchd: OpenFlow agent listening on %s\n", ln.Addr())
 	}
+	// SIGINT/SIGTERM cut the run short but shut down in order: stop the
+	// workers (their shutdown path makes a final spill attempt), drain the
+	// TX sinks one last time, close every backend exactly once, and print
+	// the final stats — the same epilogue a timed run reaches.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	interrupted := false
+
 	workers := sw.ClampWorkers(*cores) // report what actually runs
 	stop := sw.RunWorkers(workers)
 	deadline := time.Now().Add(*duration)
@@ -430,8 +478,13 @@ func main() {
 		// the run short once a non-looping replay is spent).
 		fmt.Printf("eswitchd: forwarding real I/O for %s on %d worker(s), TX policy %s\n",
 			*duration, workers, txPol)
-		for time.Now().Before(deadline) {
-			time.Sleep(50 * time.Millisecond)
+		for time.Now().Before(deadline) && !interrupted {
+			select {
+			case s := <-sigc:
+				log.Printf("eswitchd: %v, shutting down", s)
+				interrupted = true
+			case <-time.After(50 * time.Millisecond):
+			}
 			if replayDone(sw) {
 				break
 			}
@@ -442,7 +495,14 @@ func main() {
 			*flows, *duration, workers, sw.NumQueues(), txPol)
 		var p pkt.Packet
 		nq := uint32(sw.NumQueues())
-		for time.Now().Before(deadline) {
+		for time.Now().Before(deadline) && !interrupted {
+			select {
+			case s := <-sigc:
+				log.Printf("eswitchd: %v, shutting down", s)
+				interrupted = true
+				continue
+			default:
+			}
 			for burst := 0; burst < 4096; burst++ {
 				trace.Next(&p)
 				port, err := sw.Port(p.InPort)
@@ -464,6 +524,15 @@ func main() {
 		}
 	}
 	stop()
+	psup.Stop()
+	// Final drain, then release the backends (the Port layer's closed latch
+	// makes the deferred Close a no-op — each backend closes exactly once).
+	for _, port := range sw.Ports() {
+		port.DrainTx()
+	}
+	if err := sw.Close(); err != nil {
+		log.Printf("eswitchd: close: %v", err)
+	}
 
 	st := sw.Stats()
 	var ps dpdk.PortStats
@@ -476,8 +545,8 @@ func main() {
 		fmt.Println()
 		for _, port := range sw.Ports() {
 			pst := port.Stats()
-			fmt.Printf("port %d:    %d rx, %d tx (%d rx drops, %d tx drops) [%s]\n",
-				port.ID, pst.RxPackets, pst.TxPackets, pst.RxDrops, pst.TxDrops, backendName(port.Backend()))
+			fmt.Printf("port %d:    %d rx, %d tx (%d rx drops, %d tx drops) [%s, link %s]\n",
+				port.ID, pst.RxPackets, pst.TxPackets, pst.RxDrops, pst.TxDrops, backendName(port.Backend()), port.LinkState())
 		}
 	} else {
 		fmt.Printf("\ninjected:  %d packets (%d rx drops, %d tx drops)\n", injected, ps.RxDrops, ps.TxDrops)
@@ -485,6 +554,11 @@ func main() {
 	fmt.Printf("processed: %d packets (%d forwarded, %d dropped, %d to controller)\n",
 		st.Processed, st.Forwarded, st.Dropped, st.ToCtrl)
 	fmt.Printf("tx:        policy %s, %d retries, %d backpressure drops\n", txPol, st.TxRetries, st.TxDrops)
+	fmt.Printf("ports:     %d down, %d flapping; %d link transitions, %d reopens (%d failed), %d worker stalls\n",
+		st.PortsDown, st.PortsFlapping, psup.Transitions(), psup.Reopens(), psup.ReopenFails(), psup.Stalls())
+	if st.Panics > 0 {
+		fmt.Printf("contained: %d datapath panics, %d frames quarantined\n", st.Panics, st.Quarantined)
+	}
 	if puntRings != nil {
 		// Punts+PuntDrops+PuntSuppressed+PuntFiltered == ToCtrl: every punted
 		// verdict is exactly one ring push attempt, a degraded-mode

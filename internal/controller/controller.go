@@ -195,6 +195,14 @@ func (a *Agent) SendFlowRemoved(conn io.Writer, fr ofp.FlowRemoved) error {
 	return ofp.WriteMessage(conn, ofp.Message{Type: ofp.TypeFlowRemoved, Xid: 0, Body: ofp.EncodeFlowRemoved(fr)})
 }
 
+// SendPortStatus announces a port link-state transition to the controller
+// over the connection (how the port supervisor's Up/Down/Flapping events
+// reach the controller).  Writers sharing the channel must pass the
+// SyncWriter side of SharedChannel, as for SendPacketIn.
+func (a *Agent) SendPortStatus(conn io.Writer, ps ofp.PortStatus) error {
+	return ofp.WriteMessage(conn, ofp.Message{Type: ofp.TypePortStatus, Xid: 0, Body: ofp.EncodePortStatus(ps)})
+}
+
 // SyncWriter serializes whole-buffer writes from multiple goroutines onto
 // one control channel.  The agent's replies (EchoReply, BarrierReply) and
 // the slow-path service's PacketIns share a connection; ofp.WriteMessage
@@ -248,6 +256,11 @@ type Controller struct {
 	// from the lifecycle sweeper, plus announced deletes) read by Run or
 	// Barrier.
 	FlowRemovedHandler func(ofp.FlowRemoved)
+	// PortStatusHandler, when set, is invoked for every PortStatus the
+	// switch sends (port supervisor link-state transitions: Down on fatal
+	// backend errors or worker stalls, Up/Flapping on recovery) read by
+	// Run or Barrier.
+	PortStatusHandler func(ofp.PortStatus)
 }
 
 // NewController wraps an established control channel.
@@ -372,6 +385,12 @@ func (c *Controller) Barrier() error {
 					c.FlowRemovedHandler(fr)
 				}
 			}
+		case ofp.TypePortStatus:
+			if c.PortStatusHandler != nil {
+				if ps, err := ofp.DecodePortStatus(msg.Body); err == nil {
+					c.PortStatusHandler(ps)
+				}
+			}
 		case ofp.TypeHello, ofp.TypeEchoReply:
 			// Fine, keep waiting.
 		}
@@ -416,6 +435,12 @@ func (c *Controller) Run() error {
 			if c.FlowRemovedHandler != nil {
 				if fr, err := ofp.DecodeFlowRemoved(msg.Body); err == nil {
 					c.FlowRemovedHandler(fr)
+				}
+			}
+		case ofp.TypePortStatus:
+			if c.PortStatusHandler != nil {
+				if ps, err := ofp.DecodePortStatus(msg.Body); err == nil {
+					c.PortStatusHandler(ps)
 				}
 			}
 		}

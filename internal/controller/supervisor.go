@@ -3,12 +3,12 @@ package controller
 import (
 	"fmt"
 	"io"
-	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"eswitch/internal/backoff"
 	"eswitch/internal/ofp"
 )
 
@@ -91,7 +91,7 @@ type SupervisorConfig struct {
 // closes any live session.
 type Supervisor struct {
 	cfg SupervisorConfig
-	rng *rand.Rand
+	src *backoff.Source
 
 	state        atomic.Uint32
 	sessions     atomic.Uint64
@@ -140,7 +140,7 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 	supervisorDefaults(&cfg)
 	return &Supervisor{
 		cfg:  cfg,
-		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		src:  backoff.NewSource(cfg.backoffConfig()),
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
 	}, nil
@@ -196,20 +196,20 @@ func (s *Supervisor) stopped() bool {
 // attempt counter resets on every established session, so a flap after a
 // healthy period starts the schedule over at BackoffMin.
 func (s *Supervisor) run() {
-	attempt := 0
 	for !s.stopped() {
 		conn, err := s.cfg.Dial()
 		if err != nil {
 			s.dialFailures.Add(1)
-			if !s.sleep(s.nextBackoff(attempt)) {
+			if !s.sleep(s.nextBackoff()) {
 				return
 			}
-			attempt++
 			continue
 		}
-		attempt = 0
+		s.src.Reset()
 		s.sessions.Add(1)
-		s.state.Store(uint32(SupervisorUp))
+		// SupervisorUp is published by serveSession only after the OnUp hook
+		// has armed the dataplane: a caller that observes Up may immediately
+		// rely on the slow path being live and the fail mode cleared.
 		err = s.serveSession(conn)
 		s.state.Store(uint32(SupervisorDegraded))
 		if s.cfg.OnDown != nil {
@@ -218,26 +218,26 @@ func (s *Supervisor) run() {
 	}
 }
 
-// nextBackoff computes (and records) the attempt'th backoff delay:
-// min(BackoffMax, BackoffMin·2^attempt) scaled by 1+U[0,JitterFrac) from
-// the seeded generator.
-func (s *Supervisor) nextBackoff(attempt int) time.Duration {
-	d := backoffBase(s.cfg, attempt)
-	d = time.Duration(float64(d) * (1 + s.cfg.JitterFrac*s.rng.Float64()))
+// backoffConfig maps the supervisor knobs onto the shared backoff
+// generator's config (internal/backoff owns the formula; the port
+// supervisor in internal/dpdk uses the same generator).
+func (cfg SupervisorConfig) backoffConfig() backoff.Config {
+	return backoff.Config{
+		Min:        cfg.BackoffMin,
+		Max:        cfg.BackoffMax,
+		JitterFrac: cfg.JitterFrac,
+		Seed:       cfg.Seed,
+	}
+}
+
+// nextBackoff draws (and records) the next delay from the shared seeded
+// generator: min(BackoffMax, BackoffMin·2^attempt) scaled by
+// 1+U[0,JitterFrac).
+func (s *Supervisor) nextBackoff() time.Duration {
+	d := s.src.Next()
 	s.mu.Lock()
 	s.backoffs = append(s.backoffs, d)
 	s.mu.Unlock()
-	return d
-}
-
-func backoffBase(cfg SupervisorConfig, attempt int) time.Duration {
-	d := cfg.BackoffMin
-	for i := 0; i < attempt && d < cfg.BackoffMax; i++ {
-		d *= 2
-	}
-	if d > cfg.BackoffMax {
-		d = cfg.BackoffMax
-	}
 	return d
 }
 
@@ -246,13 +246,7 @@ func backoffBase(cfg SupervisorConfig, attempt int) time.Duration {
 // the chaos tests compare the recorded sequence against.
 func BackoffSchedule(cfg SupervisorConfig, n int) []time.Duration {
 	supervisorDefaults(&cfg)
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	out := make([]time.Duration, n)
-	for i := range out {
-		d := backoffBase(cfg, i)
-		out[i] = time.Duration(float64(d) * (1 + cfg.JitterFrac*rng.Float64()))
-	}
-	return out
+	return backoff.Schedule(cfg.backoffConfig(), n)
 }
 
 // sleep waits for d or until Stop, reporting false when stopped.
@@ -300,6 +294,7 @@ func (s *Supervisor) serveSession(conn net.Conn) error {
 	if teardown != nil {
 		defer teardown()
 	}
+	s.state.Store(uint32(SupervisorUp))
 
 	// Arm the liveness clock at session start: the first echo deadline is
 	// measured from now, not from a previous session's last reply.

@@ -169,6 +169,20 @@ func TestSupervisorRedialsAfterMidMessageDisconnect(t *testing.T) {
 	}
 }
 
+// supervisorBackoffBase recomputes the pre-jitter base delay for attempt i
+// (the capped exponential the shared backoff generator starts from).
+func supervisorBackoffBase(cfg SupervisorConfig, attempt int) time.Duration {
+	supervisorDefaults(&cfg)
+	d := cfg.BackoffMin
+	for i := 0; i < attempt && d < cfg.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > cfg.BackoffMax {
+		d = cfg.BackoffMax
+	}
+	return d
+}
+
 // TestSupervisorBackoffDeterminism: the recorded backoff sequence of a
 // supervisor that cannot dial is exactly BackoffSchedule's — same seed, same
 // jitter, capped exponential base.
@@ -200,7 +214,7 @@ func TestSupervisorBackoffDeterminism(t *testing.T) {
 		if got[i] != want[i] {
 			t.Fatalf("backoff[%d] = %v, schedule says %v", i, got[i], want[i])
 		}
-		base := backoffBase(cfg, i)
+		base := supervisorBackoffBase(cfg, i)
 		if got[i] < base || float64(got[i]) > float64(base)*1.25 {
 			t.Fatalf("backoff[%d] = %v outside [%v, 1.25×%v]", i, got[i], base, base)
 		}

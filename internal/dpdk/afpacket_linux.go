@@ -25,8 +25,17 @@ import (
 // like the pcap backend.  Per-syscall cost makes this backend's ceiling far
 // below the ring backend's — it exists for real-traffic correctness, not for
 // Mpps records.
+//
+// Failure surfacing: errnos split into backpressure (EAGAIN/ENOBUFS — the
+// caller's TX policy retries), transient noise (counted in RxErrors/
+// TxErrors, burst ends), and fatal conditions (EBADF, ENETDOWN, ENXIO,
+// ENODEV, EIO — the fd is dead).  A fatal errno is recorded in the queue's
+// error slot where QueueError exposes it; the port supervisor then takes
+// the port Down and calls Reopen, which re-dials the socket.
 type AFPacketBackend struct {
-	fd    int
+	// fd is the packet socket, atomic because Reopen swaps in a fresh one
+	// while the supervisor owns the (quiesced) port.
+	fd    atomic.Int64
 	iface string
 	// slots are the recycled receive buffers (grown to the burst size on
 	// first use).
@@ -37,7 +46,13 @@ type AFPacketBackend struct {
 	txPackets atomic.Uint64
 	rxDrops   atomic.Uint64
 	txDrops   atomic.Uint64
+	rxErrors  atomic.Uint64
+	txErrors  atomic.Uint64
 	closed    atomic.Bool
+	// fatal is the single queue's error slot: first fatal errno wins, and
+	// bursts return 0 while it is set (a dead fd should not be hammered with
+	// syscalls every poll).  Reopen clears it.
+	fatal atomic.Pointer[error]
 }
 
 // ethPAll is ETH_P_ALL: receive every protocol the interface sees.
@@ -60,24 +75,37 @@ func htons(v uint16) uint16 {
 // NewAFPacketBackend opens a raw packet socket bound to the named interface.
 // Requires CAP_NET_RAW (typically root).
 func NewAFPacketBackend(iface string) (*AFPacketBackend, error) {
+	fd, slotCap, err := dialAFPacket(iface)
+	if err != nil {
+		return nil, err
+	}
+	b := &AFPacketBackend{iface: iface, slotCap: slotCap}
+	b.fd.Store(int64(fd))
+	return b, nil
+}
+
+// dialAFPacket is the socket construction sequence, shared by the initial
+// open and the supervisor-driven Reopen: socket, bind to the interface,
+// nonblocking, plus the best-effort niceties.
+func dialAFPacket(iface string) (fd, slotCap int, err error) {
 	ifi, err := net.InterfaceByName(iface)
 	if err != nil {
-		return nil, fmt.Errorf("dpdk: afpacket %s: %w", iface, err)
+		return -1, 0, fmt.Errorf("dpdk: afpacket %s: %w", iface, err)
 	}
-	fd, err := syscall.Socket(syscall.AF_PACKET, syscall.SOCK_RAW, int(htons(ethPAll)))
+	fd, err = syscall.Socket(syscall.AF_PACKET, syscall.SOCK_RAW, int(htons(ethPAll)))
 	if err != nil {
-		return nil, fmt.Errorf("dpdk: afpacket %s: socket: %w (CAP_NET_RAW required)", iface, err)
+		return -1, 0, fmt.Errorf("dpdk: afpacket %s: socket: %w (CAP_NET_RAW required)", iface, err)
 	}
 	if err := syscall.Bind(fd, &syscall.SockaddrLinklayer{
 		Protocol: htons(ethPAll),
 		Ifindex:  ifi.Index,
 	}); err != nil {
 		syscall.Close(fd)
-		return nil, fmt.Errorf("dpdk: afpacket %s: bind: %w", iface, err)
+		return -1, 0, fmt.Errorf("dpdk: afpacket %s: bind: %w", iface, err)
 	}
 	if err := syscall.SetNonblock(fd, true); err != nil {
 		syscall.Close(fd)
-		return nil, fmt.Errorf("dpdk: afpacket %s: nonblock: %w", iface, err)
+		return -1, 0, fmt.Errorf("dpdk: afpacket %s: nonblock: %w", iface, err)
 	}
 	// Best-effort niceties: don't deliver our own transmissions (newer
 	// kernels), and see frames addressed to anyone (physical NICs; veth
@@ -85,11 +113,11 @@ func NewAFPacketBackend(iface string) (*AFPacketBackend, error) {
 	_ = syscall.SetsockoptInt(fd, syscall.SOL_PACKET, packetIgnoreOutgoing, 1)
 	setPromisc(fd, ifi.Index)
 
-	slotCap := ifi.MTU + 18 // L2 header + VLAN tag headroom
+	slotCap = ifi.MTU + 18 // L2 header + VLAN tag headroom
 	if slotCap < 2048 {
 		slotCap = 2048
 	}
-	return &AFPacketBackend{fd: fd, iface: iface, slotCap: slotCap}, nil
+	return fd, slotCap, nil
 }
 
 // packetMreq mirrors the kernel's struct packet_mreq (the syscall package
@@ -117,26 +145,54 @@ func (b *AFPacketBackend) Interface() string { return b.iface }
 // Queues implements PortBackend: one packet socket is one queue.
 func (b *AFPacketBackend) Queues() int { return 1 }
 
+// fatalErrno reports whether an I/O errno means the fd is dead — no amount
+// of re-polling will recover it, only a re-dial.
+func fatalErrno(err error) bool {
+	switch err {
+	case syscall.EBADF, syscall.ENETDOWN, syscall.ENXIO, syscall.ENODEV, syscall.EIO:
+		return true
+	}
+	return false
+}
+
+// recordFatal parks the first fatal errno in the queue-error slot, unless it
+// is the echo of an intentional Close or of an fd Reopen already replaced.
+func (b *AFPacketBackend) recordFatal(op string, fd int, errno error) {
+	if b.closed.Load() || int64(fd) != b.fd.Load() {
+		return
+	}
+	err := fmt.Errorf("dpdk: afpacket %s: %s: %w", b.iface, op, errno)
+	b.fatal.CompareAndSwap(nil, &err)
+}
+
 // RxBurst implements PortBackend: drain up to len(out) frames with
 // non-blocking recvfrom calls into recycled slot buffers, skipping
 // PACKET_OUTGOING frames (our own transmissions looped back by kernels
-// without PACKET_IGNORE_OUTGOING).
+// without PACKET_IGNORE_OUTGOING).  EINTR retries, EAGAIN means drained;
+// any other errno is counted in RxErrors, and a fatal one additionally
+// parks in the queue-error slot for the port supervisor.
 func (b *AFPacketBackend) RxBurst(q int, out [][]byte) int {
-	if b.closed.Load() {
+	if b.closed.Load() || b.fatal.Load() != nil {
 		return 0
 	}
+	fd := int(b.fd.Load())
 	n := 0
 	for n < len(out) {
 		if n >= len(b.slots) {
 			b.slots = append(b.slots, make([]byte, b.slotCap))
 		}
-		ln, from, err := syscall.Recvfrom(b.fd, b.slots[n], syscall.MSG_DONTWAIT)
+		ln, from, err := syscall.Recvfrom(fd, b.slots[n], syscall.MSG_DONTWAIT)
 		if err != nil {
 			if err == syscall.EINTR {
 				continue
 			}
-			// EAGAIN means drained; anything else (including EBADF after a
-			// concurrent Close) ends the burst too.
+			if err == syscall.EAGAIN {
+				break // drained
+			}
+			b.rxErrors.Add(1)
+			if fatalErrno(err) {
+				b.recordFatal("recvfrom", fd, err)
+			}
 			break
 		}
 		if ln <= 0 {
@@ -161,7 +217,7 @@ func (b *AFPacketBackend) RxBurst(q int, out [][]byte) int {
 // first frame the kernel will not take right now (EAGAIN/ENOBUFS), which the
 // caller's TX policy may retry.
 func (b *AFPacketBackend) TxBurst(q int, frames [][]byte) int {
-	if b.closed.Load() {
+	if b.closed.Load() || b.fatal.Load() != nil {
 		return 0
 	}
 	n := 0
@@ -177,16 +233,26 @@ func (b *AFPacketBackend) TxBurst(q int, frames [][]byte) int {
 	return n
 }
 
-// send writes one frame, reporting false when the kernel queue is full.
+// send writes one frame, reporting false when the kernel queue is full
+// (EAGAIN/ENOBUFS — the caller retries) or the write failed.  Non-
+// backpressure failures count in TxErrors; fatal ones park in the
+// queue-error slot.
 func (b *AFPacketBackend) send(frame []byte) bool {
+	fd := int(b.fd.Load())
 	for {
-		_, err := syscall.Write(b.fd, frame)
-		switch err {
-		case nil:
+		_, err := syscall.Write(fd, frame)
+		switch {
+		case err == nil:
 			return true
-		case syscall.EINTR:
+		case err == syscall.EINTR:
 			continue
+		case err == syscall.EAGAIN || err == syscall.ENOBUFS:
+			return false
 		default:
+			b.txErrors.Add(1)
+			if fatalErrno(err) {
+				b.recordFatal("write", fd, err)
+			}
 			return false
 		}
 	}
@@ -196,7 +262,7 @@ func (b *AFPacketBackend) send(frame []byte) bool {
 // kernel serializes writes on one socket, so controller-originated frames
 // need no dedicated lane.
 func (b *AFPacketBackend) TransmitSlow(frame []byte) bool {
-	if b.closed.Load() {
+	if b.closed.Load() || b.fatal.Load() != nil {
 		return false
 	}
 	if b.send(frame) {
@@ -214,7 +280,43 @@ func (b *AFPacketBackend) Stats() PortStats {
 		TxPackets: b.txPackets.Load(),
 		RxDrops:   b.rxDrops.Load(),
 		TxDrops:   b.txDrops.Load(),
+		RxErrors:  b.rxErrors.Load(),
+		TxErrors:  b.txErrors.Load(),
 	}
+}
+
+// QueueError implements PortBackend: the parked fatal errno, if any.
+func (b *AFPacketBackend) QueueError(q int) error {
+	if b.closed.Load() {
+		return nil
+	}
+	if p := b.fatal.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Reopen implements ReopenableBackend: re-dial the socket after a fatal
+// error.  The port supervisor calls this while the port is Down (workers
+// skip it), so no burst is concurrently using the old fd.
+func (b *AFPacketBackend) Reopen() error {
+	fd, slotCap, err := dialAFPacket(b.iface)
+	if err != nil {
+		return err
+	}
+	old := b.fd.Swap(int64(fd))
+	wasClosed := b.closed.Swap(false)
+	if !wasClosed && old >= 0 && old != int64(fd) {
+		syscall.Close(int(old))
+	}
+	if slotCap > b.slotCap {
+		// The interface MTU grew across the re-dial: retire the old slots so
+		// they are re-grown at the new capacity.
+		b.slotCap = slotCap
+		b.slots = nil
+	}
+	b.fatal.Store(nil)
+	return nil
 }
 
 // Close implements PortBackend (idempotent).
@@ -222,5 +324,5 @@ func (b *AFPacketBackend) Close() error {
 	if b.closed.Swap(true) {
 		return nil
 	}
-	return syscall.Close(b.fd)
+	return syscall.Close(int(b.fd.Load()))
 }

@@ -28,5 +28,13 @@ func (b *AFPacketBackend) TxBurst(q int, frames [][]byte) int { return 0 }
 // Stats implements PortBackend.
 func (b *AFPacketBackend) Stats() PortStats { return PortStats{} }
 
+// QueueError implements PortBackend.
+func (b *AFPacketBackend) QueueError(q int) error { return nil }
+
+// Reopen implements ReopenableBackend.
+func (b *AFPacketBackend) Reopen() error {
+	return fmt.Errorf("dpdk: afpacket backend requires Linux (AF_PACKET sockets)")
+}
+
 // Close implements PortBackend.
 func (b *AFPacketBackend) Close() error { return nil }

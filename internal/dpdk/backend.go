@@ -53,9 +53,32 @@ type PortBackend interface {
 	TxBurst(q int, frames [][]byte) int
 	// Stats snapshots the backend's I/O counters.
 	Stats() PortStats
+	// QueueError reports queue q's fatal I/O error, or nil while the queue
+	// is healthy.  A fatal error is one the backend cannot recover from by
+	// polling again — a dead fd (EBADF/ENETDOWN/ENXIO), an exhausted
+	// non-looping trace — recorded by RxBurst/TxBurst off the return path so
+	// the hot loop stays allocation-free.  The port supervisor polls this
+	// off the worker path and drives the port's link-state machine from it;
+	// EAGAIN-style backpressure is never fatal.  Simulated backends (ring,
+	// null) are always healthy and return nil.  QueueError after Close
+	// reports nil: an intentionally released backend is not a failure.
+	QueueError(q int) error
 	// Close releases the backend's resources.  It must be idempotent, and
 	// RxBurst/TxBurst after Close must return 0 rather than panic.
 	Close() error
+}
+
+// ReopenableBackend is the optional extension for backends that can
+// re-acquire their I/O resource after a fatal error: the port supervisor's
+// self-healing path calls Reopen under its backoff schedule while the port
+// is Down.  Reopen re-dials whatever the backend wraps (AF_PACKET re-opens
+// and re-binds its socket) and clears the queue-error slots on success; it
+// must only be called while the port is quiesced (workers skip Down ports),
+// and a failed Reopen leaves the backend Down-safe (bursts keep returning
+// 0).  Backends without this extension — an exhausted pcap trace has
+// nothing to re-dial — stay Down permanently.
+type ReopenableBackend interface {
+	Reopen() error
 }
 
 // InjectableBackend is the optional extension simulated backends implement:
@@ -209,6 +232,9 @@ func (b *RingBackend) Stats() PortStats {
 	}
 }
 
+// QueueError implements PortBackend: memory never fails.
+func (b *RingBackend) QueueError(q int) error { return nil }
+
 // Close implements PortBackend.  Rings hold no external resources; Close
 // exists so heterogeneous backend sets can be shut down uniformly.
 func (b *RingBackend) Close() error { return nil }
@@ -254,6 +280,9 @@ func (b *NullBackend) TransmitSlow(frame []byte) bool {
 func (b *NullBackend) Stats() PortStats {
 	return PortStats{TxPackets: b.txPackets.Load()}
 }
+
+// QueueError implements PortBackend: a sink never fails.
+func (b *NullBackend) QueueError(q int) error { return nil }
 
 // Close implements PortBackend.
 func (b *NullBackend) Close() error { return nil }

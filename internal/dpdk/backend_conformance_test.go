@@ -2,6 +2,8 @@ package dpdk
 
 import (
 	"bytes"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -143,7 +145,9 @@ func TestBackendConformance(t *testing.T) {
 			t.Run("tx-accounting", func(t *testing.T) { conformTxAccounting(t, h) })
 			t.Run("partial-tx-accounting", func(t *testing.T) { conformPartialTx(t, h) })
 			t.Run("stats-invariants", func(t *testing.T) { conformStats(t, h) })
+			t.Run("queue-error", func(t *testing.T) { conformQueueError(t, h) })
 			t.Run("close-idempotent", func(t *testing.T) { conformClose(t, h) })
+			t.Run("close-races-workers", func(t *testing.T) { conformCloseRace(t, h) })
 		})
 	}
 }
@@ -280,6 +284,74 @@ func conformStats(t *testing.T, h conformanceHarness) {
 			t.Fatalf("TxPackets flat across an accepted transmit: %+v", cur)
 		}
 		prev = cur
+	}
+}
+
+func conformQueueError(t *testing.T, h conformanceHarness) {
+	be, _, cleanup := h.make(t)
+	defer cleanup()
+	// A healthy backend reports nil from every queue: fatal errors are
+	// reserved for unpollable-away conditions, never ordinary emptiness.
+	for q := 0; q < be.Queues(); q++ {
+		if err := be.QueueError(q); err != nil {
+			t.Fatalf("healthy backend queue %d reports %v, want nil", q, err)
+		}
+	}
+	if err := be.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// After Close the backend was intentionally released — not a failure.
+	for q := 0; q < be.Queues(); q++ {
+		if err := be.QueueError(q); err != nil {
+			t.Fatalf("closed backend queue %d reports %v, want nil", q, err)
+		}
+	}
+}
+
+// closeCountBackend counts Close calls reaching the wrapped backend, so the
+// close-race check can assert exactly-once release through the Port layer.
+type closeCountBackend struct {
+	PortBackend
+	closes atomic.Int32
+}
+
+func (b *closeCountBackend) Close() error {
+	b.closes.Add(1)
+	return b.PortBackend.Close()
+}
+
+// conformCloseRace drives a switch over the backend with live workers and
+// races two concurrent Switch.Close calls against them: the backend must be
+// released exactly once, bursts after Close must return 0, and the workers
+// must exit cleanly.
+func conformCloseRace(t *testing.T, h conformanceHarness) {
+	be, _, cleanup := h.make(t)
+	defer cleanup()
+	ccb := &closeCountBackend{PortBackend: be}
+	sw := NewSwitchWithConfig(DatapathFunc(dropDatapath), SwitchConfig{Backends: []PortBackend{ccb}})
+	stop := sw.RunWorkers(1)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := sw.Close(); err != nil {
+				t.Errorf("racing Close: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	stop()
+	if n := ccb.closes.Load(); n != 1 {
+		t.Fatalf("backend Close reached the backend %d times, want exactly 1", n)
+	}
+	// Close after the workers stopped stays idempotent through the Port.
+	if err := sw.Close(); err != nil {
+		t.Fatalf("post-race Close: %v", err)
+	}
+	if n := ccb.closes.Load(); n != 1 {
+		t.Fatalf("idempotent re-Close reached the backend (%d calls)", n)
 	}
 }
 

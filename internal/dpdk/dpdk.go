@@ -183,6 +183,11 @@ type PortStats struct {
 	TxPackets uint64
 	RxDrops   uint64
 	TxDrops   uint64
+	// RxErrors/TxErrors count I/O syscalls that failed with something other
+	// than backpressure (EAGAIN/ENOBUFS) — transient noise and fatal errnos
+	// alike.  Simulated backends never report them.
+	RxErrors uint64
+	TxErrors uint64
 }
 
 // Port is a switch port: a thin accounting-and-policy shell around a
@@ -206,6 +211,17 @@ type Port struct {
 	// overflow, slow-path transmission without a SlowPathTransmitter — and
 	// folds into Stats().TxDrops.
 	policyDrops atomic.Uint64
+
+	// link is the port's link state (LinkState values), written by the port
+	// supervisor and read by every worker once per poll — the workers' whole
+	// involvement in the link-state machine is skipping Down ports.  The
+	// zero value is LinkUp, so switches without a supervisor behave exactly
+	// as before.
+	link atomic.Uint32
+	// closed makes Close exactly-once at the port layer, so a Switch.Close
+	// racing another (or a supervisor shutdown) calls the backend's Close
+	// once even though backends are also individually idempotent.
+	closed atomic.Bool
 }
 
 // PortConfig configures NewPortWithConfig.  The zero value (plus an ID)
@@ -365,8 +381,26 @@ func (p *Port) RxBurst(out [][]byte) int {
 	return n
 }
 
-// Close releases the backend's resources (idempotent).
-func (p *Port) Close() error { return p.be.Close() }
+// Close releases the backend's resources.  Idempotent, and exactly-once
+// toward the backend: concurrent Close calls race benignly on the swap and
+// only the winner reaches the backend.
+func (p *Port) Close() error {
+	if p.closed.Swap(true) {
+		return nil
+	}
+	return p.be.Close()
+}
+
+// Closed reports whether the port was closed (the supervisor stops scanning
+// and reopening a closed port).
+func (p *Port) Closed() bool { return p.closed.Load() }
+
+// LinkState returns the port's current link state.
+func (p *Port) LinkState() LinkState { return LinkState(p.link.Load()) }
+
+// setLink publishes a link-state transition (the port supervisor's side of
+// the machine; workers only load).
+func (p *Port) setLink(st LinkState) { p.link.Store(uint32(st)) }
 
 // Stats returns a snapshot of the port counters: the backend's I/O counters
 // with the switch-side policy drops folded into TxDrops.
@@ -490,6 +524,18 @@ type WorkerStats struct {
 	// MegaHits+MegaMisses equals CacheMisses.
 	MegaHits   uint64
 	MegaMisses uint64
+	// Panics counts datapath panics the workers' containment absorbed, and
+	// Quarantined the received frames whose classification those panics
+	// aborted (poison frames plus the rest of their burst).  Quarantined
+	// frames count in Processed but in none of Forwarded/Dropped/ToCtrl —
+	// they were received and then deliberately abandoned.
+	Panics      uint64
+	Quarantined uint64
+	// PortsDown/PortsFlapping snapshot the link-state machine: how many
+	// ports the supervisor currently holds Down (not polled) or has labeled
+	// Flapping (polled, but recently bouncing).
+	PortsDown     uint64
+	PortsFlapping uint64
 }
 
 // workerCounters are one worker's forwarding counters.  They are updated
@@ -505,7 +551,9 @@ type workerCounters struct {
 	txDrops      atomic.Uint64
 	puntSuppress atomic.Uint64
 	puntFiltered atomic.Uint64
-	_            [16]byte
+	panics       atomic.Uint64
+	quarantined  atomic.Uint64
+	_            [48]byte
 }
 
 // Switch ties ports and a datapath together and runs run-to-completion
@@ -560,6 +608,11 @@ type Switch struct {
 	// pollCounters is the single registered block shared by every pooled
 	// PollOnce state, so pool evictions cannot grow the registration list.
 	pollCounters *workerCounters
+	// hbs is the live RunWorkers workers' heartbeat blocks, published as a
+	// copy-on-write slice so the port supervisor's watchdog scan reads it
+	// without touching mu (pooled PollOnce states carry no heartbeat — their
+	// callers own their own liveness).
+	hbs atomic.Pointer[[]*workerHeartbeat]
 
 	// wsPool recycles per-worker burst state for callers that use PollOnce
 	// directly instead of RunWorkers.
@@ -667,7 +720,9 @@ func NewSwitchQueues(dp Datapath, numPorts, ringSize, queues int) *Switch {
 }
 
 // Close closes every port's backend, returning the first error.  Safe to
-// call after stopping the workers; backends are idempotent under Close.
+// call after stopping the workers, and safe to race them or another Close:
+// each port closes its backend exactly once, and backends return 0 from
+// bursts after Close rather than panic.
 func (s *Switch) Close() error {
 	var first error
 	for _, p := range s.ports {
@@ -729,6 +784,13 @@ type workerState struct {
 	// ProcessBurst instead).
 	worker   Worker
 	counters *workerCounters
+	// hb is the worker's watchdog heartbeat block (nil for pooled PollOnce
+	// states); the worker is its only writer.
+	hb *workerHeartbeat
+	// staged counts how many of the current burst's frames have completed
+	// stage(), so panic containment knows how much of the burst to
+	// quarantine.
+	staged int
 	// spin seeds the backoff's pause loop; keeping it per-worker (and
 	// heap-reachable, which defeats dead-code elimination) means idle
 	// workers share no cache line.
@@ -765,6 +827,8 @@ func (s *Switch) retireCounters(c *workerCounters) {
 	s.base.TxDrops += c.txDrops.Load()
 	s.base.PuntSuppressed += c.puntSuppress.Load()
 	s.base.PuntFiltered += c.puntFiltered.Load()
+	s.base.Panics += c.panics.Load()
+	s.base.Quarantined += c.quarantined.Load()
 	kept := s.counters[:0]
 	for _, o := range s.counters {
 		if o != c {
@@ -919,6 +983,18 @@ func (s *Switch) Stats() WorkerStats {
 		t.TxDrops += c.txDrops.Load()
 		t.PuntSuppressed += c.puntSuppress.Load()
 		t.PuntFiltered += c.puntFiltered.Load()
+		t.Panics += c.panics.Load()
+		t.Quarantined += c.quarantined.Load()
+	}
+	// The link-state snapshot comes straight off the ports (atomic loads; the
+	// supervisor owns the transitions).
+	for _, p := range s.ports {
+		switch LinkState(p.link.Load()) {
+		case LinkDown:
+			t.PortsDown++
+		case LinkFlapping:
+			t.PortsFlapping++
+		}
 	}
 	// The microflow-cache counters live with the datapath's workers (the
 	// cache is part of the worker-local resource plane, not the substrate);
@@ -981,12 +1057,28 @@ func (s *Switch) pollPorts(ws *workerState, ports []*Port) int {
 	// The filter's recency clock: one increment per poll iteration, so a
 	// window of N polls corresponds to roughly N bursts of headroom.
 	ws.pollSeq++
+	// The watchdog heartbeat: one counter bump per poll plus a store of the
+	// port being polled (so a stall can be blamed), all single-writer on the
+	// worker's own padded cache line.
+	hb := ws.hb
+	if hb != nil {
+		hb.beats.Add(1)
+	}
 	if ws.worker != nil {
 		ws.worker.Enter()
 	}
 	total := 0
 	var tal stageTallies
 	for _, port := range ports {
+		// The port supervisor parks failed ports Down; skipping them here is
+		// the workers' entire involvement in the link-state machine (one
+		// atomic load per port per poll; Flapping ports keep forwarding).
+		if port.link.Load() == uint32(LinkDown) {
+			continue
+		}
+		if hb != nil {
+			hb.polling.Store(uint64(port.ID))
+		}
 		for _, q := range ws.queues {
 			if q >= port.nq {
 				continue
@@ -995,35 +1087,12 @@ func (s *Switch) pollPorts(ws *workerState, ports []*Port) int {
 			if n == 0 {
 				continue
 			}
-			if s.bdp != nil {
-				// Burst fast path: wrap the RX burst and classify it
-				// in one call — lock-free when the worker holds a
-				// registered handle (its Enter pins the snapshot).
-				for i := 0; i < n; i++ {
-					ws.packets[i] = pkt.Packet{Data: ws.frames[i], InPort: port.ID}
-				}
-				if ws.worker != nil {
-					// The worker's Enter pinned the snapshot, so the
-					// zero-lock, worker-local-resource path is safe
-					// under concurrent updates.
-					ws.worker.ProcessBurst(ws.pkts[:n], ws.verdicts[:n])
-				} else {
-					// Anonymous callers (PollOnce) go through the
-					// self-pinning burst entry point.
-					s.bdp.ProcessBurst(ws.pkts[:n], ws.verdicts[:n])
-				}
-				for i := 0; i < n; i++ {
-					s.stage(ws, &ws.verdicts[i], ws.frames[i], port.ID, &tal)
-				}
-			} else {
-				for i := 0; i < n; i++ {
-					ws.packets[0] = pkt.Packet{Data: ws.frames[i], InPort: port.ID}
-					s.dp.Process(&ws.packets[0], &ws.verdicts[0])
-					s.stage(ws, &ws.verdicts[0], ws.frames[i], port.ID, &tal)
-				}
-			}
+			s.classifyBurst(ws, port, n, &tal)
 			total += n
 		}
+	}
+	if hb != nil {
+		hb.polling.Store(0)
 	}
 	// The epoch bracket covers only classification: the TX flush (which may
 	// back off for a while under the block policy) and the counter folds
@@ -1054,6 +1123,58 @@ func (s *Switch) pollPorts(ws *workerState, ports []*Port) int {
 		}
 	}
 	return total
+}
+
+// classifyBurst classifies one RX burst and stages its verdicts, wrapped in
+// panic containment: a datapath panic (a poison frame tripping a parser or
+// template bug) quarantines the burst's unstaged frames — counted, neither
+// forwarded nor dropped — and the worker survives to poll the next queue.
+// The containment is a method-value defer (open-coded, no allocation), so
+// the steady-state burst path stays zero-lock and zero-alloc.
+func (s *Switch) classifyBurst(ws *workerState, port *Port, n int, tal *stageTallies) {
+	ws.staged = 0
+	defer ws.containPanic(n)
+	if s.bdp != nil {
+		// Burst fast path: wrap the RX burst and classify it in one call —
+		// lock-free when the worker holds a registered handle (its Enter
+		// pins the snapshot).
+		for i := 0; i < n; i++ {
+			ws.packets[i] = pkt.Packet{Data: ws.frames[i], InPort: port.ID}
+		}
+		if ws.worker != nil {
+			// The worker's Enter pinned the snapshot, so the zero-lock,
+			// worker-local-resource path is safe under concurrent updates.
+			ws.worker.ProcessBurst(ws.pkts[:n], ws.verdicts[:n])
+		} else {
+			// Anonymous callers (PollOnce) go through the self-pinning burst
+			// entry point.
+			s.bdp.ProcessBurst(ws.pkts[:n], ws.verdicts[:n])
+		}
+		for i := 0; i < n; i++ {
+			s.stage(ws, &ws.verdicts[i], ws.frames[i], port.ID, tal)
+			ws.staged++
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			ws.packets[0] = pkt.Packet{Data: ws.frames[i], InPort: port.ID}
+			s.dp.Process(&ws.packets[0], &ws.verdicts[0])
+			s.stage(ws, &ws.verdicts[0], ws.frames[i], port.ID, tal)
+			ws.staged++
+		}
+	}
+}
+
+// containPanic is classifyBurst's deferred recovery: the poison frame and
+// whatever of its burst had not completed staging are quarantined.  The
+// worker's epoch bracket (Enter/Exit in pollPorts) stays balanced because
+// the panic never escapes the bracket.
+func (ws *workerState) containPanic(n int) {
+	if r := recover(); r != nil {
+		ws.counters.panics.Add(1)
+		if q := n - ws.staged; q > 0 {
+			ws.counters.quarantined.Add(uint64(q))
+		}
+	}
 }
 
 // stageTallies are one poll iteration's verdict counts, folded into the
@@ -1232,6 +1353,8 @@ func (s *Switch) RunWorkers(numWorkers int) (stop func()) {
 			defer wg.Done()
 			ws := s.newWorkerState(queues, txq, nil)
 			defer s.retireCounters(ws.counters)
+			ws.hb = s.registerHeartbeat()
+			defer s.retireHeartbeat(ws.hb)
 			if s.wdp != nil {
 				ws.worker = s.wdp.RegisterWorker()
 				defer s.wdp.UnregisterWorker(ws.worker)

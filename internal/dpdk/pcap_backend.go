@@ -1,6 +1,7 @@
 package dpdk
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"sync/atomic"
@@ -9,6 +10,12 @@ import (
 	"eswitch/internal/pcap"
 	"eswitch/internal/pkt"
 )
+
+// ErrTraceExhausted is the fatal queue error a non-looping replay reports
+// once a queue has delivered its last frame: the port supervisor sees it and
+// transitions the port Down (there is nothing to reopen), replacing the old
+// ad-hoc Exhausted() polling as the link-state signal.
+var ErrTraceExhausted = errors.New("dpdk: pcap trace exhausted")
 
 // PcapBackend replays a captured trace through the switch: every record of a
 // classic libpcap file becomes an RX frame, demultiplexed across the
@@ -59,6 +66,11 @@ type pcapQueue struct {
 	// size on first use, then steady-state zero-alloc).
 	slots   [][]byte
 	slotCap int
+	// done is set by the polling worker once a non-looping queue has
+	// delivered its last frame — the single-writer flag QueueError and
+	// Exhausted read from other goroutines (cursor itself is unsynchronized
+	// worker state).
+	done atomic.Bool
 }
 
 // PcapConfig configures OpenPcapBackend.
@@ -145,6 +157,11 @@ func NewPcapBackend(records []pcap.Packet, cfg PcapConfig) (*PcapBackend, error)
 	}
 	for i := range b.queues {
 		b.queues[i].slotCap = maxLen
+		// A queue the RSS split left empty has nothing to deliver: mark it
+		// exhausted up front so it never has to be polled to report so.
+		if !b.loop && len(b.queues[i].frames) == 0 {
+			b.queues[i].done.Store(true)
+		}
 	}
 	return b, nil
 }
@@ -164,6 +181,7 @@ func (b *PcapBackend) RxBurst(q int, out [][]byte) int {
 	pq := &b.queues[q]
 	if pq.cursor >= len(pq.frames) {
 		if !b.loop || len(pq.frames) == 0 {
+			pq.done.Store(true)
 			return 0
 		}
 		pq.cursor = 0
@@ -197,6 +215,9 @@ func (b *PcapBackend) RxBurst(q int, out [][]byte) int {
 	if n > 0 {
 		pq.cursor += n
 		b.rxPackets.Add(uint64(n))
+		if !b.loop && pq.cursor >= len(pq.frames) {
+			pq.done.Store(true)
+		}
 	}
 	return n
 }
@@ -222,17 +243,31 @@ func (b *PcapBackend) TransmitSlow(frame []byte) bool {
 }
 
 // Exhausted reports whether a non-looping replay has delivered every frame
-// of every queue (always false with Loop).
+// of every queue (always false with Loop).  It reads the per-queue done
+// flags, so it is safe from any goroutine while workers poll.
 func (b *PcapBackend) Exhausted() bool {
 	if b.loop {
 		return false
 	}
 	for i := range b.queues {
-		if b.queues[i].cursor < len(b.queues[i].frames) {
+		if !b.queues[i].done.Load() {
 			return false
 		}
 	}
 	return true
+}
+
+// QueueError implements PortBackend: an exhausted non-looping queue is a
+// fatal condition (the trace cannot produce more frames), which is how the
+// port supervisor learns the replay ended and takes the port Down.
+func (b *PcapBackend) QueueError(q int) error {
+	if b.closed.Load() {
+		return nil
+	}
+	if b.queues[q].done.Load() {
+		return ErrTraceExhausted
+	}
+	return nil
 }
 
 // TotalFrames returns the number of frames loaded from the trace.

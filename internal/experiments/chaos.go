@@ -50,7 +50,11 @@ type ChaosConfig struct {
 	PuntFilter       int
 	PuntFilterWindow int
 	// EchoInterval/EchoTimeout drive the supervisor's liveness probe
-	// (defaults 20ms/60ms — test-scale).
+	// (defaults 25ms/300ms — probe often, but give the verdict real slack:
+	// the controller's read loop answers echoes behind PacketIn processing,
+	// and a race-instrumented discovery sweep can legitimately hold it busy
+	// for tens of milliseconds; a twitchy verdict here kills healthy
+	// sessions mid-learning and makes every chaos test flaky).
 	EchoInterval time.Duration
 	EchoTimeout  time.Duration
 	// BackoffMin/BackoffMax bound the redial backoff (defaults 5ms/50ms —
@@ -59,6 +63,14 @@ type ChaosConfig struct {
 	BackoffMin time.Duration
 	BackoffMax time.Duration
 	Seed       int64
+	// PortScanInterval is the port supervisor's scan cadence (default 1ms)
+	// and PortBackoffMin/PortBackoffMax bound its reopen backoff (defaults
+	// 2ms/20ms — test-scale).  The harness records the exact supervisor
+	// config in PortCfg so tests can compare recorded reopen delays against
+	// dpdk.PortBackoffSchedule.
+	PortScanInterval time.Duration
+	PortBackoffMin   time.Duration
+	PortBackoffMax   time.Duration
 	// Injector, when non-nil, is threaded through the dialed control
 	// connection (faultinject.Conn points), the slow-path PacketIn sink
 	// ("slowpath.send") and the agent's flow programmer ("flowmod.add").
@@ -76,17 +88,29 @@ type ChaosHarness struct {
 	Agent   *controller.Agent
 	Sup     *controller.Supervisor
 	Learner *controller.LearningSwitch
+	// PSup is the port fault domain's supervisor and PortCfg the exact
+	// config it runs under (pass PortCfg to dpdk.PortBackoffSchedule for
+	// the reopen-delay oracle).
+	PSup    *dpdk.PortSupervisor
+	PortCfg dpdk.PortSupervisorConfig
 
 	cfg     ChaosConfig
 	frames  [][]byte
 	inPorts []uint32
 	addr    string
+	inj     *faultinject.Injector
+	pbs     []*faultinject.FaultBackend
 
 	mu    sync.Mutex
 	ln    net.Listener
 	conn  net.Conn
 	svc   *slowpath.Service
+	ctlw  *controller.SyncWriter
 	alive bool
+
+	pstMu      sync.Mutex
+	portStats  []ofp.PortStatus
+	linkEvents []dpdk.PortLinkEvent
 }
 
 // NewChaosHarness builds the stack, starts the controller listener and the
@@ -108,16 +132,25 @@ func NewChaosHarness(cfg ChaosConfig) (*ChaosHarness, error) {
 		cfg.FailMode = dpdk.FailStandalone
 	}
 	if cfg.EchoInterval <= 0 {
-		cfg.EchoInterval = 20 * time.Millisecond
+		cfg.EchoInterval = 25 * time.Millisecond
 	}
 	if cfg.EchoTimeout <= 0 {
-		cfg.EchoTimeout = 60 * time.Millisecond
+		cfg.EchoTimeout = 300 * time.Millisecond
 	}
 	if cfg.BackoffMin <= 0 {
 		cfg.BackoffMin = 5 * time.Millisecond
 	}
 	if cfg.BackoffMax <= 0 {
 		cfg.BackoffMax = 50 * time.Millisecond
+	}
+	if cfg.PortScanInterval <= 0 {
+		cfg.PortScanInterval = time.Millisecond
+	}
+	if cfg.PortBackoffMin <= 0 {
+		cfg.PortBackoffMin = 2 * time.Millisecond
+	}
+	if cfg.PortBackoffMax <= 0 {
+		cfg.PortBackoffMax = 20 * time.Millisecond
 	}
 
 	h := &ChaosHarness{cfg: cfg}
@@ -130,7 +163,29 @@ func NewChaosHarness(cfg ChaosConfig) (*ChaosHarness, error) {
 		return nil, err
 	}
 	h.DP = dp
-	h.SW = dpdk.NewSwitchWithConfig(dp, dpdk.SwitchConfig{NumPorts: cfg.NumPorts, RingSize: 8192, Queues: dpdk.DefaultQueues})
+	// Every port's rings sit behind a faultinject wrapper so chaos tests can
+	// cut (KillPort) and restore (RevivePort) individual ports mid-traffic;
+	// the port supervisor sees the cut as a fatal queue error and the
+	// restoration as a reopen finally succeeding.
+	h.inj = cfg.Injector
+	if h.inj == nil {
+		h.inj = faultinject.New(cfg.Seed)
+	}
+	backends := make([]dpdk.PortBackend, cfg.NumPorts)
+	for i := range backends {
+		fb := faultinject.Backend(dpdk.NewRingBackend(8192, dpdk.DefaultQueues), h.inj)
+		h.pbs = append(h.pbs, fb)
+		backends[i] = fb
+	}
+	h.SW = dpdk.NewSwitchWithConfig(dp, dpdk.SwitchConfig{Backends: backends})
+	h.PortCfg = dpdk.PortSupervisorConfig{
+		Interval:     cfg.PortScanInterval,
+		BackoffMin:   cfg.PortBackoffMin,
+		BackoffMax:   cfg.PortBackoffMax,
+		Seed:         cfg.Seed,
+		OnTransition: h.onLink,
+	}
+	h.PSup = h.SW.StartPortSupervisor(h.PortCfg)
 	h.Rings, err = h.SW.ArmPuntRings(cfg.PuntRing, 0)
 	if err != nil {
 		return nil, err
@@ -232,11 +287,47 @@ func (h *ChaosHarness) onUp(w *controller.SyncWriter) func() {
 	h.Agent.PacketOutHandler = svc.HandlePacketOut
 	h.SW.SetFailMode(dpdk.FailNormal)
 	h.mu.Lock()
-	h.svc = svc
+	h.svc, h.ctlw = svc, w
 	h.mu.Unlock()
 	stop := make(chan struct{})
 	go svc.Run(stop)
-	return func() { close(stop) }
+	return func() {
+		close(stop)
+		h.mu.Lock()
+		if h.ctlw == w {
+			h.ctlw = nil // session died: port events wait for the next one
+		}
+		h.mu.Unlock()
+	}
+}
+
+// onLink records every link-state transition and forwards it to the current
+// controller session as OFPT_PORT_STATUS (dropped silently when no session
+// is up — the controller learns current state from Stats on reattach).
+func (h *ChaosHarness) onLink(ev dpdk.PortLinkEvent) {
+	h.pstMu.Lock()
+	h.linkEvents = append(h.linkEvents, ev)
+	h.pstMu.Unlock()
+	h.mu.Lock()
+	w := h.ctlw
+	h.mu.Unlock()
+	if w == nil {
+		return
+	}
+	var state uint32
+	switch ev.State {
+	case dpdk.LinkDown:
+		state = ofp.PortStateLinkDown
+	case dpdk.LinkFlapping:
+		state = ofp.PortStateFlapping
+	}
+	desc := ev.Reason
+	if ev.Err != nil {
+		desc = fmt.Sprintf("%s: %v", ev.Reason, ev.Err)
+	}
+	_ = h.Agent.SendPortStatus(w, ofp.PortStatus{
+		Reason: ofp.PortStatusModify, PortNo: ev.Port, State: state, Desc: desc,
+	})
 }
 
 // Service returns the slow-path service of the CURRENT session (nil before
@@ -260,6 +351,11 @@ func (h *ChaosHarness) acceptLoop(ln net.Listener) {
 		h.conn = conn
 		h.mu.Unlock()
 		ctrl := controller.NewController(conn)
+		ctrl.PortStatusHandler = func(ps ofp.PortStatus) {
+			h.pstMu.Lock()
+			h.portStats = append(h.portStats, ps)
+			h.pstMu.Unlock()
+		}
 		h.Learner.Attach(ctrl)
 		if err := ctrl.Hello(); err != nil {
 			conn.Close()
@@ -305,8 +401,90 @@ func (h *ChaosHarness) ReviveController() error {
 
 // Close tears the whole stack down.
 func (h *ChaosHarness) Close() {
+	h.PSup.Stop()
 	h.Sup.Stop()
 	h.KillController()
+}
+
+// FaultBackend returns port id's fault-injection wrapper (nil for an unknown
+// port).
+func (h *ChaosHarness) FaultBackend(id uint32) *faultinject.FaultBackend {
+	if id < 1 || int(id) > len(h.pbs) {
+		return nil
+	}
+	return h.pbs[id-1]
+}
+
+// KillPort cuts port id's backend mid-traffic: every queue reports err
+// (faultinject.ErrKilled when nil) as fatal, injection and bursts fail, and
+// reopen attempts burn backoff delays until RevivePort.
+func (h *ChaosHarness) KillPort(id uint32, err error) error {
+	fb := h.FaultBackend(id)
+	if fb == nil {
+		return fmt.Errorf("chaos: no port %d", id)
+	}
+	fb.Kill(err)
+	return nil
+}
+
+// RevivePort lifts a KillPort: the supervisor's next reopen attempt succeeds
+// and brings the link back.
+func (h *ChaosHarness) RevivePort(id uint32) error {
+	fb := h.FaultBackend(id)
+	if fb == nil {
+		return fmt.Errorf("chaos: no port %d", id)
+	}
+	fb.Revive()
+	return nil
+}
+
+// PortStatuses returns every OFPT_PORT_STATUS the controller side received,
+// in arrival order.
+func (h *ChaosHarness) PortStatuses() []ofp.PortStatus {
+	h.pstMu.Lock()
+	defer h.pstMu.Unlock()
+	return append([]ofp.PortStatus(nil), h.portStats...)
+}
+
+// LinkEvents returns every link-state transition the port supervisor made,
+// in order.
+func (h *ChaosHarness) LinkEvents() []dpdk.PortLinkEvent {
+	h.pstMu.Lock()
+	defer h.pstMu.Unlock()
+	return append([]dpdk.PortLinkEvent(nil), h.linkEvents...)
+}
+
+// WaitLink blocks until port id's link state reaches want.
+func (h *ChaosHarness) WaitLink(id uint32, want dpdk.LinkState, timeout time.Duration) error {
+	port, err := h.SW.Port(id)
+	if err != nil {
+		return err
+	}
+	deadline := time.Now().Add(timeout)
+	for port.LinkState() != want {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("chaos: port %d stuck %v (want %v) after %v", id, port.LinkState(), want, timeout)
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+	return nil
+}
+
+// WaitPortStatus blocks until the controller side has received a PortStatus
+// matching pred.
+func (h *ChaosHarness) WaitPortStatus(pred func(ofp.PortStatus) bool, timeout time.Duration) (ofp.PortStatus, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		for _, ps := range h.PortStatuses() {
+			if pred(ps) {
+				return ps, nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return ofp.PortStatus{}, fmt.Errorf("chaos: no matching PortStatus after %v (got %d)", timeout, len(h.PortStatuses()))
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
 }
 
 // InjectAll injects one full sweep over the flow set, returning how many

@@ -38,6 +38,7 @@ func seedMessages() [][]byte {
 	po := PacketOut{BufferID: NoBuffer, InPort: 1,
 		Actions: openflow.ActionList{{Type: openflow.ActionOutput, Port: openflow.PortFlood}},
 		Data:    []byte("full frame")}
+	pst := PortStatus{Reason: PortStatusModify, PortNo: 2, State: PortStateLinkDown, Desc: "afpacket:veth0"}
 	bodies := []struct {
 		t MsgType
 		b []byte
@@ -47,6 +48,7 @@ func seedMessages() [][]byte {
 		{TypeEchoReply, []byte("ping")},
 		{TypeFlowMod, EncodeFlowMod(fm)},
 		{TypeFlowRemoved, EncodeFlowRemoved(fr)},
+		{TypePortStatus, EncodePortStatus(pst)},
 		{TypePacketIn, EncodePacketIn(pi)},
 		{TypePacketOut, EncodePacketOut(po)},
 		{TypeError, EncodeError(ErrorMsg{Type: ErrTypeFlowModFailed, Code: FlowModFailedTableFull, Data: []byte{1, 2, 3}})},
@@ -141,6 +143,33 @@ func FuzzDecodeFlowRemoved(f *testing.F) {
 		}
 		if !bytes.Equal(EncodeFlowRemoved(fr2), enc) {
 			t.Fatalf("FlowRemoved encoding not a fixed point")
+		}
+	})
+}
+
+// FuzzDecodePortStatus: arbitrary PortStatus bodies must error or reach an
+// encode∘decode fixed point — the controller-side decoder faces whatever the
+// switch's port supervisor (or an adversarial peer) framed.
+func FuzzDecodePortStatus(f *testing.F) {
+	f.Add(EncodePortStatus(PortStatus{Reason: PortStatusModify, PortNo: 1,
+		State: PortStateLinkDown, Desc: "afpacket:veth0"}))
+	f.Add(EncodePortStatus(PortStatus{Reason: PortStatusModify, PortNo: 3, State: 0}))
+	f.Add(EncodePortStatus(PortStatus{Reason: PortStatusAdd, PortNo: 0xffffffff,
+		State: PortStateFlapping, Desc: "ring"}))
+	f.Add([]byte{})
+	f.Add([]byte{2, 0, 0, 0}) // truncated mid-PortNo
+	f.Fuzz(func(t *testing.T, body []byte) {
+		ps, err := DecodePortStatus(body)
+		if err != nil {
+			return
+		}
+		enc := EncodePortStatus(ps)
+		ps2, err := DecodePortStatus(enc)
+		if err != nil {
+			t.Fatalf("accepted PortStatus does not re-decode: %v", err)
+		}
+		if !bytes.Equal(EncodePortStatus(ps2), enc) {
+			t.Fatalf("PortStatus encoding not a fixed point")
 		}
 	})
 }

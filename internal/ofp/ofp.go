@@ -30,6 +30,7 @@ const (
 	TypeEchoReply      MsgType = 3
 	TypePacketIn       MsgType = 10
 	TypeFlowRemoved    MsgType = 11
+	TypePortStatus     MsgType = 12
 	TypePacketOut      MsgType = 13
 	TypeFlowMod        MsgType = 14
 	TypeBarrierRequest MsgType = 20
@@ -85,6 +86,26 @@ const (
 	// FlowRemovedEviction: the switch evicted the entry to reclaim table
 	// space (the soft-limit LRU-approximate eviction policy).
 	FlowRemovedEviction uint8 = 3
+)
+
+// PortStatus reasons (OpenFlow's OFPPR_* values).
+const (
+	// PortStatusAdd: the port was added to the switch.
+	PortStatusAdd uint8 = 0
+	// PortStatusDelete: the port was removed.
+	PortStatusDelete uint8 = 1
+	// PortStatusModify: the port's state changed — the only reason the port
+	// supervisor emits (link transitions of a fixed port set).
+	PortStatusModify uint8 = 2
+)
+
+// Port state bits carried in PortStatus.State (OFPPS_*-style; Flapping is
+// this repository's extension for the supervisor's bouncing-port label).
+const (
+	// PortStateLinkDown: the port's link is down (OFPPS_LINK_DOWN).
+	PortStateLinkDown uint32 = 1 << 0
+	// PortStateFlapping: the port recovered but has been bouncing recently.
+	PortStateFlapping uint32 = 1 << 3
 )
 
 // NoBuffer is the BufferID of a PacketIn/PacketOut that carries the full
@@ -174,6 +195,22 @@ type FlowRemoved struct {
 	Packets uint64
 	Bytes   uint64
 	Match   *openflow.Match
+}
+
+// PortStatus is a switch-originated port/link-state change notification —
+// the control-plane face of the port supervisor's link-state machine,
+// delivered over the shared channel like FlowRemoved.
+type PortStatus struct {
+	// Reason is one of the PortStatus* values (the supervisor always sends
+	// Modify).
+	Reason uint8
+	// PortNo is the 1-based port the event concerns.
+	PortNo uint32
+	// State is a bitmask of PortState* (0 = link up and steady).
+	State uint32
+	// Desc names the port's backend for diagnostics ("afpacket:veth0",
+	// "pcap", "ring"); it rides as the body's trailing bytes.
+	Desc string
 }
 
 // PacketIn is a packet punted to the controller.
@@ -437,6 +474,24 @@ func DecodeFlowRemoved(body []byte) (FlowRemoved, error) {
 	}
 	fr.Match = decodeMatch(d)
 	return fr, d.err
+}
+
+// EncodePortStatus serializes a PortStatus message body.
+func EncodePortStatus(ps PortStatus) []byte {
+	e := &encoder{}
+	e.u8(ps.Reason)
+	e.u32(ps.PortNo)
+	e.u32(ps.State)
+	e.bytes([]byte(ps.Desc))
+	return e.buf
+}
+
+// DecodePortStatus parses a PortStatus message body.
+func DecodePortStatus(body []byte) (PortStatus, error) {
+	d := &decoder{buf: body}
+	ps := PortStatus{Reason: d.u8(), PortNo: d.u32(), State: d.u32()}
+	ps.Desc = string(d.rest())
+	return ps, d.err
 }
 
 // EncodePacketIn serializes a PacketIn message body.  A zero TotalLen is

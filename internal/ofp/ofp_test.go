@@ -158,6 +158,31 @@ func TestFlowRemovedRoundTrip(t *testing.T) {
 	}
 }
 
+func TestPortStatusRoundTrip(t *testing.T) {
+	cases := []PortStatus{
+		{Reason: PortStatusModify, PortNo: 2, State: PortStateLinkDown, Desc: "afpacket:veth0"},
+		{Reason: PortStatusModify, PortNo: 1, State: 0},
+		{Reason: PortStatusModify, PortNo: 9, State: PortStateFlapping, Desc: "ring"},
+		{Reason: PortStatusAdd, PortNo: 0xffffffff, State: PortStateLinkDown | PortStateFlapping, Desc: "pcap"},
+	}
+	for _, ps := range cases {
+		got, err := DecodePortStatus(EncodePortStatus(ps))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != ps {
+			t.Fatalf("roundtrip mismatch: %+v != %+v", got, ps)
+		}
+	}
+	// Truncated bodies error, never panic.
+	full := EncodePortStatus(cases[0])
+	for cut := 0; cut < 9; cut++ { // the fixed header is 9 bytes; Desc may be empty
+		if _, err := DecodePortStatus(full[:cut]); err == nil {
+			t.Fatalf("truncated body of %d bytes decoded without error", cut)
+		}
+	}
+}
+
 func TestFlowModDeleteRoundTrip(t *testing.T) {
 	fm := FlowMod{Command: FlowModDelete, TableID: 1, Priority: -1, Match: openflow.NewMatch().Set(openflow.FieldTCPDst, 80)}
 	got, err := DecodeFlowMod(EncodeFlowMod(fm))
