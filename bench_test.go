@@ -20,6 +20,7 @@ import (
 	"eswitch/internal/pkt"
 	"eswitch/internal/pktgen"
 	"eswitch/internal/slowpath"
+	"eswitch/internal/telemetry"
 	"eswitch/internal/workload"
 )
 
@@ -940,4 +941,74 @@ func BenchmarkTraceReplay_L2(b *testing.B) {
 // matching L3 pipeline — the realistic-sizes row of the replay family.
 func BenchmarkTraceReplay_L3IMIX(b *testing.B) {
 	benchTraceReplay(b, "testdata/l3_imix.pcap", workload.L3UseCase(10000, 8, 2016))
+}
+
+// --- Observability plane overhead ------------------------------------------
+
+// benchTelemetryDrive measures full-switch forwarding Mpps (injected ring
+// traffic, PollOnce worker loop) with the observability plane off or fully
+// armed: per-flow counters compiled in (the exporter's sampling source),
+// burst/punt latency sampling on, and a live FlowExporter goroutine polling
+// the flow table at its production cadence while the measured loop runs.
+func benchTelemetryDrive(b *testing.B, armed bool) {
+	b.Helper()
+	uc := workload.L2UseCase(10_000, 4)
+	opts := core.DefaultOptions()
+	opts.UpdateCounters = armed
+	dp, err := core.Compile(uc.Pipeline, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sw := dpdk.NewSwitchWithConfig(dp, dpdk.SwitchConfig{NumPorts: 4, RingSize: 8192, Queues: dpdk.DefaultQueues})
+	defer sw.Close()
+	if armed {
+		sw.SetLatencySampling(true)
+		exp := telemetry.NewFlowExporter(dp, &telemetry.MemorySink{}, telemetry.ExporterConfig{})
+		exp.Start()
+		defer exp.Close()
+	}
+	trace := uc.Trace(512)
+	frames := make([][]byte, 512)
+	inPorts := make([]uint32, 512)
+	for i := range frames {
+		frames[i], inPorts[i] = trace.Frame(i)
+	}
+	ports := make([]*dpdk.Port, 5)
+	for i := 1; i <= 4; i++ {
+		ports[i], _ = sw.Port(uint32(i))
+	}
+	b.ResetTimer()
+	injected := 0
+	for injected < b.N {
+		for i := 0; i < len(frames) && injected < b.N; i++ {
+			if ports[inPorts[i]].InjectOn(dpdk.AutoQueue, frames[i]) {
+				injected++
+			}
+		}
+		for sw.PollOnce(nil) > 0 {
+		}
+		for _, p := range sw.Ports() {
+			p.DrainTx()
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Mpps")
+	if lat := sw.BurstLatency(); armed && lat.Count() == 0 {
+		b.Fatal("latency sampling armed but no bursts recorded")
+	}
+}
+
+// BenchmarkTelemetry_Overhead proves the observability plane's hot-path
+// budget: the telemetry=on row (per-flow counters + latency histograms +
+// live exporter) must stay within 5% of the telemetry=off row's Mpps.  The
+// pair is recorded to BENCH_burst.json so the regression gate tracks both
+// sides of the comparison.
+func BenchmarkTelemetry_Overhead(b *testing.B) {
+	for _, armed := range []bool{false, true} {
+		name := "telemetry=off"
+		if armed {
+			name = "telemetry=on"
+		}
+		b.Run(name, func(b *testing.B) { benchTelemetryDrive(b, armed) })
+	}
 }

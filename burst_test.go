@@ -7,8 +7,11 @@ package eswitch
 
 import (
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"runtime/debug"
+	"strings"
 	"testing"
 	"time"
 
@@ -19,6 +22,7 @@ import (
 	"eswitch/internal/openflow"
 	"eswitch/internal/pkt"
 	"eswitch/internal/pktgen"
+	"eswitch/internal/telemetry"
 	"eswitch/internal/workload"
 )
 
@@ -400,6 +404,39 @@ func testWorkerPathZeroLocksZeroAllocs(t *testing.T, flowCache, megaflow int) {
 	// switch's counted mutex, no allocation.
 	psup := sw.StartPortSupervisor(dpdk.PortSupervisorConfig{Interval: time.Millisecond, Seed: 1})
 	t.Cleanup(psup.Stop)
+	// The observability plane rides along fully armed: latency sampling on
+	// (the worker path pays its two clock reads and two atomic adds per
+	// burst — which must stay lock- and allocation-free), the metrics
+	// endpoint serving, and the flow exporter started.  The exporter's
+	// timers are parked at an hour, like the idle supervisor above: armed,
+	// but its locked flow-table walk never lands inside the measured window
+	// (scrapes and exports are reader-side and cost the workers nothing).
+	sw.SetLatencySampling(true)
+	reg := telemetry.NewRegistry()
+	telemetry.RegisterSwitch(reg, telemetry.SwitchSource{Switch: sw, Datapath: dp, Supervisor: psup})
+	telemetry.RegisterGoRuntime(reg)
+	msrv, err := telemetry.Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { msrv.Close() })
+	exporter := telemetry.NewFlowExporter(dp, &telemetry.MemorySink{}, telemetry.ExporterConfig{
+		PollInterval: time.Hour, ActiveTimeout: time.Hour, IdleTimeout: time.Hour,
+	})
+	exporter.Start()
+	t.Cleanup(func() { exporter.Close() })
+	// Prove the endpoint actually serves the armed surface before the
+	// measured window (the scrape folds counters under the switch mutex, so
+	// it must precede the lock snapshot).
+	if resp, err := http.Get("http://" + msrv.Addr() + "/metrics"); err != nil {
+		t.Fatal(err)
+	} else {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if !strings.Contains(string(body), "eswitch_burst_duration_seconds_count") {
+			t.Fatalf("armed metrics endpoint missing latency histogram:\n%.400s", body)
+		}
+	}
 	trace := uc.Trace(512)
 	frames := make([][]byte, 256)
 	for i := range frames {
@@ -448,9 +485,19 @@ func testWorkerPathZeroLocksZeroAllocs(t *testing.T, flowCache, megaflow int) {
 	}
 	// (Stats itself takes the counted mutex, so the zero-punt premise is
 	// checked only after the lock assertions.)
-	if st := sw.Stats(); st.Punts != 0 || st.PuntDrops != 0 || st.PuntSuppressed != 0 || st.PuntFiltered != 0 {
+	st := sw.Stats()
+	if st.Punts != 0 || st.PuntDrops != 0 || st.PuntSuppressed != 0 || st.PuntFiltered != 0 {
 		t.Fatalf("steady-state workload punted (%d/%d, %d suppressed, %d filtered) — the zero-punt premise broke",
 			st.Punts, st.PuntDrops, st.PuntSuppressed, st.PuntFiltered)
+	}
+	// The canonical counter identities hold over the full armed plane.
+	if err := st.CheckInvariants(true); err != nil {
+		t.Fatal(err)
+	}
+	// Latency sampling was armed throughout: the measured window's bursts
+	// must appear in the folded histogram.
+	if lat := sw.BurstLatency(); lat.Count() == 0 {
+		t.Fatal("latency sampling armed but the burst histogram is empty")
 	}
 	// The epoch-pinned facade burst path must also stay lock-free.
 	packets := make([]pkt.Packet, 32)
@@ -549,6 +596,11 @@ func TestSwitchStatsFoldFlowCache(t *testing.T) {
 	if st.CacheHits+st.CacheMisses != st.Processed {
 		t.Fatalf("fold exactness violated: hits %d + misses %d != processed %d",
 			st.CacheHits, st.CacheMisses, st.Processed)
+	}
+	// The same identity (and its punt and megaflow siblings) as the
+	// canonical checker states them.
+	if err := st.CheckInvariants(false); err != nil {
+		t.Fatal(err)
 	}
 	if st.CacheHits == 0 {
 		t.Fatal("replayed flows produced no cache hits")

@@ -38,6 +38,14 @@
 //	    are gated with the loose -noise-drop budget rather than -max-drop,
 //	    so the gate catches real regressions without flapping on which
 //	    runner SKU a CI job happens to land on.
+//
+// Both modes additionally enforce the observability-plane overhead budget
+// when the record carries the BenchmarkTelemetry_Overhead pair: the fully
+// armed row (telemetry=on: per-flow counters, latency sampling, flow
+// exporter) must reach at least (1 - -telemetry-budget) of the disarmed
+// row's Mpps, proving the plane costs less than the budget (default 5%).
+// -telemetry-budget 0 disables the check (single-iteration smoke records,
+// whose Mpps carry no signal).
 package main
 
 import (
@@ -174,6 +182,44 @@ func compare(baseline, fresh []row, maxDrop, noiseMpps, noiseDrop float64) ([]fi
 	return out, unbaselined
 }
 
+// Telemetry-overhead row names (recorded by scripts/bench_burst.sh).
+const (
+	telemetryOnRow  = "BenchmarkTelemetry_Overhead/telemetry=on"
+	telemetryOffRow = "BenchmarkTelemetry_Overhead/telemetry=off"
+)
+
+// telemetryGate enforces the observability-plane overhead budget: when the
+// record carries both rows of the BenchmarkTelemetry_Overhead pair, the
+// fully armed row must stay within the budget fraction of the disarmed one.
+// A record missing either row is not gated (the relation needs both sides).
+func telemetryGate(rows []row, budget float64) error {
+	if budget <= 0 {
+		return nil
+	}
+	var on, off float64
+	for _, r := range rows {
+		if r.Mpps == nil {
+			continue
+		}
+		switch {
+		case strings.HasSuffix(r.Benchmark, telemetryOnRow):
+			on = *r.Mpps
+		case strings.HasSuffix(r.Benchmark, telemetryOffRow):
+			off = *r.Mpps
+		}
+	}
+	if on == 0 || off == 0 {
+		return nil
+	}
+	if on < off*(1-budget) {
+		return fmt.Errorf("telemetry overhead over budget: armed %.2f Mpps vs disarmed %.2f Mpps (-%.1f%%, budget -%.0f%%)",
+			on, off, (off-on)/off*100, budget*100)
+	}
+	fmt.Printf("benchcheck: telemetry overhead ok: armed %.2f Mpps vs disarmed %.2f Mpps (-%.1f%%, budget -%.0f%%)\n",
+		on, off, (off-on)/off*100, budget*100)
+	return nil
+}
+
 func main() {
 	printGMP := flag.Bool("gomaxprocs", false, "print the effective GOMAXPROCS and exit")
 	validatePath := flag.String("validate", "", "validate a recorded JSON file and exit")
@@ -182,6 +228,7 @@ func main() {
 	maxDrop := flag.Float64("max-drop", 0.10, "failing Mpps drop fraction for normal rows")
 	noiseMpps := flag.Float64("noise-mpps", 20, "rows at or above this baseline Mpps use -noise-drop")
 	noiseDrop := flag.Float64("noise-drop", 0.25, "failing drop fraction for noise-dominated (cache-resident) rows")
+	telemetryBudget := flag.Float64("telemetry-budget", 0.05, "failing armed-vs-disarmed Mpps fraction for the telemetry overhead pair (0 disables)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -200,6 +247,9 @@ func main() {
 			fail(err)
 		}
 		if err := validate(rows); err != nil {
+			fail(fmt.Errorf("%s: %w", *validatePath, err))
+		}
+		if err := telemetryGate(rows, *telemetryBudget); err != nil {
 			fail(fmt.Errorf("%s: %w", *validatePath, err))
 		}
 		fmt.Printf("benchcheck: %s: %d rows ok\n", *validatePath, len(rows))
@@ -224,6 +274,9 @@ func main() {
 		fail(fmt.Errorf("fresh %s: %w", *freshPath, err))
 	}
 
+	if err := telemetryGate(fresh, *telemetryBudget); err != nil {
+		fail(fmt.Errorf("fresh %s: %w", *freshPath, err))
+	}
 	findings, unbaselined := compare(baseline, fresh, *maxDrop, *noiseMpps, *noiseDrop)
 	failures, skips := 0, 0
 	for _, f := range findings {

@@ -19,7 +19,7 @@ import (
 
 func main() {
 	scale := flag.String("scale", "standard", "experiment scale: quick, standard (100K flows) or full (1M flows)")
-	figure := flag.String("figure", "all", "which figure to regenerate (all, table1, fig3, fig9...fig20, decomposition, flowcache, flowsetup)")
+	figure := flag.String("figure", "all", "which figure to regenerate (all, table1, fig3, fig9...fig20, decomposition, flowcache, flowsetup, telemetry)")
 	flag.Parse()
 
 	var cfg experiments.Config
@@ -53,6 +53,7 @@ func main() {
 		"decomposition": experiments.Decomposition,
 		"flowcache":     experiments.FlowCacheSweep,
 		"flowsetup":     experiments.FlowSetupRate,
+		"telemetry":     experiments.Telemetry,
 	}
 
 	start := time.Now()

@@ -12,9 +12,38 @@
 //	         [-listen :6653] [-punt-ring 1024] [-punt-rate 10000]
 //	         [-fail-mode normal|standalone|secure] [-punt-filter 4096]
 //	         [-punt-filter-window 64] [-miss-send-len 128] [-max-table-entries 0]
+//	         [-metrics-addr :9090] [-flow-export udp:host:port|file:path]
+//	         [-flow-export-interval 1s] [-flow-active-timeout 30s]
+//	         [-flow-idle-timeout 10s] [-trace <hexframe|pcap:file[:n]>] [-trace-port 1]
 //
 // When -listen is given, an OpenFlow agent accepts controller connections
 // and applies FlowMods to the running switch.
+//
+// # Observability plane
+//
+// -metrics-addr serves the switch's full metric surface — every folded
+// Stats() counter, per-port I/O and link state, cache and fault-domain
+// counters, burst-duration and punt-latency histograms, Go runtime stats —
+// in Prometheus text format on /metrics, plus /debug/pprof for profiling.
+// It also arms latency sampling (one gate load per worker poll; two clock
+// reads per burst when armed).  The end-of-run stats footer renders from the
+// same registry the endpoint serves, so stdout and HTTP can never disagree.
+//
+// -flow-export streams IPFIX flow records (RFC 7011 subset, pure stdlib) to
+// a UDP collector ("udp:host:port") or a length-prefixed file ("file:path").
+// The exporter samples per-flow counters off the flow table on the lifecycle
+// sweeper's locked walk — never the worker hot path — and exports deltas on
+// active/idle timeouts plus a final record when a flow expires or the switch
+// shuts down.  Per-flow counters are maintained only when exporting; the
+// verdict caches stay enabled regardless — a cache hit credits the same flow
+// entries the full walk would have, so exported statistics stay exact.
+//
+// -trace replays one packet through the compiled pipeline off the hot path
+// and prints an ofproto/trace-style explanation — which table, template and
+// entry classified it at every step, the verdict, cache eligibility, and the
+// megaflow mask the walk would install — then exits.  The packet is a hex
+// string ("02000000000101..." ) or a capture slot ("pcap:flows.pcap:3");
+// -trace-port sets its ingress port.
 //
 // -backend selects the packet I/O behind each port, one comma-separated item
 // per port in port-ID order (a shorter list is padded with "null" TX sinks):
@@ -65,6 +94,7 @@
 package main
 
 import (
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"log"
@@ -83,8 +113,10 @@ import (
 	"eswitch/internal/dpdk"
 	"eswitch/internal/ofp"
 	"eswitch/internal/ovs"
+	"eswitch/internal/pcap"
 	"eswitch/internal/pkt"
 	"eswitch/internal/slowpath"
+	"eswitch/internal/telemetry"
 	"eswitch/internal/workload"
 )
 
@@ -134,6 +166,47 @@ func rateString(pps int) string {
 	return fmt.Sprintf("%d pps", pps)
 }
 
+// traceFrame materializes the -trace packet: "pcap:<file>[:index]" pulls one
+// capture record, anything else parses as hex (spaces/colons tolerated).
+func traceFrame(spec string) ([]byte, error) {
+	if rest, ok := strings.CutPrefix(spec, "pcap:"); ok {
+		file, idx := rest, 0
+		if i := strings.LastIndex(rest, ":"); i > 0 {
+			n, err := strconv.Atoi(rest[i+1:])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("bad pcap slot %q", rest[i+1:])
+			}
+			file, idx = rest[:i], n
+		}
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r, err := pcap.NewReader(f)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; ; i++ {
+			p, err := r.Next()
+			if err != nil {
+				return nil, fmt.Errorf("capture has no packet %d: %w", idx, err)
+			}
+			if i == idx {
+				return p.Data, nil
+			}
+		}
+	}
+	clean := strings.Map(func(r rune) rune {
+		switch r {
+		case ' ', ':', '\n', '\t':
+			return -1
+		}
+		return r
+	}, spec)
+	return hex.DecodeString(clean)
+}
+
 func buildUseCase(name string, flows, backendPorts int) *workload.UseCase {
 	switch name {
 	case "l2":
@@ -179,6 +252,13 @@ func main() {
 	puntFilterWindow := flag.Int("punt-filter-window", 64, "punt-storm filter suppression window in worker poll iterations")
 	missSendLen := flag.Int("miss-send-len", 0, "PacketIn payload truncation in bytes, original length preserved in total_len (0 = full frame)")
 	maxTable := flag.Int("max-table-entries", 0, "per-table flow entry cap; overflowing FlowMods fail with TABLE_FULL (0 = unlimited; eswitch datapath only)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus-text /metrics and /debug/pprof on this address; arms latency sampling (e.g. :9090)")
+	flowExport := flag.String("flow-export", "", "IPFIX flow export sink: udp:host:port or file:path (eswitch datapath; maintains per-flow counters — the verdict caches stay enabled, their hits credit the matched entries)")
+	flowExportInterval := flag.Duration("flow-export-interval", time.Second, "flow exporter poll interval")
+	flowActive := flag.Duration("flow-active-timeout", 30*time.Second, "export a still-active flow's accumulated delta at least this often")
+	flowIdle := flag.Duration("flow-idle-timeout", 10*time.Second, "export a flow's remaining delta once its counters idle this long")
+	traceSpec := flag.String("trace", "", "trace one packet through the compiled pipeline and exit: hex frame or pcap:<file>[:index] (eswitch datapath)")
+	tracePort := flag.Uint("trace-port", 1, "ingress port for -trace")
 	flag.Parse()
 
 	txPol, err := dpdk.ParseTxPolicy(*txpolicy)
@@ -199,6 +279,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "-flowcache wants an entry count or \"off\", got %q\n", *flowcache)
 			os.Exit(2)
 		}
+	}
+	if *flowExport != "" && *datapath != "eswitch" {
+		fmt.Fprintln(os.Stderr, "eswitchd: -flow-export requires -datapath eswitch (per-flow counters live on the compiled flow table)")
+		os.Exit(2)
 	}
 
 	// The backend item count sizes port-count-flexible pipelines (xconnect)
@@ -222,6 +306,7 @@ func main() {
 		opts := core.DefaultOptions()
 		opts.Decompose = uc.WantsDecomposition
 		opts.MaxTableEntries = *maxTable
+		opts.UpdateCounters = *flowExport != ""
 		if cacheEntries > 0 {
 			// The microflow cache and the cycle meter are mutually
 			// exclusive: memoized verdicts would skip the per-stage model
@@ -275,6 +360,22 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown datapath %q\n", *datapath)
 		os.Exit(2)
+	}
+
+	if *traceSpec != "" {
+		// Trace mode: explain one packet's walk through the compiled
+		// pipeline and exit — no ports, no workers, no traffic.
+		if compiled == nil {
+			fmt.Fprintln(os.Stderr, "eswitchd: -trace requires -datapath eswitch")
+			os.Exit(2)
+		}
+		frame, err := traceFrame(*traceSpec)
+		if err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		p := pkt.Packet{Data: frame, InPort: uint32(*tracePort)}
+		fmt.Print(compiled.Trace(&p).String())
+		return
 	}
 
 	// Drive the switch through the dataplane substrate: RSS-steered
@@ -395,6 +496,40 @@ func main() {
 		},
 	})
 	defer psup.Stop()
+
+	// The observability plane: one registry behind /metrics AND the stats
+	// footer, an optional IPFIX flow exporter, and latency sampling armed
+	// whenever anyone is watching.
+	reg := telemetry.NewRegistry()
+	telemetry.RegisterSwitch(reg, telemetry.SwitchSource{Switch: sw, Datapath: compiled, Supervisor: psup})
+	telemetry.RegisterGoRuntime(reg)
+	var exporter *telemetry.FlowExporter
+	if *flowExport != "" {
+		sink, err := telemetry.ParseSink(*flowExport)
+		if err != nil {
+			log.Fatalf("flow export: %v", err)
+		}
+		exporter = telemetry.NewFlowExporter(compiled, sink, telemetry.ExporterConfig{
+			PollInterval:  *flowExportInterval,
+			ActiveTimeout: *flowActive,
+			IdleTimeout:   *flowIdle,
+		})
+		telemetry.RegisterExporter(reg, exporter)
+		exporter.Start()
+		fmt.Printf("eswitchd: IPFIX flow export to %s every %s (active timeout %s, idle timeout %s)\n",
+			*flowExport, *flowExportInterval, *flowActive, *flowIdle)
+	}
+	if *metricsAddr != "" || exporter != nil {
+		sw.SetLatencySampling(true)
+	}
+	if *metricsAddr != "" {
+		msrv, err := telemetry.Serve(*metricsAddr, reg)
+		if err != nil {
+			log.Fatalf("metrics: %v", err)
+		}
+		defer msrv.Close()
+		fmt.Printf("eswitchd: metrics on http://%s/metrics (profiling on /debug/pprof)\n", msrv.Addr())
+	}
 
 	if *listen != "" {
 		ln, err := net.Listen("tcp", *listen)
@@ -534,73 +669,36 @@ func main() {
 		log.Printf("eswitchd: close: %v", err)
 	}
 
-	st := sw.Stats()
-	var ps dpdk.PortStats
-	for _, port := range sw.Ports() {
-		pst := port.Stats()
-		ps.RxDrops += pst.RxDrops
-		ps.TxDrops += pst.TxDrops
-	}
-	if realIO {
-		fmt.Println()
-		for _, port := range sw.Ports() {
-			pst := port.Stats()
-			fmt.Printf("port %d:    %d rx, %d tx (%d rx drops, %d tx drops) [%s, link %s]\n",
-				port.ID, pst.RxPackets, pst.TxPackets, pst.RxDrops, pst.TxDrops, backendName(port.Backend()), port.LinkState())
+	// The exporter flushes every remaining flow delta (forced end) before
+	// the footer renders, so the ipfix line shows the final totals.
+	if exporter != nil {
+		if err := exporter.Close(); err != nil {
+			log.Printf("eswitchd: flow export: %v", err)
 		}
-	} else {
-		fmt.Printf("\ninjected:  %d packets (%d rx drops, %d tx drops)\n", injected, ps.RxDrops, ps.TxDrops)
 	}
-	fmt.Printf("processed: %d packets (%d forwarded, %d dropped, %d to controller)\n",
-		st.Processed, st.Forwarded, st.Dropped, st.ToCtrl)
-	fmt.Printf("tx:        policy %s, %d retries, %d backpressure drops\n", txPol, st.TxRetries, st.TxDrops)
-	fmt.Printf("ports:     %d down, %d flapping; %d link transitions, %d reopens (%d failed), %d worker stalls\n",
-		st.PortsDown, st.PortsFlapping, psup.Transitions(), psup.Reopens(), psup.ReopenFails(), psup.Stalls())
-	if st.Panics > 0 {
-		fmt.Printf("contained: %d datapath panics, %d frames quarantined\n", st.Panics, st.Quarantined)
+	// The counter invariants hold at rest (workers stopped): surface any
+	// violation loudly rather than printing inconsistent numbers.
+	if err := sw.Stats().CheckInvariants(puntRings != nil); err != nil {
+		log.Printf("eswitchd: %v", err)
 	}
-	if puntRings != nil {
-		// Punts+PuntDrops+PuntSuppressed+PuntFiltered == ToCtrl: every punted
-		// verdict is exactly one ring push attempt, a degraded-mode
-		// suppression, or a storm-filter hit.
-		fmt.Printf("slowpath:  %d punts queued, %d ring drops, %d suppressed (fail mode), %d storm-filtered, %d re-injected punts cut\n",
-			st.Punts, st.PuntDrops, st.PuntSuppressed, st.PuntFiltered, sw.ReinjectPunts())
-	}
-	if compiled != nil && cacheEntries > 0 {
-		// CacheHits+CacheMisses == Processed when the cache is engaged
-		// (fold exactness); CacheStale is the subset of misses that found a
-		// matching key from a retired generation.
-		hitPct := 0.0
-		if st.CacheHits+st.CacheMisses > 0 {
-			hitPct = 100 * float64(st.CacheHits) / float64(st.CacheHits+st.CacheMisses)
-		}
-		fmt.Printf("flowcache: %d hits, %d misses (%d stale), %.1f%% hit rate\n",
-			st.CacheHits, st.CacheMisses, st.CacheStale, hitPct)
-		// Occupancy: Fills are installs into empty slots, Victims installs
-		// that displaced a different live microflow (set-conflict churn).
-		fcs := compiled.FlowCacheStats()
-		if fcs.Capacity > 0 {
-			// Capacity sums live workers' slots, so occupancy is only
-			// meaningful while workers are registered.
-			live := fcs.Fills
-			if live > fcs.Capacity {
-				live = fcs.Capacity
+	// One renderer for every run mode, reading the same registry /metrics
+	// serves — stdout and HTTP cannot disagree.
+	telemetry.RenderFooter(os.Stdout, reg, telemetry.FooterConfig{
+		RealIO:   realIO,
+		Injected: injected,
+		TxPolicy: fmt.Sprint(txPol),
+		PortDetail: func(id uint64) string {
+			port, err := sw.Port(uint32(id))
+			if err != nil {
+				return ""
 			}
-			fmt.Printf("           %d installs (%d fills, %d victims), ~%.1f%% of %d slots filled\n",
-				fcs.Installs, fcs.Fills, fcs.Victims, 100*float64(live)/float64(fcs.Capacity), fcs.Capacity)
-		} else {
-			fmt.Printf("           %d installs (%d fills, %d victims)\n",
-				fcs.Installs, fcs.Fills, fcs.Victims)
-		}
-		if compiled.MegaflowEnabled() {
-			megaPct := 0.0
-			if st.MegaHits+st.MegaMisses > 0 {
-				megaPct = 100 * float64(st.MegaHits) / float64(st.MegaHits+st.MegaMisses)
-			}
-			fmt.Printf("megaflow:  %d hits, %d misses, %.1f%% of microflow misses short-circuited\n",
-				st.MegaHits, st.MegaMisses, megaPct)
-		}
-	}
+			return fmt.Sprintf("[%s, link %s]", backendName(port.Backend()), port.LinkState())
+		},
+		Slowpath:  puntRings != nil,
+		FlowCache: compiled != nil && cacheEntries > 0,
+		Megaflow:  compiled != nil && cacheEntries > 0 && compiled.MegaflowEnabled(),
+		Latency:   sw.LatencySampling(),
+	})
 	if meter != nil {
 		fmt.Printf("model:     %.1f cycles/packet, %.2f Mpps single-core at %.1f GHz, %.3f LLC misses/packet\n",
 			meter.CyclesPerPacket(), meter.PacketRate()/1e6, meter.Platform.FreqGHz, meter.LLCMissesPerPacket())

@@ -446,6 +446,41 @@ func (s *Switch) PerformanceModel(name string) perfmodel.Model {
 func (s *Switch) Datapath() *core.Datapath { return s.dp }
 
 // ---------------------------------------------------------------------------
+// Observability plane
+// ---------------------------------------------------------------------------
+
+// TraceResult is a pipeline packet trace: every table lookup of one packet's
+// walk, the verdict, and the cache-hierarchy explanation (see Switch.Trace).
+type TraceResult = core.TraceResult
+
+// TraceStep is one table lookup of a TraceResult.
+type TraceStep = core.TraceStep
+
+// FlowSample is one flow entry's identity and counter snapshot (see
+// Switch.FlowSamples).
+type FlowSample = core.FlowSample
+
+// Trace replays one frame through the compiled pipeline as if it had been
+// received on inPort and explains every step: which table was consulted
+// through which compiled template, what matched, the final verdict, whether
+// the microflow/megaflow caches could memoize the walk, and the minimal
+// megaflow mask covering it.  The replay runs off the hot path (epoch-pinned
+// like Process), never bumps per-flow counters and never installs cache
+// entries — the ofproto/trace analogue for the compiled datapath.  The frame
+// may be rewritten in place, exactly as forwarding would rewrite it.
+func (s *Switch) Trace(frame []byte, inPort uint32) *TraceResult {
+	p := Packet{Data: frame, InPort: inPort}
+	return s.dp.Trace(&p)
+}
+
+// FlowSamples appends a counter snapshot of every installed flow entry to
+// buf (reusing its capacity) and returns it: the flow exporter's sampling
+// primitive.  Packet/byte counts are zero unless the switch was compiled
+// with Options.UpdateCounters; FlowSample.Entry is a stable per-entry
+// identity for delta tracking across samples.
+func (s *Switch) FlowSamples(buf []FlowSample) []FlowSample { return s.dp.FlowSamples(buf) }
+
+// ---------------------------------------------------------------------------
 // The flow-caching baseline (OVS-style)
 // ---------------------------------------------------------------------------
 

@@ -43,6 +43,12 @@ type burstScratch struct {
 	// for workers that actually own a FlowCache — it is ~10KB, and the
 	// default cache-off scratch must not carry it.
 	cache *cacheScratch
+	// ctr is the worker's private flow-counter delta accumulator
+	// (flowctr.go), non-nil only for registered workers on a datapath
+	// compiled with Options.UpdateCounters.  Pooled scratches (the
+	// ProcessBurstUnlocked path) leave it nil and bump the shared atomic
+	// counters directly.
+	ctr *flowCtrAccum
 }
 
 // cacheScratch is the burst-local staging of the microflow-cache probe
@@ -58,6 +64,10 @@ type cacheScratch struct {
 	cinstall [MaxBurst]bool
 	preH     [MaxBurst]pkt.Headers
 	miss     [MaxBurst]int32
+	// ctrs records, per miss slot, the Counters pointers of the entries the
+	// walk matched, so the install pass can memoize them alongside the
+	// verdict (counters-enabled datapaths only — see ctrList).
+	ctrs [MaxBurst]ctrList
 }
 
 // burstPool recycles scratch across bursts and workers; the scratch is
@@ -174,7 +184,7 @@ func (d *Datapath) processBurst(sc *burstScratch, m *cpumodel.Meter, sn *snapsho
 				continue
 			}
 			set0 = set0[:0]
-			switch d.executeEntry(sn, ce, p, v, &set0, sn.start.id) {
+			switch d.executeEntry(sn, ce, p, v, &set0, sn.start.id, d.opts.UpdateCounters, sc.ctr) {
 			case stepNext:
 				sc.tramp[j] = ce.next
 				// Persist the accumulated action set for the next level;
@@ -205,7 +215,7 @@ func (d *Datapath) processBurst(sc *burstScratch, m *cpumodel.Meter, sn *snapsho
 		}
 	}
 
-	d.runWaves(sc, m, sn, ps, vs, cur, sc.frontB[:], curLen, uniform, 1)
+	d.runWaves(sc, m, sn, ps, vs, cur, sc.frontB[:], curLen, uniform, 1, false)
 }
 
 // runWaves executes the breadth-first wave loop over the goto DAG for the
@@ -220,8 +230,11 @@ func (d *Datapath) processBurst(sc *burstScratch, m *cpumodel.Meter, sn *snapsho
 // single fused pass: tiny groups gain nothing from staging, and the
 // survivors re-merge into a single batch before a shared downstream
 // table (the routing LPM) is visited.  It is shared verbatim by the plain
-// and cache-fronted burst paths so their semantics cannot drift.
-func (d *Datapath) runWaves(sc *burstScratch, m *cpumodel.Meter, sn *snapshot, ps []*pkt.Packet, vs []openflow.Verdict, cur, next []int32, curLen int, uniform bool, startLevel int) {
+// and cache-fronted burst paths so their semantics cannot drift.  When rec
+// is set (cache-fronted walk on a counters-enabled datapath), every matched
+// entry's Counters pointer is recorded in the slot's ctrList so the install
+// pass can memoize it with the verdict.
+func (d *Datapath) runWaves(sc *burstScratch, m *cpumodel.Meter, sn *snapshot, ps []*pkt.Packet, vs []openflow.Verdict, cur, next []int32, curLen int, uniform bool, startLevel int, rec bool) {
 	var nextTr *trampoline
 	for level := startLevel; curLen > 0; level++ {
 		if level >= openflow.MaxPipelineDepth {
@@ -261,7 +274,10 @@ func (d *Datapath) runWaves(sc *burstScratch, m *cpumodel.Meter, sn *snapshot, p
 					}
 					continue
 				}
-				switch d.executeEntry(sn, ce, p, v, &sc.sets[i], tr.id) {
+				if rec {
+					sc.cache.ctrs[i].add(ce.counters)
+				}
+				switch d.executeEntry(sn, ce, p, v, &sc.sets[i], tr.id, d.opts.UpdateCounters, sc.ctr) {
 				case stepNext:
 					sc.tramp[i] = ce.next
 					if nextLen == 0 {
@@ -307,7 +323,10 @@ func (d *Datapath) runWaves(sc *burstScratch, m *cpumodel.Meter, sn *snapshot, p
 					}
 					continue
 				}
-				switch d.executeEntry(sn, ce, p, v, &sc.sets[i], tri.id) {
+				if rec {
+					sc.cache.ctrs[i].add(ce.counters)
+				}
+				switch d.executeEntry(sn, ce, p, v, &sc.sets[i], tri.id, d.opts.UpdateCounters, sc.ctr) {
 				case stepNext:
 					sc.tramp[i] = ce.next
 					if nextLen == 0 {
@@ -392,14 +411,20 @@ func (d *Datapath) processBurstCached(sc *burstScratch, sn *snapshot, fc *FlowCa
 	// on the spot; misses join the level-0 frontier at the start table,
 	// with their engine slot state (trampoline, action set) primed the way
 	// the plain path's specialized level 0 would leave it.
+	rec := d.opts.UpdateCounters
 	cur := sc.frontA[:]
 	missN := 0
 	hits, stale := 0, 0
 	for i := 0; i < n; i++ {
 		p := ps[i]
 		if cs.cbase[i] != probeSkip {
-			if e, st := fc.lookupAt(cs.cbase[i], cs.chash[i], &cs.ckey[i], gen); e != nil {
+			if e, ei, st := fc.lookupAt(cs.cbase[i], cs.chash[i], &cs.ckey[i], gen); e != nil {
 				e.apply(p, &vs[i])
+				if e.nctr != 0 {
+					// Credit the entries the memoized walk matched, so
+					// per-flow counters stay exact across hits.
+					bumpCtrs(&fc.ctrs[ei], e.nctr, len(p.Data), sc.ctr)
+				}
 				hits++
 				continue
 			} else {
@@ -416,6 +441,7 @@ func (d *Datapath) processBurstCached(sc *burstScratch, sn *snapshot, fc *FlowCa
 		if len(sc.sets[i]) > 0 {
 			sc.sets[i] = sc.sets[i][:0]
 		}
+		cs.ctrs[i].reset()
 		cs.miss[missN] = int32(i)
 		cur[missN] = int32(i)
 		missN++
@@ -430,11 +456,13 @@ func (d *Datapath) processBurstCached(sc *burstScratch, sn *snapshot, fc *FlowCa
 		return
 	}
 
-	d.runWaves(sc, nil, sn, ps, vs, cur, sc.frontB[:], missN, true, 0)
+	d.runWaves(sc, nil, sn, ps, vs, cur, sc.frontB[:], missN, true, 0, rec)
 
 	// Install pass: memoize every miss whose verdict the cache can express —
 	// at most one output port, a walk shallow enough for the encoding, and a
-	// header delta the flat patch can replay.
+	// header delta the flat patch can replay.  On a counters-enabled datapath
+	// the matched entries' counter pointers ride along (walks deeper than the
+	// counter list are not memoized there).
 	for j := 0; j < missN; j++ {
 		i := int(cs.miss[j])
 		if !cs.cinstall[i] {
@@ -444,11 +472,19 @@ func (d *Datapath) processBurstCached(sc *burstScratch, sn *snapshot, fc *FlowCa
 		if !ok {
 			continue
 		}
+		var ctrs *[cacheMaxCtrs]*openflow.Counters
+		var nctr uint8
+		if rec {
+			if cs.ctrs[i].over {
+				continue
+			}
+			ctrs, nctr = &cs.ctrs[i].ptrs, cs.ctrs[i].n
+		}
 		p := ps[i]
 		patch, fields, ttlDec, ok := diffHeaders(&cs.preH[i], &p.Headers, p.Metadata)
 		if !ok {
 			continue
 		}
-		fc.install(cs.chash[i], &cs.ckey[i], gen, flags, out, tables, ttlDec, puntTable, fields, &patch)
+		fc.install(cs.chash[i], &cs.ckey[i], gen, flags, out, tables, ttlDec, puntTable, fields, &patch, ctrs, nctr)
 	}
 }

@@ -53,7 +53,9 @@ type snapshot struct {
 	gen uint64
 	// cacheable reports whether the pipeline's verdicts may be memoized per
 	// microflow: every match field used anywhere in the pipeline is covered
-	// by the canonical flow key and per-entry counters are off.
+	// by the canonical flow key.  Per-entry counters do not affect it — the
+	// caches memoize the matched entries' counter pointers and keep
+	// statistics exact on hits (flowctr.go).
 	cacheable bool
 }
 
@@ -197,7 +199,7 @@ func (d *Datapath) publish() {
 		numPorts:    d.numPorts,
 		missToCtrl:  d.pipeline.Miss == openflow.MissController,
 		gen:         d.gen,
-		cacheable:   !d.opts.UpdateCounters && d.usedFields&^cacheCoveredFields == 0,
+		cacheable:   d.usedFields&^cacheCoveredFields == 0,
 	})
 }
 
@@ -391,10 +393,21 @@ const (
 // apply-only hot path free of action-set stores.  table is the entry's own
 // table, to which any punt-to-controller the entry executes is attributed.
 // It returns how processing ended and is shared verbatim by the per-packet
-// and burst engines so their semantics cannot drift.
-func (d *Datapath) executeEntry(sn *snapshot, ce *compiledEntry, p *pkt.Packet, v *openflow.Verdict, set *openflow.ActionList, table openflow.TableID) stepResult {
-	if d.opts.UpdateCounters {
-		ce.counters.Add(len(p.Data))
+// and burst engines so their semantics cannot drift.  counters selects
+// whether the entry's per-flow counters are bumped: the forwarding paths
+// pass Options.UpdateCounters, the trace replay (trace.go) passes false so
+// an admin trace never perturbs flow statistics.  A non-nil ctr redirects
+// the bump into the worker's private delta accumulator (flowctr.go) —
+// plain adds on worker-owned memory instead of two shared atomic RMWs per
+// packet; callers without worker-owned scratch pass nil and take the
+// direct atomic path.
+func (d *Datapath) executeEntry(sn *snapshot, ce *compiledEntry, p *pkt.Packet, v *openflow.Verdict, set *openflow.ActionList, table openflow.TableID, counters bool, ctr *flowCtrAccum) stepResult {
+	if counters {
+		if ctr != nil {
+			ctr.add(ce.counters, len(p.Data))
+		} else {
+			ce.counters.Add(len(p.Data))
+		}
 	}
 	if len(ce.apply.list) > 0 {
 		wasPunt := v.ToController
@@ -455,7 +468,7 @@ func (d *Datapath) processFast(sn *snapshot, p *pkt.Packet, v *openflow.Verdict)
 			sn.miss(v, tr.id)
 			return
 		}
-		if d.executeEntry(sn, out.entry, p, v, &actionSet, tr.id) != stepNext {
+		if d.executeEntry(sn, out.entry, p, v, &actionSet, tr.id, d.opts.UpdateCounters, nil) != stepNext {
 			return
 		}
 		tr = out.entry.next
@@ -492,7 +505,7 @@ func (d *Datapath) processMetered(sn *snapshot, m *cpumodel.Meter, p *pkt.Packet
 			m.AddCycles(cpumodel.CostPktIO)
 			return
 		}
-		switch d.executeEntry(sn, out.entry, p, v, &actionSet, tr.id) {
+		switch d.executeEntry(sn, out.entry, p, v, &actionSet, tr.id, d.opts.UpdateCounters, nil) {
 		case stepDropped:
 			m.AddCycles(cpumodel.CostActions)
 			return

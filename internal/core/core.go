@@ -92,10 +92,12 @@ type Options struct {
 	// microflow verdict was memoized skip the template walk entirely.  The
 	// cache is only consulted when the pipeline is cacheable (every used
 	// match field is part of the canonical flow key) and the datapath is
-	// unmetered; see flowcache.go.  Zero disables it.  Memory note: every
-	// worker — including the facade's recycled pinned workers — owns a
-	// cache of entries x 128 bytes, so size it for the expected concurrent
-	// flow count, not "as big as possible".
+	// unmetered; see flowcache.go.  With UpdateCounters on, cache entries
+	// additionally memoize the matched entries' counter pointers so hits
+	// keep per-flow statistics exact.  Zero disables it.  Memory note:
+	// every worker — including the facade's recycled pinned workers — owns
+	// a cache of entries x 192 bytes, so size it for the expected
+	// concurrent flow count, not "as big as possible".
 	FlowCache int
 	// Megaflow, when positive, adds a per-worker megaflow (masked-match)
 	// second-level cache of roughly this many entries behind the microflow

@@ -35,10 +35,16 @@ import (
 //     differs from the current snapshot's is a miss ("stale").  No per-entry
 //     locking, no invalidation walks: one counter compare per probe.
 //   - Verdicts that cannot be memoized are never installed: multi-port
-//     (flood/multicast) outputs, pipelines with per-entry counter updates,
-//     packets entering with non-zero metadata, and header rewrites the flat
-//     patch cannot express (see diffHeaders).  Metered datapaths disable the
-//     cache entirely — the cycle model must observe the full walk.
+//     (flood/multicast) outputs, packets entering with non-zero metadata, and
+//     header rewrites the flat patch cannot express (see diffHeaders).
+//     Metered datapaths disable the cache entirely — the cycle model must
+//     observe the full walk.
+//   - Per-flow counters (Options.UpdateCounters) do not defeat the cache:
+//     the install records the matched entries' stable Counters pointers in
+//     the cache entry (ctrList, flowctr.go) and a hit bumps them through the
+//     worker's delta accumulator, so statistics stay exact while repeat
+//     microflows still skip the walk.  Only walks matching more than
+//     cacheMaxCtrs entries fall back to the full walk on such datapaths.
 //
 // Whether a *pipeline* is cacheable at all is decided at publish time: every
 // match field used anywhere in the pipeline must be part of the canonical key
@@ -130,9 +136,12 @@ const (
 // cacheEntry is one memoized microflow verdict.  The first 64 bytes hold
 // everything a patch-free hit needs (key, generation, verdict, TTL
 // decrement), so the common case touches a single cache line; the patch
-// spills onto the second line and is read only when fields != 0.  Entries are
-// padded to 128 bytes so the hot line stays line-aligned within the
-// (64-byte-aligned) backing array.
+// spills onto the second line and is read only when fields != 0.  Entries
+// are padded to 128 bytes so the hot line stays line-aligned within the
+// (64-byte-aligned) backing array.  The matched-entry counter pointers a
+// counters-enabled datapath memoizes live in the cache's parallel ctrs
+// array (same index), so unarmed datapaths pay nothing for them; only the
+// count rides here, in what was a pad byte of the hot line.
 type cacheEntry struct {
 	key       flowKey // 40 bytes
 	gen       uint64
@@ -142,7 +151,7 @@ type cacheEntry struct {
 	flags     uint8
 	tables    uint8
 	ttlDec    uint8
-	_         [1]byte
+	nctr      uint8  // entries recorded in the cache's ctrs array
 	puntTable uint16 // originating table of a cacheToCtrl verdict -> 64 bytes
 	patch     cachePatch
 	_         [24]byte // -> 128 bytes
@@ -177,8 +186,12 @@ type FlowCacheStats struct {
 // other goroutines.
 type FlowCache struct {
 	entries []cacheEntry
-	mask    uint32 // numSets - 1
-	rr      uint32 // round-robin victim cursor (owner-only)
+	// ctrs is the parallel matched-entry counter store (entry i's pointers
+	// at ctrs[i], count in entries[i].nctr), allocated only on a
+	// counters-enabled datapath — see ctrList (flowctr.go).
+	ctrs [][cacheMaxCtrs]*openflow.Counters
+	mask uint32 // numSets - 1
+	rr   uint32 // round-robin victim cursor (owner-only)
 
 	// touchSink absorbs the probe pass's early line touches so the compiler
 	// cannot eliminate them (owner-only; the value is meaningless).
@@ -205,16 +218,22 @@ type FlowCache struct {
 const probeSkip = ^uint32(0)
 
 // newFlowCache sizes a cache for roughly the requested number of entries,
-// rounding the set count up to a power of two (ways stay fixed).
-func newFlowCache(entries int) *FlowCache {
+// rounding the set count up to a power of two (ways stay fixed).  counters
+// additionally allocates the parallel matched-entry counter store, so only
+// counters-enabled datapaths pay its footprint.
+func newFlowCache(entries int, counters bool) *FlowCache {
 	sets := 64
 	for sets*flowCacheWays < entries {
 		sets <<= 1
 	}
-	return &FlowCache{
+	fc := &FlowCache{
 		entries: make([]cacheEntry, sets*flowCacheWays),
 		mask:    uint32(sets - 1),
 	}
+	if counters {
+		fc.ctrs = make([][cacheMaxCtrs]*openflow.Counters, sets*flowCacheWays)
+	}
+	return fc
 }
 
 // Len returns the cache capacity in entries.
@@ -222,52 +241,57 @@ func (fc *FlowCache) Len() int { return len(fc.entries) }
 
 // lookup probes the set for a current-generation entry with the given key.
 // It reports a stale sighting (matching key, retired generation) so the
-// caller can count it; a stale entry is never returned.
-func (fc *FlowCache) lookup(h uint32, k *flowKey, gen uint64) (e *cacheEntry, stale bool) {
+// caller can count it; a stale entry is never returned.  idx is the hit
+// entry's index (fc.ctrs[idx] holds its memoized counter pointers).
+func (fc *FlowCache) lookup(h uint32, k *flowKey, gen uint64) (e *cacheEntry, idx uint32, stale bool) {
 	return fc.lookupAt((h&fc.mask)*flowCacheWays, h, k, gen)
 }
 
 // lookupAt is lookup with the set base precomputed (the burst probe pass
 // derives all bases first so the cold set lines can be touched early).
-func (fc *FlowCache) lookupAt(base, h uint32, k *flowKey, gen uint64) (e *cacheEntry, stale bool) {
+func (fc *FlowCache) lookupAt(base, h uint32, k *flowKey, gen uint64) (e *cacheEntry, idx uint32, stale bool) {
 	set := fc.entries[base : base+flowCacheWays]
 	for i := range set {
 		c := &set[i]
 		if c.hash == h && c.flags&cacheValid != 0 && c.key == *k {
 			if c.gen == gen {
-				return c, stale
+				return c, base + uint32(i), stale
 			}
 			stale = true
 		}
 	}
-	return nil, stale
+	return nil, 0, stale
 }
 
 // install memoizes a verdict for the key.  Victim priority: an entry already
 // holding the key (refresh in place), an invalid slot, a retired-generation
 // slot, then round-robin — so churn under a full set cannot pin one way.
-func (fc *FlowCache) install(h uint32, k *flowKey, gen uint64, flags uint8, out uint32, tables, ttlDec uint8, puntTable uint16, fields uint16, patch *cachePatch) {
+// ctrs/nctr carry the matched entries' counter pointers on a counters-enabled
+// datapath (nil/0 otherwise), so hits can keep per-flow statistics exact.
+func (fc *FlowCache) install(h uint32, k *flowKey, gen uint64, flags uint8, out uint32, tables, ttlDec uint8, puntTable uint16, fields uint16, patch *cachePatch, ctrs *[cacheMaxCtrs]*openflow.Counters, nctr uint8) {
 	base := (h & fc.mask) * flowCacheWays
 	set := fc.entries[base : base+flowCacheWays]
 	var victim *cacheEntry
+	vi := uint32(0)
 	for i := range set {
 		c := &set[i]
 		if c.flags&cacheValid == 0 {
 			if victim == nil {
-				victim = c
+				victim, vi = c, base+uint32(i)
 			}
 			continue
 		}
 		if c.hash == h && c.key == *k {
-			victim = c
+			victim, vi = c, base+uint32(i)
 			break
 		}
 		if c.gen != gen && (victim == nil || victim.flags&cacheValid != 0) {
-			victim = c
+			victim, vi = c, base+uint32(i)
 		}
 	}
 	if victim == nil {
-		victim = &set[fc.rr%flowCacheWays]
+		vi = base + fc.rr%flowCacheWays
+		victim = &fc.entries[vi]
 		fc.rr++
 	}
 	fc.installsL++
@@ -290,6 +314,10 @@ func (fc *FlowCache) install(h uint32, k *flowKey, gen uint64, flags uint8, out 
 	victim.puntTable = puntTable
 	if fields != 0 {
 		victim.patch = *patch
+	}
+	victim.nctr = nctr
+	if nctr != 0 {
+		fc.ctrs[vi] = *ctrs
 	}
 }
 

@@ -19,7 +19,9 @@ import (
 
 // TestCacheEntryLayout pins the size contract the probe relies on: the hot
 // part of an entry (everything but the patch) fits one cache line and the
-// padded entry stride keeps hot lines line-aligned.
+// padded entry stride keeps hot lines line-aligned.  Counter pointers live in
+// the cache's parallel ctrs array, not the entry, so the stride is the same
+// whether or not the datapath counts.
 func TestCacheEntryLayout(t *testing.T) {
 	var e cacheEntry
 	if got := unsafe.Sizeof(e); got != 128 {
@@ -35,24 +37,24 @@ func TestCacheEntryLayout(t *testing.T) {
 // stale, in-place refresh of an existing key, and stale-first victim
 // selection once a set fills.
 func TestFlowCacheProbeInstall(t *testing.T) {
-	fc := newFlowCache(256) // 64 sets x 4 ways
+	fc := newFlowCache(256, false) // 64 sets x 4 ways
 	k := flowKey{a: 1, b: 2, c: 3, d: 4, e: 5}
 	const h = 0x1234
-	if e, stale := fc.lookup(h, &k, 1); e != nil || stale {
+	if e, _, stale := fc.lookup(h, &k, 1); e != nil || stale {
 		t.Fatal("empty cache returned an entry")
 	}
-	fc.install(h, &k, 1, cacheValid|cacheHasPort, 7, 2, 0, 0, 0, nil)
-	e, stale := fc.lookup(h, &k, 1)
+	fc.install(h, &k, 1, cacheValid|cacheHasPort, 7, 2, 0, 0, 0, nil, nil, 0)
+	e, _, stale := fc.lookup(h, &k, 1)
 	if e == nil || stale || e.out != 7 || e.tables != 2 {
 		t.Fatalf("lookup after install: %+v stale=%v", e, stale)
 	}
 	// Same key, retired generation: nil + stale sighting.
-	if e, stale := fc.lookup(h, &k, 2); e != nil || !stale {
+	if e, _, stale := fc.lookup(h, &k, 2); e != nil || !stale {
 		t.Fatalf("stale entry served or not reported: %v %v", e, stale)
 	}
 	// Reinstall under the new generation refreshes in place (no second copy).
-	fc.install(h, &k, 2, cacheValid|cacheHasPort, 9, 2, 0, 0, 0, nil)
-	if e, _ := fc.lookup(h, &k, 2); e == nil || e.out != 9 {
+	fc.install(h, &k, 2, cacheValid|cacheHasPort, 9, 2, 0, 0, 0, nil, nil, 0)
+	if e, _, _ := fc.lookup(h, &k, 2); e == nil || e.out != 9 {
 		t.Fatalf("refresh in place failed: %+v", e)
 	}
 	live := 0
@@ -69,11 +71,11 @@ func TestFlowCacheProbeInstall(t *testing.T) {
 	// fifth slot.
 	for i := uint64(0); i < flowCacheWays-1; i++ {
 		kI := flowKey{a: 100 + i}
-		fc.install(h, &kI, 2, cacheValid, 0, 1, 0, 0, 0, nil)
+		fc.install(h, &kI, 2, cacheValid, 0, 1, 0, 0, 0, nil, nil, 0)
 	}
 	kNew := flowKey{a: 999}
-	fc.install(h, &kNew, 3, cacheValid|cacheHasPort, 11, 1, 0, 0, 0, nil)
-	if e, _ := fc.lookup(h, &kNew, 3); e == nil || e.out != 11 {
+	fc.install(h, &kNew, 3, cacheValid|cacheHasPort, 11, 1, 0, 0, 0, nil, nil, 0)
+	if e, _, _ := fc.lookup(h, &kNew, 3); e == nil || e.out != 11 {
 		t.Fatalf("install into a full set failed: %+v", e)
 	}
 	live = 0
@@ -216,9 +218,11 @@ func TestFlowCacheDifferential(t *testing.T) {
 }
 
 // TestFlowCacheGating asserts the cache never engages where it could lie:
-// pipelines matching fields outside the canonical key, metered datapaths and
-// per-entry-counter datapaths all publish cacheable=false (or refuse the
-// cache outright), and multicast verdicts are not memoized.
+// pipelines matching fields outside the canonical key and metered datapaths
+// publish cacheable=false (or refuse the cache outright), and multicast
+// verdicts are not memoized.  (Per-entry counters no longer gate the cache:
+// entries memoize the matched entries' counter pointers and hits keep the
+// statistics exact — TestFlowCacheCountersExact.)
 func TestFlowCacheGating(t *testing.T) {
 	t.Run("uncovered-field", func(t *testing.T) {
 		pl := openflow.NewPipeline(2)
@@ -528,4 +532,78 @@ func ExampleFlowCacheStats() {
 	dp, _ := Compile(uc.Pipeline, opts)
 	fmt.Println(dp.FlowCacheStats().Hits)
 	// Output: 0
+}
+
+// TestFlowCacheCountersExact asserts that per-flow counters stay exact when
+// the verdict caches are serving hits on a counters-enabled datapath: cache
+// entries memoize the matched entries' Counters pointers and every hit
+// credits exactly the entries the original walk matched, so after the worker
+// quiesces the table totals equal the packets processed — with most of the
+// traffic never having taken the template walk.
+func TestFlowCacheCountersExact(t *testing.T) {
+	for _, mega := range []int{0, 1024} {
+		name := "microflow"
+		if mega > 0 {
+			name = "microflow+megaflow"
+		}
+		t.Run(name, func(t *testing.T) {
+			const nFlows, passes = 256, 4
+			uc := workload.L3UseCase(nFlows, 4, 1)
+			opts := DefaultOptions()
+			opts.UpdateCounters = true
+			opts.FlowCache = 1024
+			opts.Megaflow = mega
+			dp, err := Compile(uc.Pipeline, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !dp.FlowCacheEnabled() {
+				t.Fatal("counters-enabled pipeline must stay cacheable")
+			}
+			w := dp.RegisterWorker().(*Worker)
+			defer dp.UnregisterWorker(w)
+
+			trace := uc.Trace(nFlows)
+			packets := make([]pkt.Packet, MaxBurst)
+			ps := make([]*pkt.Packet, MaxBurst)
+			vs := make([]openflow.Verdict, MaxBurst)
+			total, totalBytes := 0, 0
+			for pass := 0; pass < passes; pass++ {
+				trace.Reset()
+				for done := 0; done < nFlows; {
+					n := 0
+					for ; n < MaxBurst && done < nFlows; n, done = n+1, done+1 {
+						ps[n] = &packets[n]
+						trace.Next(ps[n])
+						totalBytes += len(ps[n].Data)
+					}
+					w.Enter()
+					w.ProcessBurst(ps[:n], vs[:n])
+					w.Exit()
+					total += n
+				}
+			}
+			// An empty Enter/Exit bracket is the worker's quiescent point:
+			// it folds any held counter deltas (flowctr.go).
+			w.Enter()
+			w.Exit()
+
+			st := dp.FlowCacheStats()
+			if st.Hits == 0 {
+				t.Fatal("repeat passes produced no cache hits")
+			}
+			if st.Hits+st.Misses != uint64(total) {
+				t.Fatalf("fold exactness violated: hits %d + misses %d != %d processed", st.Hits, st.Misses, total)
+			}
+			var gotPkts, gotBytes uint64
+			for _, s := range dp.FlowSamples(nil) {
+				gotPkts += s.Packets
+				gotBytes += s.Bytes
+			}
+			if gotPkts != uint64(total) || gotBytes != uint64(totalBytes) {
+				t.Fatalf("counters diverged under cache hits: table %d pkts / %d bytes, processed %d pkts / %d bytes (hits %d)",
+					gotPkts, gotBytes, total, totalBytes, st.Hits)
+			}
+		})
+	}
 }

@@ -67,15 +67,21 @@ const (
 // presence checks, so presence is part of the identity), the generation
 // guard, and the same flattened verdict program the microflow cache replays.
 type megaEntry struct {
-	key       hashKey
-	proto     pkt.Proto
-	gen       uint64
-	hash      uint32
-	out       uint32
-	fields    uint16
-	flags     uint8
-	tables    uint8
-	ttlDec    uint8
+	key    hashKey
+	proto  pkt.Proto
+	gen    uint64
+	hash   uint32
+	out    uint32
+	fields uint16
+	flags  uint8
+	tables uint8
+	ttlDec uint8
+	// nctr counts the matched-entry counter pointers memoized for this
+	// entry in the group's parallel ctrs array: every packet covered by the
+	// masked key matches the identical entry chain (that is the megaflow
+	// soundness argument), so a hit credits exactly the entries the
+	// original walk did.
+	nctr      uint8
 	puntTable uint16
 	patch     cachePatch
 }
@@ -94,8 +100,12 @@ type megaGroup struct {
 	masks   []uint64
 	fset    openflow.FieldSet
 	entries []megaEntry
-	mask    uint32 // numSets - 1
-	rr      uint32
+	// ctrs is the parallel matched-entry counter store (entry i's pointers
+	// at ctrs[i], count in entries[i].nctr), allocated only on a
+	// counters-enabled datapath.
+	ctrs [][cacheMaxCtrs]*openflow.Counters
+	mask uint32 // numSets - 1
+	rr   uint32
 }
 
 // MegaflowStats are the aggregate megaflow-cache counters folded over all
@@ -112,6 +122,9 @@ type megaCache struct {
 	groups []*megaGroup
 	// budget is the per-group entry capacity target (Options.Megaflow).
 	budget int
+	// counters makes new groups carry the parallel matched-entry counter
+	// store (Options.UpdateCounters).
+	counters bool
 
 	// acc is the worker's reusable mask accumulator; orig is the pre-walk
 	// packet view it captures values from.
@@ -123,11 +136,11 @@ type megaCache struct {
 	hits, misses   atomic.Uint64
 }
 
-func newMegaCache(budget int) *megaCache {
+func newMegaCache(budget int, counters bool) *megaCache {
 	if budget < megaWays {
 		budget = megaWays
 	}
-	mc := &megaCache{budget: budget}
+	mc := &megaCache{budget: budget, counters: counters}
 	mc.acc.PrefixTracking = true
 	return mc
 }
@@ -145,8 +158,10 @@ func megaHash(k hashKey, proto pkt.Proto) uint32 {
 
 // lookup probes every mask group for a current-generation entry covering the
 // packet, first hit wins.  The caller guarantees the packet entered with zero
-// metadata (the same canonicalization the microflow probe enforces).
-func (mc *megaCache) lookup(p *pkt.Packet, gen uint64) *megaEntry {
+// metadata (the same canonicalization the microflow probe enforces).  ctrs is
+// the hit entry's memoized counter-pointer list (nil when the entry carries
+// none, or the datapath does not count).
+func (mc *megaCache) lookup(p *pkt.Packet, gen uint64) (e *megaEntry, ctrs *[cacheMaxCtrs]*openflow.Counters) {
 	for _, g := range mc.groups {
 		key := packKey(p, g.fields, g.masks)
 		h := megaHash(key, p.Headers.Proto)
@@ -156,19 +171,23 @@ func (mc *megaCache) lookup(p *pkt.Packet, gen uint64) *megaEntry {
 			e := &set[i]
 			if e.hash == h && e.flags&cacheValid != 0 && e.key == key &&
 				e.proto == p.Headers.Proto && e.gen == gen {
-				return e
+				if e.nctr != 0 {
+					return e, &g.ctrs[base+uint32(i)]
+				}
+				return e, nil
 			}
 		}
 	}
-	return nil
+	return nil, nil
 }
 
 // install memoizes the verdict program under the mask the worker's
 // accumulator derived from the walk.  Group creation (one per mask
 // signature) is the only allocating step and happens during warmup; a full
 // group table evicts like the microflow cache (invalid slot, then retired
-// generation, then round-robin).
-func (mc *megaCache) install(gen uint64, flags uint8, out uint32, tables, ttlDec uint8, puntTable uint16, pfields uint16, patch *cachePatch) {
+// generation, then round-robin).  ctrs/nctr carry the walk's matched-entry
+// counter pointers on a counters-enabled datapath (nil/0 otherwise).
+func (mc *megaCache) install(gen uint64, flags uint8, out uint32, tables, ttlDec uint8, puntTable uint16, pfields uint16, patch *cachePatch, ctrs *[cacheMaxCtrs]*openflow.Counters, nctr uint8) {
 	acc := &mc.acc
 	fset := acc.FieldSet()
 	proto := mc.orig.Headers.Proto
@@ -204,24 +223,26 @@ func (mc *megaCache) install(gen uint64, flags uint8, out uint32, tables, ttlDec
 	base := (h & g.mask) * megaWays
 	set := g.entries[base : base+megaWays]
 	var victim *megaEntry
+	vi := uint32(0)
 	for i := range set {
 		e := &set[i]
 		if e.flags&cacheValid == 0 {
 			if victim == nil {
-				victim = e
+				victim, vi = e, base+uint32(i)
 			}
 			continue
 		}
 		if e.hash == h && e.key == key && e.proto == proto {
-			victim = e
+			victim, vi = e, base+uint32(i)
 			break
 		}
 		if e.gen != gen && (victim == nil || victim.flags&cacheValid != 0) {
-			victim = e
+			victim, vi = e, base+uint32(i)
 		}
 	}
 	if victim == nil {
-		victim = &set[g.rr%megaWays]
+		vi = base + g.rr%megaWays
+		victim = &g.entries[vi]
 		g.rr++
 	}
 	victim.key = key
@@ -236,6 +257,10 @@ func (mc *megaCache) install(gen uint64, flags uint8, out uint32, tables, ttlDec
 	victim.puntTable = puntTable
 	if pfields != 0 {
 		victim.patch = *patch
+	}
+	victim.nctr = nctr
+	if nctr != 0 {
+		g.ctrs[vi] = *ctrs
 	}
 }
 
@@ -264,6 +289,9 @@ func (mc *megaCache) newGroup(acc *openflow.MaskAccumulator, fset openflow.Field
 		fset:    fset,
 		entries: make([]megaEntry, sets*megaWays),
 		mask:    uint32(sets - 1),
+	}
+	if mc.counters {
+		g.ctrs = make([][cacheMaxCtrs]*openflow.Counters, sets*megaWays)
 	}
 	mc.groups = append(mc.groups, g)
 	return g
@@ -351,7 +379,9 @@ func (d *Datapath) MegaflowEnabled() bool {
 // examined to acc (nil acc runs the same walk unobserved, for packets whose
 // verdict cannot be memoized).  It mirrors runWaves' per-slot semantics
 // exactly: same executeEntry, same miss disposition, same depth guard.
-func (d *Datapath) walkTracked(sn *snapshot, p *pkt.Packet, v *openflow.Verdict, set *openflow.ActionList, acc *openflow.MaskAccumulator) {
+// Counter bumps go through ctr when the caller owns an accumulator, and a
+// non-nil rec collects the matched entries' counter pointers for the caches.
+func (d *Datapath) walkTracked(sn *snapshot, p *pkt.Packet, v *openflow.Verdict, set *openflow.ActionList, acc *openflow.MaskAccumulator, ctr *flowCtrAccum, rec *ctrList) {
 	tr := sn.start
 	for depth := 0; depth < openflow.MaxPipelineDepth; depth++ {
 		if tr == nil {
@@ -373,7 +403,10 @@ func (d *Datapath) walkTracked(sn *snapshot, p *pkt.Packet, v *openflow.Verdict,
 			sn.miss(v, tr.id)
 			return
 		}
-		res := d.executeEntry(sn, ce, p, v, set, tr.id)
+		if rec != nil {
+			rec.add(ce.counters)
+		}
+		res := d.executeEntry(sn, ce, p, v, set, tr.id, d.opts.UpdateCounters, ctr)
 		if acc != nil {
 			// Fields rewritten by this stage are deterministic for every
 			// packet on the path; suppress their later observation.
@@ -400,16 +433,21 @@ func (d *Datapath) walkTracked(sn *snapshot, p *pkt.Packet, v *openflow.Verdict,
 func (d *Datapath) processMissesTracked(sc *burstScratch, sn *snapshot, fc *FlowCache, mc *megaCache, ps []*pkt.Packet, vs []openflow.Verdict, missN int) {
 	cs := sc.cache
 	gen := sn.gen
+	recording := d.opts.UpdateCounters
 	megaHits, walks := 0, 0
 	for j := 0; j < missN; j++ {
 		i := int(cs.miss[j])
 		p := ps[i]
 		if cs.cbase[i] != probeSkip {
-			if e := mc.lookup(p, gen); e != nil {
+			if e, ectrs := mc.lookup(p, gen); e != nil {
 				e.apply(p, &vs[i])
+				if ectrs != nil {
+					bumpCtrs(ectrs, e.nctr, len(p.Data), sc.ctr)
+				}
 				// Promote: the program is valid for every packet matching
-				// the mask, so memoize it for this exact microflow too.
-				fc.install(cs.chash[i], &cs.ckey[i], gen, e.flags, e.out, e.tables, e.ttlDec, e.puntTable, e.fields, &e.patch)
+				// the mask, so memoize it for this exact microflow too
+				// (counter pointers included).
+				fc.install(cs.chash[i], &cs.ckey[i], gen, e.flags, e.out, e.tables, e.ttlDec, e.puntTable, e.fields, &e.patch, ectrs, e.nctr)
 				megaHits++
 				continue
 			}
@@ -417,6 +455,7 @@ func (d *Datapath) processMissesTracked(sc *burstScratch, sn *snapshot, fc *Flow
 		walks++
 		v := &vs[i]
 		var acc *openflow.MaskAccumulator
+		var rec *ctrList
 		if cs.cinstall[i] {
 			// Snapshot the pre-walk view the accumulator captures original
 			// values from (the walk rewrites p in place).
@@ -425,8 +464,11 @@ func (d *Datapath) processMissesTracked(sc *burstScratch, sn *snapshot, fc *Flow
 			mc.orig.Headers = p.Headers
 			acc = &mc.acc
 			acc.Reset(&mc.orig)
+			if recording {
+				rec = &cs.ctrs[i]
+			}
 		}
-		d.walkTracked(sn, p, v, &sc.sets[i], acc)
+		d.walkTracked(sn, p, v, &sc.sets[i], acc, sc.ctr, rec)
 		if acc == nil {
 			continue
 		}
@@ -434,12 +476,20 @@ func (d *Datapath) processMissesTracked(sc *burstScratch, sn *snapshot, fc *Flow
 		if !ok {
 			continue
 		}
+		var ctrs *[cacheMaxCtrs]*openflow.Counters
+		var nctr uint8
+		if recording {
+			if cs.ctrs[i].over {
+				continue
+			}
+			ctrs, nctr = &cs.ctrs[i].ptrs, cs.ctrs[i].n
+		}
 		patch, pfields, ttlDec, ok := diffHeaders(&cs.preH[i], &p.Headers, p.Metadata)
 		if !ok {
 			continue
 		}
-		fc.install(cs.chash[i], &cs.ckey[i], gen, flags, out, tables, ttlDec, puntTable, pfields, &patch)
-		mc.install(gen, flags, out, tables, ttlDec, puntTable, pfields, &patch)
+		fc.install(cs.chash[i], &cs.ckey[i], gen, flags, out, tables, ttlDec, puntTable, pfields, &patch, ctrs, nctr)
+		mc.install(gen, flags, out, tables, ttlDec, puntTable, pfields, &patch, ctrs, nctr)
 	}
 	mc.bump(megaHits, walks)
 }

@@ -1,0 +1,277 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"eswitch/internal/openflow"
+	"eswitch/internal/pkt"
+)
+
+// This file is the observability plane's window into the compiled datapath:
+//
+//   - FlowSamples reads a counter snapshot of every installed flow entry
+//     (the flow exporter's sampling primitive — the same locked phase-1 walk
+//     the lifecycle sweeper performs, so export and expiry observe flows
+//     identically);
+//   - Trace replays one packet through the pipeline off the hot path,
+//     recording what the forwarding walk only decides: which table, compiled
+//     template and entry classified the packet at every step, and what the
+//     cache hierarchy would have done with it.
+//
+// Neither touches the worker hot path: both run under the writer mutex or an
+// epoch pin, exactly like the admin operations that already exist.
+
+// FlowSample is one flow entry's identity and counter snapshot.
+type FlowSample struct {
+	Table    openflow.TableID
+	Priority int
+	Match    *openflow.Match
+	Cookie   uint64
+	// IdleTimeout/HardTimeout are the entry's configured lifetimes
+	// (seconds; zero = none).
+	IdleTimeout uint16
+	HardTimeout uint16
+	// Packets/Bytes are the entry's counters at sampling time (zero unless
+	// the datapath was compiled with Options.UpdateCounters).
+	Packets, Bytes uint64
+	// Entry is the sampled entry's identity: stable for the entry's
+	// lifetime, never reused across a replace (a FlowMod that replaces an
+	// entry installs a fresh one), so samplers key per-flow delta state on
+	// it exactly like the lifecycle sweeper does.
+	Entry *openflow.FlowEntry
+}
+
+// FlowSamples appends a counter snapshot of every installed flow entry to
+// buf (reusing its capacity) and returns it.  It takes the update mutex for
+// the duration of the walk — the forwarding workers never notice.  Parked
+// pinned workers' counter deltas are folded first (flowctr.go), so the
+// samples are exact once traffic through the facade paths has quiesced; a
+// live registered worker may still hold back at most ctrFlushPackets
+// packets of deltas until its next idle poll.
+func (d *Datapath) FlowSamples(buf []FlowSample) []FlowSample {
+	d.flushPinnedCounters()
+	buf = buf[:0]
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, t := range d.pipeline.Tables() {
+		for _, e := range t.Entries() {
+			buf = append(buf, FlowSample{
+				Table:       t.ID,
+				Priority:    e.Priority,
+				Match:       e.Match,
+				Cookie:      e.Cookie,
+				IdleTimeout: e.IdleTimeout,
+				HardTimeout: e.HardTimeout,
+				Packets:     e.Counters.Packets.Load(),
+				Bytes:       e.Counters.Bytes.Load(),
+				Entry:       e,
+			})
+		}
+	}
+	return buf
+}
+
+// CountersEnabled reports whether the datapath maintains per-flow-entry
+// counters (Options.UpdateCounters) — whether FlowSamples carries real
+// packet/byte counts or only flow identities.
+func (d *Datapath) CountersEnabled() bool { return d.opts.UpdateCounters }
+
+// TraceStep is one table lookup of a trace: which table was consulted,
+// through which compiled template, and what it decided.
+type TraceStep struct {
+	Table    openflow.TableID
+	Template TemplateKind
+	// Entries is the table's compiled entry count at trace time.
+	Entries int
+	// Matched reports whether the lookup found an entry; the remaining
+	// fields are meaningful only when it did.
+	Matched  bool
+	Priority int
+	Match    *openflow.Match
+	// Apply is the matched entry's apply-actions list.
+	Apply openflow.ActionList
+	// Next is the goto_table target (valid when HasNext).
+	Next    openflow.TableID
+	HasNext bool
+}
+
+// TraceResult is the full explanation of one packet's pipeline walk.
+type TraceResult struct {
+	// InPort echoes the traced packet's ingress port.
+	InPort uint32
+	// ParserLayer is how deep the specialized parser parses.
+	ParserLayer pkt.Layer
+	// Headers is the parsed view of the packet before any rewrites.
+	Headers pkt.Headers
+	// FlowHash is the packet's symmetric RSS/microflow hash: which RX queue
+	// a multi-queue NIC steers it to, and the microflow cache's probe key.
+	FlowHash uint32
+	// Generation is the datapath generation the trace ran under.
+	Generation uint64
+	// Cacheable reports whether pipeline verdicts may be memoized at all
+	// (every used match field covered by the canonical flow key, per-flow
+	// counters off); MicroflowEligible/MegaflowEligible report whether the
+	// respective cache layers are compiled in on top of that.
+	Cacheable         bool
+	MicroflowEligible bool
+	MegaflowEligible  bool
+	// Steps are the table lookups in walk order.
+	Steps []TraceStep
+	// Verdict is the walk's outcome.
+	Verdict openflow.Verdict
+	// MegaflowMask is the minimal masked match the megaflow layer would
+	// install to cover this walk (the fields/bits the lookups examined),
+	// in field order.  Empty when the walk examined nothing.
+	MegaflowMask []TraceMaskField
+}
+
+// TraceMaskField is one field of the trace's accumulated megaflow mask.
+type TraceMaskField struct {
+	Field openflow.Field
+	Value uint64
+	Mask  uint64
+}
+
+// Trace replays one packet through the compiled pipeline and explains every
+// step.  The walk runs the same template lookups and action execution as
+// the forwarding path (via LookupTracked and executeEntry) but never bumps
+// per-flow counters and never installs cache entries; p is parsed and may
+// be rewritten in place, exactly as forwarding would.  Safe to call from
+// any goroutine concurrently with forwarding and flow-mods: the walk runs
+// inside an epoch pin like Datapath.Process.
+func (d *Datapath) Trace(p *pkt.Packet) *TraceResult {
+	w := d.pinGet()
+	w.Enter()
+	defer func() { w.Exit(); d.pinPut(w) }()
+
+	sn := d.snap.Load()
+	res := &TraceResult{
+		InPort:            p.InPort,
+		ParserLayer:       sn.parserLayer,
+		Generation:        sn.gen,
+		Cacheable:         sn.cacheable,
+		MicroflowEligible: sn.cacheable && d.opts.FlowCache > 0 && d.meter == nil,
+	}
+	res.MegaflowEligible = res.MicroflowEligible && d.opts.Megaflow > 0
+
+	pkt.ParseTo(p, sn.parserLayer)
+	res.Headers = p.Headers
+	res.FlowHash = p.FlowHash()
+
+	// The mask accumulator observes the walk from the original packet view
+	// (rewrites along the walk must not leak into the reported mask).
+	orig := *p
+	var acc openflow.MaskAccumulator
+	acc.PrefixTracking = true
+	acc.Reset(&orig)
+
+	v := &res.Verdict
+	v.Reset()
+	var set openflow.ActionList
+	tr := sn.start
+	for depth := 0; depth < openflow.MaxPipelineDepth; depth++ {
+		if tr == nil {
+			break
+		}
+		dp := tr.load()
+		if dp == nil {
+			break
+		}
+		v.Tables++
+		step := TraceStep{Table: tr.id, Template: dp.Kind(), Entries: dp.Len()}
+		out := dp.LookupTracked(p, &acc)
+		ce := out.entry
+		if ce == nil {
+			res.Steps = append(res.Steps, step)
+			sn.miss(v, tr.id)
+			break
+		}
+		step.Matched = true
+		step.Priority = ce.priority
+		step.Match = ce.match
+		step.Apply = ce.apply.list
+		step.Next, step.HasNext = ce.nextID, ce.hasNext
+		res.Steps = append(res.Steps, step)
+		stepRes := d.executeEntry(sn, ce, p, v, &set, tr.id, false, nil)
+		if len(ce.apply.list) > 0 {
+			acc.MarkModifiedActions(ce.apply.list)
+		}
+		if ce.metadataMask != 0 {
+			acc.MarkMetadataWrite(ce.metadataMask)
+		}
+		if stepRes != stepNext {
+			break
+		}
+		tr = ce.next
+		if depth == openflow.MaxPipelineDepth-1 {
+			v.Dropped = true
+		}
+	}
+	acc.ForEach(func(f openflow.Field, value, mask uint64) {
+		res.MegaflowMask = append(res.MegaflowMask, TraceMaskField{Field: f, Value: value, Mask: mask})
+	})
+	return res
+}
+
+// String renders the trace as a multi-line ofproto/trace-style explanation.
+func (r *TraceResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "trace: in_port=%d parsed=%s flow_hash=0x%08x gen=%d\n",
+		r.InPort, r.ParserLayer, r.FlowHash, r.Generation)
+	h := &r.Headers
+	fmt.Fprintf(&sb, "  packet: eth %s > %s type=0x%04x", h.EthSrc, h.EthDst, h.EthType)
+	if h.Has(pkt.ProtoIPv4) {
+		fmt.Fprintf(&sb, " ip %s > %s proto=%d ttl=%d", h.IPSrc, h.IPDst, h.IPProto, h.IPTTL)
+	}
+	if h.Has(pkt.ProtoTCP) || h.Has(pkt.ProtoUDP) || h.Has(pkt.ProtoSCTP) {
+		fmt.Fprintf(&sb, " l4 %d > %d", h.L4Src, h.L4Dst)
+	}
+	sb.WriteByte('\n')
+	for _, s := range r.Steps {
+		fmt.Fprintf(&sb, "  table %d (%s, %d entries): ", s.Table, s.Template, s.Entries)
+		if !s.Matched {
+			sb.WriteString("miss\n")
+			continue
+		}
+		fmt.Fprintf(&sb, "match priority=%d,%s actions=%s", s.Priority, s.Match, s.Apply)
+		if s.HasNext {
+			fmt.Fprintf(&sb, " goto=%d", s.Next)
+		}
+		sb.WriteByte('\n')
+	}
+	v := &r.Verdict
+	switch {
+	case v.Forwarded() && v.ToController:
+		fmt.Fprintf(&sb, "  verdict: output %v + punt to controller (%s at table %d)\n", v.OutPorts, v.PuntReason, v.PuntTable)
+	case v.Forwarded():
+		fmt.Fprintf(&sb, "  verdict: output %v\n", v.OutPorts)
+	case v.ToController:
+		fmt.Fprintf(&sb, "  verdict: punt to controller (%s at table %d)\n", v.PuntReason, v.PuntTable)
+	default:
+		fmt.Fprintf(&sb, "  verdict: drop (table_miss=%v)\n", v.TableMiss)
+	}
+	switch {
+	case !r.Cacheable:
+		sb.WriteString("  cache: not cacheable (pipeline matches a field outside the canonical flow key)\n")
+	case !r.MicroflowEligible:
+		sb.WriteString("  cache: cacheable, microflow cache not compiled in\n")
+	default:
+		fmt.Fprintf(&sb, "  cache: microflow-eligible (probe 0x%08x)", r.FlowHash)
+		if r.MegaflowEligible {
+			sb.WriteString(", megaflow-eligible")
+		}
+		sb.WriteByte('\n')
+	}
+	if len(r.MegaflowMask) > 0 {
+		sb.WriteString("  megaflow: ")
+		for i, f := range r.MegaflowMask {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%s=0x%x/0x%x", f.Field, f.Value, f.Mask)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -70,14 +70,20 @@ func (d *Datapath) newWorker() *Worker {
 	if d.meter != nil {
 		w.meter = d.meter.NewShard()
 	}
+	if d.opts.UpdateCounters {
+		// Registered workers accumulate per-flow counter deltas privately
+		// and fold them in batches (flowctr.go) instead of paying two
+		// shared atomic RMWs per packet.
+		w.scratch.ctr = newFlowCtrAccum()
+	}
 	if d.opts.FlowCache > 0 && d.meter == nil {
-		w.cache = newFlowCache(d.opts.FlowCache)
+		w.cache = newFlowCache(d.opts.FlowCache, d.opts.UpdateCounters)
 		// The burst engine's cache staging rides along only for workers
 		// that own a cache; the default cache-off scratch stays lean.
 		w.scratch.cache = new(cacheScratch)
 		d.caches.register(w.cache)
 		if d.opts.Megaflow > 0 {
-			w.mega = newMegaCache(d.opts.Megaflow)
+			w.mega = newMegaCache(d.opts.Megaflow, d.opts.UpdateCounters)
 			d.megas.register(w.mega)
 		}
 	}
@@ -98,15 +104,30 @@ func (d *Datapath) releaseWorker(w *Worker) {
 	if w.mega != nil {
 		d.megas.retire(w.mega)
 	}
+	if w.scratch.ctr != nil {
+		w.scratch.ctr.flush()
+	}
 }
 
 // Enter marks the start of a read-side critical section (one burst or one
 // poll iteration).
-func (w *Worker) Enter() { w.epoch.Enter() }
+func (w *Worker) Enter() {
+	if ctr := w.scratch.ctr; ctr != nil {
+		ctr.sawBurst = false
+	}
+	w.epoch.Enter()
+}
 
 // Exit marks a quiescent point: the worker holds no references to any
-// datapath state published before this call.
-func (w *Worker) Exit() { w.epoch.Exit() }
+// datapath state published before this call.  An Exit whose bracket saw no
+// traffic also folds any held flow-counter deltas, so per-flow counters go
+// exact as soon as a worker idles (flowctr.go).
+func (w *Worker) Exit() {
+	w.epoch.Exit()
+	if ctr := w.scratch.ctr; ctr != nil && !ctr.sawBurst {
+		ctr.flush()
+	}
+}
 
 // Meter returns the worker's private meter shard (nil when the datapath is
 // unmetered).  Aggregate numbers are read from the datapath meter, which
@@ -118,9 +139,11 @@ func (w *Worker) Meter() *cpumodel.Meter { return w.meter }
 // shard (no shared meter writes) and — when enabled and the pipeline is
 // cacheable — its microflow verdict cache, which lets repeat microflows skip
 // the template walk entirely.  It performs no locks and no atomic
-// read-modify-writes — one atomic snapshot load, then pure computation — and
-// must be called inside the worker's Enter/Exit bracket (or with updates
-// quiesced externally).
+// read-modify-writes — one atomic snapshot load, then pure computation —
+// except for the amortized fold of the flow-counter accumulator on a
+// counters-enabled datapath (a batch of atomic adds at most once per
+// ctrFlushPackets packets, flowctr.go).  It must be called inside the
+// worker's Enter/Exit bracket (or with updates quiesced externally).
 func (w *Worker) ProcessBurst(ps []*pkt.Packet, vs []openflow.Verdict) {
 	sn := w.d.snap.Load()
 	for len(ps) > MaxBurst {
@@ -129,6 +152,12 @@ func (w *Worker) ProcessBurst(ps []*pkt.Packet, vs []openflow.Verdict) {
 	}
 	if len(ps) > 0 {
 		w.d.processBurst(&w.scratch, w.meter, sn, w.cache, w.mega, ps, vs)
+	}
+	if ctr := w.scratch.ctr; ctr != nil {
+		ctr.sawBurst = true
+		if ctr.pending >= ctrFlushPackets {
+			ctr.flush()
+		}
 	}
 }
 

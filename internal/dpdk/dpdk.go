@@ -42,6 +42,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"eswitch/internal/hist"
 	"eswitch/internal/lockcount"
 	"eswitch/internal/openflow"
 	"eswitch/internal/pkt"
@@ -51,6 +52,13 @@ import (
 // DefaultBurst is the burst size used by the RX/TX loops (DPDK's customary
 // 32-packet bursts).
 const DefaultBurst = 32
+
+// latSampleEvery is the burst-duration sampling decimation: with latency
+// sampling armed (SetLatencySampling), one classifyBurst call in
+// latSampleEvery is timed.  Two time.Now reads cost a measurable fraction
+// of a small burst, so the sampler trades census for a 1-in-N sample —
+// statistically identical for a histogram, ~16x cheaper.
+const latSampleEvery = 16
 
 // DefaultQueues is the number of RX/TX queue pairs per port, and therefore
 // the largest worker count that still scales a single hot port (a NIC-like
@@ -475,7 +483,8 @@ type DatapathFunc func(p *pkt.Packet, v *openflow.Verdict)
 func (f DatapathFunc) Process(p *pkt.Packet, v *openflow.Verdict) { f(p, v) }
 
 // WorkerStats are aggregate forwarding counters (folded over the per-worker
-// counters on demand).
+// counters on demand).  The cross-counter identities the fold guarantees are
+// stated — and machine-checked — in one place: CheckInvariants.
 type WorkerStats struct {
 	Processed uint64
 	Forwarded uint64
@@ -538,6 +547,60 @@ type WorkerStats struct {
 	PortsFlapping uint64
 }
 
+// CheckInvariants verifies the cross-counter identities the Stats() fold
+// guarantees at rest (workers stopped or idle between polls — counters are
+// published once per poll iteration, so a mid-burst snapshot may be torn).
+// This is the canonical statement of the invariants; the per-field comments
+// above and the scattered subsystem tests all defer to it.
+//
+// Slow-path accounting (puntRingsArmed true — with the rings unarmed,
+// ring-push outcomes are never counted and only the degraded-mode terms can
+// advance):
+//
+//	Punts + PuntDrops + PuntSuppressed + PuntFiltered == ToCtrl
+//
+// Every punted verdict is exactly one of: queued into a ring, dropped by a
+// full ring, suppressed by a degraded fail mode, or withheld by the
+// punt-storm filter.  The identity collapses to Punts+PuntDrops == ToCtrl
+// whenever the channel stays healthy and the filter is idle.
+//
+// Microflow cache (engaged — nonzero hit+miss — and no contained panics,
+// which abandon bursts between the probe and the tally):
+//
+//	CacheHits + CacheMisses == Processed
+//
+// Every packet is exactly a verdict-cache hit or a miss; CacheStale is a
+// subset of CacheMisses.
+//
+// Megaflow cache (engaged — nonzero hit+miss):
+//
+//	MegaHits + MegaMisses == CacheMisses
+//
+// Every microflow miss is exactly a masked-match short-circuit or a full
+// template walk.
+func (st WorkerStats) CheckInvariants(puntRingsArmed bool) error {
+	if puntRingsArmed {
+		if got := st.Punts + st.PuntDrops + st.PuntSuppressed + st.PuntFiltered; got != st.ToCtrl {
+			return fmt.Errorf("dpdk: punt invariant broken: %d queued + %d ring-dropped + %d suppressed + %d filtered = %d != %d to-controller",
+				st.Punts, st.PuntDrops, st.PuntSuppressed, st.PuntFiltered, got, st.ToCtrl)
+		}
+	} else if st.Punts != 0 || st.PuntDrops != 0 {
+		return fmt.Errorf("dpdk: %d punts queued / %d ring drops counted with the rings unarmed", st.Punts, st.PuntDrops)
+	}
+	if st.CacheStale > st.CacheMisses {
+		return fmt.Errorf("dpdk: microflow stale count %d exceeds misses %d", st.CacheStale, st.CacheMisses)
+	}
+	if probes := st.CacheHits + st.CacheMisses; probes > 0 && st.Panics == 0 && probes != st.Processed {
+		return fmt.Errorf("dpdk: microflow invariant broken: %d hits + %d misses != %d processed",
+			st.CacheHits, st.CacheMisses, st.Processed)
+	}
+	if probes := st.MegaHits + st.MegaMisses; probes > 0 && probes != st.CacheMisses {
+		return fmt.Errorf("dpdk: megaflow invariant broken: %d hits + %d misses != %d microflow misses",
+			st.MegaHits, st.MegaMisses, st.CacheMisses)
+	}
+	return nil
+}
+
 // workerCounters are one worker's forwarding counters.  They are updated
 // once per poll iteration (not per packet) by their owning worker only; the
 // trailing padding keeps each worker's counters on their own cache line so
@@ -554,6 +617,15 @@ type workerCounters struct {
 	panics       atomic.Uint64
 	quarantined  atomic.Uint64
 	_            [48]byte
+	// lat is the worker's burst-duration histogram (nanoseconds per
+	// classifyBurst call), recorded only while latency sampling is armed
+	// (Switch.SetLatencySampling) and then only for one burst in
+	// latSampleEvery (clock reads are a measurable fraction of a burst, so
+	// the sampler decimates; the histogram is a sampled distribution, not a
+	// census).  It sits after the padding so the counters above keep their
+	// own cache line; the histogram's buckets are single-writer like
+	// everything else in the block.
+	lat hist.Histogram
 }
 
 // Switch ties ports and a datapath together and runs run-to-completion
@@ -605,6 +677,12 @@ type Switch struct {
 	// registration list stays bounded by the number of live workers.
 	counters []*workerCounters
 	base     WorkerStats
+	// latBase folds retired workers' burst-duration histograms, mirroring
+	// base for the counters.
+	latBase hist.Snapshot
+	// latSample arms the per-burst latency sampling (SetLatencySampling);
+	// workers load it once per poll iteration, never per packet.
+	latSample atomic.Bool
 	// pollCounters is the single registered block shared by every pooled
 	// PollOnce state, so pool evictions cannot grow the registration list.
 	pollCounters *workerCounters
@@ -778,6 +856,10 @@ type workerState struct {
 	// the filter's recency window is measured in.
 	puntFilter []puntFilterSlot
 	pollSeq    uint64
+	// latTick decimates burst-duration sampling: with sampling armed, one
+	// burst in latSampleEvery is timed (starting with the first, so short
+	// tests still observe samples).
+	latTick uint64
 	// worker is the datapath's registered worker handle (nil when the
 	// datapath does not support worker registration — or when this state
 	// serves anonymous PollOnce callers, which must use the self-pinning
@@ -829,6 +911,7 @@ func (s *Switch) retireCounters(c *workerCounters) {
 	s.base.PuntFiltered += c.puntFiltered.Load()
 	s.base.Panics += c.panics.Load()
 	s.base.Quarantined += c.quarantined.Load()
+	c.lat.AddTo(&s.latBase)
 	kept := s.counters[:0]
 	for _, o := range s.counters {
 		if o != c {
@@ -924,8 +1007,10 @@ func (s *Switch) armPuntRings(capacity, frameCap int) []*slowpath.Ring {
 		capacity = slowpath.DefaultRingCapacity
 	}
 	rings := make([]*slowpath.Ring, s.queues)
+	sample := s.latSample.Load()
 	for i := range rings {
 		rings[i] = slowpath.NewRing(capacity, frameCap)
+		rings[i].SetLatencySampling(sample)
 	}
 	s.punt = rings
 	return rings
@@ -1014,6 +1099,47 @@ func (s *Switch) Stats() WorkerStats {
 	return t
 }
 
+// SetLatencySampling arms (or disarms) the telemetry plane's latency
+// histograms: per-worker burst classification duration and, on every armed
+// punt ring, push→pop punt queueing latency.  Off by default — the worker
+// path pays nothing until the plane is armed — and safe to flip while
+// workers run: each worker reads the gate once per poll iteration with one
+// atomic load, and with sampling on the extra per-burst cost is two clock
+// reads and two atomic adds, preserving the zero-lock/zero-alloc contract.
+func (s *Switch) SetLatencySampling(on bool) {
+	s.latSample.Store(on)
+	for _, r := range s.punt {
+		r.SetLatencySampling(on)
+	}
+}
+
+// LatencySampling reports whether latency sampling is currently armed.
+func (s *Switch) LatencySampling() bool { return s.latSample.Load() }
+
+// BurstLatency folds the per-worker burst-duration histograms (nanoseconds
+// per classifyBurst call) over live and retired workers.  All zero until
+// SetLatencySampling(true).
+func (s *Switch) BurstLatency() hist.Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.latBase
+	for _, c := range s.counters {
+		c.lat.AddTo(&t)
+	}
+	return t
+}
+
+// PuntLatency folds the punt rings' queueing-latency histograms
+// (nanoseconds from a worker's Push to the slow-path service's Pop).  All
+// zero until SetLatencySampling(true) — and with the rings unarmed.
+func (s *Switch) PuntLatency() hist.Snapshot {
+	var t hist.Snapshot
+	for _, r := range s.punt {
+		r.LatencyAddTo(&t)
+	}
+	return t
+}
+
 // PollOnce performs one run-to-completion iteration over all queues of the
 // given ports: receive a burst from each, classify (through the burst fast
 // path when the datapath supports it), and transmit.  It returns the number
@@ -1069,6 +1195,10 @@ func (s *Switch) pollPorts(ws *workerState, ports []*Port) int {
 	}
 	total := 0
 	var tal stageTallies
+	// One sampling-gate load per poll iteration; with sampling armed one
+	// burst in latSampleEvery pays two clock reads and two atomic adds —
+	// still zero-lock and zero-alloc, and <1% of the burst budget.
+	sample := s.latSample.Load()
 	for _, port := range ports {
 		// The port supervisor parks failed ports Down; skipping them here is
 		// the workers' entire involvement in the link-state machine (one
@@ -1087,7 +1217,17 @@ func (s *Switch) pollPorts(ws *workerState, ports []*Port) int {
 			if n == 0 {
 				continue
 			}
-			s.classifyBurst(ws, port, n, &tal)
+			if sample && ws.latTick%latSampleEvery == 0 {
+				ws.latTick++
+				t0 := time.Now()
+				s.classifyBurst(ws, port, n, &tal)
+				ws.counters.lat.Observe(uint64(time.Since(t0)))
+			} else {
+				if sample {
+					ws.latTick++
+				}
+				s.classifyBurst(ws, port, n, &tal)
+			}
 			total += n
 		}
 	}

@@ -403,3 +403,48 @@ func TestSwitchCloseRacesRunningWorkers(t *testing.T) {
 		t.Fatalf("accounting hole across the close race: %+v", st)
 	}
 }
+
+// TestWorkerStatsCheckInvariants exercises the canonical counter-identity
+// checker over synthetic folds: the documented identities must hold exactly,
+// and every single-counter perturbation must be caught.
+func TestWorkerStatsCheckInvariants(t *testing.T) {
+	good := WorkerStats{
+		Processed: 1000, Forwarded: 900, Dropped: 50, ToCtrl: 50,
+		Punts: 30, PuntDrops: 10, PuntSuppressed: 5, PuntFiltered: 5,
+		CacheHits: 700, CacheMisses: 300, CacheStale: 10,
+		MegaHits: 200, MegaMisses: 100,
+	}
+	if err := good.CheckInvariants(true); err != nil {
+		t.Fatalf("consistent stats rejected: %v", err)
+	}
+	// Each perturbation breaks exactly one identity.
+	cases := map[string]func(*WorkerStats){
+		"punt":          func(st *WorkerStats) { st.Punts++ },
+		"microflow":     func(st *WorkerStats) { st.CacheMisses-- },
+		"megaflow":      func(st *WorkerStats) { st.MegaHits++ },
+		"stale>misses":  func(st *WorkerStats) { st.CacheStale = st.CacheMisses + 1 },
+		"punts-unarmed": func(st *WorkerStats) {}, // checked with armed=false below
+	}
+	for name, mutate := range cases {
+		st := good
+		mutate(&st)
+		armed := name != "punts-unarmed"
+		if err := st.CheckInvariants(armed); err == nil {
+			t.Fatalf("%s: inconsistent stats accepted: %+v (armed=%v)", name, st, armed)
+		}
+	}
+	// Disengaged subsystems are not checked: zero cache and punt counters
+	// pass with the rings unarmed.
+	quiet := WorkerStats{Processed: 10, Forwarded: 10}
+	if err := quiet.CheckInvariants(false); err != nil {
+		t.Fatalf("quiet stats rejected: %v", err)
+	}
+	// Contained panics abandon bursts between probe and tally: the
+	// microflow identity is waived, the others still checked.
+	panicked := good
+	panicked.Panics, panicked.Quarantined = 1, 32
+	panicked.Processed += 32
+	if err := panicked.CheckInvariants(true); err != nil {
+		t.Fatalf("panic-containing stats rejected: %v", err)
+	}
+}

@@ -6,13 +6,12 @@ import (
 	"eswitch/internal/slowpath"
 )
 
-// checkPuntInvariant asserts the failure plane's accounting identity.
+// checkPuntInvariant asserts the failure plane's accounting identity (the
+// canonical statement lives on WorkerStats.CheckInvariants).
 func checkPuntInvariant(t *testing.T, sw *Switch, phase string) {
 	t.Helper()
-	st := sw.Stats()
-	if st.Punts+st.PuntDrops+st.PuntSuppressed+st.PuntFiltered != st.ToCtrl {
-		t.Fatalf("%s: queued %d + drops %d + suppressed %d + filtered %d != toCtrl %d",
-			phase, st.Punts, st.PuntDrops, st.PuntSuppressed, st.PuntFiltered, st.ToCtrl)
+	if err := sw.Stats().CheckInvariants(true); err != nil {
+		t.Fatalf("%s: %v", phase, err)
 	}
 }
 

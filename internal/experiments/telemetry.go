@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"eswitch/internal/core"
+	"eswitch/internal/dpdk"
+	"eswitch/internal/ipfix"
+	"eswitch/internal/pkt"
+	"eswitch/internal/telemetry"
+	"eswitch/internal/workload"
+)
+
+// The telemetry reconciliation harness: drive Zipf(1.1) traffic through the
+// dataplane substrate with per-flow counters armed, run the IPFIX flow
+// exporter over the compiled flow table (mid-run delta exports plus the
+// shutdown flush), then decode every emitted message and check the exported
+// packet/byte totals against the switch's Stats() and the flow table's own
+// counters.  Both workloads are single-table, so every processed packet bumps
+// exactly one flow entry and the identity is exact:
+//
+//	sum(IPFIX packetDeltaCount) == sum(flow counters) == Stats().Processed
+//
+// A mismatch means the exporter lost or double-counted a delta (e.g. across
+// the active-timeout path vs the final flush).
+
+// telemetryRun is one workload's reconciliation outcome.
+type telemetryRun struct {
+	processed     uint64 // switch Stats().Processed
+	tablePkts     uint64 // sum over FlowSamples of per-entry packet counters
+	tableBytes    uint64
+	exportedPkts  uint64 // sum over decoded IPFIX records of packetDeltaCount
+	exportedBytes uint64
+	messages      uint64
+	records       uint64
+}
+
+func (r telemetryRun) reconciled() bool {
+	return r.exportedPkts == r.tablePkts && r.exportedBytes == r.tableBytes &&
+		r.exportedPkts == r.processed
+}
+
+// measureTelemetry drives packets of the use case's Zipf(1.1) trace through
+// an injected-ring switch over a counters-armed compiled datapath, exporting
+// flow deltas mid-run (every pollEvery bursts) and flushing the remainder at
+// Close, then reconciles the decoded export stream against the counters.
+func measureTelemetry(uc *workload.UseCase, flows, packets int) (telemetryRun, error) {
+	opts := core.DefaultOptions()
+	opts.Decompose = uc.WantsDecomposition
+	// Per-flow counters are the whole point here.  The verdict caches stay
+	// enabled with counters on (cache entries memoize the matched entries'
+	// counter pointers), so the reconciliation also proves the counter-aware
+	// hit path credits every packet exactly once.
+	opts.UpdateCounters = true
+	dp, err := core.Compile(uc.Pipeline, opts)
+	if err != nil {
+		return telemetryRun{}, err
+	}
+
+	sw := dpdk.NewSwitchWithConfig(dp, dpdk.SwitchConfig{
+		NumPorts: uc.Pipeline.NumPorts,
+		RingSize: 4096,
+		Queues:   1,
+	})
+	defer sw.Close()
+	ports := make([]*dpdk.Port, uc.Pipeline.NumPorts+1)
+	for i := 1; i <= uc.Pipeline.NumPorts; i++ {
+		if ports[i], err = sw.Port(uint32(i)); err != nil {
+			return telemetryRun{}, err
+		}
+	}
+
+	trace := uc.Trace(flows)
+	if err := trace.UseZipf(flowCacheZipfS, 42); err != nil {
+		return telemetryRun{}, err
+	}
+
+	// A nanosecond active timeout with a parked ticker turns every manual
+	// Poll into an immediate delta export, so the run produces a stream of
+	// mid-run messages (exercising repeated delta accounting) and the Close
+	// flush only carries the tail.
+	sink := &telemetry.MemorySink{}
+	exp := telemetry.NewFlowExporter(dp, sink, telemetry.ExporterConfig{
+		Domain:        1,
+		PollInterval:  time.Hour,
+		ActiveTimeout: time.Nanosecond,
+		IdleTimeout:   time.Hour,
+	})
+
+	const burst = dpdk.DefaultBurst
+	const pollEvery = 64 // bursts between mid-run exporter polls
+	var p pkt.Packet
+	injected := 0
+	for done, bursts := 0, 0; done < packets; bursts++ {
+		for j := 0; j < burst && done < packets; j, done = j+1, done+1 {
+			trace.Next(&p)
+			// Trace frames are pre-built and immutable, so handing the
+			// ring a reference is safe across polls.
+			if ports[p.InPort].InjectOn(dpdk.AutoQueue, p.Data) {
+				injected++
+			}
+		}
+		sw.PollOnce(nil)
+		if bursts%pollEvery == pollEvery-1 {
+			exp.Poll()
+		}
+	}
+	if err := exp.Close(); err != nil {
+		return telemetryRun{}, err
+	}
+
+	run := telemetryRun{
+		processed: sw.Stats().Processed,
+		messages:  exp.Messages(),
+		records:   exp.Records(),
+	}
+	for _, s := range dp.FlowSamples(nil) {
+		run.tablePkts += s.Packets
+		run.tableBytes += s.Bytes
+	}
+	dec := ipfix.NewDecoder()
+	for _, msg := range sink.Messages() {
+		m, err := dec.Decode(msg)
+		if err != nil {
+			return telemetryRun{}, fmt.Errorf("decode export stream: %w", err)
+		}
+		for _, r := range m.Records {
+			if v, ok := r.Uint(ipfix.IEPacketDeltaCount); ok {
+				run.exportedPkts += v
+			}
+			if v, ok := r.Uint(ipfix.IEOctetDeltaCount); ok {
+				run.exportedBytes += v
+			}
+		}
+	}
+	if uint64(injected) != run.processed {
+		return run, fmt.Errorf("injection lost packets: injected %d, processed %d", injected, run.processed)
+	}
+	return run, nil
+}
+
+// Telemetry regenerates the observability-plane reconciliation figure: for
+// the L2 and L3 single-table workloads under Zipf(1.1) popularity, the IPFIX
+// export stream (mid-run active-timeout deltas + shutdown flush) must account
+// for every processed packet and byte, exactly.
+func Telemetry(cfg Config) Result {
+	res := Result{
+		ID:     "telemetry",
+		Title:  "IPFIX flow export reconciliation: exported deltas vs flow-table counters vs Stats()",
+		Header: []string{"use case", "flows", "processed", "msgs", "records", "exported pkts", "exported bytes", "reconciled"},
+		Notes: []string{
+			"compiled with per-flow counters (UpdateCounters); the verdict caches stay enabled and their counter-aware hit path must credit every packet exactly once",
+			"exporter polls mid-run with a forced active timeout, then flushes the tail at Close: deltas must sum to the table totals with no loss or double count",
+			"reconciled == sum(IPFIX packetDeltaCount) == sum(flow counters) == Stats().Processed (bytes likewise)",
+		},
+	}
+	flows := 5_000
+	if flows > cfg.MaxFlows {
+		flows = cfg.MaxFlows
+	}
+	packets := cfg.PacketsPerPoint
+	cases := []struct {
+		name string
+		uc   *workload.UseCase
+	}{
+		{"l2", workload.L2UseCase(flows, 4)},
+		{"l3", workload.L3UseCase(flows, 8, 2016)},
+	}
+	for _, c := range cases {
+		run, err := measureTelemetry(c.uc, flows, packets)
+		if err != nil {
+			res.Rows = append(res.Rows, []string{c.name, fmt.Sprint(flows), "error", "", "", "", "", err.Error()})
+			continue
+		}
+		verdict := "yes"
+		if !run.reconciled() {
+			verdict = fmt.Sprintf("MISMATCH (table %d pkts / %d bytes)", run.tablePkts, run.tableBytes)
+		}
+		res.Rows = append(res.Rows, []string{
+			c.name, fmt.Sprint(flows),
+			fmt.Sprint(run.processed),
+			fmt.Sprint(run.messages), fmt.Sprint(run.records),
+			fmt.Sprint(run.exportedPkts), fmt.Sprint(run.exportedBytes),
+			verdict,
+		})
+	}
+	return res
+}

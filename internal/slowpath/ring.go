@@ -26,7 +26,9 @@ package slowpath
 
 import (
 	"sync/atomic"
+	"time"
 
+	"eswitch/internal/hist"
 	"eswitch/internal/openflow"
 )
 
@@ -66,6 +68,10 @@ type puntSlot struct {
 	totalLen uint32 // frame length before slot-capacity truncation
 	table    uint16
 	reason   uint8
+	// pushNS is the producer's wall clock at Push (UnixNano), 0 when
+	// latency sampling is off; the consumer turns it into the punt's
+	// queueing latency on Pop.
+	pushNS int64
 }
 
 // Ring is a bounded single-producer/single-consumer punt ring: exactly one
@@ -85,6 +91,13 @@ type Ring struct {
 	// goroutine may read the mirrors.
 	pushedL, dropsL uint64
 	pushed, drops   atomic.Uint64
+
+	// sampleLat arms punt-latency sampling: Push stamps the slot, the
+	// single consumer observes push→pop queueing latency into lat on Pop.
+	// Off by default so the punt path pays nothing until the telemetry
+	// plane asks for it.
+	sampleLat atomic.Bool
+	lat       hist.Histogram
 }
 
 // NewRing returns a punt ring with capacity rounded up to a power of two and
@@ -133,6 +146,11 @@ func (r *Ring) Push(frame []byte, inPort uint32, table openflow.TableID, reason 
 	s.totalLen = uint32(len(frame))
 	s.table = uint16(table)
 	s.reason = uint8(reason)
+	if r.sampleLat.Load() {
+		s.pushNS = time.Now().UnixNano()
+	} else {
+		s.pushNS = 0
+	}
 	// The tail store publishes the filled slot to the consumer.
 	r.tail.Store(tail + 1)
 	r.pushedL++
@@ -153,11 +171,27 @@ func (r *Ring) Pop(rec *PuntRecord) bool {
 	rec.TotalLen = s.totalLen
 	rec.Table = openflow.TableID(s.table)
 	rec.Reason = openflow.PuntReason(s.reason)
+	if s.pushNS != 0 {
+		if d := time.Now().UnixNano() - s.pushNS; d >= 0 {
+			// The consumer is the histogram's single writer.
+			r.lat.Observe(uint64(d))
+		}
+	}
 	// The slot's contents were copied out; releasing it hands the buffer
 	// back to the producer.
 	r.head.Store(head + 1)
 	return true
 }
+
+// SetLatencySampling arms (or disarms) punt-latency sampling: with it on,
+// every Push stamps its slot and every Pop records the punt's ring-queueing
+// latency.  The producer pays one clock read per punt — still lock-free and
+// allocation-free — so it is off until the telemetry plane enables it.
+func (r *Ring) SetLatencySampling(on bool) { r.sampleLat.Store(on) }
+
+// LatencyAddTo folds the ring's punt-latency histogram (nanoseconds from
+// Push to Pop) into s.  All zero until SetLatencySampling(true).
+func (r *Ring) LatencyAddTo(s *hist.Snapshot) { r.lat.AddTo(s) }
 
 // Pushed returns how many punts were successfully enqueued.
 func (r *Ring) Pushed() uint64 { return r.pushed.Load() }

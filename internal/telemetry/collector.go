@@ -1,0 +1,215 @@
+package telemetry
+
+import (
+	"runtime"
+	"strconv"
+
+	"eswitch/internal/core"
+	"eswitch/internal/dpdk"
+)
+
+// SwitchSource bundles the stats surfaces the switch collector reads.  Only
+// Switch is required; nil optional fields simply skip their families.
+type SwitchSource struct {
+	Switch *dpdk.Switch
+	// Datapath exposes the compiled-datapath families (table stages,
+	// rebuilds, microflow/megaflow cache occupancy) when the eswitch
+	// datapath is in use.
+	Datapath *core.Datapath
+	// Supervisor exposes the port fault domain's counters when the port
+	// supervisor is running.
+	Supervisor *dpdk.PortSupervisor
+}
+
+// counterFamily builds a single-sample counter family whose value is read at
+// gather time.
+func counterFamily(name, help string, read func() float64) Family {
+	return Family{Name: name, Help: help, Kind: Counter,
+		Collect: func(emit func(Sample)) { emit(Sample{Value: read()}) }}
+}
+
+func gaugeFamily(name, help string, read func() float64) Family {
+	return Family{Name: name, Help: help, Kind: Gauge,
+		Collect: func(emit func(Sample)) { emit(Sample{Value: read()}) }}
+}
+
+// RegisterSwitch registers the full switch metric surface: every folded
+// counter in Stats(), per-port I/O counters and link states, the compiled
+// datapath's cache/table families, the port supervisor's fault-domain
+// counters, and the burst-duration and punt-latency histograms.  All
+// collectors run on the scraping goroutine and read only atomic mirrors or
+// the update mutex — never worker-private state.
+func RegisterSwitch(r *Registry, src SwitchSource) {
+	sw := src.Switch
+	// One Stats() fold per gather, shared by the worker-counter families:
+	// Gather holds the registry lock across families, so a single snapshot
+	// read by the first family keeps every derived sample consistent.
+	var st dpdk.WorkerStats
+	r.MustRegister(Family{
+		Name: "eswitch_worker_processed_packets_total",
+		Help: "Packets received by forwarding workers (includes quarantined frames).",
+		Kind: Counter,
+		Collect: func(emit func(Sample)) {
+			st = sw.Stats()
+			emit(Sample{Value: float64(st.Processed)})
+		},
+	})
+	workerCounter := func(name, help string, v func() uint64) Family {
+		return counterFamily(name, help, func() float64 { return float64(v()) })
+	}
+	r.MustRegister(
+		workerCounter("eswitch_worker_forwarded_packets_total", "Packets forwarded out at least one port.", func() uint64 { return st.Forwarded }),
+		workerCounter("eswitch_worker_dropped_packets_total", "Packets dropped by pipeline verdict.", func() uint64 { return st.Dropped }),
+		workerCounter("eswitch_worker_to_controller_packets_total", "Packets with a ToController verdict.", func() uint64 { return st.ToCtrl }),
+		workerCounter("eswitch_tx_retries_total", "TX enqueue re-attempts under the block/spill full-ring policies.", func() uint64 { return st.TxRetries }),
+		workerCounter("eswitch_tx_backpressure_drops_total", "Frames abandoned to TX-ring backpressure.", func() uint64 { return st.TxDrops }),
+		workerCounter("eswitch_punts_queued_total", "ToController verdicts copied into a slow-path punt ring.", func() uint64 { return st.Punts }),
+		workerCounter("eswitch_punt_ring_drops_total", "Punts lost to a full ring.", func() uint64 { return st.PuntDrops }),
+		workerCounter("eswitch_punts_suppressed_total", "Punts withheld by a degraded fail mode.", func() uint64 { return st.PuntSuppressed }),
+		workerCounter("eswitch_punts_filtered_total", "Punts withheld by the punt-storm filter.", func() uint64 { return st.PuntFiltered }),
+		workerCounter("eswitch_microflow_hits_total", "Microflow verdict-cache hits.", func() uint64 { return st.CacheHits }),
+		workerCounter("eswitch_microflow_misses_total", "Microflow verdict-cache misses.", func() uint64 { return st.CacheMisses }),
+		workerCounter("eswitch_microflow_stale_total", "Microflow misses that found a retired-generation key.", func() uint64 { return st.CacheStale }),
+		workerCounter("eswitch_megaflow_hits_total", "Megaflow (masked-match) cache hits.", func() uint64 { return st.MegaHits }),
+		workerCounter("eswitch_megaflow_misses_total", "Megaflow cache misses (full template walks).", func() uint64 { return st.MegaMisses }),
+		workerCounter("eswitch_datapath_panics_total", "Datapath panics absorbed by worker containment.", func() uint64 { return st.Panics }),
+		workerCounter("eswitch_quarantined_frames_total", "Frames abandoned by panic containment.", func() uint64 { return st.Quarantined }),
+		gaugeFamily("eswitch_ports_down", "Ports currently held Down by the link-state machine.", func() float64 { return float64(st.PortsDown) }),
+		gaugeFamily("eswitch_ports_flapping", "Ports currently labeled Flapping.", func() float64 { return float64(st.PortsFlapping) }),
+		counterFamily("eswitch_reinjected_punts_total", "PacketOut output:TABLE re-injections.", func() float64 { return float64(sw.ReinjectPunts()) }),
+	)
+
+	portFamily := func(name, help string, v func(dpdk.PortStats) uint64) Family {
+		return Family{Name: name, Help: help, Kind: Counter,
+			Collect: func(emit func(Sample)) {
+				for _, p := range sw.Ports() {
+					emit(Sample{
+						Labels: []Label{{Name: "port", Value: strconv.FormatUint(uint64(p.ID), 10)}},
+						Value:  float64(v(p.Stats())),
+					})
+				}
+			}}
+	}
+	r.MustRegister(
+		portFamily("eswitch_port_rx_packets_total", "Frames received per port.", func(s dpdk.PortStats) uint64 { return s.RxPackets }),
+		portFamily("eswitch_port_tx_packets_total", "Frames transmitted per port.", func(s dpdk.PortStats) uint64 { return s.TxPackets }),
+		portFamily("eswitch_port_rx_drops_total", "RX drops per port.", func(s dpdk.PortStats) uint64 { return s.RxDrops }),
+		portFamily("eswitch_port_tx_drops_total", "TX drops per port.", func(s dpdk.PortStats) uint64 { return s.TxDrops }),
+		portFamily("eswitch_port_rx_errors_total", "Non-backpressure RX I/O errors per port.", func(s dpdk.PortStats) uint64 { return s.RxErrors }),
+		portFamily("eswitch_port_tx_errors_total", "Non-backpressure TX I/O errors per port.", func(s dpdk.PortStats) uint64 { return s.TxErrors }),
+		Family{
+			Name: "eswitch_port_link_state",
+			Help: "Per-port link state (0=up, 1=down, 2=flapping).",
+			Kind: Gauge,
+			Collect: func(emit func(Sample)) {
+				for _, p := range sw.Ports() {
+					emit(Sample{
+						Labels: []Label{{Name: "port", Value: strconv.FormatUint(uint64(p.ID), 10)}},
+						Value:  float64(p.LinkState()),
+					})
+				}
+			},
+		},
+	)
+
+	r.MustRegister(
+		Family{
+			Name: "eswitch_burst_duration_seconds",
+			Help: "Worker burst classification duration (armed by latency sampling).",
+			Kind: HistogramKind,
+			Collect: func(emit func(Sample)) {
+				s := sw.BurstLatency()
+				emit(Sample{Hist: &s})
+			},
+		},
+		Family{
+			Name: "eswitch_punt_latency_seconds",
+			Help: "Punt-ring queueing latency from worker push to slow-path pop (armed by latency sampling).",
+			Kind: HistogramKind,
+			Collect: func(emit func(Sample)) {
+				s := sw.PuntLatency()
+				emit(Sample{Hist: &s})
+			},
+		},
+	)
+
+	if dp := src.Datapath; dp != nil {
+		r.MustRegister(
+			counterFamily("eswitch_datapath_rebuilds_total", "Full datapath recompilations.", func() float64 { return float64(dp.Rebuilds()) }),
+			counterFamily("eswitch_datapath_incremental_updates_total", "Flow-mods applied without a full rebuild.", func() float64 { return float64(dp.IncrementalUpdates()) }),
+			Family{
+				Name: "eswitch_table_entries",
+				Help: "Installed flow entries per compiled table.",
+				Kind: Gauge,
+				Collect: func(emit func(Sample)) {
+					for _, stg := range dp.Stages() {
+						emit(Sample{
+							Labels: []Label{
+								{Name: "table", Value: strconv.Itoa(int(stg.ID))},
+								{Name: "template", Value: stg.Template.String()},
+							},
+							Value: float64(stg.Entries),
+						})
+					}
+				},
+			},
+		)
+		if dp.FlowCacheEnabled() {
+			var fcs core.FlowCacheStats
+			r.MustRegister(
+				Family{Name: "eswitch_microflow_installs_total",
+					Help: "Microflow cache installs (fills plus victims).",
+					Kind: Counter,
+					Collect: func(emit func(Sample)) {
+						fcs = dp.FlowCacheStats()
+						emit(Sample{Value: float64(fcs.Installs)})
+					}},
+				counterFamily("eswitch_microflow_fills_total", "Microflow installs into empty slots.", func() float64 { return float64(fcs.Fills) }),
+				counterFamily("eswitch_microflow_victims_total", "Microflow installs that displaced a live entry.", func() float64 { return float64(fcs.Victims) }),
+				gaugeFamily("eswitch_microflow_capacity_slots", "Microflow cache slots summed over live workers.", func() float64 { return float64(fcs.Capacity) }),
+			)
+		}
+	}
+
+	if ps := src.Supervisor; ps != nil {
+		r.MustRegister(
+			counterFamily("eswitch_port_link_transitions_total", "Link-state transitions made by the port supervisor.", func() float64 { return float64(ps.Transitions()) }),
+			counterFamily("eswitch_port_reopens_total", "Backend reopen attempts.", func() float64 { return float64(ps.Reopens()) }),
+			counterFamily("eswitch_port_reopen_failures_total", "Backend reopen attempts that failed.", func() float64 { return float64(ps.ReopenFails()) }),
+			counterFamily("eswitch_worker_stalls_total", "Worker-stall verdicts issued by the watchdog.", func() float64 { return float64(ps.Stalls()) }),
+		)
+	}
+}
+
+// RegisterExporter registers a flow exporter's self-metrics.
+func RegisterExporter(r *Registry, e *FlowExporter) {
+	r.MustRegister(
+		counterFamily("eswitch_ipfix_messages_total", "IPFIX messages emitted to the export sink.", func() float64 { return float64(e.Messages()) }),
+		counterFamily("eswitch_ipfix_records_total", "IPFIX flow data records emitted.", func() float64 { return float64(e.Records()) }),
+		counterFamily("eswitch_ipfix_export_errors_total", "Sink write errors.", func() float64 { return float64(e.Errors()) }),
+		gaugeFamily("eswitch_ipfix_tracked_flows", "Flow entries currently tracked for export.", func() float64 { return float64(e.Tracked()) }),
+	)
+}
+
+// RegisterGoRuntime registers Go runtime families (heap, GC, goroutines).
+func RegisterGoRuntime(r *Registry) {
+	var ms runtime.MemStats
+	r.MustRegister(
+		Family{
+			Name: "eswitch_go_heap_alloc_bytes",
+			Help: "Bytes of allocated heap objects.",
+			Kind: Gauge,
+			Collect: func(emit func(Sample)) {
+				// One ReadMemStats per gather feeds the sibling families
+				// (the registry lock is held across all of them).
+				runtime.ReadMemStats(&ms)
+				emit(Sample{Value: float64(ms.HeapAlloc)})
+			},
+		},
+		gaugeFamily("eswitch_go_heap_sys_bytes", "Heap memory obtained from the OS.", func() float64 { return float64(ms.HeapSys) }),
+		counterFamily("eswitch_go_gc_cycles_total", "Completed GC cycles.", func() float64 { return float64(ms.NumGC) }),
+		counterFamily("eswitch_go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause.", func() float64 { return float64(ms.PauseTotalNs) / 1e9 }),
+		counterFamily("eswitch_go_alloc_bytes_total", "Cumulative bytes allocated.", func() float64 { return float64(ms.TotalAlloc) }),
+		gaugeFamily("eswitch_go_goroutines", "Live goroutines.", func() float64 { return float64(runtime.NumGoroutine()) }),
+	)
+}

@@ -7,10 +7,15 @@
 # uniform, Zipf and the adversarial ~1M-microflow source sweep) and the
 # slow-path rows (BenchmarkSlowPath_*: punt-ring and punt-delivery throughput, the
 # reactive learning-switch flow-setup rate over TCP, and post-convergence
-# fast-path Mpps with punt rings armed) and the trace-replay rows
+# fast-path Mpps with punt rings armed), the trace-replay rows
 # (BenchmarkTraceReplay_*: checked-in pcap captures replayed flat-out through
-# the pcap packet I/O backend into the full switch) to BENCH_burst.json so
-# the performance trajectory is tracked from PR to PR.
+# the pcap packet I/O backend into the full switch) and the observability-
+# plane overhead pair (BenchmarkTelemetry_Overhead/telemetry={off,on}: the
+# same injected workload with per-flow counters, latency sampling and the
+# IPFIX flow exporter disarmed vs fully armed) to BENCH_burst.json so the
+# performance trajectory is tracked from PR to PR.  The validate step gates
+# the telemetry pair: the armed row must stay within TELEMETRY_BUDGET
+# (default 5%) of the disarmed row's Mpps.
 #
 # Each benchmark runs COUNT times and the best Mpps per row is recorded:
 # scheduling/co-tenancy interference only ever slows a run down, so max-of-N
@@ -24,14 +29,19 @@
 #   BENCHTIME   go test -benchtime value for the measured pass (default 0.2s)
 #   COUNT       runs per benchmark, best kept (default 3; 1 in smoke mode)
 #   OUT         output file (default BENCH_burst.json)
+#   TELEMETRY_BUDGET  failing armed-vs-disarmed fraction for the telemetry
+#               overhead pair (default 0.05; 0 in smoke mode, where a
+#               single-iteration Mpps carries no signal)
 set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-0.2s}"
 COUNT="${COUNT:-3}"
+TELEMETRY_BUDGET="${TELEMETRY_BUDGET:-0.05}"
 if [ "${1:-}" = "smoke" ]; then
 	BENCHTIME=1x
 	COUNT=1
+	TELEMETRY_BUDGET=0
 fi
 OUT="${OUT:-BENCH_burst.json}"
 # gomaxprocs is recorded per row so the regression gate can tell a genuine
@@ -49,7 +59,7 @@ TMP="$OUT.tmp.$$"
 trap 'rm -f "$TMP"' EXIT
 trap 'rm -f "$TMP"; trap - INT TERM HUP; kill -s INT $$' INT TERM HUP
 
-go test -run '^$' -bench 'BenchmarkFig1[0123]|BenchmarkFlowCache|BenchmarkMegaflow|BenchmarkSlowPath|BenchmarkTraceReplay' -benchtime "$BENCHTIME" -count "$COUNT" -timeout 60m . | tee /dev/stderr |
+go test -run '^$' -bench 'BenchmarkFig1[0123]|BenchmarkFlowCache|BenchmarkMegaflow|BenchmarkSlowPath|BenchmarkTraceReplay|BenchmarkTelemetry' -benchtime "$BENCHTIME" -count "$COUNT" -timeout 60m . | tee /dev/stderr |
 	awk -v gmp="$GMP" -f scripts/bench_lib.awk | awk -F'\t' -v gmp="$GMP" '
 	BEGIN { printf "[" }
 	{
@@ -61,6 +71,6 @@ go test -run '^$' -bench 'BenchmarkFig1[0123]|BenchmarkFlowCache|BenchmarkMegafl
 	}
 	END { printf "\n]\n" }
 ' > "$TMP"
-go run ./cmd/eswitch-benchcheck -validate "$TMP"
+go run ./cmd/eswitch-benchcheck -validate "$TMP" -telemetry-budget "$TELEMETRY_BUDGET"
 mv "$TMP" "$OUT"
 echo "wrote $OUT"

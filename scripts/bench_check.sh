@@ -28,12 +28,15 @@
 #   MAX_DROP    failing drop fraction for normal rows      (default 0.10)
 #   NOISE_MPPS  threshold for the noise-tolerant budget    (default 20)
 #   NOISE_DROP  failing drop fraction for >=NOISE_MPPS rows (default 0.25)
+#   TELEMETRY_BUDGET  failing armed-vs-disarmed fraction for the
+#               BenchmarkTelemetry_Overhead pair (default 0.05)
 set -eu
 cd "$(dirname "$0")/.."
 
 MAX_DROP="${MAX_DROP:-0.10}"
 NOISE_MPPS="${NOISE_MPPS:-20}"
 NOISE_DROP="${NOISE_DROP:-0.25}"
+TELEMETRY_BUDGET="${TELEMETRY_BUDGET:-0.05}"
 
 status=0
 for f in BENCH_burst.json BENCH_scaling.json; do
@@ -51,7 +54,8 @@ for f in BENCH_burst.json BENCH_scaling.json; do
 	echo "== $f =="
 	if ! go run ./cmd/eswitch-benchcheck \
 		-baseline "$base" -fresh "$f" \
-		-max-drop "$MAX_DROP" -noise-mpps "$NOISE_MPPS" -noise-drop "$NOISE_DROP"; then
+		-max-drop "$MAX_DROP" -noise-mpps "$NOISE_MPPS" -noise-drop "$NOISE_DROP" \
+		-telemetry-budget "$TELEMETRY_BUDGET"; then
 		status=1
 	fi
 	rm -f "$base"
